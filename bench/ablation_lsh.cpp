@@ -1,0 +1,88 @@
+// Ablation — SA backend and probing strategy (DESIGN.md §5).
+//
+// Compares the paper's p-stable LSH (with and without adjacent-bucket
+// probing) against MinHash banding configurations on identical corpus and
+// queries: source-recall@5, candidate fraction (the narrowing the SA stage
+// exists for) and bucket probes per query.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+namespace fast::bench {
+namespace {
+
+struct Variant {
+  std::string name;
+  core::FastConfig cfg;
+};
+
+void run(const workload::DatasetSpec& spec, std::size_t queries) {
+  DatasetEnv env = make_dataset_env(spec, queries);
+  print_dataset_banner(env.dataset);
+
+  std::vector<Variant> variants;
+  {
+    core::FastConfig c;
+    c.sa_backend = core::FastConfig::SaBackend::kPStable;
+    c.probe_depth = 0;
+    variants.push_back({"pstable L7 M10 (no adj probes)", c});
+    c.probe_depth = 1;
+    variants.push_back({"pstable L7 M10 + adjacent", c});
+    c.probe_depth = 2;
+    variants.push_back({"pstable L7 M10 + 2-coord adj", c});
+  }
+  for (std::size_t bands : {24, 48, 96}) {
+    for (std::size_t bs : {2, 3}) {
+      for (bool mp : {false, true}) {
+        core::FastConfig c;
+        c.minhash.bands = bands;
+        c.minhash.band_size = bs;
+        c.minhash_multiprobe = mp;
+        char name[64];
+        std::snprintf(name, sizeof(name), "minhash b=%zu r=%zu%s", bands, bs,
+                      mp ? " +probe" : "");
+        variants.push_back({name, c});
+      }
+    }
+  }
+
+  util::Table table({"variant", "src recall@5", "candidates", "probes/query"});
+  for (const Variant& v : variants) {
+    SchemeConfig scfg;
+    std::unique_ptr<core::FastIndex> index =
+        build_fast_only(env, scfg, v.cfg);
+    for (const auto& photo : env.dataset.photos) {
+      index->insert(photo.id, photo.image);
+    }
+    std::size_t recall = 0;
+    double candidates = 0, probes = 0;
+    for (const auto& q : env.queries) {
+      const core::QueryResult r = index->query(q.image, 5);
+      recall += contains_id(r.hits, q.source);
+      candidates += static_cast<double>(r.candidates);
+      probes += static_cast<double>(r.bucket_probes);
+    }
+    const auto nq = static_cast<double>(env.queries.size());
+    table.add_row(
+        {v.name,
+         util::fmt_percent(static_cast<double>(recall) / nq, 1),
+         util::fmt_percent(candidates / nq /
+                               static_cast<double>(index->size()),
+                           1) +
+             " of corpus",
+         util::fmt_double(probes / nq, 0)});
+  }
+  table.print("Ablation — SA backend (" + env.dataset.spec.name + ")");
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  const bench::BenchScale scale = bench::BenchScale::from_args(argc, argv);
+  std::printf("== bench ablation_lsh: SA backend comparison ==\n");
+  bench::run(workload::DatasetSpec::wuhan(scale.wuhan_images), scale.queries);
+  return 0;
+}

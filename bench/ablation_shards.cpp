@@ -1,0 +1,71 @@
+// Ablation — shard count of the distributed index (DESIGN.md §5): insert
+// routing cost, scatter-gather query latency and result fidelity as the
+// cluster grows from 1 to 32 shards.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/sharded_index.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace fast::bench {
+namespace {
+
+void run(const workload::DatasetSpec& spec, std::size_t queries) {
+  DatasetEnv env = make_dataset_env(spec, queries);
+  print_dataset_banner(env.dataset);
+
+  // Reference single-node index for fidelity comparison.
+  SchemeConfig scfg;
+  std::unique_ptr<core::FastIndex> single = build_fast_only(env, scfg);
+  std::vector<hash::SparseSignature> sigs;
+  for (const auto& photo : env.dataset.photos) {
+    sigs.push_back(single->summarize(photo.image));
+    single->insert_signature(photo.id, sigs.back());
+  }
+  std::vector<hash::SparseSignature> qsigs;
+  for (const auto& q : env.queries) {
+    qsigs.push_back(single->summarize(q.image));
+  }
+
+  util::Table table({"shards", "query latency (sim)", "top-1 agreement",
+                     "src recall@5"});
+  for (std::size_t shards : {1, 2, 4, 8, 16, 32}) {
+    core::FastConfig cfg;
+    cfg.pca_sift = env.pca_cfg;
+    core::ShardedFastIndex index(cfg, env.pca, shards, 2);
+    for (std::size_t i = 0; i < env.dataset.photos.size(); ++i) {
+      index.insert_signature(env.dataset.photos[i].id, sigs[i]);
+    }
+    util::OnlineStats latency;
+    std::size_t agree = 0, recall = 0;
+    for (std::size_t qi = 0; qi < qsigs.size(); ++qi) {
+      const core::QueryResult sharded = index.query_signature(qsigs[qi], 5);
+      const core::QueryResult ref = single->query_signature(qsigs[qi], 5);
+      latency.add(sharded.cost.elapsed_s());
+      if (!sharded.hits.empty() && !ref.hits.empty() &&
+          sharded.hits.front().score == ref.hits.front().score) {
+        ++agree;
+      }
+      recall += contains_id(sharded.hits, env.queries[qi].source);
+    }
+    const auto nq = static_cast<double>(qsigs.size());
+    table.add_row({std::to_string(shards),
+                   util::fmt_duration(latency.mean()),
+                   util::fmt_percent(static_cast<double>(agree) / nq, 1),
+                   util::fmt_percent(static_cast<double>(recall) / nq, 1)});
+  }
+  table.print("Ablation — distributed index shard count (" +
+              env.dataset.spec.name + ")");
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  const bench::BenchScale scale = bench::BenchScale::from_args(argc, argv);
+  std::printf("== bench ablation_shards: distributed index ==\n");
+  bench::run(workload::DatasetSpec::wuhan(scale.wuhan_images), scale.queries);
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/table.hpp"
+#include "workload/scene_generator.hpp"
+
+namespace fast::bench {
+
+BenchScale BenchScale::from_args(int argc, char** argv) {
+  BenchScale scale;
+  if (argc > 1 && std::atoi(argv[1]) > 0) {
+    scale.wuhan_images = static_cast<std::size_t>(std::atoi(argv[1]));
+  }
+  if (argc > 2 && std::atoi(argv[2]) > 0) {
+    scale.shanghai_images = static_cast<std::size_t>(std::atoi(argv[2]));
+  } else {
+    // Preserve Table II's 21:39 ratio when only Wuhan is overridden.
+    scale.shanghai_images = scale.wuhan_images * 39 / 21;
+  }
+  if (argc > 3 && std::atoi(argv[3]) > 0) {
+    scale.queries = static_cast<std::size_t>(std::atoi(argv[3]));
+  }
+  return scale;
+}
+
+DatasetEnv make_dataset_env(const workload::DatasetSpec& spec,
+                            std::size_t queries) {
+  DatasetEnv env;
+  env.dataset = workload::SceneGenerator(spec).generate();
+  std::vector<img::Image> sample;
+  const std::size_t train_n = std::min<std::size_t>(16, env.dataset.photos.size());
+  for (std::size_t i = 0; i < train_n; ++i) {
+    sample.push_back(env.dataset.photos[i].image);
+  }
+  env.pca = vision::train_pca_sift(sample, env.pca_cfg, 1500);
+  env.queries = workload::make_dup_queries(env.dataset, queries,
+                                           0xbe9c ^ spec.seed);
+  env.cal_queries = workload::make_dup_queries(env.dataset, 12,
+                                               0xca1 ^ spec.seed);
+  return env;
+}
+
+Schemes build_schemes(const DatasetEnv& env, const SchemeConfig& cfg) {
+  Schemes s;
+  baseline::SiftBaselineConfig scfg;
+  scfg.max_keypoints = cfg.max_keypoints;
+  scfg.cache_pages = cfg.cache_pages;
+  s.sift = std::make_unique<baseline::SiftBaseline>(scfg, cfg.cost);
+
+  baseline::PcaSiftBaselineConfig pcfg;
+  pcfg.max_keypoints = cfg.max_keypoints;
+  pcfg.cache_pages = cfg.cache_pages;
+  pcfg.pca_sift = env.pca_cfg;
+  s.pca_sift =
+      std::make_unique<baseline::PcaSiftBaseline>(pcfg, cfg.cost, env.pca);
+
+  baseline::RnpeConfig rcfg;
+  s.rnpe = std::make_unique<baseline::Rnpe>(rcfg, cfg.cost);
+
+  s.fast = build_fast_only(env, cfg);
+
+  for (const auto& photo : env.dataset.photos) {
+    s.sift_build.merge(s.sift->insert(photo.id, photo.image).cost);
+    s.pca_build.merge(s.pca_sift->insert(photo.id, photo.image).cost);
+    s.rnpe_build.merge(s.rnpe
+                           ->insert(photo.id, photo.geo_x, photo.geo_y,
+                                    photo.landmark, photo.view)
+                           .cost);
+    s.fast_build.merge(s.fast->insert(photo.id, photo.image).cost);
+  }
+  return s;
+}
+
+std::unique_ptr<core::FastIndex> build_fast_only(const DatasetEnv& env,
+                                                 const SchemeConfig& cfg,
+                                                 core::FastConfig base) {
+  base.pca_sift = env.pca_cfg;
+  base.max_keypoints = cfg.max_keypoints;
+  base.cost = cfg.cost;
+  auto index = std::make_unique<core::FastIndex>(base, env.pca);
+  // Calibration (needed by the p-stable backend; harmless for MinHash).
+  std::vector<hash::SparseSignature> corpus_sample, query_sample;
+  const std::size_t sample_n =
+      std::min<std::size_t>(48, env.dataset.photos.size());
+  for (std::size_t i = 0; i < sample_n; ++i) {
+    corpus_sample.push_back(index->summarize(env.dataset.photos[i].image));
+  }
+  for (const auto& q : env.cal_queries) {
+    query_sample.push_back(index->summarize(q.image));
+  }
+  index->calibrate_scale(query_sample, corpus_sample);
+  return index;
+}
+
+void print_dataset_banner(const workload::Dataset& dataset) {
+  std::printf(
+      "dataset %-9s: %zu images (scaled stand-in for Table II), "
+      "%zu landmarks, %s of original photo data\n",
+      dataset.spec.name.c_str(), dataset.photos.size(),
+      dataset.spec.landmarks,
+      util::fmt_bytes(static_cast<double>(dataset.total_file_bytes())).c_str());
+}
+
+bool contains_id(const std::vector<core::ScoredId>& hits,
+                 std::uint64_t wanted) {
+  for (const auto& h : hits) {
+    if (h.id == wanted) return true;
+  }
+  return false;
+}
+
+}  // namespace fast::bench

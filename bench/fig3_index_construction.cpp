@@ -1,0 +1,83 @@
+// Fig. 3 — Index construction latency, split into feature representation
+// and index storage, for SIFT / PCA-SIFT / RNPE / FAST on both datasets.
+//
+// The paper reports whole-dataset construction seconds on its 256-node x
+// 32-core cluster (21M / 39M images). We measure per-image simulated costs
+// on the scaled datasets and report both the per-image numbers and the
+// extrapolation to paper scale (mean per-image cost x paper image count /
+// cluster cores), which is directly comparable to the figure.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+namespace fast::bench {
+namespace {
+
+struct Row {
+  const char* scheme;
+  double fe_s;      // accumulated simulated feature-representation seconds
+  double store_s;   // accumulated simulated index-storage seconds
+};
+
+void run_dataset(const workload::DatasetSpec& spec, std::size_t queries,
+                 double paper_images) {
+  DatasetEnv env = make_dataset_env(spec, queries);
+  print_dataset_banner(env.dataset);
+  SchemeConfig cfg;
+  Schemes schemes = build_schemes(env, cfg);
+
+  const auto n = static_cast<double>(env.dataset.photos.size());
+  baseline::ExtractCosts extract;
+  const double fast_fe = schemes.fast->config().feature_extract_s;
+
+  const Row rows[] = {
+      {"SIFT", extract.sift_s * n,
+       schemes.sift_build.elapsed_s() - extract.sift_s * n},
+      {"PCA-SIFT", extract.pca_sift_s * n,
+       schemes.pca_build.elapsed_s() - extract.pca_sift_s * n},
+      {"RNPE", extract.rnpe_s * n,
+       schemes.rnpe_build.elapsed_s() - extract.rnpe_s * n},
+      {"FAST", fast_fe * n, schemes.fast_build.elapsed_s() - fast_fe * n},
+  };
+
+  const double cores = static_cast<double>(cfg.cost.nodes) *
+                       static_cast<double>(cfg.cost.cores_per_node);
+  util::Table table({"scheme", "feat-rep/img", "storage/img",
+                     "paper-scale feat-rep", "paper-scale storage",
+                     "paper-scale total"});
+  for (const Row& r : rows) {
+    const double fe_img = r.fe_s / n;
+    const double st_img = r.store_s / n;
+    const double fe_paper = fe_img * paper_images / cores;
+    const double st_paper = st_img * paper_images / cores;
+    table.add_row({r.scheme, util::fmt_duration(fe_img),
+                   util::fmt_duration(st_img), util::fmt_duration(fe_paper),
+                   util::fmt_duration(st_paper),
+                   util::fmt_duration(fe_paper + st_paper)});
+  }
+  table.print("Fig. 3 — index construction (" + env.dataset.spec.name + ")");
+
+  // The paper's headline comparison: FAST's total improvement over
+  // PCA-SIFT and RNPE.
+  const double fast_total = rows[3].fe_s + rows[3].store_s;
+  const double pca_total = rows[1].fe_s + rows[1].store_s;
+  const double rnpe_total = rows[2].fe_s + rows[2].store_s;
+  std::printf("FAST vs PCA-SIFT: %s faster;  FAST vs RNPE: %s faster\n",
+              util::fmt_percent(1.0 - fast_total / pca_total).c_str(),
+              util::fmt_percent(1.0 - fast_total / rnpe_total).c_str());
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  const bench::BenchScale scale = bench::BenchScale::from_args(argc, argv);
+  std::printf("== bench fig3: index construction latency ==\n");
+  bench::run_dataset(workload::DatasetSpec::wuhan(scale.wuhan_images),
+                     scale.queries, 21e6);
+  bench::run_dataset(workload::DatasetSpec::shanghai(scale.shanghai_images),
+                     scale.queries, 39e6);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 5 — Latency of inserting new images (10,000 ... 50,000), after an
+// initial index build, for all four schemes on both datasets.
+//
+// The figure reports the *storage/indexing* latency of the new images (the
+// paper notes all schemes share similar feature-extraction costs; FAST's
+// advantage is its O(1) indexing). We measure per-insert simulated storage
+// cost on a scaled stream of fresh images and report batch totals for the
+// paper's batch sizes, scheduled across the cluster's nodes.
+#include <cstdio>
+
+#include "common.hpp"
+#include "img/transform.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace fast::bench {
+namespace {
+
+void run_dataset(const workload::DatasetSpec& spec, std::size_t stream_n) {
+  DatasetEnv env = make_dataset_env(spec, 4);
+  print_dataset_banner(env.dataset);
+  SchemeConfig cfg;
+  Schemes schemes = build_schemes(env, cfg);
+
+  // Fresh images to insert: new shots of existing views.
+  util::Rng rng(0x1245 ^ spec.seed);
+  img::PerturbParams params;
+  baseline::ExtractCosts extract;
+  const double fast_fe = schemes.fast->config().feature_extract_s;
+
+  std::vector<double> sift_cost, pca_cost, rnpe_cost, fast_cost;
+  const std::uint64_t base_id = env.dataset.photos.size();
+  for (std::size_t i = 0; i < stream_n; ++i) {
+    const auto& src =
+        env.dataset.photos[rng.uniform_u64(env.dataset.photos.size())];
+    const img::Image shot = img::make_near_duplicate(src.image, params, rng);
+    const std::uint64_t id = base_id + i;
+    // Storage-only cost: total insert cost minus the extraction constant.
+    sift_cost.push_back(schemes.sift->insert(id, shot).cost.elapsed_s() -
+                        extract.sift_s);
+    pca_cost.push_back(schemes.pca_sift->insert(id, shot).cost.elapsed_s() -
+                       extract.pca_sift_s);
+    rnpe_cost.push_back(
+        schemes.rnpe
+            ->insert(id, src.geo_x + rng.gaussian(0, 0.2),
+                     src.geo_y + rng.gaussian(0, 0.2), src.landmark, src.view)
+            .cost.elapsed_s() -
+        extract.rnpe_s);
+    fast_cost.push_back(schemes.fast->insert(id, shot).cost.elapsed_s() -
+                        fast_fe);
+  }
+
+  auto mean = [](const std::vector<double>& xs) {
+    double s = 0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+  };
+  // Per-insert mean storage costs; inserts of a batch spread across the
+  // cluster's nodes (ingest is disk-bound on each node's local store).
+  const double slots = static_cast<double>(cfg.cost.nodes);
+  util::Table table({"new images", "SIFT", "PCA-SIFT", "RNPE", "FAST"});
+  for (std::size_t batch = 10000; batch <= 50000; batch += 10000) {
+    const double b = static_cast<double>(batch);
+    table.add_row({std::to_string(batch),
+                   util::fmt_duration(mean(sift_cost) * b / slots),
+                   util::fmt_duration(mean(pca_cost) * b / slots),
+                   util::fmt_duration(mean(rnpe_cost) * b / slots),
+                   util::fmt_duration(mean(fast_cost) * b / slots)});
+  }
+  table.print("Fig. 5 — insertion (storage/indexing) latency (" +
+              env.dataset.spec.name + ")");
+  std::printf("per-insert storage cost: SIFT %s, PCA-SIFT %s, RNPE %s, "
+              "FAST %s\n",
+              util::fmt_duration(mean(sift_cost)).c_str(),
+              util::fmt_duration(mean(pca_cost)).c_str(),
+              util::fmt_duration(mean(rnpe_cost)).c_str(),
+              util::fmt_duration(mean(fast_cost)).c_str());
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  const bench::BenchScale scale = bench::BenchScale::from_args(argc, argv);
+  std::printf("== bench fig5: insertion latency ==\n");
+  bench::run_dataset(workload::DatasetSpec::wuhan(scale.wuhan_images),
+                     scale.queries);
+  bench::run_dataset(workload::DatasetSpec::shanghai(scale.shanghai_images),
+                     scale.queries);
+  return 0;
+}

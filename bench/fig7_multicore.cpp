@@ -1,0 +1,56 @@
+// Fig. 7 — Query latency vs. number of cores (1 ... 32): FAST's flat-
+// structured addressing exposes independent probe/rank/extract work units
+// that a multicore schedules freely, so per-query latency drops almost
+// linearly with core count.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/query_engine.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace fast::bench {
+namespace {
+
+void run_dataset(const workload::DatasetSpec& spec, std::size_t queries) {
+  DatasetEnv env = make_dataset_env(spec, queries);
+  print_dataset_banner(env.dataset);
+  SchemeConfig cfg;
+  std::unique_ptr<core::FastIndex> index = build_fast_only(env, cfg);
+  for (const auto& photo : env.dataset.photos) {
+    index->insert(photo.id, photo.image);
+  }
+
+  std::vector<core::QueryResult> results;
+  for (const auto& q : env.queries) {
+    results.push_back(index->query(q.image, 10));
+  }
+
+  util::Table table({"cores", "mean latency", "speedup vs 1 core"});
+  double base = 0;
+  for (std::size_t cores : {1, 2, 4, 8, 16, 32}) {
+    util::OnlineStats lat;
+    for (const auto& r : results) {
+      lat.add(core::QueryEngine::simulated_query_latency(r, cores));
+    }
+    if (cores == 1) base = lat.mean();
+    table.add_row({std::to_string(cores), util::fmt_duration(lat.mean()),
+                   util::fmt_double(base / lat.mean(), 2) + "x"});
+  }
+  table.print("Fig. 7 — multicore query latency (" + env.dataset.spec.name +
+              ")");
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  const bench::BenchScale scale = bench::BenchScale::from_args(argc, argv);
+  std::printf("== bench fig7: multicore parallel queries ==\n");
+  bench::run_dataset(workload::DatasetSpec::wuhan(scale.wuhan_images),
+                     scale.queries);
+  bench::run_dataset(workload::DatasetSpec::shanghai(scale.shanghai_images),
+                     scale.queries);
+  return 0;
+}

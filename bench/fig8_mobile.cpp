@@ -1,0 +1,73 @@
+// Fig. 8 — Smartphone transmission overhead (a) and energy consumption (b)
+// for FAST's near-dedup uploading vs. chunk-based transmission, across
+// three crowdsourcing user groups and growing batch sizes.
+//
+// The paper's x-axis (1000 ... 6000 images per batch) is scaled down via
+// the bench scale; the reported quantities — bandwidth savings and energy
+// savings relative to the chunk scheme — are scale-free.
+#include <cstdio>
+
+#include "common.hpp"
+#include "mobile/transmitter.hpp"
+#include "mobile/user_groups.hpp"
+#include "util/table.hpp"
+
+namespace fast::bench {
+namespace {
+
+void run(const workload::DatasetSpec& spec, std::size_t max_batch) {
+  DatasetEnv env = make_dataset_env(spec, 4);
+  print_dataset_banner(env.dataset);
+
+  const auto groups = mobile::make_user_groups(env.dataset, 3);
+  util::Table bw({"images", "group", "chunk sent", "FAST sent",
+                  "bandwidth savings"});
+  util::Table energy({"images", "group", "chunk energy", "FAST energy",
+                      "energy savings"});
+
+  for (std::size_t batch = max_batch / 4; batch <= max_batch;
+       batch += max_batch / 4) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto items = mobile::make_upload_batch(
+          env.dataset, groups[g], batch, 0xf18 + g * 31 + batch);
+
+      mobile::ChunkTransmitter chunk_tx(mobile::ChunkerConfig{},
+                                        sim::EnergyModel{});
+      const mobile::TransmissionReport chunk = chunk_tx.upload_batch(items);
+
+      SchemeConfig cfg;
+      std::unique_ptr<core::FastIndex> index = build_fast_only(env, cfg);
+      mobile::FastTransmitter fast_tx(*index, sim::EnergyModel{}, 0.14);
+      const mobile::TransmissionReport fast = fast_tx.upload_batch(items);
+
+      bw.add_row({std::to_string(batch), groups[g].name,
+                  util::fmt_bytes(static_cast<double>(chunk.sent_bytes)),
+                  util::fmt_bytes(static_cast<double>(fast.sent_bytes)),
+                  util::fmt_percent(
+                      1.0 - static_cast<double>(fast.sent_bytes) /
+                                static_cast<double>(chunk.sent_bytes))});
+      energy.add_row(
+          {std::to_string(batch), groups[g].name,
+           util::fmt_double(chunk.energy_joule, 1) + "J",
+           util::fmt_double(fast.energy_joule, 1) + "J",
+           util::fmt_percent(1.0 - fast.energy_joule / chunk.energy_joule)});
+    }
+  }
+  bw.print("Fig. 8(a) — network transmission overhead");
+  energy.print("Fig. 8(b) — energy consumption");
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  std::printf("== bench fig8: smartphone transmission & energy ==\n");
+  std::size_t images = 240;
+  std::size_t max_batch = 160;
+  if (argc > 1) images = static_cast<std::size_t>(std::atoi(argv[1]));
+  if (argc > 2) max_batch = static_cast<std::size_t>(std::atoi(argv[2]));
+  workload::DatasetSpec spec = workload::DatasetSpec::wuhan(images);
+  bench::run(spec, max_batch);
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Google-benchmark micro suite for the hashing substrate: raw hash
+// functions, Bloom operations, sparse-signature algebra, LSH backends and
+// the cuckoo tables (standard vs flat).
+#include <benchmark/benchmark.h>
+
+#include "hash/bloom_filter.hpp"
+#include "hash/cuckoo_table.hpp"
+#include "hash/flat_cuckoo_table.hpp"
+#include "hash/hashes.hpp"
+#include "hash/lsh_table_chained.hpp"
+#include "hash/minhash.hpp"
+#include "hash/pstable_lsh.hpp"
+#include "hash/sparse_signature.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fast;
+
+std::vector<std::uint8_t> make_key(std::size_t len) {
+  util::Rng rng(len);
+  std::vector<std::uint8_t> key(len);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+  return key;
+}
+
+void BM_Murmur3(benchmark::State& state) {
+  const auto key = make_key(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::murmur3_128(key.data(), key.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Murmur3)->Arg(16)->Arg(144)->Arg(4096);
+
+void BM_Fnv1a(benchmark::State& state) {
+  const auto key = make_key(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::fnv1a_64(key.data(), key.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fnv1a)->Arg(16)->Arg(144);
+
+void BM_BloomInsert(benchmark::State& state) {
+  hash::BloomFilter bf(16384, 8);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    bf.insert_u64(i++);
+  }
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomQuery(benchmark::State& state) {
+  hash::BloomFilter bf(16384, 8);
+  for (std::uint64_t i = 0; i < 500; ++i) bf.insert_u64(i);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.maybe_contains_u64(i++ % 1000));
+  }
+}
+BENCHMARK(BM_BloomQuery);
+
+hash::SparseSignature make_signature(std::size_t popcount,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> bits;
+  std::uint32_t cur = 0;
+  for (std::size_t i = 0; i < popcount; ++i) {
+    cur += 1 + static_cast<std::uint32_t>(rng.uniform_u64(16));
+    bits.push_back(cur);
+  }
+  return hash::SparseSignature(std::move(bits), cur + 1);
+}
+
+void BM_SparseJaccard(benchmark::State& state) {
+  const auto a = make_signature(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = make_signature(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::SparseSignature::jaccard(a, b));
+  }
+}
+BENCHMARK(BM_SparseJaccard)->Arg(256)->Arg(2048);
+
+void BM_SparseEncode(benchmark::State& state) {
+  const auto sig = make_signature(2048, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sig.encode());
+  }
+}
+BENCHMARK(BM_SparseEncode);
+
+void BM_PStableAllKeys(benchmark::State& state) {
+  hash::LshConfig cfg;
+  cfg.dim = static_cast<std::size_t>(state.range(0));
+  hash::PStableLsh lsh(cfg);
+  util::Rng rng(5);
+  std::vector<float> v(cfg.dim);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh.all_keys(v));
+  }
+}
+BENCHMARK(BM_PStableAllKeys)->Arg(256)->Arg(4096)->Arg(16384);
+
+void BM_MinHashAll(benchmark::State& state) {
+  hash::MinHasher mh(hash::MinHashConfig{});
+  const auto sig = make_signature(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mh.minhashes(sig));
+  }
+}
+BENCHMARK(BM_MinHashAll)->Arg(256)->Arg(2048);
+
+void BM_CuckooInsert_Standard(benchmark::State& state) {
+  const std::size_t cap = 1 << 16;
+  hash::CuckooTable table(cap);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if (table.size() > cap / 2) {
+      state.PauseTiming();
+      table = hash::CuckooTable(cap);
+      state.ResumeTiming();
+    }
+    const std::uint64_t key = hash::mix64(i);
+    ++i;
+    benchmark::DoNotOptimize(table.insert(key, i));
+  }
+}
+BENCHMARK(BM_CuckooInsert_Standard);
+
+void BM_CuckooInsert_Flat(benchmark::State& state) {
+  hash::FlatCuckooConfig cfg;
+  cfg.capacity = 1 << 16;
+  hash::FlatCuckooTable table(cfg);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if (table.size() > cfg.capacity * 9 / 10) {
+      state.PauseTiming();
+      table = hash::FlatCuckooTable(cfg);
+      state.ResumeTiming();
+    }
+    const std::uint64_t key = hash::mix64(i);
+    ++i;
+    benchmark::DoNotOptimize(table.insert(key, i));
+  }
+}
+BENCHMARK(BM_CuckooInsert_Flat);
+
+void BM_CuckooFind_Standard(benchmark::State& state) {
+  hash::CuckooTable table(1 << 16);
+  for (std::uint64_t i = 0; i < (1 << 15); ++i) {
+    table.insert(hash::mix64(i), i);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(hash::mix64(i++ % (1 << 15))));
+  }
+}
+BENCHMARK(BM_CuckooFind_Standard);
+
+void BM_CuckooFind_Flat(benchmark::State& state) {
+  hash::FlatCuckooConfig cfg;
+  cfg.capacity = 1 << 16;
+  hash::FlatCuckooTable table(cfg);
+  for (std::uint64_t i = 0; i < (1 << 15); ++i) {
+    table.insert(hash::mix64(i), i);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(hash::mix64(i++ % (1 << 15))));
+  }
+}
+BENCHMARK(BM_CuckooFind_Flat);
+
+void BM_ChainedFind(benchmark::State& state) {
+  hash::LshTableChained table(1 << 12);  // heavy chains: vertical addressing
+  for (std::uint64_t i = 0; i < (1 << 15); ++i) {
+    table.insert(hash::mix64(i % 2048), i);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(hash::mix64(i++ % 2048)));
+  }
+}
+BENCHMARK(BM_ChainedFind);
+
+}  // namespace
+
+BENCHMARK_MAIN();

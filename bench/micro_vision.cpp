@@ -1,0 +1,87 @@
+// Google-benchmark micro suite for the vision substrate: Gaussian
+// filtering, pyramid construction, DoG detection and the two descriptors.
+#include <benchmark/benchmark.h>
+
+#include "img/draw.hpp"
+#include "vision/dog_detector.hpp"
+#include "vision/gaussian.hpp"
+#include "vision/matcher.hpp"
+#include "vision/pca_sift.hpp"
+#include "vision/pyramid.hpp"
+#include "vision/sift_descriptor.hpp"
+
+namespace {
+
+using namespace fast;
+
+img::Image bench_image(std::size_t n) {
+  img::Image im(n, n, 0.5f);
+  img::add_texture(im, 0, 0, static_cast<std::ptrdiff_t>(n),
+                   static_cast<std::ptrdiff_t>(n), 0.25f, 11);
+  img::scatter_blobs(im, 0, 0, static_cast<std::ptrdiff_t>(n),
+                     static_cast<std::ptrdiff_t>(n), n / 2, 1.5, 3.0, 12);
+  im.clamp01();
+  return im;
+}
+
+void BM_GaussianBlur(benchmark::State& state) {
+  const img::Image im = bench_image(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::gaussian_blur(im, 1.6));
+  }
+}
+BENCHMARK(BM_GaussianBlur)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BuildPyramid(benchmark::State& state) {
+  const img::Image im = bench_image(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::build_pyramid(im));
+  }
+}
+BENCHMARK(BM_BuildPyramid)->Arg(64)->Arg(128);
+
+void BM_DetectKeypoints(benchmark::State& state) {
+  const img::Image im = bench_image(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::detect_keypoints(im));
+  }
+}
+BENCHMARK(BM_DetectKeypoints)->Arg(96)->Arg(128);
+
+void BM_SiftDescriptor(benchmark::State& state) {
+  const img::Image im = bench_image(128);
+  const auto kps = vision::detect_keypoints(im);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::compute_sift(im, kps[i++ % kps.size()]));
+  }
+}
+BENCHMARK(BM_SiftDescriptor);
+
+void BM_PcaSiftDescriptor(benchmark::State& state) {
+  const img::Image im = bench_image(128);
+  const auto kps = vision::detect_keypoints(im);
+  std::vector<img::Image> sample{im, bench_image(96)};
+  const vision::PcaModel model = vision::train_pca_sift(sample, {}, 300);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vision::compute_pca_sift(im, kps[i++ % kps.size()], model));
+  }
+}
+BENCHMARK(BM_PcaSiftDescriptor);
+
+void BM_MatchFeatures(benchmark::State& state) {
+  const img::Image a = bench_image(128);
+  const img::Image b = bench_image(96);
+  const auto fa = vision::extract_sift_features(a, 64);
+  const auto fb = vision::extract_sift_features(b, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vision::match_features(fa, fb));
+  }
+}
+BENCHMARK(BM_MatchFeatures);
+
+}  // namespace
+
+BENCHMARK_MAIN();

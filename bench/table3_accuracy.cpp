@@ -1,0 +1,105 @@
+// Table III — Query accuracy normalized to SIFT, vs. number of queries
+// (1000 ... 5000), on both datasets.
+//
+// Accuracy here is measurable exactly (the generator knows each query's
+// source photo): a query counts as correct when its source appears in the
+// scheme's top-5. Larger batches draw from a wider, harder range of
+// perturbations (mirroring the paper's decline in accuracy as the query
+// population grows); each batch's accuracy is evaluated on a fixed-size
+// sample of its requests and normalized to SIFT's on the same sample.
+#include <cstdio>
+
+#include "common.hpp"
+#include "img/transform.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace fast::bench {
+namespace {
+
+/// Queries of graded difficulty: `hardness` in [0, 1] scales the
+/// perturbation ranges from gentle burst-shot jitter to strong variation.
+workload::DupQuery make_query(const workload::Dataset& dataset,
+                              double hardness, util::Rng& rng) {
+  img::PerturbParams params;
+  params.max_rotation_rad = 0.03 + 0.08 * hardness;
+  params.min_scale = 1.0 - (0.03 + 0.07 * hardness);
+  params.max_scale = 1.0 + (0.03 + 0.07 * hardness);
+  params.max_translate_px = 2.0 + 5.0 * hardness;
+  params.max_noise_stddev = 0.008 + 0.02 * hardness;
+  const auto& photo = dataset.photos[rng.uniform_u64(dataset.photos.size())];
+  workload::DupQuery q;
+  q.image = img::make_near_duplicate(photo.image, params, rng);
+  q.source = photo.id;
+  q.landmark = photo.landmark;
+  q.view = photo.view;
+  return q;
+}
+
+void run_dataset(const workload::DatasetSpec& spec, std::size_t sample_n) {
+  DatasetEnv env = make_dataset_env(spec, 8);
+  print_dataset_banner(env.dataset);
+  SchemeConfig cfg;
+  Schemes schemes = build_schemes(env, cfg);
+
+  util::Table table({"queries", "SIFT", "PCA-SIFT", "RNPE", "FAST",
+                     "PCA-SIFT/SIFT", "RNPE/SIFT", "FAST/SIFT"});
+  util::Rng rng(0xacc ^ spec.seed);
+  for (std::size_t batch = 1000; batch <= 5000; batch += 1000) {
+    // Hardness of this batch's tail grows with the batch size.
+    const double max_hardness = static_cast<double>(batch) / 5000.0;
+    std::size_t sift_ok = 0, pca_ok = 0, rnpe_ok = 0, fast_ok = 0;
+    for (std::size_t i = 0; i < sample_n; ++i) {
+      const double hardness =
+          max_hardness * static_cast<double>(i) / static_cast<double>(sample_n);
+      const workload::DupQuery q = make_query(env.dataset, hardness, rng);
+      sift_ok += contains_id(schemes.sift->query(q.image, 5).hits, q.source);
+      pca_ok +=
+          contains_id(schemes.pca_sift->query(q.image, 5).hits, q.source);
+      // RNPE queries with what a fresh shot actually carries: a GPS fix
+      // with receiver noise and view tags inferred by the same error-prone
+      // process that labelled the corpus.
+      const auto& src = env.dataset.photos[q.source];
+      const double qx = src.geo_x + rng.gaussian(0.0, 0.8);
+      const double qy = src.geo_y + rng.gaussian(0.0, 0.8);
+      std::uint32_t view_tag = q.view;
+      if (rng.bernoulli(0.12 + 0.12 * hardness)) {
+        view_tag = static_cast<std::uint32_t>(rng.uniform_u64(8));
+      }
+      rnpe_ok += contains_id(
+          schemes.rnpe->query(qx, qy, q.landmark, view_tag, 5).hits,
+          q.source);
+      fast_ok += contains_id(schemes.fast->query(q.image, 5).hits, q.source);
+    }
+    const auto n = static_cast<double>(sample_n);
+    const double sift_acc = static_cast<double>(sift_ok) / n;
+    const double pca_acc = static_cast<double>(pca_ok) / n;
+    const double rnpe_acc = static_cast<double>(rnpe_ok) / n;
+    const double fast_acc = static_cast<double>(fast_ok) / n;
+    auto norm = [&](double a) {
+      return sift_acc > 0 ? a / sift_acc : 0.0;
+    };
+    table.add_row({std::to_string(batch), util::fmt_percent(sift_acc),
+                   util::fmt_percent(pca_acc), util::fmt_percent(rnpe_acc),
+                   util::fmt_percent(fast_acc),
+                   util::fmt_percent(norm(pca_acc)),
+                   util::fmt_percent(norm(rnpe_acc)),
+                   util::fmt_percent(norm(fast_acc))});
+  }
+  table.print("Table III — accuracy normalized to SIFT (" +
+              env.dataset.spec.name + ")");
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  const bench::BenchScale scale = bench::BenchScale::from_args(argc, argv);
+  std::printf("== bench table3: query accuracy ==\n");
+  bench::run_dataset(workload::DatasetSpec::wuhan(scale.wuhan_images),
+                     scale.queries);
+  bench::run_dataset(workload::DatasetSpec::shanghai(scale.shanghai_images),
+                     scale.queries);
+  return 0;
+}

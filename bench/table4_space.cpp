@@ -1,0 +1,50 @@
+// Table IV — Space overhead normalized to SIFT, on both datasets.
+//
+// Each scheme's index_bytes() counts what it would persist per image:
+// SIFT/PCA-SIFT feature blobs + SQL rows, RNPE location records + view
+// thumbnails + R-tree nodes, FAST sparse signatures + cuckoo tables +
+// correlation groups.
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+namespace fast::bench {
+namespace {
+
+void run_dataset(const workload::DatasetSpec& spec) {
+  DatasetEnv env = make_dataset_env(spec, 4);
+  print_dataset_banner(env.dataset);
+  SchemeConfig cfg;
+  Schemes schemes = build_schemes(env, cfg);
+
+  const auto sift_b = static_cast<double>(schemes.sift->index_bytes());
+  const auto pca_b = static_cast<double>(schemes.pca_sift->index_bytes());
+  const auto rnpe_b = static_cast<double>(schemes.rnpe->index_bytes());
+  const auto fast_b = static_cast<double>(schemes.fast->index_bytes());
+  const auto n = static_cast<double>(env.dataset.photos.size());
+
+  util::Table table({"scheme", "index bytes", "bytes/image", "vs SIFT"});
+  auto row = [&](const char* name, double bytes) {
+    table.add_row({name, util::fmt_bytes(bytes), util::fmt_bytes(bytes / n),
+                   util::fmt_double(bytes / sift_b, 3)});
+  };
+  row("SIFT", sift_b);
+  row("PCA-SIFT", pca_b);
+  row("RNPE", rnpe_b);
+  row("FAST", fast_b);
+  table.print("Table IV — space overhead normalized to SIFT (" +
+              env.dataset.spec.name + ")");
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  const bench::BenchScale scale = bench::BenchScale::from_args(argc, argv);
+  std::printf("== bench table4: space overhead ==\n");
+  bench::run_dataset(workload::DatasetSpec::wuhan(scale.wuhan_images));
+  bench::run_dataset(workload::DatasetSpec::shanghai(scale.shanghai_images));
+  return 0;
+}

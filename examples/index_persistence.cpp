@@ -1,0 +1,76 @@
+// Index lifecycle as a deployed middleware would drive it: build an index
+// over today's uploads, persist it, restart (load), serve queries from the
+// restored instance, and expire old photos with erase().
+//
+// Run: ./build/examples/index_persistence [num_photos]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fast_index.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "vision/pca_sift.hpp"
+#include "workload/query_gen.hpp"
+#include "workload/scene_generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  const std::size_t num_photos =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 120;
+  const std::string path = "fast_index_snapshot.bin";
+
+  workload::DatasetSpec spec = workload::DatasetSpec::wuhan(num_photos);
+  const workload::Dataset feed = workload::SceneGenerator(spec).generate();
+  std::vector<img::Image> training;
+  for (std::size_t i = 0; i < 12 && i < feed.photos.size(); ++i) {
+    training.push_back(feed.photos[i].image);
+  }
+  const vision::PcaModel pca = vision::train_pca_sift(training);
+
+  // Day 1: build and persist.
+  {
+    core::FastIndex index(core::FastConfig{}, pca);
+    for (const auto& photo : feed.photos) {
+      index.insert(photo.id, photo.image);
+    }
+    util::WallTimer save_timer;
+    index.save(path);
+    std::printf("built index over %zu photos; snapshot %s written in %s\n",
+                index.size(), path.c_str(),
+                util::fmt_duration(save_timer.elapsed_seconds()).c_str());
+  }
+
+  // Day 2: restart — restore and serve.
+  util::WallTimer load_timer;
+  core::FastIndex index = core::FastIndex::load(path, core::FastConfig{}, pca);
+  std::printf("restored %zu photos in %s (%s in memory)\n", index.size(),
+              util::fmt_duration(load_timer.elapsed_seconds()).c_str(),
+              util::fmt_bytes(static_cast<double>(index.index_bytes()))
+                  .c_str());
+
+  const auto queries = workload::make_dup_queries(feed, 10, 0x9e5);
+  std::size_t found = 0;
+  for (const auto& q : queries) {
+    const core::QueryResult r = index.query(q.image, 5);
+    for (const auto& h : r.hits) {
+      if (h.id == q.source) {
+        ++found;
+        break;
+      }
+    }
+  }
+  std::printf("post-restore retrieval: %zu/%zu query sources in the top-5\n",
+              found, queries.size());
+
+  // Retention expiry: drop the first quarter of the feed.
+  const std::size_t expire = feed.photos.size() / 4;
+  for (std::size_t i = 0; i < expire; ++i) {
+    index.erase(feed.photos[i].id);
+  }
+  std::printf("expired %zu photos; index now holds %zu (%s)\n", expire,
+              index.size(),
+              util::fmt_bytes(static_cast<double>(index.index_bytes()))
+                  .c_str());
+  std::remove(path.c_str());
+  return found * 2 >= queries.size() ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Energy-aware photo uploading from a smartphone (the paper's §IV-B8).
+//
+// A phone about to upload a batch of vacation photos first ships each
+// photo's ~sub-KB FAST signature; the cloud answers "I already have a
+// near-duplicate" for most tourist shots, and only novel photos are
+// transmitted in full. The example compares this against the chunk-based
+// transmission baseline on the same batch and prints the bandwidth and
+// battery savings.
+//
+// Run: ./build/examples/mobile_dedup [num_photos] [batch]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fast_index.hpp"
+#include "mobile/transmitter.hpp"
+#include "mobile/user_groups.hpp"
+#include "util/table.hpp"
+#include "vision/pca_sift.hpp"
+#include "workload/scene_generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  const std::size_t num_photos =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 150;
+  const std::size_t batch =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 60;
+
+  workload::DatasetSpec spec = workload::DatasetSpec::wuhan(num_photos);
+  const workload::Dataset album = workload::SceneGenerator(spec).generate();
+  std::printf("vacation album: %zu candidate photos (%s of JPEG data)\n",
+              album.photos.size(),
+              util::fmt_bytes(static_cast<double>(album.total_file_bytes()))
+                  .c_str());
+
+  std::vector<img::Image> training;
+  for (std::size_t i = 0; i < 12 && i < album.photos.size(); ++i) {
+    training.push_back(album.photos[i].image);
+  }
+  const vision::PcaModel pca = vision::train_pca_sift(training);
+
+  const auto groups = mobile::make_user_groups(album, 3);
+  const auto items = mobile::make_upload_batch(album, groups[0], batch, 0xfee);
+
+  // Baseline: chunk-based transmission (content-defined chunks, server-side
+  // fingerprint store).
+  mobile::ChunkTransmitter chunk_tx(mobile::ChunkerConfig{},
+                                    sim::EnergyModel{});
+  const mobile::TransmissionReport chunk = chunk_tx.upload_batch(items);
+
+  // FAST: signature probe first, upload only when nothing similar exists.
+  core::FastConfig config;
+  core::FastIndex cloud_index(config, pca);
+  mobile::FastTransmitter fast_tx(cloud_index, sim::EnergyModel{}, 0.14);
+  const mobile::TransmissionReport fast = fast_tx.upload_batch(items);
+
+  util::Table table({"scheme", "sent", "full uploads", "suppressed",
+                     "client CPU", "battery energy"});
+  auto row = [&](const char* name, const mobile::TransmissionReport& r) {
+    table.add_row({name, util::fmt_bytes(static_cast<double>(r.sent_bytes)),
+                   std::to_string(r.full_uploads),
+                   std::to_string(r.suppressed),
+                   util::fmt_duration(r.cpu_seconds),
+                   util::fmt_double(r.energy_joule, 1) + "J"});
+  };
+  row("chunk-based", chunk);
+  row("FAST near-dedup", fast);
+  table.print("uploading " + std::to_string(batch) + " photos (" +
+              util::fmt_bytes(static_cast<double>(chunk.raw_bytes)) + " raw)");
+
+  std::printf("FAST saves %s of bandwidth and %s of battery energy vs the "
+              "chunk scheme\n",
+              util::fmt_percent(1.0 - static_cast<double>(fast.sent_bytes) /
+                                          static_cast<double>(
+                                              chunk.sent_bytes)).c_str(),
+              util::fmt_percent(1.0 - fast.energy_joule / chunk.energy_joule)
+                  .c_str());
+  return fast.sent_bytes < chunk.sent_bytes ? 0 : 1;
+}

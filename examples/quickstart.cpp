@@ -1,0 +1,99 @@
+// Quickstart: build a FAST index over a small synthetic photo set, then
+// run near-duplicate queries against it.
+//
+//   1. generate a synthetic tourist-photo dataset (landmarks, near-dups)
+//   2. train the PCA-SIFT eigenspace on a sample of it
+//   3. summarize + calibrate + insert every photo
+//   4. query with fresh perturbed shots and check that the right
+//      near-duplicate cluster comes back
+//
+// Run: ./build/examples/quickstart [num_images]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fast_index.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "vision/pca_sift.hpp"
+#include "workload/query_gen.hpp"
+#include "workload/scene_generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fast;
+  const std::size_t num_images =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 120;
+
+  // 1. Dataset.
+  workload::DatasetSpec spec = workload::DatasetSpec::wuhan(num_images);
+  workload::SceneGenerator gen(spec);
+  util::WallTimer timer;
+  const workload::Dataset dataset = gen.generate();
+  std::printf("generated %zu photos (%zu landmarks) in %s\n",
+              dataset.photos.size(), spec.landmarks,
+              util::fmt_duration(timer.elapsed_seconds()).c_str());
+
+  // 2. PCA-SIFT eigenspace from a training sample.
+  std::vector<img::Image> sample;
+  for (std::size_t i = 0; i < dataset.photos.size() && i < 24; ++i) {
+    sample.push_back(dataset.photos[i].image);
+  }
+  timer.reset();
+  const vision::PcaModel pca = vision::train_pca_sift(sample);
+  std::printf("trained PCA-SIFT eigenspace (%zu -> %zu dims) in %s\n",
+              pca.input_dim(), pca.output_dim(),
+              util::fmt_duration(timer.elapsed_seconds()).c_str());
+
+  // 3. Index construction: summarize, calibrate LSH scale, insert.
+  core::FastConfig config;
+  core::FastIndex index(config, pca);
+  timer.reset();
+  std::vector<hash::SparseSignature> signatures;
+  signatures.reserve(dataset.photos.size());
+  for (const auto& photo : dataset.photos) {
+    signatures.push_back(index.summarize(photo.image));
+  }
+  // Calibration sample: a few query-like perturbations against the corpus
+  // (only needed by the p-stable backend; harmless for MinHash).
+  const auto cal_queries = workload::make_dup_queries(dataset, 8, 0xca1);
+  std::vector<hash::SparseSignature> cal_sigs;
+  for (const auto& q : cal_queries) cal_sigs.push_back(index.summarize(q.image));
+  index.calibrate_scale(cal_sigs, signatures);
+  for (std::size_t i = 0; i < dataset.photos.size(); ++i) {
+    index.insert_signature(dataset.photos[i].id, signatures[i]);
+  }
+  std::printf(
+      "indexed %zu photos in %s (index: %s, %zu groups, scale %.4f)\n",
+      index.size(), util::fmt_duration(timer.elapsed_seconds()).c_str(),
+      util::fmt_bytes(static_cast<double>(index.index_bytes())).c_str(),
+      index.group_count(), index.config().lsh_input_scale);
+
+  // 4. Near-duplicate queries.
+  const auto queries = workload::make_dup_queries(dataset, 20);
+  std::size_t hit_at_5 = 0;
+  double mean_candidates = 0;
+  timer.reset();
+  for (const auto& q : queries) {
+    const core::QueryResult r = index.query(q.image, 5);
+    mean_candidates += static_cast<double>(r.candidates);
+    for (const auto& hit : r.hits) {
+      bool relevant = false;
+      for (std::uint64_t id : q.relevant) {
+        if (id == hit.id) {
+          relevant = true;
+          break;
+        }
+      }
+      if (relevant) {
+        ++hit_at_5;
+        break;
+      }
+    }
+  }
+  const double q_seconds = timer.elapsed_seconds();
+  std::printf(
+      "near-dup queries: %zu/%zu found their cluster in the top-5 "
+      "(%.1f candidates/query, %s/query native)\n",
+      hit_at_5, queries.size(), mean_candidates / queries.size(),
+      util::fmt_duration(q_seconds / queries.size()).c_str());
+  return hit_at_5 * 2 >= queries.size() ? 0 : 1;  // fail loudly if recall<50%
+}

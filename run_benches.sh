@@ -1,0 +1,10 @@
+#!/bin/bash
+# Runs every bench binary and tees each output into results/.
+set -u
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name=$(basename "$b")
+  echo "=== running $name ==="
+  "$b" 2>&1 | tee "results/${name}.txt"
+done

@@ -1,0 +1,75 @@
+#include "baseline/pca_sift_baseline.hpp"
+
+#include <algorithm>
+
+#include "vision/matcher.hpp"
+
+namespace fast::baseline {
+
+PcaSiftBaseline::PcaSiftBaseline(PcaSiftBaselineConfig config,
+                                 sim::CostModel cost, vision::PcaModel pca)
+    : config_(std::move(config)), cost_(cost), pca_(std::move(pca)),
+      store_(cost, config_.cache_pages) {}
+
+InsertOutcome PcaSiftBaseline::insert(std::uint64_t id,
+                                      const img::Image& image) {
+  InsertOutcome out;
+  std::vector<vision::Feature> feats = vision::extract_pca_sift_features(
+      image, pca_, config_.pca_sift, config_.max_keypoints);
+  out.cost.charge(config_.extract.pca_sift_s);
+
+  const std::size_t blob =
+      feats.size() * config_.space.pca_sift_bytes_per_feature +
+      config_.space.sql_row_overhead;
+  store_.put(id, blob, out.cost);
+  store_bytes_ += blob;
+  // SQL secondary-index maintenance: random page updates per record.
+  for (std::size_t p = 0; p < config_.index_update_pages; ++p) {
+    out.cost.charge_disk_write(cost_.disk_write_s(cost_.disk_page_bytes));
+  }
+
+  // PCA triage filters outliers, so the ingest-time correlation pass
+  // compares against a bounded working set rather than the whole store.
+  const std::size_t compare_window = std::min<std::size_t>(ids_.size(), 16);
+  const std::size_t dim = config_.pca_sift.output_dim;
+  for (std::size_t i = ids_.size() - compare_window; i < ids_.size(); ++i) {
+    store_.read(ids_[i], out.cost);
+  }
+  out.cost.charge_flops(cost_.flop_s, feats.size() * config_.max_keypoints *
+                                          dim * compare_window);
+
+  ids_.push_back(id);
+  features_.push_back(std::move(feats));
+  return out;
+}
+
+QueryOutcome PcaSiftBaseline::query(const img::Image& image,
+                                    std::size_t k) const {
+  QueryOutcome out;
+  out.cost.charge(config_.extract.pca_sift_s);
+  const std::vector<vision::Feature> qfeats = vision::extract_pca_sift_features(
+      image, pca_, config_.pca_sift, config_.max_keypoints);
+
+  vision::MatcherConfig mc;
+  mc.ratio = config_.match_ratio;
+  out.hits.reserve(ids_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    store_.read(ids_[i], out.cost);
+    const double sim = vision::image_similarity(qfeats, features_[i], mc);
+    out.cost.charge_flops(cost_.flop_s, qfeats.size() * features_[i].size() *
+                                            config_.pca_sift.output_dim);
+    out.hits.push_back(core::ScoredId{ids_[i], sim});
+  }
+  const std::size_t keep = std::min(k, out.hits.size());
+  std::partial_sort(out.hits.begin(),
+                    out.hits.begin() + static_cast<std::ptrdiff_t>(keep),
+                    out.hits.end(),
+                    [](const core::ScoredId& a, const core::ScoredId& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+  out.hits.resize(keep);
+  return out;
+}
+
+}  // namespace fast::baseline

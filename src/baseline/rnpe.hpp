@@ -1,0 +1,70 @@
+// RNPE — real-time near-duplicate photo elimination (Liu et al., ICDE 2013;
+// the paper's ref [9]).
+//
+// RNPE identifies near-duplicate photos from geo-tags and location views
+// rather than content descriptors: photos are indexed by position in an
+// R-tree; a query retrieves photos within local proximity (O(log n) node
+// accesses) and the MNPG view-grouping step picks representatives of
+// diverse views using simple tags. Tags are cheap but error-prone, which is
+// why RNPE's accuracy sits at 92-97% in Table III; its R-tree queries and
+// view grouping also degrade under concurrent load (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/common.hpp"
+#include "index/r_tree.hpp"
+#include "sim/cost_model.hpp"
+#include "storage/page_cache.hpp"
+#include "util/rng.hpp"
+
+namespace fast::baseline {
+
+struct RnpeConfig {
+  std::size_t proximity_neighbors = 64;  ///< photos fetched per query
+  double tag_error_prob = 0.05;  ///< P(stored view tag is wrong) — the
+                                 ///< "simple but error-prone tags"
+  std::size_t cache_pages = 1024;
+  /// Disk pages touched when registering a photo's location views for the
+  /// MNPG grouping (view store append + inverted tag lists). Calibrated to
+  /// Fig. 3's RNPE index-storage latency (~110 ms/image).
+  std::size_t view_update_pages = 10;
+  ExtractCosts extract;
+  SpaceModel space;
+  std::uint64_t seed = 0x27e9;
+};
+
+class Rnpe {
+ public:
+  Rnpe(RnpeConfig config, sim::CostModel cost);
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+  /// Indexes a photo by its geo-tag and (noisily recorded) view tags.
+  InsertOutcome insert(std::uint64_t id, double geo_x, double geo_y,
+                       std::uint32_t landmark_tag, std::uint32_t view_tag);
+
+  /// Query by location + observed tags: R-tree proximity retrieval, then
+  /// MNPG-style ranking by tag agreement with view-diversity filtering.
+  QueryOutcome query(double geo_x, double geo_y, std::uint32_t landmark_tag,
+                     std::uint32_t view_tag, std::size_t k) const;
+
+  std::size_t index_bytes() const noexcept;
+
+ private:
+  struct Record {
+    std::uint64_t id;
+    std::uint32_t landmark_tag;  ///< as stored (possibly corrupted)
+    std::uint32_t view_tag;      ///< as stored (possibly corrupted)
+  };
+
+  RnpeConfig config_;
+  sim::CostModel cost_;
+  index::RTree rtree_;
+  std::vector<Record> records_;  ///< indexed by insertion order
+  mutable storage::PageCache cache_;
+  util::Rng rng_;
+};
+
+}  // namespace fast::baseline

@@ -1,0 +1,77 @@
+// Thread-safe facade over FastIndex for online operation: the cloud
+// middleware ingests uploads continuously while serving queries. Readers
+// (queries) share the index; writers (insert/erase) take it exclusively.
+// Summarization — the expensive feature-extraction step — runs outside the
+// lock, so concurrent uploads only serialize on the cheap hashing/placement
+// phase.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#include "core/fast_index.hpp"
+
+namespace fast::core {
+
+class ConcurrentFastIndex {
+ public:
+  ConcurrentFastIndex(FastConfig config, vision::PcaModel pca)
+      : index_(std::move(config), std::move(pca)) {}
+
+  std::size_t size() const {
+    std::shared_lock lock(mutex_);
+    return index_.size();
+  }
+
+  /// Extraction + summarization without the lock, placement under it.
+  InsertResult insert(std::uint64_t id, const img::Image& image) {
+    const hash::SparseSignature sig = index_.summarize(image);
+    std::unique_lock lock(mutex_);
+    return index_.insert_signature(id, sig);
+  }
+
+  InsertResult insert_signature(std::uint64_t id,
+                                const hash::SparseSignature& signature) {
+    std::unique_lock lock(mutex_);
+    return index_.insert_signature(id, signature);
+  }
+
+  bool erase(std::uint64_t id) {
+    std::unique_lock lock(mutex_);
+    return index_.erase(id);
+  }
+
+  QueryResult query(const img::Image& image, std::size_t k) const {
+    const hash::SparseSignature sig = index_.summarize(image);
+    QueryResult r = query_signature(sig, k);
+    r.cost.charge(index_.config().feature_extract_s);
+    return r;
+  }
+
+  QueryResult query_signature(const hash::SparseSignature& signature,
+                              std::size_t k) const {
+    std::shared_lock lock(mutex_);
+    return index_.query_signature(signature, k);
+  }
+
+  /// Snapshot accessors (consistent under the shared lock).
+  std::size_t index_bytes() const {
+    std::shared_lock lock(mutex_);
+    return index_.index_bytes();
+  }
+
+  void save(const std::string& path) const {
+    std::shared_lock lock(mutex_);
+    index_.save(path);
+  }
+
+  /// The wrapped index; callers must not mutate it concurrently.
+  const FastIndex& unsafe_inner() const { return index_; }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  FastIndex index_;
+};
+
+}  // namespace fast::core

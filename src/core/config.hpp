@@ -1,0 +1,80 @@
+// End-to-end configuration of the FAST pipeline. Defaults follow the
+// paper's §IV-A2 parameters: LSH L = 7, M = 10, omega = 0.85; Bloom k = 8;
+// multi-probe over adjacent buckets; two-choice cuckoo storage with
+// adjacent-neighborhood windows.
+#pragma once
+
+#include <cstdint>
+
+#include "hash/flat_cuckoo_table.hpp"
+#include "hash/minhash.hpp"
+#include "hash/pstable_lsh.hpp"
+#include "sim/cost_model.hpp"
+#include "vision/dog_detector.hpp"
+#include "vision/pca_sift.hpp"
+
+namespace fast::core {
+
+struct FastConfig {
+  // FE: DoG detection + PCA-SIFT description.
+  vision::DogConfig dog;
+  vision::PcaSiftConfig pca_sift;
+  std::size_t max_keypoints = 128;
+
+  // SM: per-image Bloom summary. Descriptors are whitened (divided by the
+  // per-component PCA standard deviation), split into groups of
+  // `quantize_group_dims` components, and each group's coarsely quantized
+  // cell tuple is one Bloom insertion. Near-duplicate descriptors agree on
+  // most groups, so similar images share most of their set bits, while a
+  // single jittered component only perturbs its own group — the robustness
+  // whole-descriptor quantization lacks.
+  std::size_t bloom_bits = 16384;  ///< m
+  std::size_t bloom_hashes = 8;   ///< k = 8 (paper §IV-A2)
+  std::size_t quantize_group_dims = 6;  ///< components per quantized group
+  float quantize_cell = 2.0f;     ///< cell width in whitened units
+  double spatial_cell_px = 32.0;  ///< coarse keypoint-position cell
+
+  // SA: locality hashing over the Bloom summaries. Two interchangeable
+  // backends feed the same cuckoo storage:
+  //  - kPStable: the paper's p-stable (L2) LSH over the dense bit-vector
+  //    (L = 7, M = 10, omega = 0.85 per §IV-A2);
+  //  - kMinHash: MinHash banding over the sparse set-bit list, whose
+  //    collision probability equals the signatures' Jaccard similarity —
+  //    the default here because the synthetic feature pipeline yields
+  //    lower bit overlap than the paper's real-image features (DESIGN.md §2).
+  enum class SaBackend { kPStable, kMinHash };
+  SaBackend sa_backend = SaBackend::kMinHash;
+  hash::LshConfig lsh{
+      .dim = 16384, .tables = 7, .hashes_per_table = 10, .omega = 0.85,
+      .seed = 0x15b};
+  hash::MinHashConfig minhash{.bands = 48, .band_size = 2, .seed = 0x31a};
+  bool minhash_multiprobe = false;  ///< probe runner-up bands (recall boost)
+  int probe_depth = 1;  ///< adjacent-bucket probing depth (0 disables)
+  /// Input vectors are scaled by this factor before hashing so that the
+  /// typical nearest-neighbor distance lands well inside one omega cell
+  /// (the paper's R-tuning step; see FastIndex::calibrate_scale).
+  double lsh_input_scale = 1.0;
+  /// Scaled NN distance the calibration targets, as a fraction of omega.
+  double calibrate_target = 0.25;
+
+  // CHS: flat-structured cuckoo storage. Tables start small and double
+  // proactively at 80% load (amortized O(1) inserts).
+  hash::FlatCuckooConfig cuckoo{
+      .capacity = 256, .window = 4, .max_kicks = 500, .seed = 0xfa57};
+
+  // Simulated platform for the cost accounting.
+  sim::CostModel cost;
+
+  /// Per-image feature-extraction cost on the paper's hardware (DoG +
+  /// PCA-SIFT on a ~1 MB JPEG). Used by the simulated-latency experiments;
+  /// the real extraction also runs natively on the synthetic images.
+  double feature_extract_s = 0.040;
+
+  FastConfig() {
+    dog.max_keypoints = max_keypoints;
+    // Keep LSH input dimensionality in lockstep with the Bloom width.
+    lsh.dim = bloom_bits;
+  }
+};
+
+}  // namespace fast::core

@@ -1,0 +1,447 @@
+#include "core/fast_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <limits>
+#include <unordered_set>
+
+#include "hash/multi_probe.hpp"
+#include "util/check.hpp"
+#include "vision/dog_detector.hpp"
+
+namespace fast::core {
+
+namespace {
+/// Proactive growth threshold for the per-table cuckoo load factor.
+constexpr double kGrowAt = 0.80;
+}  // namespace
+
+FastIndex::FastIndex(FastConfig config, vision::PcaModel pca)
+    : config_(std::move(config)), pca_(std::move(pca)), lsh_(config_.lsh),
+      minhasher_(config_.minhash) {
+  FAST_CHECK_MSG(config_.lsh.dim == config_.bloom_bits,
+                 "LSH input dim must equal the Bloom summary width");
+  const std::size_t n_tables = config_.sa_backend == FastConfig::SaBackend::kPStable
+                                   ? config_.lsh.tables
+                                   : config_.minhash.bands;
+  tables_.reserve(n_tables);
+  for (std::size_t t = 0; t < n_tables; ++t) {
+    hash::FlatCuckooConfig cc = config_.cuckoo;
+    cc.seed = config_.cuckoo.seed + t * 0x9e37ULL;
+    tables_.push_back(Table{hash::FlatCuckooTable(cc), {}, cc.seed});
+  }
+}
+
+hash::SparseSignature FastIndex::summarize(const img::Image& image) const {
+  vision::DogConfig dog = config_.dog;
+  dog.max_keypoints = config_.max_keypoints;
+  const auto keypoints = vision::detect_keypoints(image, dog);
+
+  hash::BloomFilter bloom(config_.bloom_bits, config_.bloom_hashes);
+  // Group buffer: [group index, coarse x, coarse y, cell_0, ..., cell_{G-1}].
+  std::vector<std::int16_t> cells(3 + config_.quantize_group_dims);
+  for (const auto& kp : keypoints) {
+    const std::vector<float> desc =
+        vision::compute_pca_sift(image, kp, pca_, config_.pca_sift);
+    // Whiten each component by its PCA standard deviation so quantization
+    // jitter is uniform across dimensions, then hash each group of
+    // components as one Bloom item. Descriptors of the same physical
+    // feature under near-duplicate perturbations agree on most groups and
+    // therefore set mostly identical bits (the paper's "identical features
+    // project the same bits"), while unrelated descriptors agree on none.
+    const std::size_t g_dims = config_.quantize_group_dims;
+    // Coarse spatial cell of the keypoint: near-duplicate shots move
+    // keypoints by a few pixels only, while coincidentally similar local
+    // structure on a different landmark sits elsewhere in the frame.
+    const double spatial = config_.spatial_cell_px;
+    cells[1] = static_cast<std::int16_t>(std::lround(kp.x / spatial));
+    cells[2] = static_cast<std::int16_t>(std::lround(kp.y / spatial));
+    for (std::size_t start = 0; start + g_dims <= desc.size();
+         start += g_dims) {
+      cells[0] = static_cast<std::int16_t>(start / g_dims);
+      for (std::size_t i = 0; i < g_dims; ++i) {
+        const float lambda = start + i < pca_.eigenvalues.size()
+                                 ? pca_.eigenvalues[start + i]
+                                 : 0.0f;
+        const float sd = std::sqrt(lambda + 1e-8f);
+        cells[3 + i] = static_cast<std::int16_t>(
+            std::lround(desc[start + i] / (sd * config_.quantize_cell)));
+      }
+      bloom.insert(cells.data(), cells.size() * sizeof(cells[0]));
+    }
+  }
+  return hash::SparseSignature(bloom);
+}
+
+void FastIndex::calibrate_scale(
+    std::span<const hash::SparseSignature> sample_queries,
+    std::span<const hash::SparseSignature> corpus_sample) {
+  FAST_CHECK_MSG(size() == 0, "calibrate before inserting");
+  if (sample_queries.empty() || corpus_sample.empty()) return;
+  // The paper tunes R to the typical distance between a queried point and
+  // its nearest neighbor (§IV-A2, the sampling method of the original LSH
+  // study). We measure exactly that — each sample query's NN distance in
+  // the corpus sample — and choose the LSH input scale that places the
+  // median of those distances at calibrate_target * omega.
+  std::vector<double> nn;
+  nn.reserve(sample_queries.size());
+  for (const auto& q : sample_queries) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& c : corpus_sample) {
+      const double d =
+          static_cast<double>(hash::SparseSignature::hamming(q, c));
+      best = std::min(best, d);
+    }
+    if (std::isfinite(best)) nn.push_back(std::sqrt(best));
+  }
+  FAST_CHECK(!nn.empty());
+  std::nth_element(nn.begin(), nn.begin() + nn.size() / 2, nn.end());
+  const double median_nn = std::max(nn[nn.size() / 2], 1.0);
+  config_.lsh_input_scale =
+      config_.calibrate_target * config_.lsh.omega / median_nn;
+}
+
+std::vector<std::uint64_t> FastIndex::table_keys(
+    const hash::SparseSignature& signature,
+    std::vector<std::vector<std::uint64_t>>* probes) const {
+  std::vector<std::uint64_t> keys(tables_.size());
+  if (probes != nullptr) probes->assign(tables_.size(), {});
+
+  if (config_.sa_backend == FastConfig::SaBackend::kPStable) {
+    std::vector<float> dense = signature.to_float_vector();
+    const auto scale = static_cast<float>(config_.lsh_input_scale);
+    for (float& x : dense) x *= scale;
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const hash::BucketCoords home = lsh_.bucket_coords(t, dense);
+      keys[t] = lsh_.bucket_key(t, home);
+      if (probes != nullptr && config_.probe_depth > 0) {
+        auto& probe_keys = (*probes)[t];
+        for (const hash::BucketCoords& p :
+             hash::probe_sequence(home, config_.probe_depth)) {
+          probe_keys.push_back(lsh_.bucket_key(t, p));
+        }
+      }
+    }
+  } else {
+    const auto mh = minhasher_.minhashes(signature);
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      keys[t] = minhasher_.band_key(t, mh);
+      if (probes != nullptr && config_.minhash_multiprobe) {
+        (*probes)[t] = minhasher_.probe_keys(t, mh);
+      }
+    }
+  }
+  return keys;
+}
+
+void FastIndex::maybe_grow(std::size_t t) {
+  Table& table = tables_[t];
+  if (table.cuckoo.load_factor() < kGrowAt) return;
+  std::size_t capacity = table.cuckoo.capacity() * 2;
+  for (;;) {
+    table.seed = hash::mix64(table.seed + 1);
+    hash::FlatCuckooConfig cc = config_.cuckoo;
+    cc.capacity = capacity;
+    cc.seed = table.seed;
+    hash::FlatCuckooTable rebuilt(cc);
+    bool ok = true;
+    for (const auto& [k, g] : table.entries) {
+      if (!rebuilt.insert(k, g)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      table.cuckoo = std::move(rebuilt);
+      return;
+    }
+    capacity *= 2;
+  }
+}
+
+std::size_t FastIndex::place_with_rehash(std::size_t t, std::uint64_t key,
+                                         std::uint64_t group) {
+  maybe_grow(t);
+  Table& table = tables_[t];
+  table.entries.emplace_back(key, group);
+  if (table.cuckoo.insert(key, group)) return 0;
+
+  // Rehash loop: rebuild this table's cuckoo with a fresh seed (same
+  // capacity first; double it if even a fresh seed cannot place everything,
+  // which only happens near 100% load).
+  std::size_t events = 0;
+  std::size_t capacity = table.cuckoo.capacity();
+  for (;;) {
+    ++events;
+    table.seed = hash::mix64(table.seed + 1);
+    hash::FlatCuckooConfig cc = config_.cuckoo;
+    cc.capacity = capacity;
+    cc.seed = table.seed;
+    hash::FlatCuckooTable rebuilt(cc);
+    bool ok = true;
+    for (const auto& [k, g] : table.entries) {
+      if (!rebuilt.insert(k, g)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      table.cuckoo = std::move(rebuilt);
+      return events;
+    }
+    capacity *= 2;
+  }
+}
+
+InsertResult FastIndex::insert(std::uint64_t id, const img::Image& image) {
+  InsertResult result;
+  result.cost.charge(config_.feature_extract_s);
+  const hash::SparseSignature sig = summarize(image);
+  // Bloom hashing cost: k hash ops per descriptor group.
+  result.cost.charge_hash(config_.cost.hash_op_s,
+                          config_.max_keypoints * config_.bloom_hashes);
+  InsertResult stored = insert_signature(id, sig);
+  stored.cost.merge(result.cost);
+  return stored;
+}
+
+InsertResult FastIndex::insert_signature(
+    std::uint64_t id, const hash::SparseSignature& signature) {
+  InsertResult result;
+  FAST_CHECK(signature.bit_count() == config_.bloom_bits);
+
+  // SA hashing cost: p-stable projections or minwise passes.
+  if (config_.sa_backend == FastConfig::SaBackend::kPStable) {
+    result.cost.charge_flops(
+        config_.cost.flop_s,
+        config_.lsh.tables * config_.lsh.hashes_per_table * config_.lsh.dim);
+  } else {
+    // Minwise hashing streams every set bit through each hash's mixer.
+    result.cost.charge_hash(config_.cost.mix_op_s,
+                            signature.popcount() * minhasher_.hash_count());
+  }
+
+  const std::vector<std::uint64_t> keys = table_keys(signature, nullptr);
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    result.cost.charge_ram(config_.cost.ram_access_s,
+                           tables_[t].cuckoo.probes_per_lookup());
+    if (const auto group = tables_[t].cuckoo.find(keys[t])) {
+      groups_[*group].push_back(id);
+    } else {
+      const std::uint64_t group_id = groups_.size();
+      groups_.emplace_back(std::vector<std::uint64_t>{id});
+      const std::size_t events = place_with_rehash(t, keys[t], group_id);
+      result.rehashes += events;
+      rehashes_ += events;
+      if (events > 0) result.ok = false;
+      result.cost.charge_ram(config_.cost.ram_access_s,
+                             tables_[t].cuckoo.probes_per_lookup());
+    }
+  }
+  signatures_.emplace(id, signature);
+  return result;
+}
+
+bool FastIndex::erase(std::uint64_t id) {
+  const auto it = signatures_.find(id);
+  if (it == signatures_.end()) return false;
+  const std::vector<std::uint64_t> keys = table_keys(it->second, nullptr);
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    if (const auto group = tables_[t].cuckoo.find(keys[t])) {
+      auto& members = groups_[*group];
+      members.erase(std::remove(members.begin(), members.end(), id),
+                    members.end());
+      // An emptied group's bucket key is dropped so queries stop probing
+      // it. (The append-only rebuild log keeps the mapping; a rebuilt table
+      // would resurrect the key pointing at an empty group — harmless.)
+      if (members.empty()) tables_[t].cuckoo.erase(keys[t]);
+    }
+  }
+  signatures_.erase(it);
+  return true;
+}
+
+namespace {
+constexpr char kMagic[8] = {'F', 'A', 'S', 'T', 'i', 'd', 'x', '1'};
+}
+
+void FastIndex::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("FastIndex::save: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const auto bloom_bits = static_cast<std::uint64_t>(config_.bloom_bits);
+  const auto count = static_cast<std::uint64_t>(signatures_.size());
+  out.write(reinterpret_cast<const char*>(&bloom_bits), sizeof(bloom_bits));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [id, sig] : signatures_) {
+    const std::vector<std::uint8_t> encoded = sig.encode();
+    const auto len = static_cast<std::uint32_t>(encoded.size());
+    out.write(reinterpret_cast<const char*>(&id), sizeof(id));
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(reinterpret_cast<const char*>(encoded.data()), len);
+  }
+  if (!out) throw std::runtime_error("FastIndex::save: write failed");
+}
+
+FastIndex FastIndex::load(const std::string& path, FastConfig config,
+                          vision::PcaModel pca) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("FastIndex::load: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("FastIndex::load: bad magic");
+  }
+  std::uint64_t bloom_bits = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&bloom_bits), sizeof(bloom_bits));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || bloom_bits != config.bloom_bits) {
+    throw std::runtime_error(
+        "FastIndex::load: bloom geometry mismatch or truncated header");
+  }
+  FastIndex index(std::move(config), std::move(pca));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0;
+    std::uint32_t len = 0;
+    in.read(reinterpret_cast<char*>(&id), sizeof(id));
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    std::vector<std::uint8_t> buffer(len);
+    in.read(reinterpret_cast<char*>(buffer.data()), len);
+    if (!in) throw std::runtime_error("FastIndex::load: truncated record");
+    index.insert_signature(id, hash::SparseSignature::decode(buffer));
+  }
+  return index;
+}
+
+QueryResult FastIndex::query(const img::Image& image, std::size_t k) const {
+  QueryResult pre;
+  pre.cost.charge(config_.feature_extract_s);
+  const hash::SparseSignature sig = summarize(image);
+  pre.cost.charge_hash(config_.cost.hash_op_s,
+                       config_.max_keypoints * config_.bloom_hashes);
+  QueryResult result = query_signature(sig, k);
+  result.cost.merge(pre.cost);
+  // Feature extraction parallelizes across interest points: expose it as
+  // max_keypoints independent task chunks for the multicore model.
+  const double fe_chunk =
+      config_.feature_extract_s / static_cast<double>(config_.max_keypoints);
+  for (std::size_t i = 0; i < config_.max_keypoints; ++i) {
+    result.parallel_tasks.push_back(fe_chunk);
+  }
+  return result;
+}
+
+QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
+                                       std::size_t k) const {
+  QueryResult result;
+  FAST_CHECK(signature.bit_count() == config_.bloom_bits);
+
+  std::vector<std::vector<std::uint64_t>> probes;
+  const std::vector<std::uint64_t> keys = table_keys(signature, &probes);
+
+  // Collect candidates from the home bucket plus the probe buckets of
+  // every table. Each cuckoo lookup is a fixed 2W-slot read; the per-table
+  // work items are independent (flat addressing -> Fig. 7 parallelism).
+  std::unordered_set<std::uint64_t> candidate_ids;
+  const double hash_cost =
+      config_.sa_backend == FastConfig::SaBackend::kPStable
+          ? config_.cost.flop_s * static_cast<double>(
+                config_.lsh.hashes_per_table * config_.lsh.dim)
+          : config_.cost.mix_op_s *
+                static_cast<double>(signature.popcount() *
+                                    config_.minhash.band_size);
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    std::size_t table_probes = 0;
+    auto probe_bucket = [&](std::uint64_t key) {
+      ++result.bucket_probes;
+      ++table_probes;
+      if (const auto group = tables_[t].cuckoo.find(key)) {
+        for (const std::uint64_t id : groups_[*group]) {
+          candidate_ids.insert(id);
+        }
+      }
+    };
+    probe_bucket(keys[t]);
+    for (const std::uint64_t pk : probes[t]) probe_bucket(pk);
+
+    const double probe_cost =
+        config_.cost.ram_access_s *
+        static_cast<double>(table_probes *
+                            tables_[t].cuckoo.probes_per_lookup());
+    result.cost.charge(hash_cost);
+    result.cost.charge_ram(
+        config_.cost.ram_access_s,
+        table_probes * tables_[t].cuckoo.probes_per_lookup());
+    result.parallel_tasks.push_back(hash_cost + probe_cost);
+  }
+
+  // Rank candidates by signature similarity (sparse-domain Jaccard).
+  result.candidates = candidate_ids.size();
+  result.hits.reserve(candidate_ids.size());
+  for (const std::uint64_t id : candidate_ids) {
+    const auto it = signatures_.find(id);
+    FAST_CHECK(it != signatures_.end());
+    result.hits.push_back(
+        ScoredId{id, hash::SparseSignature::jaccard(signature, it->second)});
+  }
+  // Ranking cost: one sparse-overlap merge per candidate. Each merge is an
+  // independent unit of parallel work (Fig. 7).
+  result.cost.charge_ram(config_.cost.ram_access_s, candidate_ids.size());
+  for (std::size_t c = 0; c < candidate_ids.size(); ++c) {
+    result.parallel_tasks.push_back(config_.cost.ram_access_s);
+  }
+
+  const std::size_t keep = std::min(k, result.hits.size());
+  std::partial_sort(result.hits.begin(),
+                    result.hits.begin() + static_cast<std::ptrdiff_t>(keep),
+                    result.hits.end(),
+                    [](const ScoredId& a, const ScoredId& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;  // deterministic tie-break
+                    });
+  result.hits.resize(keep);
+  return result;
+}
+
+const hash::SparseSignature* FastIndex::signature_of(std::uint64_t id) const {
+  const auto it = signatures_.find(id);
+  return it == signatures_.end() ? nullptr : &it->second;
+}
+
+std::size_t FastIndex::index_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [id, sig] : signatures_) {
+    bytes += sizeof(id) + sig.storage_bytes();
+  }
+  for (const Table& t : tables_) {
+    bytes += t.cuckoo.capacity() * (sizeof(std::uint64_t) * 2 + 1);
+  }
+  for (const auto& group : groups_) {
+    bytes += sizeof(std::uint64_t) * group.size() + sizeof(std::uint64_t);
+  }
+  if (config_.sa_backend == FastConfig::SaBackend::kPStable) {
+    // LSH parameters: L*M a-vectors of dim floats + offsets.
+    bytes += config_.lsh.tables * config_.lsh.hashes_per_table *
+             (config_.lsh.dim * sizeof(float) + sizeof(float));
+  } else {
+    bytes += minhasher_.hash_count() * sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
+hash::CuckooStats FastIndex::cuckoo_stats() const {
+  hash::CuckooStats total;
+  for (const Table& t : tables_) {
+    const hash::CuckooStats& s = t.cuckoo.stats();
+    total.inserts += s.inserts;
+    total.failures += s.failures;
+    total.total_kicks += s.total_kicks;
+    total.max_kick_chain = std::max(total.max_kick_chain, s.max_kick_chain);
+  }
+  return total;
+}
+
+}  // namespace fast::core

@@ -1,0 +1,140 @@
+// FastIndex — the paper's primary contribution, assembled end to end:
+//
+//   FE  (feature extraction)   DoG interest points + PCA-SIFT descriptors
+//   SM  (summarization)        per-image Bloom filter over quantized
+//                              descriptors, stored sparsely (~40 B/image)
+//   SA  (semantic aggregation) p-stable LSH over the Bloom bit-vectors,
+//                              multi-probe of adjacent buckets
+//   CHS (cuckoo-hash storage)  flat-structured addressing: bucket-key ->
+//                              correlation group in a windowed cuckoo table
+//
+// Queries are O(1): L tables x (1 + 2M adjacent probes) x 2W slot reads,
+// all constants, followed by ranking the (small) candidate set by sparse-
+// signature Jaccard similarity. Every operation reports simulated platform
+// costs (see sim::CostModel) alongside its native execution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+#include "hash/bloom_filter.hpp"
+#include "hash/flat_cuckoo_table.hpp"
+#include "hash/pstable_lsh.hpp"
+#include "hash/sparse_signature.hpp"
+#include "img/image.hpp"
+#include "vision/pca.hpp"
+
+namespace fast::core {
+
+class FastIndex {
+ public:
+  /// `pca` is the PCA-SIFT eigenspace, trained offline on a sample of the
+  /// corpus (see vision::train_pca_sift).
+  FastIndex(FastConfig config, vision::PcaModel pca);
+
+  const FastConfig& config() const noexcept { return config_; }
+  std::size_t size() const noexcept { return signatures_.size(); }
+  std::size_t group_count() const noexcept { return groups_.size(); }
+  std::size_t rehash_count() const noexcept { return rehashes_; }
+
+  // --- FE + SM ---
+
+  /// Runs feature extraction + Bloom summarization for one image.
+  hash::SparseSignature summarize(const img::Image& image) const;
+
+  /// Tunes the LSH input scale from sample queries against a corpus sample
+  /// (the paper's R-selection procedure, §IV-A2): the median query-to-
+  /// nearest-neighbor distance is mapped to calibrate_target * omega. Must
+  /// be called before the first insert; a no-op when either sample is empty.
+  void calibrate_scale(std::span<const hash::SparseSignature> sample_queries,
+                       std::span<const hash::SparseSignature> corpus_sample);
+
+  // --- Insert path ---
+
+  /// Full pipeline insert: extract, summarize, aggregate, store.
+  InsertResult insert(std::uint64_t id, const img::Image& image);
+
+  /// Inserts a precomputed signature (e.g., shipped by a mobile client).
+  InsertResult insert_signature(std::uint64_t id,
+                                const hash::SparseSignature& signature);
+
+  /// Removes an image from the index: its id leaves every correlation
+  /// group it joined and its signature is dropped (photo-retention expiry
+  /// in the cloud deployment). Returns false when the id is unknown.
+  bool erase(std::uint64_t id);
+
+  // --- Persistence ---
+
+  /// Writes the index state (all signatures, varint-encoded) to `path`.
+  /// Hash-table state is not persisted — it is rebuilt deterministically
+  /// on load, which keeps the on-disk format at the paper's ~bytes/image.
+  /// Throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Restores an index saved by save() into a fresh instance. The config
+  /// must describe the same summary geometry (bloom_bits is verified).
+  static FastIndex load(const std::string& path, FastConfig config,
+                        vision::PcaModel pca);
+
+  // --- Query path ---
+
+  /// Full pipeline query: returns the top-k most similar images.
+  QueryResult query(const img::Image& image, std::size_t k) const;
+
+  /// Query with a precomputed signature.
+  QueryResult query_signature(const hash::SparseSignature& signature,
+                              std::size_t k) const;
+
+  /// The stored signature of an image (for tests / re-ranking).
+  const hash::SparseSignature* signature_of(std::uint64_t id) const;
+
+  /// Total bytes of the in-memory index: sparse signatures + cuckoo slots +
+  /// group membership lists + LSH parameters. This is the FAST column of
+  /// Table IV.
+  std::size_t index_bytes() const;
+
+  /// Aggregate cuckoo statistics across the L tables.
+  hash::CuckooStats cuckoo_stats() const;
+
+ private:
+  struct Table {
+    hash::FlatCuckooTable cuckoo;
+    /// Append-only (key -> group) log enabling rebuild on rehash.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+    std::uint64_t seed;
+  };
+
+  /// Places key->group into table `t`, rehashing with fresh seeds until the
+  /// insertion succeeds. Returns the number of rehash events.
+  std::size_t place_with_rehash(std::size_t t, std::uint64_t key,
+                                std::uint64_t group);
+
+  /// Computes the per-table bucket keys of a signature under the active SA
+  /// backend. `probes` additionally receives per-table probe keys (adjacent
+  /// buckets / runner-up bands) when non-null.
+  std::vector<std::uint64_t> table_keys(
+      const hash::SparseSignature& signature,
+      std::vector<std::vector<std::uint64_t>>* probes) const;
+
+  /// Doubles a table's cuckoo capacity when its load factor crosses the
+  /// growth threshold (amortized O(1) insert despite fixed-size tables).
+  void maybe_grow(std::size_t t);
+
+  FastConfig config_;
+  vision::PcaModel pca_;
+  hash::PStableLsh lsh_;
+  hash::MinHasher minhasher_;
+  std::vector<Table> tables_;                       // L of them
+  std::vector<std::vector<std::uint64_t>> groups_;  // group id -> member ids
+  std::unordered_map<std::uint64_t, hash::SparseSignature> signatures_;
+  std::size_t rehashes_ = 0;
+};
+
+}  // namespace fast::core

@@ -1,0 +1,44 @@
+#include "core/query_engine.hpp"
+
+#include "util/timer.hpp"
+
+namespace fast::core {
+
+QueryEngine::QueryEngine(const FastIndex& index, std::size_t threads)
+    : index_(index), pool_(threads) {}
+
+BatchReport QueryEngine::run_batch(
+    std::span<const hash::SparseSignature> queries,
+    const BatchOptions& options) {
+  BatchReport report;
+  report.results.resize(queries.size());
+
+  util::WallTimer timer;
+  pool_.parallel_for(queries.size(), [&](std::size_t i) {
+    report.results[i] = index_.query_signature(queries[i], options.top_k);
+  });
+  report.native_wall_s = timer.elapsed_seconds();
+
+  std::size_t slots = options.sim_slots;
+  if (slots == 0) {
+    slots = index_.config().cost.nodes * index_.config().cost.cores_per_node;
+  }
+  std::vector<double> costs;
+  costs.reserve(queries.size());
+  for (const QueryResult& r : report.results) {
+    costs.push_back(r.cost.elapsed_s());
+  }
+  report.sim_mean_latency_s = sim::ClusterModel::mean_completion(costs, slots);
+  report.sim_makespan_s = sim::ClusterModel::makespan(costs, slots);
+  return report;
+}
+
+double QueryEngine::simulated_query_latency(const QueryResult& result,
+                                            std::size_t cores) {
+  if (result.parallel_tasks.empty()) {
+    return result.cost.elapsed_s();
+  }
+  return sim::ClusterModel::makespan(result.parallel_tasks, cores);
+}
+
+}  // namespace fast::core

@@ -1,0 +1,54 @@
+// Parallel query execution over a FastIndex.
+//
+// Native side: a thread pool fans independent queries (and their probe
+// work) across host cores. Simulated side: per-query probe tasks are
+// scheduled onto the modeled cluster/multicore (sim::ClusterModel) to
+// produce the latency series of Fig. 4 (concurrent request batches) and
+// Fig. 7 (per-query latency vs. core count).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/fast_index.hpp"
+#include "sim/cluster_model.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fast::core {
+
+struct BatchOptions {
+  std::size_t top_k = 10;
+  /// Parallel slots of the simulated platform serving the batch
+  /// (nodes * cores_per_node of the paper's cluster by default — set from
+  /// the index's CostModel when 0).
+  std::size_t sim_slots = 0;
+};
+
+struct BatchReport {
+  std::vector<QueryResult> results;
+  double sim_mean_latency_s = 0;  ///< mean request completion time
+  double sim_makespan_s = 0;      ///< batch completion time
+  double native_wall_s = 0;       ///< host wall-clock for the whole batch
+};
+
+class QueryEngine {
+ public:
+  /// `threads` native worker threads (0 = hardware concurrency).
+  explicit QueryEngine(const FastIndex& index, std::size_t threads = 0);
+
+  /// Runs a batch of signature queries in parallel and computes the
+  /// simulated batch latency under `options.sim_slots` parallel servers.
+  BatchReport run_batch(std::span<const hash::SparseSignature> queries,
+                        const BatchOptions& options = {});
+
+  /// Simulated latency of one already-executed query on a `cores`-way
+  /// multicore: the makespan of its independent probe/rank tasks (Fig. 7).
+  static double simulated_query_latency(const QueryResult& result,
+                                        std::size_t cores);
+
+ private:
+  const FastIndex& index_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace fast::core

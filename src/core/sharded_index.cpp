@@ -1,0 +1,98 @@
+#include "core/sharded_index.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fast::core {
+
+ShardedFastIndex::ShardedFastIndex(FastConfig config, vision::PcaModel pca,
+                                   std::size_t shards, std::size_t threads)
+    : config_(config), shard_map_(shards), pool_(threads) {
+  FAST_CHECK(shards >= 1);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    FastConfig shard_cfg = config;
+    shard_cfg.cuckoo.seed = config.cuckoo.seed + s * 0x51edULL;
+    shards_.push_back(std::make_unique<FastIndex>(shard_cfg, pca));
+  }
+}
+
+std::size_t ShardedFastIndex::size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->size();
+  return n;
+}
+
+InsertResult ShardedFastIndex::insert(std::uint64_t id,
+                                      const img::Image& image) {
+  InsertResult r = shards_[shard_map_.shard_of(id)]->insert(id, image);
+  // Routing the signature to the owner node: one network hop.
+  r.cost.charge(config_.cost.net_transfer_s(512));
+  return r;
+}
+
+InsertResult ShardedFastIndex::insert_signature(
+    std::uint64_t id, const hash::SparseSignature& signature) {
+  InsertResult r =
+      shards_[shard_map_.shard_of(id)]->insert_signature(id, signature);
+  r.cost.charge(config_.cost.net_transfer_s(signature.storage_bytes()));
+  return r;
+}
+
+QueryResult ShardedFastIndex::gather(std::vector<QueryResult> per_shard,
+                                     std::size_t k, double fe_cost) const {
+  QueryResult merged;
+  merged.cost.charge(fe_cost);
+  double slowest_shard = 0;
+  for (QueryResult& r : per_shard) {
+    slowest_shard = std::max(slowest_shard, r.cost.elapsed_s());
+    merged.candidates += r.candidates;
+    merged.bucket_probes += r.bucket_probes;
+    for (const ScoredId& hit : r.hits) merged.hits.push_back(hit);
+    for (double t : r.parallel_tasks) merged.parallel_tasks.push_back(t);
+  }
+  // Scatter (signature to every shard) + parallel shard work + gather
+  // (top-k id/score pairs back).
+  const std::size_t scatter_bytes = 512;
+  const std::size_t gather_bytes = k * (sizeof(std::uint64_t) + sizeof(float));
+  merged.cost.charge(config_.cost.net_transfer_s(scatter_bytes));
+  merged.cost.charge(slowest_shard);
+  merged.cost.charge(config_.cost.net_transfer_s(gather_bytes));
+
+  std::sort(merged.hits.begin(), merged.hits.end(),
+            [](const ScoredId& a, const ScoredId& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (merged.hits.size() > k) merged.hits.resize(k);
+  return merged;
+}
+
+QueryResult ShardedFastIndex::query(const img::Image& image,
+                                    std::size_t k) const {
+  // Summarize once at the front end; only the signature travels.
+  const hash::SparseSignature sig = shards_.front()->summarize(image);
+  QueryResult r = query_signature(sig, k);
+  // Account the front-end extraction in the merged cost.
+  QueryResult with_fe = std::move(r);
+  with_fe.cost.charge(config_.feature_extract_s);
+  return with_fe;
+}
+
+QueryResult ShardedFastIndex::query_signature(
+    const hash::SparseSignature& signature, std::size_t k) const {
+  std::vector<QueryResult> per_shard(shards_.size());
+  pool_.parallel_for(shards_.size(), [&](std::size_t s) {
+    per_shard[s] = shards_[s]->query_signature(signature, k);
+  });
+  return gather(std::move(per_shard), k, 0.0);
+}
+
+std::size_t ShardedFastIndex::index_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& s : shards_) bytes += s->index_bytes();
+  return bytes;
+}
+
+}  // namespace fast::core

@@ -1,0 +1,66 @@
+// Distributed FAST: the paper's 256-node deployment shape.
+//
+// Photos are hash-partitioned across shards (one per cluster node in the
+// paper); each shard runs an independent FastIndex over its partition.
+// Queries scatter the ~hundreds-of-bytes signature to all shards — not the
+// image — gather the per-shard top-k and merge. Per-query simulated cost
+// models the scatter/gather network hops plus the slowest shard's local
+// probe (shards work in parallel), which is what keeps the distributed
+// query latency flat as nodes are added.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/fast_index.hpp"
+#include "storage/shard.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fast::core {
+
+class ShardedFastIndex {
+ public:
+  /// `shards` independent FastIndex partitions; `threads` native workers
+  /// for parallel shard probing (0 = hardware concurrency).
+  ShardedFastIndex(FastConfig config, vision::PcaModel pca,
+                   std::size_t shards, std::size_t threads = 0);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t size() const noexcept;
+  const FastConfig& config() const noexcept { return config_; }
+
+  /// Shard that owns an image id.
+  std::size_t shard_of(std::uint64_t id) const noexcept {
+    return shard_map_.shard_of(id);
+  }
+
+  /// Inserts into the owning shard (plus the scatter network hop).
+  InsertResult insert(std::uint64_t id, const img::Image& image);
+  InsertResult insert_signature(std::uint64_t id,
+                                const hash::SparseSignature& signature);
+
+  /// Scatter-gather query across all shards; shards probe in parallel
+  /// (native threads) and the merged top-k is returned. The simulated cost
+  /// is scatter + max over shards + gather.
+  QueryResult query(const img::Image& image, std::size_t k) const;
+  QueryResult query_signature(const hash::SparseSignature& signature,
+                              std::size_t k) const;
+
+  /// Sum of all shards' in-memory index bytes.
+  std::size_t index_bytes() const;
+
+  /// Access to a shard's local index (tests, rebalancing tooling).
+  const FastIndex& shard(std::size_t i) const { return *shards_.at(i); }
+
+ private:
+  QueryResult gather(std::vector<QueryResult> per_shard, std::size_t k,
+                     double fe_cost) const;
+
+  FastConfig config_;
+  storage::ShardMap shard_map_;
+  std::vector<std::unique_ptr<FastIndex>> shards_;
+  mutable util::ThreadPool pool_;
+};
+
+}  // namespace fast::core

@@ -1,0 +1,70 @@
+#include "hash/bloom_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/vecmath.hpp"
+
+namespace fast::hash {
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t k, std::uint64_t seed)
+    : bits_((bits + 63) / 64 * 64), k_(k), seed_(seed),
+      words_(bits_ / 64, 0) {
+  FAST_CHECK(bits > 0 && k > 0);
+}
+
+void BloomFilter::insert(const void* data, std::size_t len) {
+  const Hash128 h = murmur3_128(data, len, seed_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    set_bit(derived_hash(h, i) % bits_);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::maybe_contains(const void* data, std::size_t len) const {
+  const Hash128 h = murmur3_128(data, len, seed_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!test_bit(derived_hash(h, i) % bits_)) return false;
+  }
+  return true;
+}
+
+std::size_t BloomFilter::set_bit_count() const noexcept {
+  return util::popcount(words_);
+}
+
+double BloomFilter::false_positive_rate() const noexcept {
+  const double m = static_cast<double>(bits_);
+  const double k = static_cast<double>(k_);
+  const double n = static_cast<double>(inserted_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+std::vector<float> BloomFilter::to_float_vector() const {
+  std::vector<float> v(bits_);
+  for (std::size_t i = 0; i < bits_; ++i) {
+    v[i] = test_bit(i) ? 1.0f : 0.0f;
+  }
+  return v;
+}
+
+std::size_t BloomFilter::hamming(const BloomFilter& a, const BloomFilter& b) {
+  FAST_CHECK(a.bits_ == b.bits_ && a.seed_ == b.seed_);
+  return util::hamming_distance(a.words_, b.words_);
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  FAST_CHECK(bits_ == other.bits_ && seed_ == other.seed_ && k_ == other.k_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+  inserted_ += other.inserted_;
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  inserted_ = 0;
+}
+
+}  // namespace fast::hash

@@ -1,0 +1,81 @@
+// Bloom filter (Bloom 1970) — the paper's SM (summarization) module.
+//
+// FAST hashes each image's feature vectors into a per-image Bloom filter.
+// Two similar images share many identical (quantized) features, hence many
+// identical set bits; the Bloom bit-vectors of similar images are therefore
+// close in Hamming space, which makes them usable as compact LSH inputs.
+// Probe positions use the Kirsch–Mitzenmacher double-hashing scheme, so one
+// 128-bit Murmur hash yields all k positions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/hashes.hpp"
+
+namespace fast::hash {
+
+class BloomFilter {
+ public:
+  /// Creates a filter with `bits` bit positions (rounded up to a multiple of
+  /// 64) and `k` probe hashes per item.
+  BloomFilter(std::size_t bits, std::size_t k, std::uint64_t seed = 0x5107);
+
+  std::size_t bit_count() const noexcept { return bits_; }
+  std::size_t hash_count() const noexcept { return k_; }
+
+  /// Inserts an arbitrary byte key.
+  void insert(const void* data, std::size_t len);
+  void insert(std::span<const float> v) {
+    insert(v.data(), v.size() * sizeof(float));
+  }
+  void insert_u64(std::uint64_t key) { insert(&key, sizeof(key)); }
+
+  /// Approximate membership: false means definitely absent; true means
+  /// present with false-positive probability ~ (1 - e^{-kn/m})^k.
+  bool maybe_contains(const void* data, std::size_t len) const;
+  bool maybe_contains(std::span<const float> v) const {
+    return maybe_contains(v.data(), v.size() * sizeof(float));
+  }
+  bool maybe_contains_u64(std::uint64_t key) const {
+    return maybe_contains(&key, sizeof(key));
+  }
+
+  std::size_t inserted_count() const noexcept { return inserted_; }
+  std::size_t set_bit_count() const noexcept;
+
+  /// Theoretical false-positive probability at the current fill.
+  double false_positive_rate() const noexcept;
+
+  /// Raw bit words (for Hamming distance / LSH input construction).
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  /// The bit vector as floats in {0, 1} — the LSH input representation.
+  std::vector<float> to_float_vector() const;
+
+  /// Hamming distance between two equally configured filters.
+  static std::size_t hamming(const BloomFilter& a, const BloomFilter& b);
+
+  /// Bit-level union (OR) of another filter into this one; both filters
+  /// must have identical geometry and seed.
+  void merge(const BloomFilter& other);
+
+  void clear();
+
+ private:
+  void set_bit(std::uint64_t pos) noexcept {
+    words_[pos >> 6] |= (1ULL << (pos & 63));
+  }
+  bool test_bit(std::uint64_t pos) const noexcept {
+    return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+  }
+
+  std::size_t bits_;
+  std::size_t k_;
+  std::uint64_t seed_;
+  std::size_t inserted_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fast::hash

@@ -1,0 +1,51 @@
+#include "hash/counting_bloom.hpp"
+
+#include "util/check.hpp"
+
+namespace fast::hash {
+
+CountingBloomFilter::CountingBloomFilter(std::size_t counters, std::size_t k,
+                                         std::uint64_t seed)
+    : counters_(counters), k_(k), seed_(seed),
+      cells_((counters + 1) / 2, 0) {
+  FAST_CHECK(counters > 0 && k > 0);
+}
+
+void CountingBloomFilter::insert(const void* data, std::size_t len) {
+  const Hash128 h = murmur3_128(data, len, seed_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::size_t pos = derived_hash(h, i) % counters_;
+    const std::uint8_t c = get(pos);
+    if (c < kMax) {
+      set(pos, static_cast<std::uint8_t>(c + 1));
+    } else {
+      ++saturated_;
+    }
+  }
+  ++inserted_;
+}
+
+void CountingBloomFilter::remove(const void* data, std::size_t len) {
+  const Hash128 h = murmur3_128(data, len, seed_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::size_t pos = derived_hash(h, i) % counters_;
+    const std::uint8_t c = get(pos);
+    // Saturated counters are sticky: decrementing one would risk erasing
+    // evidence of other keys that pushed it to the ceiling.
+    if (c > 0 && c < kMax) {
+      set(pos, static_cast<std::uint8_t>(c - 1));
+    }
+  }
+  if (inserted_ > 0) --inserted_;
+}
+
+bool CountingBloomFilter::maybe_contains(const void* data,
+                                         std::size_t len) const {
+  const Hash128 h = murmur3_128(data, len, seed_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (get(derived_hash(h, i) % counters_) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace fast::hash

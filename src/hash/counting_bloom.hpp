@@ -1,0 +1,68 @@
+// Counting Bloom filter: 4-bit saturating counters instead of single bits,
+// which adds deletion support. FAST's storage layer uses it to keep image
+// signatures removable (e.g., retention-window expiry of uploaded photos)
+// without rebuilding per-image summaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/hashes.hpp"
+
+namespace fast::hash {
+
+class CountingBloomFilter {
+ public:
+  CountingBloomFilter(std::size_t counters, std::size_t k,
+                      std::uint64_t seed = 0x5107);
+
+  std::size_t counter_count() const noexcept { return counters_; }
+  std::size_t hash_count() const noexcept { return k_; }
+
+  void insert(const void* data, std::size_t len);
+  void insert_u64(std::uint64_t key) { insert(&key, sizeof(key)); }
+
+  /// Removes one occurrence. Removing a key that was never inserted is a
+  /// precondition violation of the abstraction and may corrupt other keys
+  /// (standard counting-Bloom caveat); saturated counters are never
+  /// decremented to avoid the worst of it.
+  void remove(const void* data, std::size_t len);
+  void remove_u64(std::uint64_t key) { remove(&key, sizeof(key)); }
+
+  bool maybe_contains(const void* data, std::size_t len) const;
+  bool maybe_contains_u64(std::uint64_t key) const {
+    return maybe_contains(&key, sizeof(key));
+  }
+
+  std::size_t inserted_count() const noexcept { return inserted_; }
+
+  /// Number of counters that have ever saturated (diagnostic: a high value
+  /// means the filter is undersized and deletions are unreliable).
+  std::size_t saturation_count() const noexcept { return saturated_; }
+
+ private:
+  static constexpr std::uint8_t kMax = 15;  // 4-bit counters
+
+  std::uint8_t get(std::size_t i) const noexcept {
+    const std::uint8_t byte = cells_[i >> 1];
+    return (i & 1) ? (byte >> 4) : (byte & 0x0F);
+  }
+  void set(std::size_t i, std::uint8_t v) noexcept {
+    std::uint8_t& byte = cells_[i >> 1];
+    if (i & 1) {
+      byte = static_cast<std::uint8_t>((byte & 0x0F) | (v << 4));
+    } else {
+      byte = static_cast<std::uint8_t>((byte & 0xF0) | v);
+    }
+  }
+
+  std::size_t counters_;
+  std::size_t k_;
+  std::uint64_t seed_;
+  std::size_t inserted_ = 0;
+  std::size_t saturated_ = 0;
+  std::vector<std::uint8_t> cells_;  // two 4-bit counters per byte
+};
+
+}  // namespace fast::hash

@@ -1,0 +1,106 @@
+#include "hash/cuckoo_table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fast::hash {
+
+CuckooTable::CuckooTable(std::size_t capacity, std::uint64_t seed,
+                         std::size_t max_kicks)
+    : slots_(std::max<std::size_t>(capacity, 4)),
+      salt1_(mix64(seed ^ 0x517cc1b727220a95ULL)),
+      salt2_(mix64(seed ^ 0x2545f4914f6cdd1dULL)),
+      max_kicks_(max_kicks),
+      rng_(seed ^ 0xcc00ffeeULL) {}
+
+bool CuckooTable::insert(std::uint64_t key, std::uint64_t value) {
+  // Overwrite an existing mapping in place.
+  const std::size_t p1 = pos1(key);
+  if (slots_[p1].occupied && slots_[p1].key == key) {
+    slots_[p1].value = value;
+    return true;
+  }
+  const std::size_t p2 = pos2(key);
+  if (slots_[p2].occupied && slots_[p2].key == key) {
+    slots_[p2].value = value;
+    return true;
+  }
+  if (!slots_[p1].occupied) {
+    slots_[p1] = Slot{key, value, true};
+    ++size_;
+    ++stats_.inserts;
+    return true;
+  }
+  if (!slots_[p2].occupied) {
+    slots_[p2] = Slot{key, value, true};
+    ++size_;
+    ++stats_.inserts;
+    return true;
+  }
+
+  // Both candidates taken: displacement chain from a random one. Record the
+  // positions touched so a failed insertion can be rolled back exactly.
+  std::uint64_t cur_key = key;
+  std::uint64_t cur_value = value;
+  std::size_t pos = rng_.bernoulli(0.5) ? p1 : p2;
+  std::vector<std::size_t> chain;
+  chain.reserve(std::min<std::size_t>(max_kicks_, 64));
+  std::size_t kicks = 0;
+  while (kicks < max_kicks_) {
+    if (!slots_[pos].occupied) {
+      slots_[pos] = Slot{cur_key, cur_value, true};
+      ++size_;
+      ++stats_.inserts;
+      stats_.total_kicks += kicks;
+      stats_.max_kick_chain = std::max(stats_.max_kick_chain, kicks);
+      return true;
+    }
+    std::swap(cur_key, slots_[pos].key);
+    std::swap(cur_value, slots_[pos].value);
+    chain.push_back(pos);
+    ++kicks;
+    // The displaced item goes to its *other* candidate slot.
+    const std::size_t alt1 = pos1(cur_key);
+    pos = (alt1 == pos) ? pos2(cur_key) : alt1;
+  }
+
+  // Budget exhausted: roll the swaps back in reverse so the table returns
+  // to its exact pre-insert state; only the new key is rejected. The caller
+  // reacts by rehashing (the event Fig. 6 of the paper counts).
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    std::swap(cur_key, slots_[*it].key);
+    std::swap(cur_value, slots_[*it].value);
+  }
+  ++stats_.failures;
+  stats_.total_kicks += max_kicks_;
+  stats_.max_kick_chain = std::max(stats_.max_kick_chain, max_kicks_);
+  return false;
+}
+
+std::optional<std::uint64_t> CuckooTable::find(
+    std::uint64_t key) const noexcept {
+  const Slot& s1 = slots_[pos1(key)];
+  if (s1.occupied && s1.key == key) return s1.value;
+  const Slot& s2 = slots_[pos2(key)];
+  if (s2.occupied && s2.key == key) return s2.value;
+  return std::nullopt;
+}
+
+bool CuckooTable::erase(std::uint64_t key) noexcept {
+  Slot& s1 = slots_[pos1(key)];
+  if (s1.occupied && s1.key == key) {
+    s1 = Slot{};
+    --size_;
+    return true;
+  }
+  Slot& s2 = slots_[pos2(key)];
+  if (s2.occupied && s2.key == key) {
+    s2 = Slot{};
+    --size_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fast::hash

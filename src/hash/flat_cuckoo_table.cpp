@@ -1,0 +1,134 @@
+#include "hash/flat_cuckoo_table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fast::hash {
+
+FlatCuckooTable::FlatCuckooTable(const FlatCuckooConfig& config)
+    : slots_(std::max<std::size_t>(config.capacity, 4 * config.window)),
+      window_(std::max<std::size_t>(config.window, 1)),
+      max_kicks_(config.max_kicks),
+      salt1_(mix64(config.seed ^ 0x517cc1b727220a95ULL)),
+      salt2_(mix64(config.seed ^ 0x2545f4914f6cdd1dULL)),
+      rng_(config.seed ^ 0xf1a7ULL) {
+  FAST_CHECK(config.window >= 1);
+}
+
+void FlatCuckooTable::candidates(std::uint64_t key,
+                                 std::vector<std::size_t>& out) const {
+  out.clear();
+  const std::size_t b1 = base1(key);
+  const std::size_t b2 = base2(key);
+  for (std::size_t w = 0; w < window_; ++w) out.push_back(wrap(b1, w));
+  for (std::size_t w = 0; w < window_; ++w) out.push_back(wrap(b2, w));
+}
+
+bool FlatCuckooTable::insert(std::uint64_t key, std::uint64_t value) {
+  std::vector<std::size_t> cand;
+  candidates(key, cand);
+
+  // Overwrite in place if present; otherwise take the first free slot.
+  std::size_t free_slot = slots_.size();
+  for (std::size_t p : cand) {
+    if (slots_[p].occupied && slots_[p].key == key) {
+      slots_[p].value = value;
+      return true;
+    }
+    if (!slots_[p].occupied && free_slot == slots_.size()) free_slot = p;
+  }
+  if (free_slot != slots_.size()) {
+    slots_[free_slot] = Slot{key, value, true};
+    ++size_;
+    ++stats_.inserts;
+    return true;
+  }
+
+  // All 2W candidates full: displacement chain. Kick a random candidate;
+  // the displaced item retries within its own candidate set. Swaps are
+  // logged so a failed insert rolls back exactly.
+  std::uint64_t cur_key = key;
+  std::uint64_t cur_value = value;
+  std::vector<std::size_t> chain;
+  chain.reserve(std::min<std::size_t>(max_kicks_, 64));
+  std::size_t kicks = 0;
+  while (kicks < max_kicks_) {
+    // Choose a victim slot among the current item's candidates.
+    const std::size_t victim =
+        cand[rng_.uniform_u64(cand.size())];
+    std::swap(cur_key, slots_[victim].key);
+    std::swap(cur_value, slots_[victim].value);
+    chain.push_back(victim);
+    ++kicks;
+
+    // The displaced item looks for a free slot among ITS candidates.
+    candidates(cur_key, cand);
+    std::size_t free_p = slots_.size();
+    for (std::size_t p : cand) {
+      if (!slots_[p].occupied) {
+        free_p = p;
+        break;
+      }
+    }
+    if (free_p != slots_.size()) {
+      slots_[free_p] = Slot{cur_key, cur_value, true};
+      ++size_;
+      ++stats_.inserts;
+      stats_.total_kicks += kicks;
+      stats_.max_kick_chain = std::max(stats_.max_kick_chain, kicks);
+      return true;
+    }
+    // No free slot: loop and kick again from the displaced item's set.
+  }
+
+  // Roll back all swaps in reverse; the table returns to its exact
+  // pre-insert state and the new key is rejected (rehash event).
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    std::swap(cur_key, slots_[*it].key);
+    std::swap(cur_value, slots_[*it].value);
+  }
+  ++stats_.failures;
+  stats_.total_kicks += max_kicks_;
+  stats_.max_kick_chain = std::max(stats_.max_kick_chain, max_kicks_);
+  return false;
+}
+
+std::optional<std::uint64_t> FlatCuckooTable::find(
+    std::uint64_t key) const noexcept {
+  const std::size_t b1 = base1(key);
+  for (std::size_t w = 0; w < window_; ++w) {
+    const Slot& s = slots_[wrap(b1, w)];
+    if (s.occupied && s.key == key) return s.value;
+  }
+  const std::size_t b2 = base2(key);
+  for (std::size_t w = 0; w < window_; ++w) {
+    const Slot& s = slots_[wrap(b2, w)];
+    if (s.occupied && s.key == key) return s.value;
+  }
+  return std::nullopt;
+}
+
+bool FlatCuckooTable::erase(std::uint64_t key) noexcept {
+  const std::size_t b1 = base1(key);
+  for (std::size_t w = 0; w < window_; ++w) {
+    Slot& s = slots_[wrap(b1, w)];
+    if (s.occupied && s.key == key) {
+      s = Slot{};
+      --size_;
+      return true;
+    }
+  }
+  const std::size_t b2 = base2(key);
+  for (std::size_t w = 0; w < window_; ++w) {
+    Slot& s = slots_[wrap(b2, w)];
+    if (s.occupied && s.key == key) {
+      s = Slot{};
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fast::hash

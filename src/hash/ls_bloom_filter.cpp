@@ -1,0 +1,51 @@
+#include "hash/ls_bloom_filter.hpp"
+
+#include "util/check.hpp"
+#include "util/vecmath.hpp"
+
+namespace fast::hash {
+
+LocalitySensitiveBloomFilter::LocalitySensitiveBloomFilter(
+    const LsbfConfig& config)
+    : lsh_(config.lsh),
+      bits_((config.bits + 63) / 64 * 64),
+      threshold_(config.threshold == 0 ? config.lsh.tables : config.threshold),
+      words_(bits_ / 64, 0) {
+  FAST_CHECK(config.bits > 0);
+  FAST_CHECK(threshold_ >= 1 && threshold_ <= config.lsh.tables);
+}
+
+void LocalitySensitiveBloomFilter::insert(std::span<const float> v) {
+  for (std::uint64_t key : lsh_.all_keys(v)) {
+    const std::size_t bit = bit_of_key(key);
+    words_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+  ++inserted_;
+}
+
+bool LocalitySensitiveBloomFilter::maybe_near(std::span<const float> v) const {
+  std::size_t hits = 0;
+  const auto keys = lsh_.all_keys(v);
+  for (std::uint64_t key : keys) {
+    const std::size_t bit = bit_of_key(key);
+    if ((words_[bit >> 6] >> (bit & 63)) & 1ULL) ++hits;
+  }
+  return hits >= threshold_;
+}
+
+double LocalitySensitiveBloomFilter::near_score(
+    std::span<const float> v) const {
+  std::size_t hits = 0;
+  const auto keys = lsh_.all_keys(v);
+  for (std::uint64_t key : keys) {
+    const std::size_t bit = bit_of_key(key);
+    if ((words_[bit >> 6] >> (bit & 63)) & 1ULL) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(keys.size());
+}
+
+std::size_t LocalitySensitiveBloomFilter::set_bit_count() const noexcept {
+  return util::popcount(words_);
+}
+
+}  // namespace fast::hash

@@ -1,0 +1,57 @@
+// Locality-Sensitive Bloom Filter (Hua et al., IEEE ToC 2012 — the paper's
+// ref [47] and a natural extension of the FAST methodology).
+//
+// A Bloom filter whose probe positions come from LSH functions instead of
+// uniform hashes: inserting a vector sets the bits addressed by its L LSH
+// bucket ids, and an approximate-membership query reports true when at
+// least `threshold` of the query vector's LSH bits are set. Because nearby
+// vectors collide in most LSH functions, the filter answers "is something
+// *similar* to q in the set?" in O(L) time and a few hundred bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/hashes.hpp"
+#include "hash/pstable_lsh.hpp"
+
+namespace fast::hash {
+
+struct LsbfConfig {
+  LshConfig lsh;            ///< the LSH family addressing the bit array
+  std::size_t bits = 4096;  ///< bit-array size
+  std::size_t threshold = 0;  ///< min matching tables to answer "near";
+                              ///< 0 = require all L (strictest)
+};
+
+class LocalitySensitiveBloomFilter {
+ public:
+  explicit LocalitySensitiveBloomFilter(const LsbfConfig& config);
+
+  /// Inserts a vector: sets one bit per LSH table.
+  void insert(std::span<const float> v);
+
+  /// Approximate near-membership: true when >= threshold tables hit.
+  bool maybe_near(std::span<const float> v) const;
+
+  /// Fraction of the query's LSH bits that are set (soft score in [0, 1]).
+  double near_score(std::span<const float> v) const;
+
+  std::size_t inserted_count() const noexcept { return inserted_; }
+  std::size_t bit_count() const noexcept { return bits_; }
+  std::size_t set_bit_count() const noexcept;
+
+ private:
+  std::size_t bit_of_key(std::uint64_t key) const noexcept {
+    return mix64(key) % bits_;
+  }
+
+  PStableLsh lsh_;
+  std::size_t bits_;
+  std::size_t threshold_;
+  std::size_t inserted_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fast::hash

@@ -1,0 +1,55 @@
+#include "hash/lsh_table_chained.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fast::hash {
+
+LshTableChained::LshTableChained(std::size_t buckets, std::uint64_t seed)
+    : heads_(std::max<std::size_t>(buckets, 1), -1), salt_(mix64(seed)) {}
+
+void LshTableChained::insert(std::uint64_t key, std::uint64_t value) {
+  const std::size_t b = bucket_of(key);
+  nodes_.push_back(Node{key, value, heads_[b]});
+  heads_[b] = static_cast<std::int64_t>(nodes_.size() - 1);
+  ++size_;
+}
+
+std::vector<std::uint64_t> LshTableChained::find(std::uint64_t key,
+                                                 std::size_t* probes) const {
+  std::vector<std::uint64_t> out;
+  std::size_t walked = 0;
+  for (std::int64_t i = heads_[bucket_of(key)]; i >= 0;
+       i = nodes_[static_cast<std::size_t>(i)].next) {
+    const Node& n = nodes_[static_cast<std::size_t>(i)];
+    ++walked;
+    if (n.key == key) out.push_back(n.value);
+  }
+  if (probes != nullptr) *probes = walked;
+  return out;
+}
+
+std::size_t LshTableChained::chain_length(std::uint64_t key) const noexcept {
+  std::size_t len = 0;
+  for (std::int64_t i = heads_[bucket_of(key)]; i >= 0;
+       i = nodes_[static_cast<std::size_t>(i)].next) {
+    ++len;
+  }
+  return len;
+}
+
+std::size_t LshTableChained::max_chain_length() const noexcept {
+  std::size_t best = 0;
+  for (std::int64_t head : heads_) {
+    std::size_t len = 0;
+    for (std::int64_t i = head; i >= 0;
+         i = nodes_[static_cast<std::size_t>(i)].next) {
+      ++len;
+    }
+    best = std::max(best, len);
+  }
+  return best;
+}
+
+}  // namespace fast::hash

@@ -1,0 +1,72 @@
+#include "hash/minhash.hpp"
+
+#include <cmath>
+
+#include "hash/hashes.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fast::hash {
+
+MinHasher::MinHasher(const MinHashConfig& config) : config_(config) {
+  FAST_CHECK(config.bands > 0 && config.band_size > 0);
+  util::Rng rng(config.seed);
+  salts_.resize(hash_count());
+  for (auto& s : salts_) s = rng.next_u64();
+}
+
+std::uint64_t MinHasher::hash_bit(std::size_t i,
+                                  std::uint32_t bit) const noexcept {
+  return mix64(salts_[i] ^ (static_cast<std::uint64_t>(bit) + 1));
+}
+
+std::vector<MinHasher::MinPair> MinHasher::minhashes(
+    const SparseSignature& signature) const {
+  std::vector<MinPair> out(hash_count());
+  for (std::uint32_t bit : signature.set_bits()) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::uint64_t h = hash_bit(i, bit);
+      MinPair& p = out[i];
+      if (h < p.min) {
+        p.second = p.min;
+        p.min = h;
+      } else if (h < p.second) {
+        p.second = h;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t MinHasher::band_key(std::size_t band,
+                                  const std::vector<MinPair>& mh) const {
+  FAST_CHECK(band < config_.bands);
+  std::uint64_t key = mix64(0xbadd0000ULL + band);
+  for (std::size_t j = 0; j < config_.band_size; ++j) {
+    key = mix64(key ^ mh[band * config_.band_size + j].min);
+  }
+  return key;
+}
+
+std::vector<std::uint64_t> MinHasher::probe_keys(
+    std::size_t band, const std::vector<MinPair>& mh) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(config_.band_size);
+  for (std::size_t sub = 0; sub < config_.band_size; ++sub) {
+    std::uint64_t key = mix64(0xbadd0000ULL + band);
+    for (std::size_t j = 0; j < config_.band_size; ++j) {
+      const MinPair& p = mh[band * config_.band_size + j];
+      key = mix64(key ^ (j == sub ? p.second : p.min));
+    }
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+double MinHasher::collision_probability(double j, std::size_t bands,
+                                        std::size_t band_size) {
+  const double per_band = std::pow(j, static_cast<double>(band_size));
+  return 1.0 - std::pow(1.0 - per_band, static_cast<double>(bands));
+}
+
+}  // namespace fast::hash

@@ -1,0 +1,47 @@
+#include "hash/multi_probe.hpp"
+
+#include "util/check.hpp"
+
+namespace fast::hash {
+
+std::vector<BucketCoords> probe_sequence(const BucketCoords& home, int depth) {
+  FAST_CHECK(depth >= 0 && depth <= 2);
+  std::vector<BucketCoords> probes;
+  if (depth == 0) return probes;
+  const std::size_t m = home.size();
+  probes.reserve(probe_count(m, depth));
+
+  for (std::size_t i = 0; i < m; ++i) {
+    for (int delta : {-1, +1}) {
+      BucketCoords p = home;
+      p[i] += delta;
+      probes.push_back(std::move(p));
+    }
+  }
+  if (depth == 2) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        for (int di : {-1, +1}) {
+          for (int dj : {-1, +1}) {
+            BucketCoords p = home;
+            p[i] += di;
+            p[j] += dj;
+            probes.push_back(std::move(p));
+          }
+        }
+      }
+    }
+  }
+  return probes;
+}
+
+std::size_t probe_count(std::size_t m, int depth) {
+  switch (depth) {
+    case 0: return 0;
+    case 1: return 2 * m;
+    case 2: return 2 * m + 2 * m * (m - 1);
+    default: FAST_CHECK_MSG(false, "unsupported probe depth"); return 0;
+  }
+}
+
+}  // namespace fast::hash

@@ -1,0 +1,29 @@
+// Adjacent-bucket probing (the paper's §III-C2 false-negative mitigation,
+// in the spirit of multi-probe LSH, Lv et al. 2007).
+//
+// Similar vectors that straddle a quantization boundary of one elementary
+// hash land in buckets whose M-coordinate tuples differ by ±1 in a single
+// coordinate. Probing those adjacent buckets in addition to the home bucket
+// recovers most LSH false negatives at constant extra cost. The probe
+// sequence enumerates single-coordinate ±1 perturbations (2M probes per
+// table at depth 1) and optionally two-coordinate perturbations at depth 2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hash/pstable_lsh.hpp"
+
+namespace fast::hash {
+
+/// Generates the perturbed coordinate tuples for a home bucket.
+/// depth 0 -> {} (home bucket only, caller already has it);
+/// depth 1 -> 2M single-coordinate perturbations;
+/// depth 2 -> additionally all two-coordinate (±1, ±1) perturbations.
+std::vector<BucketCoords> probe_sequence(const BucketCoords& home,
+                                         int depth);
+
+/// Number of probes (excluding home) for a given M and depth.
+std::size_t probe_count(std::size_t m, int depth);
+
+}  // namespace fast::hash

@@ -1,0 +1,77 @@
+#include "hash/pstable_lsh.hpp"
+
+#include <cmath>
+
+#include "hash/hashes.hpp"
+#include "util/check.hpp"
+
+namespace fast::hash {
+
+PStableLsh::PStableLsh(const LshConfig& config) : config_(config) {
+  FAST_CHECK(config.dim > 0 && config.tables > 0 &&
+             config.hashes_per_table > 0 && config.omega > 0);
+  util::Rng rng(config.seed);
+  const std::size_t total = config.tables * config.hashes_per_table;
+  a_.resize(total * config.dim);
+  b_.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    for (std::size_t d = 0; d < config.dim; ++d) {
+      a_[i * config.dim + d] = static_cast<float>(rng.gaussian());
+    }
+    b_[i] = static_cast<float>(rng.uniform(0.0, config.omega));
+  }
+}
+
+std::int32_t PStableLsh::hash_one(std::size_t t, std::size_t j,
+                                  std::span<const float> v) const {
+  FAST_CHECK(t < config_.tables && j < config_.hashes_per_table);
+  FAST_CHECK(v.size() == config_.dim);
+  const std::size_t idx = t * config_.hashes_per_table + j;
+  const float* a = &a_[idx * config_.dim];
+  double acc = static_cast<double>(b_[idx]);
+  for (std::size_t d = 0; d < config_.dim; ++d) {
+    acc += static_cast<double>(a[d]) * static_cast<double>(v[d]);
+  }
+  return static_cast<std::int32_t>(std::floor(acc / config_.omega));
+}
+
+BucketCoords PStableLsh::bucket_coords(std::size_t t,
+                                       std::span<const float> v) const {
+  BucketCoords coords(config_.hashes_per_table);
+  for (std::size_t j = 0; j < config_.hashes_per_table; ++j) {
+    coords[j] = hash_one(t, j, v);
+  }
+  return coords;
+}
+
+std::uint64_t PStableLsh::bucket_key(std::size_t t,
+                                     const BucketCoords& coords) const {
+  const Hash128 h =
+      murmur3_128(coords.data(), coords.size() * sizeof(coords[0]),
+                  0x9e3779b9ULL + t);
+  return h.lo ^ (h.hi * 0x9ddfea08eb382d69ULL);
+}
+
+std::vector<std::uint64_t> PStableLsh::all_keys(
+    std::span<const float> v) const {
+  std::vector<std::uint64_t> keys(config_.tables);
+  for (std::size_t t = 0; t < config_.tables; ++t) {
+    keys[t] = bucket_key(t, bucket_coords(t, v));
+  }
+  return keys;
+}
+
+double PStableLsh::collision_probability(double c, double omega) {
+  // P(c) = 1 - 2*Phi(-w/c) - (2c / (sqrt(2 pi) w)) * (1 - e^{-w^2 / 2c^2})
+  // for the Gaussian (2-stable) family; P(0) := 1.
+  if (c <= 0) return 1.0;
+  const double r = omega / c;
+  const auto phi = [](double x) {  // standard normal CDF
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+  };
+  constexpr double kSqrt2Pi = 2.50662827463100050241;
+  return 1.0 - 2.0 * phi(-r) -
+         (2.0 / (kSqrt2Pi * r)) * (1.0 - std::exp(-r * r / 2.0));
+}
+
+}  // namespace fast::hash

@@ -1,0 +1,62 @@
+// p-stable Locality-Sensitive Hashing (Datar et al. 2004; the paper's SA
+// module, Definition 1).
+//
+// Each elementary hash is h_{a,b}(v) = floor((a·v + b) / w) with `a` a
+// Gaussian (2-stable, L2) random vector and b ~ U[0, w). A table hash g
+// concatenates M elementary hashes; L independent tables are queried and
+// their candidate sets unioned. The paper's configuration is L = 7, M = 10,
+// w (omega) = 0.85, with Bloom bit-vectors as inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fast::hash {
+
+struct LshConfig {
+  std::size_t dim = 256;   ///< input dimensionality (Bloom bits)
+  std::size_t tables = 7;  ///< L: independent hash tables
+  std::size_t hashes_per_table = 10;  ///< M: concatenated hashes per table
+  double omega = 0.85;     ///< w: quantization width of each hash
+  std::uint64_t seed = 0x15b;
+};
+
+/// The M-dimensional integer bucket coordinates of a vector in one table.
+using BucketCoords = std::vector<std::int32_t>;
+
+class PStableLsh {
+ public:
+  explicit PStableLsh(const LshConfig& config);
+
+  const LshConfig& config() const noexcept { return config_; }
+
+  /// Elementary hash value for table t, hash j.
+  std::int32_t hash_one(std::size_t t, std::size_t j,
+                        std::span<const float> v) const;
+
+  /// Bucket coordinates of `v` in table `t` (length M).
+  BucketCoords bucket_coords(std::size_t t, std::span<const float> v) const;
+
+  /// Collapses coordinates into a 64-bit bucket key for table `t`.
+  /// Distinct coordinates map to distinct keys with overwhelming
+  /// probability (Murmur over the coordinate bytes, table-salted).
+  std::uint64_t bucket_key(std::size_t t, const BucketCoords& coords) const;
+
+  /// Convenience: keys of `v` across all L tables.
+  std::vector<std::uint64_t> all_keys(std::span<const float> v) const;
+
+  /// Theoretical collision probability of a single elementary hash for two
+  /// points at L2 distance `c` (Datar et al., eq. for the Gaussian family).
+  static double collision_probability(double c, double omega);
+
+ private:
+  LshConfig config_;
+  // a-vectors laid out as [t][j][dim], flattened; b offsets as [t][j].
+  std::vector<float> a_;
+  std::vector<float> b_;
+};
+
+}  // namespace fast::hash

@@ -1,0 +1,156 @@
+#include "img/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fast::img {
+
+namespace {
+
+struct ClipBox {
+  std::size_t x0, y0, x1, y1;  // half-open [x0, x1) x [y0, y1)
+  bool empty;
+};
+
+ClipBox clip(const Image& image, std::ptrdiff_t x0, std::ptrdiff_t y0,
+             std::ptrdiff_t x1, std::ptrdiff_t y1) {
+  ClipBox box{};
+  const auto w = static_cast<std::ptrdiff_t>(image.width());
+  const auto h = static_cast<std::ptrdiff_t>(image.height());
+  x0 = std::clamp<std::ptrdiff_t>(x0, 0, w);
+  x1 = std::clamp<std::ptrdiff_t>(x1, 0, w);
+  y0 = std::clamp<std::ptrdiff_t>(y0, 0, h);
+  y1 = std::clamp<std::ptrdiff_t>(y1, 0, h);
+  box.empty = (x0 >= x1) || (y0 >= y1);
+  box.x0 = static_cast<std::size_t>(x0);
+  box.x1 = static_cast<std::size_t>(x1);
+  box.y0 = static_cast<std::size_t>(y0);
+  box.y1 = static_cast<std::size_t>(y1);
+  return box;
+}
+
+}  // namespace
+
+void fill_gradient(Image& image, float top, float bottom) {
+  const std::size_t h = image.height();
+  for (std::size_t y = 0; y < h; ++y) {
+    const float t = h > 1 ? static_cast<float>(y) / static_cast<float>(h - 1)
+                          : 0.0f;
+    const float v = top + t * (bottom - top);
+    float* row = image.row(y);
+    std::fill(row, row + image.width(), v);
+  }
+}
+
+void fill_rect(Image& image, std::ptrdiff_t x0, std::ptrdiff_t y0,
+               std::ptrdiff_t x1, std::ptrdiff_t y1, float value) {
+  const ClipBox box = clip(image, x0, y0, x1, y1);
+  if (box.empty) return;
+  for (std::size_t y = box.y0; y < box.y1; ++y) {
+    float* row = image.row(y);
+    std::fill(row + box.x0, row + box.x1, value);
+  }
+}
+
+void fill_circle(Image& image, double cx, double cy, double radius,
+                 float value) {
+  if (radius <= 0) return;
+  const auto x0 = static_cast<std::ptrdiff_t>(std::floor(cx - radius));
+  const auto x1 = static_cast<std::ptrdiff_t>(std::ceil(cx + radius)) + 1;
+  const auto y0 = static_cast<std::ptrdiff_t>(std::floor(cy - radius));
+  const auto y1 = static_cast<std::ptrdiff_t>(std::ceil(cy + radius)) + 1;
+  const ClipBox box = clip(image, x0, y0, x1, y1);
+  if (box.empty) return;
+  const double r2 = radius * radius;
+  for (std::size_t y = box.y0; y < box.y1; ++y) {
+    const double dy = static_cast<double>(y) - cy;
+    float* row = image.row(y);
+    for (std::size_t x = box.x0; x < box.x1; ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      if (dx * dx + dy * dy <= r2) row[x] = value;
+    }
+  }
+}
+
+void fill_triangle(Image& image, double x0, double y0, double x1, double y1,
+                   double x2, double y2, float value) {
+  const auto bx0 = static_cast<std::ptrdiff_t>(
+      std::floor(std::min({x0, x1, x2})));
+  const auto bx1 = static_cast<std::ptrdiff_t>(
+      std::ceil(std::max({x0, x1, x2}))) + 1;
+  const auto by0 = static_cast<std::ptrdiff_t>(
+      std::floor(std::min({y0, y1, y2})));
+  const auto by1 = static_cast<std::ptrdiff_t>(
+      std::ceil(std::max({y0, y1, y2}))) + 1;
+  const ClipBox box = clip(image, bx0, by0, bx1, by1);
+  if (box.empty) return;
+  auto edge = [](double ax, double ay, double bx, double by, double px,
+                 double py) {
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+  };
+  // Winding-independent inside test: point is on the same side of all edges.
+  for (std::size_t y = box.y0; y < box.y1; ++y) {
+    float* row = image.row(y);
+    const double py = static_cast<double>(y);
+    for (std::size_t x = box.x0; x < box.x1; ++x) {
+      const double px = static_cast<double>(x);
+      const double e0 = edge(x0, y0, x1, y1, px, py);
+      const double e1 = edge(x1, y1, x2, y2, px, py);
+      const double e2 = edge(x2, y2, x0, y0, px, py);
+      const bool all_nonneg = e0 >= 0 && e1 >= 0 && e2 >= 0;
+      const bool all_nonpos = e0 <= 0 && e1 <= 0 && e2 <= 0;
+      if (all_nonneg || all_nonpos) row[x] = value;
+    }
+  }
+}
+
+void add_texture(Image& image, std::ptrdiff_t x0, std::ptrdiff_t y0,
+                 std::ptrdiff_t x1, std::ptrdiff_t y1, float amplitude,
+                 std::uint64_t seed) {
+  const ClipBox box = clip(image, x0, y0, x1, y1);
+  if (box.empty) return;
+  util::Rng rng(seed);
+  // Sum of a handful of oriented sinusoids: cheap, smooth, deterministic,
+  // and rich in local extrema for the DoG detector to latch onto.
+  constexpr int kWaves = 5;
+  double fx[kWaves], fy[kWaves], phase[kWaves], amp[kWaves];
+  for (int w = 0; w < kWaves; ++w) {
+    fx[w] = rng.uniform(0.05, 0.45);
+    fy[w] = rng.uniform(0.05, 0.45);
+    phase[w] = rng.uniform(0.0, 6.28318530717958647692);
+    amp[w] = rng.uniform(0.3, 1.0);
+  }
+  double amp_sum = 0.0;
+  for (int w = 0; w < kWaves; ++w) amp_sum += amp[w];
+  for (std::size_t y = box.y0; y < box.y1; ++y) {
+    float* row = image.row(y);
+    for (std::size_t x = box.x0; x < box.x1; ++x) {
+      double v = 0.0;
+      for (int w = 0; w < kWaves; ++w) {
+        v += amp[w] * std::sin(fx[w] * static_cast<double>(x) +
+                               fy[w] * static_cast<double>(y) + phase[w]);
+      }
+      row[x] += static_cast<float>(v / amp_sum) * amplitude;
+    }
+  }
+}
+
+void scatter_blobs(Image& image, std::ptrdiff_t x0, std::ptrdiff_t y0,
+                   std::ptrdiff_t x1, std::ptrdiff_t y1, std::size_t count,
+                   double min_radius, double max_radius, std::uint64_t seed) {
+  const ClipBox box = clip(image, x0, y0, x1, y1);
+  if (box.empty) return;
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double cx = rng.uniform(static_cast<double>(box.x0),
+                                  static_cast<double>(box.x1));
+    const double cy = rng.uniform(static_cast<double>(box.y0),
+                                  static_cast<double>(box.y1));
+    const double r = rng.uniform(min_radius, max_radius);
+    const float v = rng.bernoulli(0.5) ? rng.uniform(0.75, 1.0)
+                                       : rng.uniform(0.0, 0.25);
+    fill_circle(image, cx, cy, r, static_cast<float>(v));
+  }
+}
+
+}  // namespace fast::img

@@ -1,0 +1,47 @@
+// Drawing primitives for the synthetic scene generator.
+//
+// The paper's workload is tourist photos of landmarks that occasionally
+// contain a person of interest. We synthesize such scenes from geometric
+// primitives and procedural texture so that near-duplicate structure (same
+// landmark, slightly different viewpoint/lighting) is controllable and the
+// ground truth is exact. All drawing blends with over-compositing on the
+// single intensity channel.
+#pragma once
+
+#include <cstdint>
+
+#include "img/image.hpp"
+#include "util/rng.hpp"
+
+namespace fast::img {
+
+/// Fills the whole image with a vertical intensity gradient (sky-to-ground).
+void fill_gradient(Image& image, float top, float bottom);
+
+/// Draws a filled axis-aligned rectangle; coordinates are clipped.
+void fill_rect(Image& image, std::ptrdiff_t x0, std::ptrdiff_t y0,
+               std::ptrdiff_t x1, std::ptrdiff_t y1, float value);
+
+/// Draws a filled circle; clipped at the borders.
+void fill_circle(Image& image, double cx, double cy, double radius,
+                 float value);
+
+/// Draws a filled triangle (used for roofs / spires).
+void fill_triangle(Image& image, double x0, double y0, double x1, double y1,
+                   double x2, double y2, float value);
+
+/// Adds band-limited procedural texture (sum of a few random sinusoids,
+/// deterministic in `seed`) over a rectangular region. `amplitude` is the
+/// peak intensity perturbation. Texture is what gives each landmark a stable,
+/// repeatable set of DoG interest points.
+void add_texture(Image& image, std::ptrdiff_t x0, std::ptrdiff_t y0,
+                 std::ptrdiff_t x1, std::ptrdiff_t y1, float amplitude,
+                 std::uint64_t seed);
+
+/// Scatters small bright/dark blobs (windows, ornaments) in a region,
+/// deterministic in `seed`; these produce strong, localizable keypoints.
+void scatter_blobs(Image& image, std::ptrdiff_t x0, std::ptrdiff_t y0,
+                   std::ptrdiff_t x1, std::ptrdiff_t y1, std::size_t count,
+                   double min_radius, double max_radius, std::uint64_t seed);
+
+}  // namespace fast::img

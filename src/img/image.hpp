@@ -1,0 +1,76 @@
+// Grayscale float image: the pixel substrate for the vision pipeline.
+//
+// The paper's feature pipeline (DoG + PCA-SIFT) operates on single-channel
+// intensity images; we store row-major float32 in [0, 1]. The type follows
+// the Core Guidelines value-semantics style (rule of zero, explicit
+// dimensions, checked accessors in debug paths).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fast::img {
+
+class Image {
+ public:
+  Image() = default;
+
+  Image(std::size_t width, std::size_t height, float fill = 0.0f)
+      : width_(width), height_(height), pixels_(width * height, fill) {}
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+  bool empty() const noexcept { return pixels_.empty(); }
+  std::size_t pixel_count() const noexcept { return pixels_.size(); }
+
+  float& at(std::size_t x, std::size_t y) noexcept {
+    FAST_CHECK(x < width_ && y < height_);
+    return pixels_[y * width_ + x];
+  }
+
+  float at(std::size_t x, std::size_t y) const noexcept {
+    FAST_CHECK(x < width_ && y < height_);
+    return pixels_[y * width_ + x];
+  }
+
+  /// Clamped access: coordinates outside the image are clamped to the border
+  /// (replicate padding), the convention used by the Gaussian filters.
+  float at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const noexcept;
+
+  /// Bilinear sample at a real-valued position with border replication.
+  float sample_bilinear(double x, double y) const noexcept;
+
+  std::span<float> pixels() noexcept { return pixels_; }
+  std::span<const float> pixels() const noexcept { return pixels_; }
+
+  /// Pointer to the start of row y.
+  const float* row(std::size_t y) const noexcept {
+    FAST_CHECK(y < height_);
+    return pixels_.data() + y * width_;
+  }
+  float* row(std::size_t y) noexcept {
+    FAST_CHECK(y < height_);
+    return pixels_.data() + y * width_;
+  }
+
+  /// Clamps every pixel into [0, 1].
+  void clamp01() noexcept;
+
+  /// Returns a copy downsampled by 2 (every other pixel; used between
+  /// Gaussian-pyramid octaves where the image is already band-limited).
+  Image downsample2() const;
+
+  /// Returns a copy upsampled by 2 with bilinear interpolation (used for the
+  /// optional -1 octave of the DoG detector).
+  Image upsample2() const;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<float> pixels_;
+};
+
+}  // namespace fast::img

@@ -1,0 +1,86 @@
+#include "img/pnm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace fast::img {
+
+namespace {
+
+// Skips PNM whitespace and '#' comment lines, then reads one unsigned int.
+std::size_t read_pnm_uint(std::istream& in) {
+  int c = in.get();
+  while (c != EOF) {
+    if (c == '#') {
+      while (c != EOF && c != '\n') c = in.get();
+    } else if (!std::isspace(c)) {
+      break;
+    }
+    c = in.get();
+  }
+  if (c == EOF) throw std::runtime_error("pgm: unexpected end of header");
+  std::size_t value = 0;
+  bool any = false;
+  while (c != EOF && std::isdigit(c)) {
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    any = true;
+    c = in.get();
+  }
+  if (!any) throw std::runtime_error("pgm: expected integer in header");
+  return value;
+}
+
+}  // namespace
+
+void write_pgm(const Image& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("pgm: cannot open for write: " + path);
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  std::vector<std::uint8_t> row(image.width());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    const float* src = image.row(y);
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      const float v = std::clamp(src[x], 0.0f, 1.0f);
+      row[x] = static_cast<std::uint8_t>(v * 255.0f + 0.5f);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("pgm: write failed: " + path);
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pgm: cannot open for read: " + path);
+  char magic[2] = {};
+  in.read(magic, 2);
+  if (magic[0] != 'P' || magic[1] != '5') {
+    throw std::runtime_error("pgm: not a binary PGM (P5): " + path);
+  }
+  const std::size_t width = read_pnm_uint(in);
+  const std::size_t height = read_pnm_uint(in);
+  const std::size_t maxval = read_pnm_uint(in);
+  if (maxval == 0 || maxval > 255) {
+    throw std::runtime_error("pgm: unsupported maxval");
+  }
+  // Exactly one whitespace byte separates the header from pixel data; the
+  // header parser above has already consumed it while scanning past digits.
+  Image image(width, height);
+  std::vector<std::uint8_t> row(width);
+  const float scale = 1.0f / static_cast<float>(maxval);
+  for (std::size_t y = 0; y < height; ++y) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+    if (!in) throw std::runtime_error("pgm: truncated pixel data: " + path);
+    float* dst = image.row(y);
+    for (std::size_t x = 0; x < width; ++x) {
+      dst[x] = static_cast<float>(row[x]) * scale;
+    }
+  }
+  return image;
+}
+
+}  // namespace fast::img

@@ -1,0 +1,19 @@
+// Minimal binary PGM (P5) reader/writer so examples can persist and inspect
+// synthetic scenes without any external image dependency.
+#pragma once
+
+#include <string>
+
+#include "img/image.hpp"
+
+namespace fast::img {
+
+/// Writes `image` as an 8-bit binary PGM file. Pixel values are clamped to
+/// [0, 1] and scaled to [0, 255]. Throws std::runtime_error on I/O failure.
+void write_pgm(const Image& image, const std::string& path);
+
+/// Reads an 8-bit binary PGM file into a float image in [0, 1].
+/// Throws std::runtime_error on malformed input or I/O failure.
+Image read_pgm(const std::string& path);
+
+}  // namespace fast::img

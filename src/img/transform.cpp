@@ -1,0 +1,89 @@
+#include "img/transform.hpp"
+
+#include <cmath>
+
+namespace fast::img {
+
+Affine Affine::similarity(double angle_rad, double scale, double cx, double cy,
+                          double dx, double dy) {
+  // Output-to-input mapping: to render the output as the source rotated by
+  // +angle and scaled by s about (cx, cy), sample the source at the inverse
+  // transform of each output pixel.
+  const double inv_s = 1.0 / scale;
+  const double c = std::cos(-angle_rad) * inv_s;
+  const double s = std::sin(-angle_rad) * inv_s;
+  Affine t;
+  t.a00 = c;
+  t.a01 = -s;
+  t.a10 = s;
+  t.a11 = c;
+  // in = R * (out - center - d) + center
+  const double ox = cx + dx;
+  const double oy = cy + dy;
+  t.tx = cx - (t.a00 * ox + t.a01 * oy);
+  t.ty = cy - (t.a10 * ox + t.a11 * oy);
+  return t;
+}
+
+Affine Affine::compose(const Affine& other) const noexcept {
+  // (this ∘ other)(p) = this(other(p))
+  Affine r;
+  r.a00 = a00 * other.a00 + a01 * other.a10;
+  r.a01 = a00 * other.a01 + a01 * other.a11;
+  r.a10 = a10 * other.a00 + a11 * other.a10;
+  r.a11 = a10 * other.a01 + a11 * other.a11;
+  r.tx = a00 * other.tx + a01 * other.ty + tx;
+  r.ty = a10 * other.tx + a11 * other.ty + ty;
+  return r;
+}
+
+Image warp_affine(const Image& src, const Affine& t) {
+  Image out(src.width(), src.height());
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    float* row = out.row(y);
+    const double oy = static_cast<double>(y);
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      const double ox = static_cast<double>(x);
+      const double ix = t.a00 * ox + t.a01 * oy + t.tx;
+      const double iy = t.a10 * ox + t.a11 * oy + t.ty;
+      row[x] = src.sample_bilinear(ix, iy);
+    }
+  }
+  return out;
+}
+
+void add_gaussian_noise(Image& image, double stddev, util::Rng& rng) {
+  if (stddev <= 0) return;
+  for (float& p : image.pixels()) {
+    p += static_cast<float>(rng.gaussian(0.0, stddev));
+  }
+  image.clamp01();
+}
+
+void adjust_illumination(Image& image, double gain, double bias) {
+  for (float& p : image.pixels()) {
+    p = static_cast<float>(gain * p + bias);
+  }
+  image.clamp01();
+}
+
+Image make_near_duplicate(const Image& src, const PerturbParams& params,
+                          util::Rng& rng) {
+  const double angle =
+      rng.uniform(-params.max_rotation_rad, params.max_rotation_rad);
+  const double scale = rng.uniform(params.min_scale, params.max_scale);
+  const double dx =
+      rng.uniform(-params.max_translate_px, params.max_translate_px);
+  const double dy =
+      rng.uniform(-params.max_translate_px, params.max_translate_px);
+  const Affine t = Affine::similarity(
+      angle, scale, static_cast<double>(src.width()) / 2.0,
+      static_cast<double>(src.height()) / 2.0, dx, dy);
+  Image out = warp_affine(src, t);
+  adjust_illumination(out, rng.uniform(params.min_gain, params.max_gain),
+                      rng.uniform(-params.max_bias, params.max_bias));
+  add_gaussian_noise(out, rng.uniform(0.0, params.max_noise_stddev), rng);
+  return out;
+}
+
+}  // namespace fast::img

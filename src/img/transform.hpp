@@ -1,0 +1,57 @@
+// Photometric and geometric perturbations.
+//
+// Near-duplicate photos of the same landmark differ by small viewpoint
+// changes (modeled as similarity/affine warps), illumination changes (gain +
+// bias) and sensor noise. These transforms generate the duplicate clusters
+// whose detection is the core of the paper's use case, and they double as the
+// invariance tests for the SIFT/PCA-SIFT implementation.
+#pragma once
+
+#include "img/image.hpp"
+#include "util/rng.hpp"
+
+namespace fast::img {
+
+/// 2x3 affine transform mapping output pixel coordinates to input
+/// coordinates: in = A * out + t.
+struct Affine {
+  double a00 = 1, a01 = 0, a10 = 0, a11 = 1;
+  double tx = 0, ty = 0;
+
+  /// Similarity transform: rotate by `angle_rad`, scale by `scale`, about
+  /// the image point (cx, cy), then translate by (dx, dy).
+  static Affine similarity(double angle_rad, double scale, double cx,
+                           double cy, double dx = 0, double dy = 0);
+
+  /// Composes this transform after `other` (this ∘ other).
+  Affine compose(const Affine& other) const noexcept;
+};
+
+/// Warps `src` through `transform` (output-to-input mapping) with bilinear
+/// sampling and border replication. Output has the same dimensions as input.
+Image warp_affine(const Image& src, const Affine& transform);
+
+/// Adds i.i.d. Gaussian pixel noise with the given standard deviation.
+void add_gaussian_noise(Image& image, double stddev, util::Rng& rng);
+
+/// Applies illumination change: out = gain * in + bias, then clamps to [0,1].
+void adjust_illumination(Image& image, double gain, double bias);
+
+/// Parameters for a random near-duplicate perturbation.
+struct PerturbParams {
+  double max_rotation_rad = 0.05;   // ~±3 degrees (burst-shot variation)
+  double min_scale = 0.96;
+  double max_scale = 1.04;
+  double max_translate_px = 4.0;
+  double max_noise_stddev = 0.012;
+  double min_gain = 0.90;
+  double max_gain = 1.10;
+  double max_bias = 0.04;
+};
+
+/// Draws a random perturbation from `params` and applies it, producing a
+/// near-duplicate of `src` (same landmark, new "shot").
+Image make_near_duplicate(const Image& src, const PerturbParams& params,
+                          util::Rng& rng);
+
+}  // namespace fast::img

@@ -1,0 +1,135 @@
+#include "index/kd_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/check.hpp"
+#include "util/vecmath.hpp"
+
+namespace fast::index {
+
+KdTree::KdTree(std::vector<std::uint64_t> ids,
+               std::vector<std::vector<float>> points)
+    : ids_(std::move(ids)), points_(std::move(points)) {
+  FAST_CHECK(ids_.size() == points_.size());
+  if (points_.empty()) return;
+  dim_ = points_.front().size();
+  for (const auto& p : points_) FAST_CHECK(p.size() == dim_);
+  std::vector<std::uint32_t> items(points_.size());
+  std::iota(items.begin(), items.end(), 0);
+  nodes_.reserve(points_.size());
+  root_ = build(items, 0);
+}
+
+std::int32_t KdTree::build(std::span<std::uint32_t> items, std::size_t depth) {
+  if (items.empty()) return -1;
+  const auto axis = static_cast<std::uint16_t>(depth % dim_);
+  const std::size_t mid = items.size() / 2;
+  std::nth_element(items.begin(),
+                   items.begin() + static_cast<std::ptrdiff_t>(mid),
+                   items.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return points_[a][axis] < points_[b][axis];
+                   });
+  const std::int32_t self = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(self)].point = items[mid];
+  nodes_[static_cast<std::size_t>(self)].axis = axis;
+  const std::int32_t left = build(items.subspan(0, mid), depth + 1);
+  const std::int32_t right = build(items.subspan(mid + 1), depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+namespace {
+
+// Max-heap entry for the running k-best set.
+struct HeapItem {
+  double dist_sq;
+  std::uint64_t id;
+  bool operator<(const HeapItem& o) const { return dist_sq < o.dist_sq; }
+};
+
+}  // namespace
+
+template <typename Visit>
+void KdTree::search(std::int32_t node, std::span<const float> query,
+                    double& bound, std::size_t& visited,
+                    const Visit& visit) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  ++visited;
+  const auto& point = points_[n.point];
+  visit(n.point, util::l2_distance_sq(query, point));
+
+  const double delta = static_cast<double>(query[n.axis]) -
+                       static_cast<double>(point[n.axis]);
+  const std::int32_t near = delta <= 0 ? n.left : n.right;
+  const std::int32_t far = delta <= 0 ? n.right : n.left;
+  search(near, query, bound, visited, visit);
+  // Prune the far subtree when the splitting plane is beyond the bound.
+  if (delta * delta <= bound) {
+    search(far, query, bound, visited, visit);
+  }
+}
+
+std::vector<Neighbor> KdTree::nearest(std::span<const float> query,
+                                      std::size_t k,
+                                      std::size_t* visited) const {
+  std::vector<Neighbor> out;
+  if (root_ < 0 || k == 0) {
+    if (visited != nullptr) *visited = 0;
+    return out;
+  }
+  FAST_CHECK(query.size() == dim_);
+  std::priority_queue<HeapItem> best;  // max-heap of current k best
+  double bound = std::numeric_limits<double>::infinity();
+  std::size_t nodes_seen = 0;
+  search(root_, query, bound, nodes_seen,
+         [&](std::uint32_t idx, double d2) {
+           if (best.size() < k) {
+             best.push(HeapItem{d2, ids_[idx]});
+             if (best.size() == k) bound = best.top().dist_sq;
+           } else if (d2 < best.top().dist_sq) {
+             best.pop();
+             best.push(HeapItem{d2, ids_[idx]});
+             bound = best.top().dist_sq;
+           }
+         });
+  if (visited != nullptr) *visited = nodes_seen;
+  out.resize(best.size());
+  for (std::size_t i = out.size(); i-- > 0;) {
+    out[i] = Neighbor{best.top().id, std::sqrt(best.top().dist_sq)};
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<Neighbor> KdTree::within(std::span<const float> query,
+                                     double radius,
+                                     std::size_t* visited) const {
+  std::vector<Neighbor> out;
+  if (root_ < 0) {
+    if (visited != nullptr) *visited = 0;
+    return out;
+  }
+  FAST_CHECK(query.size() == dim_);
+  double bound = radius * radius;
+  std::size_t nodes_seen = 0;
+  search(root_, query, bound, nodes_seen,
+         [&](std::uint32_t idx, double d2) {
+           if (d2 <= radius * radius) {
+             out.push_back(Neighbor{ids_[idx], std::sqrt(d2)});
+           }
+         });
+  if (visited != nullptr) *visited = nodes_seen;
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  });
+  return out;
+}
+
+}  // namespace fast::index

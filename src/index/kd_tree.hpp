@@ -1,0 +1,58 @@
+// K-d tree over dense float vectors.
+//
+// Two roles in this repository: (i) the exact-NN oracle that makes the
+// accuracy columns of Table III measurable without human verification, and
+// (ii) the metadata index Spyglass builds (Table I maps FAST's vector
+// extraction to Spyglass's K-D tree). Median-split construction, branch-and-
+// bound k-NN and radius search; node visits are counted so simulated query
+// costs can be charged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/linear_scan.hpp"
+
+namespace fast::index {
+
+class KdTree {
+ public:
+  /// Builds the tree over (id, point) pairs. All points share one dim.
+  KdTree(std::vector<std::uint64_t> ids,
+         std::vector<std::vector<float>> points);
+
+  std::size_t size() const noexcept { return ids_.size(); }
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Exact k nearest neighbors, closest first. `visited` (optional)
+  /// receives the number of tree nodes inspected.
+  std::vector<Neighbor> nearest(std::span<const float> query, std::size_t k,
+                                std::size_t* visited = nullptr) const;
+
+  /// All points within `radius`, closest first.
+  std::vector<Neighbor> within(std::span<const float> query, double radius,
+                               std::size_t* visited = nullptr) const;
+
+ private:
+  struct Node {
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint32_t point = 0;  ///< index into points_/ids_
+    std::uint16_t axis = 0;
+  };
+
+  std::int32_t build(std::span<std::uint32_t> items, std::size_t depth);
+
+  template <typename Visit>
+  void search(std::int32_t node, std::span<const float> query, double& bound,
+              std::size_t& visited, const Visit& visit) const;
+
+  std::vector<std::uint64_t> ids_;
+  std::vector<std::vector<float>> points_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace fast::index

@@ -1,0 +1,48 @@
+#include "index/linear_scan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/vecmath.hpp"
+
+namespace fast::index {
+
+void LinearScan::add(std::uint64_t id, std::vector<float> point) {
+  FAST_CHECK(points_.empty() || point.size() == points_.front().size());
+  ids_.push_back(id);
+  points_.push_back(std::move(point));
+}
+
+std::vector<Neighbor> LinearScan::nearest(std::span<const float> query,
+                                          std::size_t k) const {
+  std::vector<Neighbor> all;
+  all.reserve(ids_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    all.push_back(Neighbor{ids_[i], util::l2_distance_sq(query, points_[i])});
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance;
+                    });
+  all.resize(k);
+  for (Neighbor& n : all) n.distance = std::sqrt(n.distance);
+  return all;
+}
+
+std::vector<Neighbor> LinearScan::within(std::span<const float> query,
+                                         double radius) const {
+  const double r2 = radius * radius;
+  std::vector<Neighbor> out;
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    const double d2 = util::l2_distance_sq(query, points_[i]);
+    if (d2 <= r2) out.push_back(Neighbor{ids_[i], std::sqrt(d2)});
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  });
+  return out;
+}
+
+}  // namespace fast::index

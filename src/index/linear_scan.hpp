@@ -1,0 +1,40 @@
+// Brute-force nearest-neighbor scan — the paper's "zero-dimensional
+// correlation" reference point, and the ground-truth oracle for the
+// accuracy experiments (Table III).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fast::index {
+
+struct Neighbor {
+  std::uint64_t id = 0;
+  double distance = 0;
+};
+
+class LinearScan {
+ public:
+  /// Registers a point; `id` is caller-chosen (need not be dense).
+  void add(std::uint64_t id, std::vector<float> point);
+
+  std::size_t size() const noexcept { return ids_.size(); }
+  std::size_t dim() const noexcept {
+    return points_.empty() ? 0 : points_.front().size();
+  }
+
+  /// Exact k nearest neighbors by L2 distance, closest first.
+  std::vector<Neighbor> nearest(std::span<const float> query,
+                                std::size_t k) const;
+
+  /// All points within L2 distance `radius` of the query, closest first.
+  std::vector<Neighbor> within(std::span<const float> query,
+                               double radius) const;
+
+ private:
+  std::vector<std::uint64_t> ids_;
+  std::vector<std::vector<float>> points_;
+};
+
+}  // namespace fast::index

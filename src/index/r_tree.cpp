@@ -1,0 +1,290 @@
+#include "index/r_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace fast::index {
+
+Rect Rect::expanded(const Rect& o) const noexcept {
+  return Rect{std::min(min_x, o.min_x), std::min(min_y, o.min_y),
+              std::max(max_x, o.max_x), std::max(max_y, o.max_y)};
+}
+
+double Rect::enlargement(const Rect& o) const noexcept {
+  return expanded(o).area() - area();
+}
+
+double Rect::min_dist_sq(double x, double y) const noexcept {
+  const double dx = x < min_x ? min_x - x : (x > max_x ? x - max_x : 0.0);
+  const double dy = y < min_y ? min_y - y : (y > max_y ? y - max_y : 0.0);
+  return dx * dx + dy * dy;
+}
+
+RTree::RTree(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(max_entries, 4)),
+      min_entries_(std::max<std::size_t>(max_entries, 4) / 2) {
+  nodes_.push_back(Node{});  // empty leaf root
+  root_ = 0;
+}
+
+Rect RTree::node_mbr(const Node& n) const {
+  FAST_CHECK(!n.entries.empty());
+  Rect r = n.entries.front().rect;
+  for (std::size_t i = 1; i < n.entries.size(); ++i) {
+    r = r.expanded(n.entries[i].rect);
+  }
+  return r;
+}
+
+std::int32_t RTree::choose_leaf(const Rect& r) {
+  std::int32_t cur = root_;
+  while (!nodes_[static_cast<std::size_t>(cur)].leaf) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    std::int32_t best = -1;
+    for (const Entry& e : n.entries) {
+      const double enl = e.rect.enlargement(r);
+      const double area = e.rect.area();
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best_enl = enl;
+        best_area = area;
+        best = e.child;
+      }
+    }
+    FAST_CHECK(best >= 0);
+    cur = best;
+  }
+  return cur;
+}
+
+std::int32_t RTree::split(std::int32_t n_idx) {
+  Node& n = nodes_[static_cast<std::size_t>(n_idx)];
+  std::vector<Entry> entries = std::move(n.entries);
+  n.entries.clear();
+
+  // Quadratic pick-seeds: the pair wasting the most area.
+  std::size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = entries[i].rect.expanded(entries[j].rect).area() -
+                           entries[i].rect.area() - entries[j].rect.area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  const std::int32_t sibling_idx = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  // NOTE: `n` may dangle after push_back; re-acquire references.
+  Node& a = nodes_[static_cast<std::size_t>(n_idx)];
+  Node& b = nodes_.back();
+  b.leaf = a.leaf;
+  b.parent = a.parent;
+
+  a.entries.push_back(entries[seed_a]);
+  b.entries.push_back(entries[seed_b]);
+  Rect mbr_a = entries[seed_a].rect;
+  Rect mbr_b = entries[seed_b].rect;
+
+  std::vector<bool> assigned(entries.size(), false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  std::size_t remaining = entries.size() - 2;
+
+  while (remaining > 0) {
+    // Force-assign when one group must take all the rest to reach min fill.
+    if (a.entries.size() + remaining == min_entries_) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          a.entries.push_back(entries[i]);
+          mbr_a = mbr_a.expanded(entries[i].rect);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (b.entries.size() + remaining == min_entries_) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          b.entries.push_back(entries[i]);
+          mbr_b = mbr_b.expanded(entries[i].rect);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // Pick-next: entry with the greatest preference difference.
+    std::size_t pick = entries.size();
+    double best_diff = -1.0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (assigned[i]) continue;
+      const double da = mbr_a.enlargement(entries[i].rect);
+      const double db = mbr_b.enlargement(entries[i].rect);
+      const double diff = std::fabs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    FAST_CHECK(pick < entries.size());
+    const double da = mbr_a.enlargement(entries[pick].rect);
+    const double db = mbr_b.enlargement(entries[pick].rect);
+    const bool to_a = da < db || (da == db && a.entries.size() <= b.entries.size());
+    if (to_a) {
+      a.entries.push_back(entries[pick]);
+      mbr_a = mbr_a.expanded(entries[pick].rect);
+    } else {
+      b.entries.push_back(entries[pick]);
+      mbr_b = mbr_b.expanded(entries[pick].rect);
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+
+  // Re-parent children moved into the sibling.
+  if (!b.leaf) {
+    for (const Entry& e : b.entries) {
+      nodes_[static_cast<std::size_t>(e.child)].parent = sibling_idx;
+    }
+  }
+  return sibling_idx;
+}
+
+void RTree::adjust_tree(std::int32_t n_idx, std::int32_t sibling_idx) {
+  while (true) {
+    Node& n = nodes_[static_cast<std::size_t>(n_idx)];
+    if (n.parent < 0) {
+      // Root level. If the root split, grow the tree by one level.
+      if (sibling_idx >= 0) {
+        const std::int32_t new_root = static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back(Node{});
+        Node& root = nodes_.back();
+        root.leaf = false;
+        root.entries.push_back(Entry{
+            node_mbr(nodes_[static_cast<std::size_t>(n_idx)]), n_idx, 0});
+        root.entries.push_back(Entry{
+            node_mbr(nodes_[static_cast<std::size_t>(sibling_idx)]),
+            sibling_idx, 0});
+        nodes_[static_cast<std::size_t>(n_idx)].parent = new_root;
+        nodes_[static_cast<std::size_t>(sibling_idx)].parent = new_root;
+        root_ = new_root;
+      }
+      return;
+    }
+
+    const std::int32_t parent_idx = n.parent;
+    Node& parent = nodes_[static_cast<std::size_t>(parent_idx)];
+    // Refresh this child's MBR in the parent.
+    for (Entry& e : parent.entries) {
+      if (e.child == n_idx) {
+        e.rect = node_mbr(nodes_[static_cast<std::size_t>(n_idx)]);
+        break;
+      }
+    }
+    std::int32_t new_sibling = -1;
+    if (sibling_idx >= 0) {
+      parent.entries.push_back(Entry{
+          node_mbr(nodes_[static_cast<std::size_t>(sibling_idx)]),
+          sibling_idx, 0});
+      nodes_[static_cast<std::size_t>(sibling_idx)].parent = parent_idx;
+      if (parent.entries.size() > max_entries_) {
+        new_sibling = split(parent_idx);
+      }
+    }
+    n_idx = parent_idx;
+    sibling_idx = new_sibling;
+  }
+}
+
+void RTree::insert(std::uint64_t id, double x, double y) {
+  const Rect r = Rect::point(x, y);
+  const std::int32_t leaf_idx = choose_leaf(r);
+  nodes_[static_cast<std::size_t>(leaf_idx)].entries.push_back(
+      Entry{r, -1, id});
+  std::int32_t sibling = -1;
+  if (nodes_[static_cast<std::size_t>(leaf_idx)].entries.size() >
+      max_entries_) {
+    sibling = split(leaf_idx);
+  }
+  adjust_tree(leaf_idx, sibling);
+  ++size_;
+}
+
+std::vector<std::uint64_t> RTree::range(const Rect& query,
+                                        std::size_t* accesses) const {
+  std::vector<std::uint64_t> out;
+  std::size_t seen = 0;
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const std::int32_t idx = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    ++seen;
+    for (const Entry& e : n.entries) {
+      if (!e.rect.intersects(query)) continue;
+      if (n.leaf) {
+        out.push_back(e.id);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  if (accesses != nullptr) *accesses = seen;
+  return out;
+}
+
+std::vector<GeoResult> RTree::nearest(double x, double y, std::size_t k,
+                                      std::size_t* accesses) const {
+  struct QItem {
+    double dist_sq;
+    std::int32_t node;   ///< -1 when this is a leaf payload
+    std::uint64_t id;
+    bool operator>(const QItem& o) const { return dist_sq > o.dist_sq; }
+  };
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  pq.push(QItem{0.0, root_, 0});
+  std::vector<GeoResult> out;
+  std::size_t seen = 0;
+  while (!pq.empty() && out.size() < k) {
+    const QItem item = pq.top();
+    pq.pop();
+    if (item.node < 0) {
+      out.push_back(GeoResult{item.id, std::sqrt(item.dist_sq)});
+      continue;
+    }
+    const Node& n = nodes_[static_cast<std::size_t>(item.node)];
+    ++seen;
+    for (const Entry& e : n.entries) {
+      const double d2 = e.rect.min_dist_sq(x, y);
+      if (n.leaf) {
+        pq.push(QItem{d2, -1, e.id});
+      } else {
+        pq.push(QItem{d2, e.child, 0});
+      }
+    }
+  }
+  if (accesses != nullptr) *accesses = seen;
+  return out;
+}
+
+std::size_t RTree::height() const noexcept {
+  std::size_t h = 1;
+  std::int32_t cur = root_;
+  while (!nodes_[static_cast<std::size_t>(cur)].leaf) {
+    cur = nodes_[static_cast<std::size_t>(cur)].entries.front().child;
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace fast::index

@@ -1,0 +1,87 @@
+// R-tree (Guttman 1984, the paper's ref [34]) over 2-D points.
+//
+// The RNPE baseline the paper compares against stores geo-tagged photos in
+// an R-tree and answers local-proximity ("diverse location views") queries
+// with O(log n) node accesses — the complexity FAST's O(1) flat addressing
+// beats. Quadratic-split insertion, rectangle range queries and best-first
+// k-NN; node accesses are counted for the simulated cost accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fast::index {
+
+struct Rect {
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  static Rect point(double x, double y) { return Rect{x, y, x, y}; }
+
+  double area() const noexcept {
+    return (max_x - min_x) * (max_y - min_y);
+  }
+  bool intersects(const Rect& o) const noexcept {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+  bool contains_point(double x, double y) const noexcept {
+    return x >= min_x && x <= max_x && y >= min_y && y <= max_y;
+  }
+  Rect expanded(const Rect& o) const noexcept;
+  /// Area increase needed to cover `o`.
+  double enlargement(const Rect& o) const noexcept;
+  /// Squared distance from a point to this rectangle (0 when inside).
+  double min_dist_sq(double x, double y) const noexcept;
+};
+
+struct GeoResult {
+  std::uint64_t id = 0;
+  double distance = 0;  ///< Euclidean distance to the query point
+};
+
+class RTree {
+ public:
+  /// `max_entries` fan-out per node (min is max/2 for quadratic split).
+  explicit RTree(std::size_t max_entries = 8);
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t height() const noexcept;
+
+  void insert(std::uint64_t id, double x, double y);
+
+  /// Ids of all points inside `query`, with node-access count in `accesses`
+  /// when non-null.
+  std::vector<std::uint64_t> range(const Rect& query,
+                                   std::size_t* accesses = nullptr) const;
+
+  /// Best-first k nearest neighbors to (x, y), closest first.
+  std::vector<GeoResult> nearest(double x, double y, std::size_t k,
+                                 std::size_t* accesses = nullptr) const;
+
+ private:
+  struct Entry {
+    Rect rect;
+    std::int32_t child = -1;   ///< internal: node index; leaf: -1
+    std::uint64_t id = 0;      ///< leaf payload
+  };
+  struct Node {
+    std::vector<Entry> entries;
+    bool leaf = true;
+    std::int32_t parent = -1;
+  };
+
+  Rect node_mbr(const Node& n) const;
+  std::int32_t choose_leaf(const Rect& r);
+  /// Splits node `n` (quadratic), returns the new sibling's index.
+  std::int32_t split(std::int32_t n);
+  void adjust_tree(std::int32_t n, std::int32_t split_sibling);
+
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::size_t max_entries_;
+  std::size_t min_entries_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fast::index

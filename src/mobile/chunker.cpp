@@ -1,0 +1,77 @@
+#include "mobile/chunker.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "hash/hashes.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fast::mobile {
+
+namespace {
+constexpr std::uint64_t kPrime = 0x3b9aca07ULL;  // polynomial base
+}
+
+Chunker::Chunker(const ChunkerConfig& config) : config_(config) {
+  FAST_CHECK(config.min_chunk >= config.window);
+  FAST_CHECK(config.min_chunk <= config.avg_chunk);
+  FAST_CHECK(config.avg_chunk <= config.max_chunk);
+  FAST_CHECK((config.avg_chunk & (config.avg_chunk - 1)) == 0);
+  mask_ = static_cast<std::uint64_t>(config.avg_chunk - 1);
+
+  // P^window mod 2^64 by repeated multiplication.
+  std::uint64_t p_w = 1;
+  for (std::size_t i = 0; i < config.window; ++i) p_w *= kPrime;
+  out_factor_.resize(256);
+  for (std::size_t b = 0; b < 256; ++b) {
+    out_factor_[b] = static_cast<std::uint64_t>(b) * p_w;
+  }
+}
+
+std::vector<Chunk> Chunker::chunk(std::span<const std::uint8_t> data) const {
+  std::vector<Chunk> chunks;
+  std::size_t start = 0;
+  std::uint64_t h = 0;
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Rolling hash over the trailing window.
+    h = h * kPrime + data[i];
+    if (i >= config_.window) {
+      h -= out_factor_[data[i - config_.window]];
+    }
+    const std::size_t len = i - start + 1;
+    const bool at_boundary =
+        len >= config_.min_chunk && (h & mask_) == mask_;
+    if (at_boundary || len >= config_.max_chunk) {
+      chunks.push_back(Chunk{
+          start, len,
+          hash::murmur3_128(data.data() + start, len).lo});
+      start = i + 1;
+      h = 0;
+    }
+  }
+  if (start < data.size()) {
+    const std::size_t len = data.size() - start;
+    chunks.push_back(Chunk{
+        start, len, hash::murmur3_128(data.data() + start, len).lo});
+  }
+  return chunks;
+}
+
+std::vector<std::uint8_t> synth_file_bytes(std::uint64_t seed,
+                                           std::size_t bytes) {
+  std::vector<std::uint8_t> data(bytes);
+  util::Rng rng(seed);
+  std::size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    const std::uint64_t w = rng.next_u64();
+    std::memcpy(data.data() + i, &w, 8);
+  }
+  for (; i < bytes; ++i) {
+    data[i] = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  return data;
+}
+
+}  // namespace fast::mobile

@@ -1,0 +1,53 @@
+// Content-defined chunking with a rolling polynomial (Rabin-style) hash —
+// the substrate of the chunk-based transmission baseline in Fig. 8.
+//
+// A chunk boundary is declared where the rolling hash of the last `window`
+// bytes matches a mask, yielding content-aligned chunks whose fingerprints
+// deduplicate exact repeats even when files are concatenated or shifted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fast::mobile {
+
+struct ChunkerConfig {
+  std::size_t min_chunk = 2 * 1024;
+  std::size_t avg_chunk = 8 * 1024;   ///< must be a power of two
+  std::size_t max_chunk = 64 * 1024;
+  std::size_t window = 48;            ///< rolling-hash window bytes
+};
+
+struct Chunk {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::uint64_t fingerprint = 0;  ///< Murmur of the chunk contents
+};
+
+class Chunker {
+ public:
+  explicit Chunker(const ChunkerConfig& config = {});
+
+  const ChunkerConfig& config() const noexcept { return config_; }
+
+  /// Splits `data` into content-defined chunks with fingerprints.
+  std::vector<Chunk> chunk(std::span<const std::uint8_t> data) const;
+
+ private:
+  ChunkerConfig config_;
+  std::uint64_t mask_;
+  // Precomputed byte multipliers for the rolling polynomial hash:
+  // out_factor_[b] = b * P^window mod 2^64, so a byte can be removed from
+  // the window in O(1).
+  std::vector<std::uint64_t> out_factor_;
+};
+
+/// Deterministic synthetic file contents for upload simulation: a file's
+/// byte stream is fully determined by its seed, so exact re-uploads of the
+/// same logical file produce identical chunks while different shots of the
+/// same scene share no bytes (as with real compressed photos).
+std::vector<std::uint8_t> synth_file_bytes(std::uint64_t seed,
+                                           std::size_t bytes);
+
+}  // namespace fast::mobile

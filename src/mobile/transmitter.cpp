@@ -1,0 +1,89 @@
+#include "mobile/transmitter.hpp"
+
+#include "util/check.hpp"
+
+namespace fast::mobile {
+
+ChunkTransmitter::ChunkTransmitter(ChunkerConfig chunker,
+                                   sim::EnergyModel energy, MobileCosts costs)
+    : chunker_(chunker), energy_(energy), costs_(costs) {}
+
+TransmissionReport ChunkTransmitter::upload_batch(
+    std::span<const UploadItem> items) {
+  TransmissionReport report;
+  for (const UploadItem& item : items) {
+    report.images += 1;
+    report.raw_bytes += item.file_bytes;
+
+    const std::vector<std::uint8_t> data =
+        synth_file_bytes(item.exact_dup ? item.dup_of_seed : item.file_seed,
+                         item.file_bytes);
+    const std::vector<Chunk> chunks = chunker_.chunk(data);
+    report.cpu_seconds += costs_.chunk_cpu_s_per_mb *
+                          static_cast<double>(item.file_bytes) / (1 << 20);
+
+    std::size_t to_send = costs_.per_upload_overhead_bytes +
+                          chunks.size() * sizeof(std::uint64_t);  // manifest
+    std::size_t new_chunks = 0;
+    for (const Chunk& c : chunks) {
+      if (chunk_set_.insert(c.fingerprint).second) {
+        to_send += c.length;
+        ++new_chunks;
+        server_chunks_.push_back(c.fingerprint);
+      }
+    }
+    report.sent_bytes += to_send;
+    if (new_chunks > 0) {
+      report.full_uploads += 1;
+    } else {
+      report.suppressed += 1;
+    }
+    report.energy_joule += energy_.transmit_joule(to_send);
+  }
+  report.energy_joule += energy_.compute_joule(report.cpu_seconds);
+  return report;
+}
+
+FastTransmitter::FastTransmitter(core::FastIndex& index,
+                                 sim::EnergyModel energy,
+                                 double similarity_threshold,
+                                 MobileCosts costs)
+    : index_(index), energy_(energy), threshold_(similarity_threshold),
+      costs_(costs) {}
+
+TransmissionReport FastTransmitter::upload_batch(
+    std::span<const UploadItem> items) {
+  TransmissionReport report;
+  for (const UploadItem& item : items) {
+    FAST_CHECK(item.image != nullptr);
+    report.images += 1;
+    report.raw_bytes += item.file_bytes;
+
+    // Client-side: extract + summarize, then probe the cloud with the
+    // signature only.
+    report.cpu_seconds += costs_.fast_fe_cpu_s;
+    const hash::SparseSignature sig = index_.summarize(*item.image);
+    std::size_t to_send = costs_.signature_bytes;
+
+    const core::QueryResult hit = index_.query_signature(sig, 1);
+    const bool similar_exists =
+        !hit.hits.empty() && hit.hits.front().score >= threshold_;
+    if (similar_exists) {
+      // The cloud already holds a (near-)duplicate: register the reference
+      // only; the photo itself never leaves the phone.
+      report.suppressed += 1;
+    } else {
+      to_send += item.file_bytes + costs_.per_upload_overhead_bytes;
+      report.full_uploads += 1;
+    }
+    // Either way, the signature is inserted so later shots dedup against it.
+    index_.insert_signature(0x100000000ULL + item.id, sig);
+
+    report.sent_bytes += to_send;
+    report.energy_joule += energy_.transmit_joule(to_send);
+  }
+  report.energy_joule += energy_.compute_joule(report.cpu_seconds);
+  return report;
+}
+
+}  // namespace fast::mobile

@@ -1,0 +1,39 @@
+// Crowdsourcing user groups for the Fig. 8 experiments.
+//
+// The paper divides 1,000 client users into 3 groups by crowdsourcing
+// interest (roughly equal numbers of landmarks each); each group uploads
+// batches of photos of its landmarks. Within a group's stream, some photos
+// are exact re-shares of earlier files and many are near-duplicate shots of
+// the same views — the redundancy each transmission scheme can (or cannot)
+// exploit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobile/transmitter.hpp"
+#include "workload/dataset.hpp"
+
+namespace fast::mobile {
+
+struct UserGroupSpec {
+  std::string name;
+  std::vector<std::uint32_t> landmarks;  ///< landmarks this group shoots
+  double exact_dup_prob = 0.15;  ///< P(upload is a re-share of an earlier file)
+};
+
+/// Splits the dataset's landmarks into `groups` interest groups of roughly
+/// equal size (the paper's grouping).
+std::vector<UserGroupSpec> make_user_groups(const workload::Dataset& dataset,
+                                            std::size_t groups = 3);
+
+/// Draws an upload batch for one group: photos of the group's landmarks in
+/// random order, with `spec.exact_dup_prob` of items re-sharing an earlier
+/// item's exact file. Returned items point into `dataset` (which must
+/// outlive them).
+std::vector<UploadItem> make_upload_batch(const workload::Dataset& dataset,
+                                          const UserGroupSpec& spec,
+                                          std::size_t count,
+                                          std::uint64_t seed);
+
+}  // namespace fast::mobile

@@ -1,0 +1,43 @@
+// Scheduling model for the paper's 256-node / 32-core evaluation cluster.
+//
+// Given a bag of independent task costs (simulated seconds each), the cluster
+// model computes the makespan under greedy longest-processing-time-first
+// assignment to `slots` parallel execution slots — the standard 4/3-optimal
+// LPT bound, which matches how embarrassingly-parallel query batches behave
+// on a real cluster. This drives Fig. 4 (concurrent query latency) and
+// Fig. 7 (multicore speedup).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+
+namespace fast::sim {
+
+class ClusterModel {
+ public:
+  explicit ClusterModel(CostModel cost = {}) : cost_(cost) {}
+
+  const CostModel& cost() const noexcept { return cost_; }
+
+  std::size_t total_cores() const noexcept {
+    return cost_.nodes * cost_.cores_per_node;
+  }
+
+  /// Makespan of independent tasks over `slots` parallel slots (LPT greedy).
+  /// With slots == 1 this degenerates to the serial sum.
+  static double makespan(std::vector<double> task_costs, std::size_t slots);
+
+  /// Mean completion time of independent tasks over `slots` slots when tasks
+  /// are processed FIFO in arrival order (models "average query latency" for
+  /// a batch of simultaneous requests: each request's latency is the finish
+  /// time of its slot up to and including itself).
+  static double mean_completion(const std::vector<double>& task_costs,
+                                std::size_t slots);
+
+ private:
+  CostModel cost_;
+};
+
+}  // namespace fast::sim

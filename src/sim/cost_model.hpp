@@ -1,0 +1,68 @@
+// Device-cost constants for the simulated evaluation platform.
+//
+// The paper evaluates FAST on a 256-node cluster (32 cores, 64 GB RAM,
+// 1 TB 7200RPM disk, GbE per node) that we do not have. Every latency the
+// paper reports is, however, dominated by *countable events* — disk seeks,
+// page transfers, hash probes, descriptor arithmetic — multiplied by device
+// constants. The simulation layer counts those events exactly and charges the
+// constants below, so relative results (who wins, by what factor, where the
+// curves bend) are preserved on any host. See DESIGN.md §2.
+#pragma once
+
+#include <cstddef>
+
+namespace fast::sim {
+
+/// Calibrated per-operation costs, in seconds (or bytes/second for
+/// bandwidths). Defaults model the paper's 2014-era evaluation hardware.
+struct CostModel {
+  // --- Disk (7200 RPM SATA) ---
+  /// Average seek + rotational latency for a random page access.
+  double disk_seek_s = 8.0e-3;
+  /// Sequential transfer bandwidth, bytes/second.
+  double disk_bandwidth_Bps = 120.0e6;
+  /// Page size used by the disk-backed stores.
+  std::size_t disk_page_bytes = 4096;
+
+  // --- Memory ---
+  /// Cost of one random DRAM access (cache-missing pointer chase).
+  double ram_access_s = 100.0e-9;
+  /// Cost of streaming one byte through memory (bandwidth-bound scans).
+  double ram_stream_s_per_byte = 0.1e-9;
+
+  // --- CPU ---
+  /// One hash-function evaluation over a small key (Murmur-class).
+  double hash_op_s = 60.0e-9;
+  /// One register-level integer mix (mix64 in minwise-hash inner loops).
+  double mix_op_s = 3.0e-9;
+  /// One floating-point multiply-add (descriptor distance inner loops).
+  double flop_s = 1.0e-9;
+
+  // --- Network (GbE) ---
+  /// One round trip between cluster nodes.
+  double net_rtt_s = 200.0e-6;
+  /// Network bandwidth, bytes/second (1 Gb/s).
+  double net_bandwidth_Bps = 125.0e6;
+
+  // --- Cluster shape (paper's testbed) ---
+  std::size_t nodes = 256;
+  std::size_t cores_per_node = 32;
+
+  /// Time to read `bytes` from disk starting at a random position:
+  /// one seek plus page-granular sequential transfer.
+  double disk_read_s(std::size_t bytes) const noexcept {
+    return disk_seek_s + static_cast<double>(bytes) / disk_bandwidth_Bps;
+  }
+
+  /// Time to write `bytes` (same model as reads for a 7200RPM disk).
+  double disk_write_s(std::size_t bytes) const noexcept {
+    return disk_read_s(bytes);
+  }
+
+  /// Time to move `bytes` across the cluster network.
+  double net_transfer_s(std::size_t bytes) const noexcept {
+    return net_rtt_s + static_cast<double>(bytes) / net_bandwidth_Bps;
+  }
+};
+
+}  // namespace fast::sim

@@ -1,0 +1,72 @@
+// Accumulator for simulated elapsed time and event counts.
+//
+// Code paths that the paper measures on cluster hardware charge their work
+// into a SimClock instead of (or in addition to) being wall-clock timed.
+// A SimClock is deliberately a plain value type: each logical task owns one,
+// and the cluster scheduler combines task clocks into a makespan.
+#pragma once
+
+#include <cstddef>
+
+namespace fast::sim {
+
+class SimClock {
+ public:
+  /// Advances simulated time by `seconds` (may be fractional; must be >= 0).
+  void charge(double seconds) noexcept {
+    if (seconds > 0) elapsed_ += seconds;
+  }
+
+  void charge_disk_read(double seconds) noexcept {
+    charge(seconds);
+    ++disk_reads_;
+  }
+
+  void charge_disk_write(double seconds) noexcept {
+    charge(seconds);
+    ++disk_writes_;
+  }
+
+  void charge_hash(double seconds, std::size_t ops = 1) noexcept {
+    charge(seconds * static_cast<double>(ops));
+    hash_ops_ += ops;
+  }
+
+  void charge_flops(double flop_s, std::size_t flops) noexcept {
+    charge(flop_s * static_cast<double>(flops));
+    flops_ += flops;
+  }
+
+  void charge_ram(double seconds, std::size_t accesses = 1) noexcept {
+    charge(seconds * static_cast<double>(accesses));
+    ram_accesses_ += accesses;
+  }
+
+  void merge(const SimClock& other) noexcept {
+    elapsed_ += other.elapsed_;
+    disk_reads_ += other.disk_reads_;
+    disk_writes_ += other.disk_writes_;
+    hash_ops_ += other.hash_ops_;
+    flops_ += other.flops_;
+    ram_accesses_ += other.ram_accesses_;
+  }
+
+  void reset() noexcept { *this = SimClock{}; }
+
+  double elapsed_s() const noexcept { return elapsed_; }
+  std::size_t disk_reads() const noexcept { return disk_reads_; }
+  std::size_t disk_writes() const noexcept { return disk_writes_; }
+  std::size_t hash_ops() const noexcept { return hash_ops_; }
+  std::size_t flops() const noexcept { return flops_; }
+  std::size_t ram_accesses() const noexcept { return ram_accesses_; }
+
+ private:
+  double elapsed_ = 0.0;
+  std::size_t disk_reads_ = 0;
+  std::size_t disk_writes_ = 0;
+  std::size_t hash_ops_ = 0;
+  std::size_t flops_ = 0;
+  std::size_t ram_accesses_ = 0;
+};
+
+}  // namespace fast::sim

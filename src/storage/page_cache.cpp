@@ -1,0 +1,33 @@
+#include "storage/page_cache.hpp"
+
+namespace fast::storage {
+
+PageCache::PageCache(std::size_t capacity_pages) : capacity_(capacity_pages) {}
+
+bool PageCache::access(std::uint64_t page) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  const auto it = map_.find(page);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  return false;
+}
+
+void PageCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace fast::storage

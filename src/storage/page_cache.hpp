@@ -1,0 +1,39 @@
+// LRU page cache in front of the simulated disk.
+//
+// The SIFT / PCA-SIFT baselines are disk-bound because their feature stores
+// dwarf main memory; FAST's summaries fit in RAM entirely. The page cache is
+// what turns that size difference into the latency difference of Fig. 4:
+// reads that hit cost a RAM access, misses charge a disk seek + transfer.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace fast::storage {
+
+class PageCache {
+ public:
+  /// `capacity_pages` resident pages; 0 disables caching entirely.
+  explicit PageCache(std::size_t capacity_pages);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t hits() const noexcept { return hits_; }
+  std::size_t misses() const noexcept { return misses_; }
+
+  /// Touches `page`; returns true on hit. On miss the page is faulted in,
+  /// evicting the least recently used page if at capacity.
+  bool access(std::uint64_t page);
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace fast::storage

@@ -1,0 +1,14 @@
+#include "storage/shard.hpp"
+
+namespace fast::storage {
+
+std::vector<std::vector<std::uint64_t>> ShardMap::partition(
+    const std::vector<std::uint64_t>& ids) const {
+  std::vector<std::vector<std::uint64_t>> out(shards_);
+  for (std::uint64_t id : ids) {
+    out[shard_of(id)].push_back(id);
+  }
+  return out;
+}
+
+}  // namespace fast::storage

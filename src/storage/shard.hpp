@@ -1,0 +1,37 @@
+// Hash-based sharding of image ids across cluster nodes.
+//
+// The paper's prototype distributes the 60M-image dataset randomly over 256
+// nodes; each node indexes its shard and queries fan out to all shards. The
+// shard map is the glue between the index structures and the ClusterModel
+// makespan computation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/hashes.hpp"
+
+namespace fast::storage {
+
+class ShardMap {
+ public:
+  explicit ShardMap(std::size_t shards, std::uint64_t seed = 0x54a2d)
+      : shards_(shards == 0 ? 1 : shards), salt_(hash::mix64(seed)) {}
+
+  std::size_t shard_count() const noexcept { return shards_; }
+
+  /// Owning shard of an image id (stable, uniform).
+  std::size_t shard_of(std::uint64_t id) const noexcept {
+    return hash::mix64(id ^ salt_) % shards_;
+  }
+
+  /// Partitions `ids` into per-shard id lists.
+  std::vector<std::vector<std::uint64_t>> partition(
+      const std::vector<std::uint64_t>& ids) const;
+
+ private:
+  std::size_t shards_;
+  std::uint64_t salt_;
+};
+
+}  // namespace fast::storage

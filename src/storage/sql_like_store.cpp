@@ -1,0 +1,44 @@
+#include "storage/sql_like_store.hpp"
+
+#include "util/check.hpp"
+
+namespace fast::storage {
+
+SqlLikeStore::SqlLikeStore(sim::CostModel cost, std::size_t cache_pages)
+    : cost_(cost), cache_(cache_pages) {}
+
+void SqlLikeStore::put(std::uint64_t id, std::size_t bytes,
+                       sim::SimClock& clock) {
+  FAST_CHECK_MSG(extents_.count(id) == 0, "duplicate record id");
+  extents_[id] = Extent{tail_, bytes};
+  tail_ += bytes;
+  clock.charge_disk_write(cost_.disk_write_s(bytes));
+}
+
+std::optional<std::size_t> SqlLikeStore::read(std::uint64_t id,
+                                              sim::SimClock& clock) {
+  const auto it = extents_.find(id);
+  if (it == extents_.end()) return std::nullopt;
+  const Extent& e = it->second;
+  const std::uint64_t first_page = e.offset / cost_.disk_page_bytes;
+  const std::uint64_t last_page =
+      e.bytes == 0 ? first_page
+                   : (e.offset + e.bytes - 1) / cost_.disk_page_bytes;
+  std::size_t missed_pages = 0;
+  for (std::uint64_t p = first_page; p <= last_page; ++p) {
+    if (cache_.access(p)) {
+      clock.charge_ram(cost_.ram_access_s);
+    } else {
+      ++missed_pages;
+    }
+  }
+  if (missed_pages > 0) {
+    // One seek to the extent, then sequential transfer of the missed pages
+    // (they are contiguous in the append-only layout).
+    clock.charge_disk_read(
+        cost_.disk_read_s(missed_pages * cost_.disk_page_bytes));
+  }
+  return e.bytes;
+}
+
+}  // namespace fast::storage

@@ -1,0 +1,61 @@
+// Disk-backed record store with simulated I/O costs — the "SQL-based
+// database" the paper's SIFT and PCA-SIFT baselines keep their features and
+// image metadata in.
+//
+// Records live on a simulated disk laid out append-only; reads fault whole
+// pages through an LRU page cache and charge CostModel disk constants into
+// the caller's SimClock. The store does not keep the record payloads (only
+// their extents): the experiments need byte-accurate sizes and I/O counts,
+// not the bytes themselves, which keeps a 200 TB-scale layout simulable in
+// a few MB of host memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/cost_model.hpp"
+#include "sim/sim_clock.hpp"
+#include "storage/page_cache.hpp"
+
+namespace fast::storage {
+
+class SqlLikeStore {
+ public:
+  /// `cache_pages` is the page-cache size; typical baseline configs give the
+  /// cache a small fraction of the store so large feature sets thrash.
+  SqlLikeStore(sim::CostModel cost, std::size_t cache_pages);
+
+  /// Appends a record of `bytes` bytes under `id`, charging a write of the
+  /// spanned pages. Overwriting an id is not supported (append-only log,
+  /// like the bulk-load path of the baselines).
+  void put(std::uint64_t id, std::size_t bytes, sim::SimClock& clock);
+
+  /// Reads the record, charging page faults for every page of its extent
+  /// that misses the cache. Returns the record size, or nullopt if absent.
+  std::optional<std::size_t> read(std::uint64_t id, sim::SimClock& clock);
+
+  bool contains(std::uint64_t id) const noexcept {
+    return extents_.count(id) != 0;
+  }
+
+  std::size_t record_count() const noexcept { return extents_.size(); }
+  std::size_t total_bytes() const noexcept { return tail_; }
+  std::size_t page_count() const noexcept {
+    return (tail_ + cost_.disk_page_bytes - 1) / cost_.disk_page_bytes;
+  }
+  const PageCache& cache() const noexcept { return cache_; }
+
+ private:
+  struct Extent {
+    std::uint64_t offset;
+    std::size_t bytes;
+  };
+
+  sim::CostModel cost_;
+  PageCache cache_;
+  std::unordered_map<std::uint64_t, Extent> extents_;
+  std::uint64_t tail_ = 0;  ///< append position (== total bytes)
+};
+
+}  // namespace fast::storage

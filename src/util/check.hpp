@@ -1,0 +1,27 @@
+// Lightweight runtime contract checks, following the C++ Core Guidelines
+// recommendation to express preconditions explicitly (I.6) without pulling in
+// an external GSL dependency.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fast {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "FAST_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace fast
+
+// Always-on check for API preconditions whose violation would corrupt state.
+#define FAST_CHECK(expr)                                       \
+  ((expr) ? static_cast<void>(0)                               \
+          : ::fast::check_failed(#expr, __FILE__, __LINE__, nullptr))
+
+#define FAST_CHECK_MSG(expr, msg)                              \
+  ((expr) ? static_cast<void>(0)                               \
+          : ::fast::check_failed(#expr, __FILE__, __LINE__, (msg)))

@@ -1,0 +1,77 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fast::util {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::gaussian() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double rate) noexcept {
+  // next_double() is in [0, 1); flip to (0, 1] so log() is finite.
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double skew) {
+  FAST_CHECK(n > 0);
+  cdf_.resize(n);
+  double norm = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    norm += 1.0 / std::pow(static_cast<double>(i), skew);
+  }
+  double acc = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / (std::pow(static_cast<double>(i), skew) * norm);
+    cdf_[i - 1] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+std::size_t ZipfDistribution::operator()(Rng& rng) const noexcept {
+  const double u = rng.next_double();
+  // Binary search for the first index whose CDF exceeds u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+}  // namespace fast::util

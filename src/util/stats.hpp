@@ -1,0 +1,54 @@
+// Streaming and batch statistics used by the benchmark harness to report the
+// latency/accuracy series of the paper's tables and figures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fast::util {
+
+/// Welford's online algorithm: numerically stable streaming mean/variance.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n - 1 denominator); 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator (Chan et al. parallel formulation), so
+  /// per-thread accumulators can be combined after a parallel_for.
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set by linear interpolation between closest ranks.
+/// `q` in [0, 1]. The input is copied; the original order is preserved.
+double percentile(std::vector<double> samples, double q);
+
+/// Convenience batch summary of a latency sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+}  // namespace fast::util

@@ -1,0 +1,123 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fast::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FAST_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FAST_CHECK_MSG(cells.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c]
+          << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << quote(row[c]);
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print(const std::string& title) const {
+  if (!title.empty()) {
+    std::printf("\n== %s ==\n", title.c_str());
+  }
+  std::fputs(to_text().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt_double(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", prec, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60.0);
+  }
+  return buf;
+}
+
+std::string fmt_bytes(double bytes) {
+  char buf[64];
+  const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 5) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  std::snprintf(buf, sizeof(buf), "%.2f%s", bytes, units[u]);
+  return buf;
+}
+
+}  // namespace fast::util

@@ -1,0 +1,51 @@
+// Aligned text-table / CSV output used by every bench binary to print the
+// rows and series of the paper's tables and figures in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fast::util {
+
+/// Collects rows of string cells and renders them either as an aligned,
+/// human-readable text table or as CSV. Cell values are formatted by the
+/// caller (see fmt_* helpers below) so the table stays format-agnostic.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Renders with column alignment and a separator under the header.
+  std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote/newline quoted).
+  std::string to_csv() const;
+
+  /// Prints the text rendering to stdout with an optional title banner.
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string fmt_double(double v, int prec = 3);
+
+/// Formats a double in scientific notation with `prec` significant digits.
+std::string fmt_sci(double v, int prec = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.9712 -> "97.12%".
+std::string fmt_percent(double fraction, int prec = 2);
+
+/// Formats a duration in seconds with an adaptive unit (us / ms / s / min).
+std::string fmt_duration(double seconds);
+
+/// Formats a byte count with an adaptive unit (B / KB / MB / GB / TB).
+std::string fmt_bytes(double bytes);
+
+}  // namespace fast::util

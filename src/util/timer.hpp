@@ -1,0 +1,28 @@
+// Wall-clock timing for the native microbenchmarks. Experiments whose paper
+// numbers depend on cluster hardware use sim::SimClock instead (see
+// src/sim/sim_clock.hpp); this timer is for host-machine measurements only.
+#pragma once
+
+#include <chrono>
+
+namespace fast::util {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const noexcept { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fast::util

@@ -1,0 +1,82 @@
+#include "util/vecmath.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fast::util {
+
+double dot(std::span<const float> a, std::span<const float> b) noexcept {
+  FAST_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double l2_distance_sq(std::span<const float> a,
+                      std::span<const float> b) noexcept {
+  FAST_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double l2_distance(std::span<const float> a,
+                   std::span<const float> b) noexcept {
+  return std::sqrt(l2_distance_sq(a, b));
+}
+
+double l2_norm(std::span<const float> v) noexcept {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(acc);
+}
+
+void normalize_l2(std::span<float> v) noexcept {
+  const double n = l2_norm(v);
+  if (n == 0.0) return;
+  const auto inv = static_cast<float>(1.0 / n);
+  for (float& x : v) x *= inv;
+}
+
+std::size_t hamming_distance(std::span<const std::uint64_t> a,
+                             std::span<const std::uint64_t> b) noexcept {
+  FAST_CHECK(a.size() == b.size());
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return d;
+}
+
+std::size_t popcount(std::span<const std::uint64_t> words) noexcept {
+  std::size_t n = 0;
+  for (std::uint64_t w : words) {
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+std::vector<float> mean_vector(std::span<const std::vector<float>> rows) {
+  FAST_CHECK(!rows.empty());
+  const std::size_t dim = rows.front().size();
+  std::vector<double> acc(dim, 0.0);
+  for (const auto& row : rows) {
+    FAST_CHECK(row.size() == dim);
+    for (std::size_t i = 0; i < dim; ++i) acc[i] += row[i];
+  }
+  std::vector<float> mean(dim);
+  const double inv = 1.0 / static_cast<double>(rows.size());
+  for (std::size_t i = 0; i < dim; ++i) {
+    mean[i] = static_cast<float>(acc[i] * inv);
+  }
+  return mean;
+}
+
+}  // namespace fast::util

@@ -1,0 +1,39 @@
+// Small dense-vector helpers shared by the vision (descriptors, PCA) and
+// hashing (p-stable LSH projections) layers. Kept free-standing and span-based
+// per the Core Guidelines (F.24) so they work on any contiguous storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fast::util {
+
+/// Dot product of two equal-length vectors.
+double dot(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Euclidean (L2) distance between two equal-length vectors.
+double l2_distance(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Squared Euclidean distance (cheaper when only ordering matters).
+double l2_distance_sq(std::span<const float> a,
+                      std::span<const float> b) noexcept;
+
+/// Euclidean norm.
+double l2_norm(std::span<const float> v) noexcept;
+
+/// Scales `v` in place to unit L2 norm; leaves an all-zero vector unchanged.
+void normalize_l2(std::span<float> v) noexcept;
+
+/// Hamming distance between equal-length bit arrays stored in 64-bit words.
+std::size_t hamming_distance(std::span<const std::uint64_t> a,
+                             std::span<const std::uint64_t> b) noexcept;
+
+/// Number of set bits in a word array.
+std::size_t popcount(std::span<const std::uint64_t> words) noexcept;
+
+/// Element-wise mean of a set of equal-length vectors.
+std::vector<float> mean_vector(std::span<const std::vector<float>> rows);
+
+}  // namespace fast::util

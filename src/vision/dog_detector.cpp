@@ -1,0 +1,217 @@
+#include "vision/dog_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fast::vision {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// True if dogs[l](x, y) is a strict extremum of its 26-neighborhood.
+bool is_extremum(const std::vector<img::Image>& dogs, std::size_t l,
+                 std::size_t x, std::size_t y) {
+  const float v = dogs[l].at(x, y);
+  // Ignore tiny responses early; full contrast check happens after refine.
+  if (std::fabs(v) < 1e-4f) return false;
+  const bool is_max = v > 0;
+  for (std::size_t dl = l - 1; dl <= l + 1; ++dl) {
+    const img::Image& plane = dogs[dl];
+    for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+      for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+        if (dl == l && dx == 0 && dy == 0) continue;
+        const float n =
+            plane.at(x + static_cast<std::size_t>(dx + 1) - 1,
+                     y + static_cast<std::size_t>(dy + 1) - 1);
+        if (is_max ? (n >= v) : (n <= v)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct Refined {
+  bool ok = false;
+  double dx = 0, dy = 0, ds = 0;  // sub-pixel offsets
+  double value = 0;               // interpolated |DoG|
+};
+
+/// One Newton step on the 3-D quadratic fit around the sample (x, y, l).
+Refined refine(const std::vector<img::Image>& dogs, std::size_t l,
+               std::size_t x, std::size_t y) {
+  const img::Image& c = dogs[l];
+  const img::Image& lo = dogs[l - 1];
+  const img::Image& hi = dogs[l + 1];
+  const double v = c.at(x, y);
+
+  const double gx = 0.5 * (c.at(x + 1, y) - c.at(x - 1, y));
+  const double gy = 0.5 * (c.at(x, y + 1) - c.at(x, y - 1));
+  const double gs = 0.5 * (hi.at(x, y) - lo.at(x, y));
+
+  const double hxx = c.at(x + 1, y) - 2 * v + c.at(x - 1, y);
+  const double hyy = c.at(x, y + 1) - 2 * v + c.at(x, y - 1);
+  const double hss = hi.at(x, y) - 2 * v + lo.at(x, y);
+  const double hxy = 0.25 * (c.at(x + 1, y + 1) - c.at(x - 1, y + 1) -
+                             c.at(x + 1, y - 1) + c.at(x - 1, y - 1));
+  const double hxs = 0.25 * (hi.at(x + 1, y) - hi.at(x - 1, y) -
+                             lo.at(x + 1, y) + lo.at(x - 1, y));
+  const double hys = 0.25 * (hi.at(x, y + 1) - hi.at(x, y - 1) -
+                             lo.at(x, y + 1) + lo.at(x, y - 1));
+
+  // Solve H * d = -g with Cramer's rule on the symmetric 3x3 Hessian.
+  const double det = hxx * (hyy * hss - hys * hys) -
+                     hxy * (hxy * hss - hys * hxs) +
+                     hxs * (hxy * hys - hyy * hxs);
+  Refined r;
+  if (std::fabs(det) < 1e-12) return r;
+  const double inv = 1.0 / det;
+  const double i00 = (hyy * hss - hys * hys) * inv;
+  const double i01 = (hxs * hys - hxy * hss) * inv;
+  const double i02 = (hxy * hys - hxs * hyy) * inv;
+  const double i11 = (hxx * hss - hxs * hxs) * inv;
+  const double i12 = (hxs * hxy - hxx * hys) * inv;
+  const double i22 = (hxx * hyy - hxy * hxy) * inv;
+  r.dx = -(i00 * gx + i01 * gy + i02 * gs);
+  r.dy = -(i01 * gx + i11 * gy + i12 * gs);
+  r.ds = -(i02 * gx + i12 * gy + i22 * gs);
+  // Diverging fit means the true extremum belongs to a neighboring sample.
+  if (std::fabs(r.dx) > 1.5 || std::fabs(r.dy) > 1.5 || std::fabs(r.ds) > 1.5) {
+    return r;
+  }
+  r.value = v + 0.5 * (gx * r.dx + gy * r.dy + gs * r.ds);
+  r.ok = true;
+  return r;
+}
+
+/// Principal-curvature edge test: keeps blob-like extrema only.
+bool passes_edge_test(const img::Image& c, std::size_t x, std::size_t y,
+                      double edge_ratio) {
+  const double v = c.at(x, y);
+  const double hxx = c.at(x + 1, y) - 2 * v + c.at(x - 1, y);
+  const double hyy = c.at(x, y + 1) - 2 * v + c.at(x, y - 1);
+  const double hxy = 0.25 * (c.at(x + 1, y + 1) - c.at(x - 1, y + 1) -
+                             c.at(x + 1, y - 1) + c.at(x - 1, y - 1));
+  const double tr = hxx + hyy;
+  const double det = hxx * hyy - hxy * hxy;
+  if (det <= 0) return false;  // saddle: curvatures of opposite sign
+  const double r = edge_ratio;
+  return tr * tr / det < (r + 1) * (r + 1) / r;
+}
+
+}  // namespace
+
+double dominant_orientation(const img::Image& gaussian, double x_oct,
+                            double y_oct, double sigma_oct) {
+  constexpr int kBins = 36;
+  double hist[kBins] = {};
+  const double win_sigma = 1.5 * sigma_oct;
+  const int radius = std::max(1, static_cast<int>(std::lround(3.0 * win_sigma)));
+  const auto cx = static_cast<std::ptrdiff_t>(std::lround(x_oct));
+  const auto cy = static_cast<std::ptrdiff_t>(std::lround(y_oct));
+  const double inv_two_sigma2 = 1.0 / (2.0 * win_sigma * win_sigma);
+
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      const std::ptrdiff_t px = cx + dx;
+      const std::ptrdiff_t py = cy + dy;
+      const double gx = gaussian.at_clamped(px + 1, py) -
+                        gaussian.at_clamped(px - 1, py);
+      const double gy = gaussian.at_clamped(px, py + 1) -
+                        gaussian.at_clamped(px, py - 1);
+      const double mag = std::sqrt(gx * gx + gy * gy);
+      if (mag <= 0) continue;
+      const double w =
+          std::exp(-static_cast<double>(dx * dx + dy * dy) * inv_two_sigma2);
+      double angle = std::atan2(gy, gx);  // [-pi, pi]
+      if (angle < 0) angle += 2 * kPi;
+      int bin = static_cast<int>(angle / (2 * kPi) * kBins);
+      bin = std::clamp(bin, 0, kBins - 1);
+      hist[bin] += w * mag;
+    }
+  }
+
+  // Smooth the circular histogram a couple of times (box of width 3).
+  for (int pass = 0; pass < 2; ++pass) {
+    double prev = hist[kBins - 1];
+    const double first = hist[0];
+    for (int b = 0; b < kBins; ++b) {
+      const double next = (b + 1 < kBins) ? hist[b + 1] : first;
+      const double cur = hist[b];
+      hist[b] = (prev + cur + next) / 3.0;
+      prev = cur;
+    }
+  }
+
+  int best = 0;
+  for (int b = 1; b < kBins; ++b) {
+    if (hist[b] > hist[best]) best = b;
+  }
+  // Parabolic interpolation of the peak.
+  const double l = hist[(best + kBins - 1) % kBins];
+  const double ctr = hist[best];
+  const double rgt = hist[(best + 1) % kBins];
+  double offset = 0.0;
+  const double denom = l - 2 * ctr + rgt;
+  if (std::fabs(denom) > 1e-12) offset = 0.5 * (l - rgt) / denom;
+  double angle = (static_cast<double>(best) + 0.5 + offset) / kBins * 2 * kPi;
+  if (angle >= 2 * kPi) angle -= 2 * kPi;
+  if (angle < 0) angle += 2 * kPi;
+  return angle;
+}
+
+std::vector<Keypoint> detect_keypoints(const img::Image& image,
+                                       const DogConfig& config) {
+  const Pyramid pyr = build_pyramid(image, config.pyramid);
+  std::vector<Keypoint> keypoints;
+  const int s = config.pyramid.scales_per_octave;
+  const double k = std::pow(2.0, 1.0 / static_cast<double>(s));
+
+  for (std::size_t o = 0; o < pyr.octaves.size(); ++o) {
+    const Octave& oct = pyr.octaves[o];
+    const std::size_t w = oct.dogs.front().width();
+    const std::size_t h = oct.dogs.front().height();
+    if (w < 8 || h < 8) continue;
+    for (std::size_t l = 1; l + 1 < oct.dogs.size(); ++l) {
+      for (std::size_t y = 1; y + 1 < h; ++y) {
+        for (std::size_t x = 1; x + 1 < w; ++x) {
+          if (!is_extremum(oct.dogs, l, x, y)) continue;
+          const Refined r = refine(oct.dogs, l, x, y);
+          if (!r.ok) continue;
+          if (std::fabs(r.value) < config.contrast_threshold) continue;
+          if (!passes_edge_test(oct.dogs[l], x, y, config.edge_ratio)) continue;
+
+          Keypoint kp;
+          const double x_oct = static_cast<double>(x) + r.dx;
+          const double y_oct = static_cast<double>(y) + r.dy;
+          kp.x = x_oct * oct.downsample;
+          kp.y = y_oct * oct.downsample;
+          const double level_sigma =
+              config.pyramid.base_sigma *
+              std::pow(k, static_cast<double>(l) + r.ds);
+          kp.sigma = level_sigma * oct.downsample;
+          kp.response = static_cast<float>(std::fabs(r.value));
+          kp.octave = static_cast<int>(o);
+          kp.level = static_cast<int>(l);
+          if (config.assign_orientation) {
+            kp.orientation =
+                dominant_orientation(oct.gaussians[l], x_oct, y_oct,
+                                     level_sigma);
+          }
+          keypoints.push_back(kp);
+        }
+      }
+    }
+  }
+
+  std::sort(keypoints.begin(), keypoints.end(),
+            [](const Keypoint& a, const Keypoint& b) {
+              return a.response > b.response;
+            });
+  if (config.max_keypoints > 0 && keypoints.size() > config.max_keypoints) {
+    keypoints.resize(config.max_keypoints);
+  }
+  return keypoints;
+}
+
+}  // namespace fast::vision

@@ -1,0 +1,33 @@
+// Difference-of-Gaussians interest-point detector (Lowe 2004 / the paper's
+// FE module): scale-space extrema, quadratic sub-pixel refinement, low-
+// contrast and edge-response rejection, and dominant-orientation assignment.
+#pragma once
+
+#include <vector>
+
+#include "img/image.hpp"
+#include "vision/keypoint.hpp"
+#include "vision/pyramid.hpp"
+
+namespace fast::vision {
+
+struct DogConfig {
+  PyramidConfig pyramid;
+  double contrast_threshold = 0.008;  ///< reject |DoG| below this after refine
+  double edge_ratio = 10.0;           ///< reject if tr^2/det > (r+1)^2/r
+  std::size_t max_keypoints = 256;    ///< keep strongest N (0 = unlimited)
+  bool assign_orientation = true;     ///< compute dominant orientation
+};
+
+/// Detects DoG extrema in `image` and returns refined, oriented keypoints,
+/// strongest-response first.
+std::vector<Keypoint> detect_keypoints(const img::Image& image,
+                                       const DogConfig& config = {});
+
+/// Assigns the dominant gradient orientation to `kp` from the Gaussian level
+/// it was detected at (36-bin histogram, Gaussian-weighted, peak parabola
+/// interpolation). Exposed for testing.
+double dominant_orientation(const img::Image& gaussian, double x_oct,
+                            double y_oct, double sigma_oct);
+
+}  // namespace fast::vision

@@ -1,0 +1,77 @@
+#include "vision/gaussian.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fast::vision {
+
+std::vector<float> gaussian_kernel(double sigma) {
+  FAST_CHECK(sigma > 0);
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  const double inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-static_cast<double>(i * i) * inv_two_sigma2);
+    kernel[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  const auto inv_sum = static_cast<float>(1.0 / sum);
+  for (float& k : kernel) k *= inv_sum;
+  return kernel;
+}
+
+img::Image gaussian_blur(const img::Image& src, double sigma) {
+  const std::vector<float> kernel = gaussian_kernel(sigma);
+  const int radius = static_cast<int>(kernel.size() / 2);
+  const auto w = static_cast<std::ptrdiff_t>(src.width());
+  const auto h = static_cast<std::ptrdiff_t>(src.height());
+
+  // Horizontal pass.
+  img::Image tmp(src.width(), src.height());
+  for (std::ptrdiff_t y = 0; y < h; ++y) {
+    const float* in = src.row(static_cast<std::size_t>(y));
+    float* out = tmp.row(static_cast<std::size_t>(y));
+    for (std::ptrdiff_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const std::ptrdiff_t xx = std::clamp<std::ptrdiff_t>(x + k, 0, w - 1);
+        acc += static_cast<double>(in[xx]) *
+               kernel[static_cast<std::size_t>(k + radius)];
+      }
+      out[x] = static_cast<float>(acc);
+    }
+  }
+
+  // Vertical pass.
+  img::Image dst(src.width(), src.height());
+  for (std::ptrdiff_t y = 0; y < h; ++y) {
+    float* out = dst.row(static_cast<std::size_t>(y));
+    for (std::ptrdiff_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const std::ptrdiff_t yy = std::clamp<std::ptrdiff_t>(y + k, 0, h - 1);
+        acc += static_cast<double>(
+                   tmp.row(static_cast<std::size_t>(yy))[x]) *
+               kernel[static_cast<std::size_t>(k + radius)];
+      }
+      out[x] = static_cast<float>(acc);
+    }
+  }
+  return dst;
+}
+
+img::Image subtract(const img::Image& a, const img::Image& b) {
+  FAST_CHECK(a.width() == b.width() && a.height() == b.height());
+  img::Image out(a.width(), a.height());
+  const std::size_t n = a.pixel_count();
+  auto pa = a.pixels();
+  auto pb = b.pixels();
+  auto po = out.pixels();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+  return out;
+}
+
+}  // namespace fast::vision

@@ -1,0 +1,21 @@
+// Separable Gaussian filtering — the workhorse of the DoG scale space.
+#pragma once
+
+#include <vector>
+
+#include "img/image.hpp"
+
+namespace fast::vision {
+
+/// Builds a normalized 1-D Gaussian kernel with standard deviation `sigma`.
+/// Radius is ceil(3*sigma) (99.7% of mass), minimum 1.
+std::vector<float> gaussian_kernel(double sigma);
+
+/// Convolves `src` with a separable Gaussian of the given sigma
+/// (horizontal then vertical pass, border replication).
+img::Image gaussian_blur(const img::Image& src, double sigma);
+
+/// Pixel-wise difference a - b of two equally sized images.
+img::Image subtract(const img::Image& a, const img::Image& b);
+
+}  // namespace fast::vision

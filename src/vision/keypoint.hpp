@@ -1,0 +1,26 @@
+// Interest-point record shared by the DoG detector and the descriptors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fast::vision {
+
+/// A scale-space interest point, in base-image coordinates.
+struct Keypoint {
+  double x = 0;            ///< column, base-image pixels
+  double y = 0;            ///< row, base-image pixels
+  double sigma = 1.0;      ///< absolute scale of the detection
+  double orientation = 0;  ///< dominant gradient orientation, radians
+  float response = 0;      ///< |DoG| value at the (refined) extremum
+  int octave = 0;          ///< pyramid octave of the detection
+  int level = 0;           ///< DoG level within the octave
+};
+
+/// A descriptor attached to a keypoint (128-d for SIFT, d-dim for PCA-SIFT).
+struct Feature {
+  Keypoint keypoint;
+  std::vector<float> descriptor;
+};
+
+}  // namespace fast::vision

@@ -1,0 +1,47 @@
+#include "vision/matcher.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/vecmath.hpp"
+
+namespace fast::vision {
+
+std::vector<Match> match_features(std::span<const Feature> query,
+                                  std::span<const Feature> train,
+                                  const MatcherConfig& config) {
+  std::vector<Match> matches;
+  if (train.size() < 2) return matches;
+  for (std::size_t qi = 0; qi < query.size(); ++qi) {
+    double best = std::numeric_limits<double>::infinity();
+    double second = std::numeric_limits<double>::infinity();
+    std::size_t best_idx = 0;
+    for (std::size_t ti = 0; ti < train.size(); ++ti) {
+      const double d =
+          util::l2_distance_sq(query[qi].descriptor, train[ti].descriptor);
+      if (d < best) {
+        second = best;
+        best = d;
+        best_idx = ti;
+      } else if (d < second) {
+        second = d;
+      }
+    }
+    // Ratio test on squared distances: best < r^2 * second.
+    if (best < config.ratio * config.ratio * second) {
+      matches.push_back(Match{qi, best_idx, std::sqrt(best)});
+    }
+  }
+  return matches;
+}
+
+double image_similarity(std::span<const Feature> query,
+                        std::span<const Feature> train,
+                        const MatcherConfig& config) {
+  if (query.empty()) return 0.0;
+  const std::vector<Match> matches = match_features(query, train, config);
+  return static_cast<double>(matches.size()) /
+         static_cast<double>(query.size());
+}
+
+}  // namespace fast::vision

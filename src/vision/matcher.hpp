@@ -1,0 +1,35 @@
+// Brute-force descriptor matching with Lowe's distance-ratio test, plus an
+// image-level similarity score. This is the exact (but slow) matching path
+// the SIFT / PCA-SIFT baselines use; FAST replaces it with Bloom + LSH.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "vision/keypoint.hpp"
+
+namespace fast::vision {
+
+struct Match {
+  std::size_t query_idx = 0;  ///< index into the query feature list
+  std::size_t train_idx = 0;  ///< index into the train feature list
+  double distance = 0;        ///< L2 distance of the matched descriptors
+};
+
+struct MatcherConfig {
+  double ratio = 0.8;  ///< Lowe ratio: best must be < ratio * second-best
+};
+
+/// Finds ratio-test matches from `query` into `train`. O(|q| * |t| * d).
+std::vector<Match> match_features(std::span<const Feature> query,
+                                  std::span<const Feature> train,
+                                  const MatcherConfig& config = {});
+
+/// Image-level similarity: fraction of query features with a ratio-test
+/// match in `train`, in [0, 1]. Symmetric enough for near-dup detection.
+double image_similarity(std::span<const Feature> query,
+                        std::span<const Feature> train,
+                        const MatcherConfig& config = {});
+
+}  // namespace fast::vision

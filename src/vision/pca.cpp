@@ -1,0 +1,156 @@
+#include "vision/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/vecmath.hpp"
+
+namespace fast::vision {
+
+std::vector<float> PcaModel::project(std::span<const float> x) const {
+  FAST_CHECK(x.size() == mean.size());
+  std::vector<float> centered(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) centered[i] = x[i] - mean[i];
+  std::vector<float> out(components.size());
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    out[c] = static_cast<float>(util::dot(components[c], centered));
+  }
+  return out;
+}
+
+std::vector<float> PcaModel::reconstruct(
+    std::span<const float> projected) const {
+  FAST_CHECK(projected.size() == components.size());
+  std::vector<float> out(mean.begin(), mean.end());
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    const float w = projected[c];
+    const auto& comp = components[c];
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += w * comp[i];
+  }
+  return out;
+}
+
+void jacobi_eigen_symmetric(std::vector<double> a, std::size_t n,
+                            std::vector<double>& eigenvalues,
+                            std::vector<std::vector<double>>& eigenvectors,
+                            int max_sweeps) {
+  FAST_CHECK(a.size() == n * n);
+  // V starts as identity; accumulates the rotations.
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto A = [&](std::size_t r, std::size_t c) -> double& { return a[r * n + c]; };
+  auto V = [&](std::size_t r, std::size_t c) -> double& { return v[r * n + c]; };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of squares of the strict upper triangle: convergence measure.
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += A(p, q) * A(p, q);
+    }
+    if (off < 1e-20) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = A(p, q);
+        if (std::fabs(apq) < 1e-30) continue;
+        const double app = A(p, p);
+        const double aqq = A(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = A(i, p);
+          const double aiq = A(i, q);
+          A(i, p) = c * aip - s * aiq;
+          A(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = A(p, i);
+          const double aqi = A(q, i);
+          A(p, i) = c * api - s * aqi;
+          A(q, i) = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = V(i, p);
+          const double viq = V(i, q);
+          V(i, p) = c * vip - s * viq;
+          V(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Collect eigenpairs and sort by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a[i * n + i] > a[j * n + j];
+  });
+  eigenvalues.resize(n);
+  eigenvectors.assign(n, std::vector<double>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t col = order[k];
+    eigenvalues[k] = a[col * n + col];
+    for (std::size_t i = 0; i < n; ++i) {
+      eigenvectors[k][i] = v[i * n + col];
+    }
+  }
+}
+
+PcaModel train_pca(std::span<const std::vector<float>> samples,
+                   std::size_t output_dim) {
+  FAST_CHECK_MSG(samples.size() >= 2, "PCA needs at least two samples");
+  const std::size_t d = samples.front().size();
+  FAST_CHECK(output_dim >= 1 && output_dim <= d);
+
+  PcaModel model;
+  model.mean = util::mean_vector(samples);
+
+  // Covariance (upper triangle, then mirrored).
+  std::vector<double> cov(d * d, 0.0);
+  std::vector<double> centered(d);
+  for (const auto& s : samples) {
+    FAST_CHECK(s.size() == d);
+    for (std::size_t i = 0; i < d; ++i) {
+      centered[i] = static_cast<double>(s[i]) -
+                    static_cast<double>(model.mean[i]);
+    }
+    for (std::size_t i = 0; i < d; ++i) {
+      const double ci = centered[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov[i * d + j] += ci * centered[j];
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(samples.size() - 1);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov[i * d + j] *= inv_n;
+      cov[j * d + i] = cov[i * d + j];
+    }
+  }
+
+  std::vector<double> evals;
+  std::vector<std::vector<double>> evecs;
+  jacobi_eigen_symmetric(std::move(cov), d, evals, evecs);
+
+  model.components.resize(output_dim);
+  model.eigenvalues.resize(output_dim);
+  for (std::size_t k = 0; k < output_dim; ++k) {
+    model.eigenvalues[k] = static_cast<float>(std::max(0.0, evals[k]));
+    model.components[k].resize(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      model.components[k][i] = static_cast<float>(evecs[k][i]);
+    }
+  }
+  return model;
+}
+
+}  // namespace fast::vision

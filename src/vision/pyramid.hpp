@@ -1,0 +1,37 @@
+// Gaussian and difference-of-Gaussians pyramids (Lowe 2004, §3).
+#pragma once
+
+#include <vector>
+
+#include "img/image.hpp"
+
+namespace fast::vision {
+
+struct PyramidConfig {
+  int octaves = 4;               ///< number of octaves (halving resolution)
+  int scales_per_octave = 3;     ///< s: DoG levels usable for extrema
+  double base_sigma = 1.6;       ///< sigma of the first level of each octave
+  double initial_blur = 0.5;     ///< assumed blur of the input image
+  std::size_t min_dimension = 16;  ///< stop adding octaves below this size
+};
+
+/// One octave: scales_per_octave + 3 Gaussian levels and
+/// scales_per_octave + 2 DoG levels.
+struct Octave {
+  std::vector<img::Image> gaussians;
+  std::vector<img::Image> dogs;
+  double base_sigma = 0;  ///< absolute sigma of gaussians[0]
+  int downsample = 1;     ///< factor relative to the base image
+};
+
+/// The full scale-space pyramid.
+struct Pyramid {
+  std::vector<Octave> octaves;
+  PyramidConfig config;
+};
+
+/// Builds the Gaussian + DoG pyramid for `base`. The number of octaves is
+/// capped so the coarsest octave stays at least `min_dimension` on a side.
+Pyramid build_pyramid(const img::Image& base, const PyramidConfig& config = {});
+
+}  // namespace fast::vision

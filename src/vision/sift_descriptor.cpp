@@ -1,0 +1,107 @@
+#include "vision/sift_descriptor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/vecmath.hpp"
+#include "vision/dog_detector.hpp"
+
+namespace fast::vision {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::vector<float> compute_sift(const img::Image& image, const Keypoint& kp,
+                                const SiftConfig& config) {
+  const int grid = config.grid;
+  const int obins = config.orient_bins;
+  std::vector<float> desc(static_cast<std::size_t>(grid * grid * obins), 0.0f);
+
+  const double cell = config.magnification * std::max(kp.sigma, 0.8);
+  const double half_width = cell * grid / 2.0;
+  // Sample within a circle that covers the rotated grid (sqrt(2) margin).
+  const int radius = std::max(
+      2, static_cast<int>(std::lround(half_width * std::sqrt(2.0))) + 1);
+  const double cos_t = std::cos(-kp.orientation);
+  const double sin_t = std::sin(-kp.orientation);
+  const double window_sigma = half_width;  // Gaussian weight over the window
+  const double inv_two_sigma2 = 1.0 / (2.0 * window_sigma * window_sigma);
+
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      // Rotate the offset into the keypoint frame.
+      const double rx = cos_t * dx - sin_t * dy;
+      const double ry = sin_t * dx + cos_t * dy;
+      // Continuous bin coordinates in [0, grid); outside -> skip.
+      const double bx = rx / cell + grid / 2.0 - 0.5;
+      const double by = ry / cell + grid / 2.0 - 0.5;
+      if (bx <= -1.0 || bx >= grid || by <= -1.0 || by >= grid) continue;
+
+      const double px = kp.x + dx;
+      const double py = kp.y + dy;
+      const double gx = image.sample_bilinear(px + 1, py) -
+                        image.sample_bilinear(px - 1, py);
+      const double gy = image.sample_bilinear(px, py + 1) -
+                        image.sample_bilinear(px, py - 1);
+      const double mag = std::sqrt(gx * gx + gy * gy);
+      if (mag <= 0) continue;
+      double angle = std::atan2(gy, gx) - kp.orientation;
+      while (angle < 0) angle += 2 * kPi;
+      while (angle >= 2 * kPi) angle -= 2 * kPi;
+      const double bo = angle / (2 * kPi) * obins;
+
+      const double w =
+          std::exp(-(rx * rx + ry * ry) * inv_two_sigma2) * mag;
+
+      // Trilinear interpolation into (bx, by, bo).
+      const int x0 = static_cast<int>(std::floor(bx));
+      const int y0 = static_cast<int>(std::floor(by));
+      const int o0 = static_cast<int>(std::floor(bo));
+      const double fx = bx - x0;
+      const double fy = by - y0;
+      const double fo = bo - o0;
+      for (int ix = 0; ix <= 1; ++ix) {
+        const int xb = x0 + ix;
+        if (xb < 0 || xb >= grid) continue;
+        const double wx = ix ? fx : 1.0 - fx;
+        for (int iy = 0; iy <= 1; ++iy) {
+          const int yb = y0 + iy;
+          if (yb < 0 || yb >= grid) continue;
+          const double wy = iy ? fy : 1.0 - fy;
+          for (int io = 0; io <= 1; ++io) {
+            const int ob = (o0 + io) % obins;
+            const double wo = io ? fo : 1.0 - fo;
+            desc[static_cast<std::size_t>((yb * grid + xb) * obins + ob)] +=
+                static_cast<float>(w * wx * wy * wo);
+          }
+        }
+      }
+    }
+  }
+
+  // Normalize, clamp large components (illumination robustness), renormalize.
+  util::normalize_l2(desc);
+  for (float& v : desc) v = std::min(v, config.clamp);
+  util::normalize_l2(desc);
+  return desc;
+}
+
+std::vector<Feature> extract_sift_features(const img::Image& image,
+                                           std::size_t max_keypoints) {
+  DogConfig cfg;
+  cfg.max_keypoints = max_keypoints;
+  const std::vector<Keypoint> kps = detect_keypoints(image, cfg);
+  std::vector<Feature> features;
+  features.reserve(kps.size());
+  for (const Keypoint& kp : kps) {
+    Feature f;
+    f.keypoint = kp;
+    f.descriptor = compute_sift(image, kp);
+    features.push_back(std::move(f));
+  }
+  return features;
+}
+
+}  // namespace fast::vision

@@ -1,0 +1,33 @@
+// 128-dimensional SIFT descriptor (Lowe 2004, §6): a 4x4 grid of 8-bin
+// gradient-orientation histograms sampled in the keypoint's scaled, rotated
+// frame, trilinearly interpolated, Gaussian-weighted, normalized, clamped at
+// 0.2 and renormalized. This is the exact-matching baseline of the paper
+// (its "SIFT" scheme) and the front half of PCA-SIFT.
+#pragma once
+
+#include <vector>
+
+#include "img/image.hpp"
+#include "vision/keypoint.hpp"
+
+namespace fast::vision {
+
+struct SiftConfig {
+  int grid = 4;           ///< spatial bins per side (4 -> 4x4)
+  int orient_bins = 8;    ///< orientation bins per spatial cell
+  double magnification = 3.0;  ///< descriptor window half-width in units of sigma
+  float clamp = 0.2f;     ///< normalization clamp threshold
+};
+
+inline constexpr int kSiftDim = 128;
+
+/// Computes the SIFT descriptor of `kp` over `image` (base-resolution
+/// intensity image). Returns a `grid*grid*orient_bins`-dim unit vector.
+std::vector<float> compute_sift(const img::Image& image, const Keypoint& kp,
+                                const SiftConfig& config = {});
+
+/// Detects keypoints and computes SIFT descriptors for all of them.
+std::vector<Feature> extract_sift_features(const img::Image& image,
+                                           std::size_t max_keypoints = 256);
+
+}  // namespace fast::vision

@@ -1,0 +1,48 @@
+#include "workload/dataset.hpp"
+
+namespace fast::workload {
+
+DatasetSpec DatasetSpec::wuhan(std::size_t num_images) {
+  DatasetSpec spec;
+  spec.name = "wuhan";
+  spec.landmarks = 16;   // Table II: Wuhan has 16 representative landmarks
+  spec.num_images = num_images;
+  spec.mean_file_mb = 3.1;  // 62.7 TB / 21 M images
+  spec.seed = 0x8a11;
+  return spec;
+}
+
+DatasetSpec DatasetSpec::shanghai(std::size_t num_images) {
+  DatasetSpec spec;
+  spec.name = "shanghai";
+  spec.landmarks = 22;   // Table II: Shanghai has 22 landmarks
+  spec.num_images = num_images;
+  spec.mean_file_mb = 4.1;  // 152.5 TB / 39 M images
+  spec.seed = 0x54a4;
+  return spec;
+}
+
+std::vector<std::uint64_t> Dataset::child_photo_ids() const {
+  std::vector<std::uint64_t> ids;
+  for (const PhotoRecord& p : photos) {
+    if (p.contains_child) ids.push_back(p.id);
+  }
+  return ids;
+}
+
+std::vector<std::uint64_t> Dataset::cluster_ids(std::uint32_t landmark,
+                                                std::uint32_t view) const {
+  std::vector<std::uint64_t> ids;
+  for (const PhotoRecord& p : photos) {
+    if (p.landmark == landmark && p.view == view) ids.push_back(p.id);
+  }
+  return ids;
+}
+
+std::size_t Dataset::total_file_bytes() const {
+  std::size_t total = 0;
+  for (const PhotoRecord& p : photos) total += p.file_bytes;
+  return total;
+}
+
+}  // namespace fast::workload

@@ -1,0 +1,66 @@
+// Synthetic photo-workload specification and container.
+//
+// The paper evaluates on 60M real tourist photos (Table II: Wuhan — 21M
+// images / 62.7 TB / 16 landmarks; Shanghai — 39M / 152.5 TB / 22
+// landmarks) that we cannot obtain. The generator reproduces the structural
+// properties every evaluated mechanism depends on: photos cluster into
+// near-duplicate groups per landmark view, landmark popularity is skewed,
+// a small set of images contains the person of interest ("missing child"),
+// and each photo carries a geo-tag (for the RNPE baseline) plus an original
+// file size (for the space and transmission accounting). Scaled-down counts
+// keep the 21:39 Wuhan:Shanghai ratio. Ground truth is exact by
+// construction — the generator knows which images contain the child and
+// which images depict the same landmark view.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "img/image.hpp"
+
+namespace fast::workload {
+
+struct DatasetSpec {
+  std::string name;
+  std::size_t landmarks = 16;
+  std::size_t views_per_landmark = 3;  ///< distinct canonical viewpoints
+  std::size_t num_images = 400;
+  std::size_t image_size = 128;         ///< square images, pixels per side
+  double landmark_zipf_skew = 0.8;     ///< popularity skew across landmarks
+  double child_presence_prob = 0.05;   ///< P(image contains the child)
+  double mean_file_mb = 3.0;           ///< original JPEG size (for space/IO)
+  std::uint64_t seed = 42;
+
+  /// Scaled stand-ins for the paper's two datasets (Table II shape).
+  static DatasetSpec wuhan(std::size_t num_images);
+  static DatasetSpec shanghai(std::size_t num_images);
+};
+
+struct PhotoRecord {
+  std::uint64_t id = 0;
+  std::uint32_t landmark = 0;
+  std::uint32_t view = 0;           ///< viewpoint cluster within landmark
+  bool contains_child = false;
+  double geo_x = 0, geo_y = 0;      ///< geo-tag (RNPE's input)
+  double upload_time_s = 0;         ///< seconds into the collection window
+  std::size_t file_bytes = 0;       ///< original on-disk photo size
+  img::Image image;                 ///< rendered pixels
+};
+
+struct Dataset {
+  DatasetSpec spec;
+  std::vector<PhotoRecord> photos;
+  std::vector<std::pair<double, double>> landmark_geo;  ///< per landmark
+
+  /// Ids of all photos that contain the child (query ground truth).
+  std::vector<std::uint64_t> child_photo_ids() const;
+
+  /// Ids of all photos of a given (landmark, view) near-duplicate cluster.
+  std::vector<std::uint64_t> cluster_ids(std::uint32_t landmark,
+                                         std::uint32_t view) const;
+
+  std::size_t total_file_bytes() const;
+};
+
+}  // namespace fast::workload

@@ -1,0 +1,72 @@
+#include "workload/metadata.hpp"
+
+#include <cmath>
+
+#include "hash/hashes.hpp"
+#include "util/rng.hpp"
+
+namespace fast::workload {
+
+std::vector<float> metadata_vector(const FileMeta& meta,
+                                   const MetaVectorConfig& config) {
+  std::vector<float> v;
+  v.reserve(6 + config.name_dims);
+  v.push_back(static_cast<float>(
+      std::log2(static_cast<double>(meta.size_bytes) + 1.0)));
+  v.push_back(static_cast<float>(meta.ctime_s / config.time_scale_s));
+  v.push_back(static_cast<float>(meta.mtime_s / config.time_scale_s));
+  v.push_back(static_cast<float>(meta.owner));
+  v.push_back(static_cast<float>(meta.depth));
+  v.push_back(static_cast<float>(
+      hash::fnv1a_64(meta.extension.data(), meta.extension.size()) % 17));
+
+  // Hashed character-trigram histogram of the file name: names sharing
+  // prefixes/stems overlap in many buckets.
+  std::vector<float> trigrams(config.name_dims, 0.0f);
+  const std::string& s = meta.name;
+  for (std::size_t i = 0; i + 2 < s.size(); ++i) {
+    const std::uint64_t h = hash::fnv1a_64(s.data() + i, 3);
+    trigrams[h % config.name_dims] += 1.0f;
+  }
+  v.insert(v.end(), trigrams.begin(), trigrams.end());
+  return v;
+}
+
+std::vector<FileMeta> generate_namespace(std::size_t files,
+                                         std::size_t clusters,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  if (clusters == 0) clusters = 1;
+  const char* extensions[] = {"c", "h", "log", "dat", "jpg", "txt", "o", "md"};
+  const char* stems[] = {"report", "frame", "module", "trace",
+                         "photo", "notes", "build", "run"};
+
+  std::vector<FileMeta> out;
+  out.reserve(files);
+  for (std::size_t i = 0; i < files; ++i) {
+    const std::size_t cluster = rng.uniform_u64(clusters);
+    util::Rng crng(hash::mix64(seed ^ (0xc1u + cluster)));
+    FileMeta m;
+    m.id = static_cast<std::uint64_t>(i);
+    // Cluster-level properties: shared stem, extension, owner, time window,
+    // directory depth and size scale — the "semantic correlation" FAST
+    // groups on.
+    const char* stem = stems[crng.uniform_u64(std::size(stems))];
+    const char* ext = extensions[crng.uniform_u64(std::size(extensions))];
+    m.extension = ext;
+    m.name = std::string(stem) + "_" +
+             std::to_string(rng.uniform_int(0, 999)) + "." + ext;
+    m.owner = static_cast<std::uint32_t>(crng.uniform_u64(8));
+    m.depth = static_cast<std::uint32_t>(2 + crng.uniform_u64(5));
+    const double base_time = crng.uniform(0.0, 30.0) * 86400.0;
+    m.ctime_s = base_time + rng.uniform(0.0, 86400.0);
+    m.mtime_s = m.ctime_s + rng.exponential(1.0 / 3600.0);
+    const double size_scale = crng.uniform(8.0, 24.0);  // log2 bytes
+    m.size_bytes = static_cast<std::uint64_t>(
+        std::exp2(size_scale + rng.gaussian(0.0, 1.0)));
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace fast::workload

@@ -1,0 +1,44 @@
+// Multi-type generality (the paper's §II-A and Table I): FAST's pipeline
+// accepts any data representable as multi-dimensional vectors. This module
+// turns file-system metadata records (the Spyglass/SmartStore use case) into
+// such vectors so the same Bloom -> LSH -> cuckoo pipeline can index and
+// query them (demonstrated by examples/metadata_search).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fast::workload {
+
+/// A file-system metadata record (what Spyglass/SmartStore index).
+struct FileMeta {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string extension;
+  std::uint64_t size_bytes = 0;
+  double ctime_s = 0;   ///< creation time, seconds since epoch start
+  double mtime_s = 0;   ///< modification time
+  std::uint32_t owner = 0;
+  std::uint32_t depth = 0;  ///< directory depth in the namespace
+};
+
+struct MetaVectorConfig {
+  std::size_t name_dims = 16;  ///< hashed bag-of-character-trigram dims
+  double time_scale_s = 86400.0;  ///< normalize times by this (1 day)
+  double size_log_base = 2.0;     ///< sizes enter as log2(bytes + 1)
+};
+
+/// Embeds a metadata record into a dense vector: [log-size, times, owner,
+/// depth, extension hash bucket, name trigram histogram]. Similar records
+/// (same directory vicinity, similar names/sizes/times) land close in L2.
+std::vector<float> metadata_vector(const FileMeta& meta,
+                                   const MetaVectorConfig& config = {});
+
+/// Generates a synthetic file-system namespace with correlated clusters
+/// (project directories whose files share extension, owner and times).
+std::vector<FileMeta> generate_namespace(std::size_t files,
+                                         std::size_t clusters,
+                                         std::uint64_t seed = 0xf11e);
+
+}  // namespace fast::workload

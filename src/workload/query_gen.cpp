@@ -1,0 +1,42 @@
+#include "workload/query_gen.hpp"
+
+#include "img/transform.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fast::workload {
+
+QuerySet make_child_queries(const Dataset& dataset, std::size_t count) {
+  SceneGenerator gen(dataset.spec);
+  QuerySet qs;
+  qs.portraits.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    qs.portraits.push_back(gen.child_portrait(static_cast<std::uint32_t>(i)));
+  }
+  qs.relevant = dataset.child_photo_ids();
+  return qs;
+}
+
+std::vector<DupQuery> make_dup_queries(const Dataset& dataset,
+                                       std::size_t count,
+                                       std::uint64_t seed) {
+  FAST_CHECK(!dataset.photos.empty());
+  util::Rng rng(seed);
+  img::PerturbParams params;
+  std::vector<DupQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const PhotoRecord& photo =
+        dataset.photos[rng.uniform_u64(dataset.photos.size())];
+    DupQuery q;
+    q.image = img::make_near_duplicate(photo.image, params, rng);
+    q.source = photo.id;
+    q.landmark = photo.landmark;
+    q.view = photo.view;
+    q.relevant = dataset.cluster_ids(photo.landmark, photo.view);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace fast::workload

@@ -1,0 +1,37 @@
+// Query workload: portrait variants of the missing child plus generic
+// similarity probes, mirroring the paper's setup where 500 clients issue
+// 1000-5000 simultaneous portrait queries.
+#pragma once
+
+#include <vector>
+
+#include "img/image.hpp"
+#include "workload/dataset.hpp"
+#include "workload/scene_generator.hpp"
+
+namespace fast::workload {
+
+struct QuerySet {
+  std::vector<img::Image> portraits;     ///< query images (child portraits)
+  std::vector<std::uint64_t> relevant;   ///< ids of photos containing the child
+};
+
+/// Builds `count` portrait queries (variant-perturbed) and the exact
+/// relevance ground truth from the dataset.
+QuerySet make_child_queries(const Dataset& dataset, std::size_t count);
+
+/// Builds `count` generic near-duplicate probes: each query is a fresh
+/// perturbation of a randomly chosen photo; its relevant set is that
+/// photo's (landmark, view) cluster.
+struct DupQuery {
+  img::Image image;
+  std::uint64_t source = 0;  ///< id of the photo the query was derived from
+  std::uint32_t landmark = 0;
+  std::uint32_t view = 0;
+  std::vector<std::uint64_t> relevant;
+};
+std::vector<DupQuery> make_dup_queries(const Dataset& dataset,
+                                       std::size_t count,
+                                       std::uint64_t seed = 0xdeed);
+
+}  // namespace fast::workload

@@ -1,0 +1,262 @@
+#include "workload/scene_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/hashes.hpp"
+#include "img/draw.hpp"
+#include "img/transform.hpp"
+#include "util/check.hpp"
+
+namespace fast::workload {
+
+namespace {
+
+std::uint64_t scene_seed(std::uint64_t base, std::uint32_t landmark,
+                         std::uint32_t view) {
+  return hash::mix64(base ^ (static_cast<std::uint64_t>(landmark) << 32) ^
+                     view);
+}
+
+}  // namespace
+
+img::Image SceneGenerator::canonical_view(std::uint32_t landmark,
+                                          std::uint32_t view) const {
+  const std::size_t n = spec_.image_size;
+  img::Image scene(n, n);
+  const std::uint64_t seed = scene_seed(spec_.seed, landmark, 0);
+  util::Rng rng(seed);
+
+  // Sky-to-ground gradient; each landmark gets its own sky tone.
+  const float sky = static_cast<float>(rng.uniform(0.55, 0.85));
+  const float ground = static_cast<float>(rng.uniform(0.25, 0.45));
+  img::fill_gradient(scene, sky, ground);
+
+  const auto ni = static_cast<std::ptrdiff_t>(n);
+
+  // Building silhouette: 2-4 towers with distinct widths/heights and tones.
+  const int towers = static_cast<int>(rng.uniform_int(2, 4));
+  for (int t = 0; t < towers; ++t) {
+    const auto w = static_cast<std::ptrdiff_t>(
+        rng.uniform(0.12, 0.28) * static_cast<double>(n));
+    const auto h = static_cast<std::ptrdiff_t>(
+        rng.uniform(0.35, 0.75) * static_cast<double>(n));
+    const auto x = static_cast<std::ptrdiff_t>(
+        rng.uniform(0.05, 0.75) * static_cast<double>(n));
+    const float tone = static_cast<float>(rng.uniform(0.1, 0.5));
+    img::fill_rect(scene, x, ni - h, x + w, ni, tone);
+    // Roof: triangle or flat antenna.
+    if (rng.bernoulli(0.6)) {
+      img::fill_triangle(scene, static_cast<double>(x),
+                         static_cast<double>(ni - h),
+                         static_cast<double>(x + w),
+                         static_cast<double>(ni - h),
+                         static_cast<double>(x) + static_cast<double>(w) / 2.0,
+                         static_cast<double>(ni - h) -
+                             static_cast<double>(w) * 0.6,
+                         tone * 0.8f);
+    } else {
+      img::fill_rect(scene, x + w / 2 - 1, ni - h - w / 2, x + w / 2 + 1,
+                     ni - h, tone * 1.3f);
+    }
+    // Windows: a regular grid whose pitch, size and tone are unique to the
+    // landmark. Regular structure repeats identical local descriptors
+    // within the landmark (strengthening within-landmark correlation) while
+    // pitch differences keep landmarks visually distinct from one another.
+    const auto pitch = static_cast<std::ptrdiff_t>(rng.uniform_int(6, 14));
+    const auto win = static_cast<std::ptrdiff_t>(
+        rng.uniform_int(2, std::max<std::int64_t>(3, pitch / 2)));
+    const float win_tone = rng.bernoulli(0.5)
+                               ? static_cast<float>(rng.uniform(0.75, 1.0))
+                               : static_cast<float>(rng.uniform(0.0, 0.2));
+    for (std::ptrdiff_t wy = ni - h + pitch / 2; wy + win < ni;
+         wy += pitch) {
+      for (std::ptrdiff_t wx = x + pitch / 2; wx + win < x + w; wx += pitch) {
+        img::fill_rect(scene, wx, wy, wx + win, wy + win, win_tone);
+      }
+    }
+    // Ornamental blobs at a landmark-specific scale.
+    const double blob_r = rng.uniform(1.0, 3.2);
+    img::scatter_blobs(scene, x + 2, ni - h + 2, x + w - 2, ni - 2,
+                       static_cast<std::size_t>(w * h / 140 + 6), blob_r,
+                       blob_r + 0.8,
+                       seed ^ (0xabcdULL + static_cast<std::uint64_t>(t)));
+  }
+
+  // Street furniture / foliage props across the foreground: small
+  // high-contrast blobs that give the ground half a stable keypoint
+  // population of its own.
+  img::scatter_blobs(scene, 0, 2 * ni / 3, ni, ni,
+                     static_cast<std::size_t>(spec_.image_size / 2), 1.2, 3.0,
+                     seed ^ 0x9f0dULL);
+  // Skyline ornaments (birds, antenna tips) in the upper band.
+  img::scatter_blobs(scene, 0, 0, ni, ni / 4,
+                     static_cast<std::size_t>(spec_.image_size / 8), 1.0, 2.0,
+                     seed ^ 0x3c3cULL);
+
+  // Facade / foliage texture over the lower half.
+  img::add_texture(scene, 0, ni / 2, ni, ni, 0.11f, seed ^ 0x7e47ULL);
+  scene.clamp01();
+
+  // Viewpoints: deterministic similarity warps of the canonical scene.
+  if (view > 0) {
+    util::Rng vrng(scene_seed(spec_.seed, landmark, view));
+    const double angle = vrng.uniform(-0.18, 0.18);
+    const double scale = vrng.uniform(0.9, 1.12);
+    const double dx = vrng.uniform(-8.0, 8.0);
+    const double dy = vrng.uniform(-6.0, 6.0);
+    const img::Affine t = img::Affine::similarity(
+        angle, scale, static_cast<double>(n) / 2.0,
+        static_cast<double>(n) / 2.0, dx, dy);
+    scene = img::warp_affine(scene, t);
+  }
+  return scene;
+}
+
+void SceneGenerator::composite_person(img::Image& scene,
+                                      std::uint64_t person_id, double cx,
+                                      double cy, double h) const {
+  util::Rng rng(hash::mix64(person_id ^ 0x9e37ULL));
+  const double head_r = h * 0.18;
+  const float skin = static_cast<float>(rng.uniform(0.65, 0.9));
+  const float shirt = static_cast<float>(rng.uniform(0.05, 0.95));
+  const float pants = static_cast<float>(rng.uniform(0.05, 0.6));
+  // Head.
+  img::fill_circle(scene, cx, cy - h * 0.32, head_r, skin);
+  // Torso.
+  img::fill_rect(scene,
+                 static_cast<std::ptrdiff_t>(cx - h * 0.14),
+                 static_cast<std::ptrdiff_t>(cy - h * 0.18),
+                 static_cast<std::ptrdiff_t>(cx + h * 0.14),
+                 static_cast<std::ptrdiff_t>(cy + h * 0.12), shirt);
+  // Legs.
+  img::fill_rect(scene,
+                 static_cast<std::ptrdiff_t>(cx - h * 0.12),
+                 static_cast<std::ptrdiff_t>(cy + h * 0.12),
+                 static_cast<std::ptrdiff_t>(cx + h * 0.12),
+                 static_cast<std::ptrdiff_t>(cy + h * 0.5), pants);
+}
+
+void SceneGenerator::composite_child(img::Image& scene, double cx, double cy,
+                                     double h) const {
+  // The child's appearance is a fixed, high-contrast pattern derived from
+  // the dataset seed: a distinctive "striped shirt" the detector can key on.
+  const std::uint64_t child_seed = hash::mix64(spec_.seed ^ 0xc411dULL);
+  util::Rng rng(child_seed);
+  const double head_r = h * 0.2;
+  img::fill_circle(scene, cx, cy - h * 0.3, head_r, 0.92f);
+  // Striped torso: alternating bands, unique to this child.
+  const int bands = 4;
+  const double torso_top = cy - h * 0.14;
+  const double torso_h = h * 0.3;
+  for (int b = 0; b < bands; ++b) {
+    const float tone = (b % 2 == 0) ? 0.05f : 0.95f;
+    img::fill_rect(scene,
+                   static_cast<std::ptrdiff_t>(cx - h * 0.16),
+                   static_cast<std::ptrdiff_t>(torso_top +
+                                               torso_h * b / bands),
+                   static_cast<std::ptrdiff_t>(cx + h * 0.16),
+                   static_cast<std::ptrdiff_t>(torso_top +
+                                               torso_h * (b + 1) / bands),
+                   tone);
+  }
+  // Bright cap: a stable blob detection.
+  img::fill_circle(scene, cx, cy - h * 0.42, head_r * 0.6,
+                   static_cast<float>(rng.uniform(0.85, 1.0)));
+  // Legs.
+  img::fill_rect(scene,
+                 static_cast<std::ptrdiff_t>(cx - h * 0.12),
+                 static_cast<std::ptrdiff_t>(cy + h * 0.16),
+                 static_cast<std::ptrdiff_t>(cx + h * 0.12),
+                 static_cast<std::ptrdiff_t>(cy + h * 0.5), 0.15f);
+}
+
+img::Image SceneGenerator::child_portrait(std::uint32_t variant) const {
+  const std::size_t n = spec_.image_size;
+  img::Image portrait(n, n, 0.5f);
+  img::add_texture(portrait, 0, 0, static_cast<std::ptrdiff_t>(n),
+                   static_cast<std::ptrdiff_t>(n), 0.03f,
+                   hash::mix64(spec_.seed ^ 0xb66ULL));
+  composite_child(portrait, static_cast<double>(n) / 2.0,
+                  static_cast<double>(n) / 2.0,
+                  static_cast<double>(n) * 0.7);
+  portrait.clamp01();
+  if (variant > 0) {
+    util::Rng rng(hash::mix64(spec_.seed ^ (0x9a0ULL + variant)));
+    img::PerturbParams params;
+    params.max_translate_px = 3.0;
+    portrait = img::make_near_duplicate(portrait, params, rng);
+  }
+  return portrait;
+}
+
+Dataset SceneGenerator::generate() const {
+  FAST_CHECK(spec_.landmarks > 0 && spec_.views_per_landmark > 0);
+  Dataset ds;
+  ds.spec = spec_;
+  util::Rng rng(hash::mix64(spec_.seed ^ 0xd47aULL));
+
+  // Landmark geo positions: spread over a city-scale [0, 100]^2 km grid.
+  ds.landmark_geo.reserve(spec_.landmarks);
+  for (std::size_t l = 0; l < spec_.landmarks; ++l) {
+    ds.landmark_geo.emplace_back(rng.uniform(0.0, 100.0),
+                                 rng.uniform(0.0, 100.0));
+  }
+
+  // Pre-render canonical views once; photos perturb them.
+  std::vector<img::Image> canon(spec_.landmarks * spec_.views_per_landmark);
+  for (std::uint32_t l = 0; l < spec_.landmarks; ++l) {
+    for (std::uint32_t v = 0; v < spec_.views_per_landmark; ++v) {
+      canon[l * spec_.views_per_landmark + v] = canonical_view(l, v);
+    }
+  }
+
+  const util::ZipfDistribution landmark_dist(spec_.landmarks,
+                                             spec_.landmark_zipf_skew);
+  img::PerturbParams perturb;
+
+  ds.photos.reserve(spec_.num_images);
+  const double n = static_cast<double>(spec_.image_size);
+  for (std::size_t i = 0; i < spec_.num_images; ++i) {
+    PhotoRecord photo;
+    photo.id = static_cast<std::uint64_t>(i);
+    photo.landmark = static_cast<std::uint32_t>(landmark_dist(rng) - 1);
+    photo.view = static_cast<std::uint32_t>(
+        rng.uniform_u64(spec_.views_per_landmark));
+    img::Image scene =
+        canon[photo.landmark * spec_.views_per_landmark + photo.view];
+
+    // Tourists in the foreground (0-3 of them).
+    const std::size_t tourists = rng.uniform_u64(4);
+    for (std::size_t t = 0; t < tourists; ++t) {
+      composite_person(scene, rng.next_u64(), rng.uniform(0.1 * n, 0.9 * n),
+                       rng.uniform(0.6 * n, 0.85 * n),
+                       rng.uniform(0.18 * n, 0.3 * n));
+    }
+    // Occasionally, the child appears in the background.
+    photo.contains_child = rng.bernoulli(spec_.child_presence_prob);
+    if (photo.contains_child) {
+      composite_child(scene, rng.uniform(0.15 * n, 0.85 * n),
+                      rng.uniform(0.55 * n, 0.8 * n),
+                      rng.uniform(0.28 * n, 0.42 * n));
+    }
+    // The "shot": a near-duplicate perturbation of the composed scene.
+    photo.image = img::make_near_duplicate(scene, perturb, rng);
+
+    // Geo-tag near the landmark; upload time within a day; file size
+    // log-normal-ish around the dataset mean (clamped to plausible range).
+    const auto [gx, gy] = ds.landmark_geo[photo.landmark];
+    photo.geo_x = gx + rng.gaussian(0.0, 0.4);
+    photo.geo_y = gy + rng.gaussian(0.0, 0.4);
+    photo.upload_time_s = rng.uniform(0.0, 86400.0);
+    const double mb = std::clamp(
+        spec_.mean_file_mb * std::exp(rng.gaussian(0.0, 0.35)),
+        0.2, 20.0);
+    photo.file_bytes = static_cast<std::size_t>(mb * 1024.0 * 1024.0);
+
+    ds.photos.push_back(std::move(photo));
+  }
+  return ds;
+}
+
+}  // namespace fast::workload

@@ -1,0 +1,44 @@
+// Procedural scene generator: landmarks, tourists and the "missing child".
+//
+// Each landmark is a deterministic procedural "building" (silhouette +
+// window blobs + facade texture) with a few canonical viewpoints; a photo
+// of a (landmark, view) pair is a near-duplicate perturbation of that
+// canonical view. The child is a distinctive sprite composited into a
+// subset of photos; the portrait used for querying renders the same sprite
+// on a neutral background, so query and occurrences share interest points.
+#pragma once
+
+#include "img/image.hpp"
+#include "util/rng.hpp"
+#include "workload/dataset.hpp"
+
+namespace fast::workload {
+
+class SceneGenerator {
+ public:
+  explicit SceneGenerator(const DatasetSpec& spec) : spec_(spec) {}
+
+  /// Canonical view `view` of `landmark` (deterministic in spec.seed).
+  img::Image canonical_view(std::uint32_t landmark, std::uint32_t view) const;
+
+  /// Renders the child sprite into `scene` at (cx, cy) with height `h` px.
+  void composite_child(img::Image& scene, double cx, double cy,
+                       double h) const;
+
+  /// Renders a generic tourist (person_id seeds their appearance).
+  void composite_person(img::Image& scene, std::uint64_t person_id, double cx,
+                        double cy, double h) const;
+
+  /// The portrait of the child used as the query input ("given by the
+  /// parents"): the sprite on a neutral textured background, optionally
+  /// perturbed by `variant` (0 = canonical portrait).
+  img::Image child_portrait(std::uint32_t variant = 0) const;
+
+  /// Generates the full dataset (photos, geo-tags, upload times).
+  Dataset generate() const;
+
+ private:
+  DatasetSpec spec_;
+};
+
+}  // namespace fast::workload

@@ -1,0 +1,40 @@
+#include "workload/tune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+#include "util/vecmath.hpp"
+
+namespace fast::workload {
+
+RadiusTuning tune_radius(std::span<const std::vector<float>> corpus,
+                         std::span<const std::vector<float>> queries) {
+  FAST_CHECK(!corpus.empty() && !queries.empty());
+  std::vector<double> nn_dists;
+  nn_dists.reserve(queries.size());
+  for (const auto& q : queries) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : corpus) {
+      best = std::min(best, util::l2_distance_sq(q, p));
+    }
+    nn_dists.push_back(std::sqrt(best));
+  }
+  RadiusTuning t;
+  util::OnlineStats stats;
+  for (double d : nn_dists) stats.add(d);
+  t.mean_nn_distance = stats.mean();
+  t.p90_nn_distance = util::percentile(nn_dists, 0.90);
+  // R slightly above the typical NN distance so true neighbors fall inside.
+  t.radius = t.p90_nn_distance;
+  return t;
+}
+
+double proximity_chi(double searched_distance, double true_nn_distance) {
+  if (true_nn_distance <= 0) return searched_distance <= 0 ? 1.0 : 1e9;
+  return searched_distance / true_nn_distance;
+}
+
+}  // namespace fast::workload

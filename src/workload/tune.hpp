@@ -1,0 +1,29 @@
+// The paper's parameter-selection procedure (§IV-A2): the LSH radius R is
+// chosen by the sampling method of the original LSH study — R should be
+// roughly the distance between a queried point and its nearest neighbors —
+// and validated with the proximity measure chi = ||p1* - q|| / ||p1 - q||
+// (searched vs. actual nearest neighbor).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fast::workload {
+
+struct RadiusTuning {
+  double radius = 0;            ///< suggested R for the LSH structures
+  double mean_nn_distance = 0;  ///< average exact-NN distance of the samples
+  double p90_nn_distance = 0;   ///< 90th percentile of exact-NN distances
+};
+
+/// Samples exact nearest-neighbor distances of `queries` against `corpus`
+/// (L2) and derives R. All vectors must share one dimensionality; the corpus
+/// must be non-empty.
+RadiusTuning tune_radius(std::span<const std::vector<float>> corpus,
+                         std::span<const std::vector<float>> queries);
+
+/// Proximity measure chi of one query: the ratio of the searched neighbor's
+/// distance to the true nearest neighbor's distance (>= 1; 1 is perfect).
+double proximity_chi(double searched_distance, double true_nn_distance);
+
+}  // namespace fast::workload

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "baseline/pca_sift_baseline.hpp"
+#include "baseline/rnpe.hpp"
+#include "baseline/sift_baseline.hpp"
+#include "test_helpers.hpp"
+#include "workload/query_gen.hpp"
+
+namespace fast::baseline {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new workload::Dataset(test::small_dataset(24));
+    pca_ = new vision::PcaModel(test::fake_pca());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete pca_;
+    dataset_ = nullptr;
+    pca_ = nullptr;
+  }
+  static workload::Dataset* dataset_;
+  static vision::PcaModel* pca_;
+};
+
+workload::Dataset* BaselineTest::dataset_ = nullptr;
+vision::PcaModel* BaselineTest::pca_ = nullptr;
+
+// ---------- SIFT baseline ----------
+
+TEST_F(BaselineTest, SiftIndexGrowsAndChargesCosts) {
+  SiftBaselineConfig cfg;
+  cfg.max_keypoints = 32;
+  SiftBaseline sift(cfg, sim::CostModel{});
+  const InsertOutcome r0 = sift.insert(0, dataset_->photos[0].image);
+  EXPECT_GE(r0.cost.elapsed_s(), cfg.extract.sift_s);
+  EXPECT_EQ(sift.size(), 1u);
+  EXPECT_GT(sift.index_bytes(), 0u);
+  const std::size_t b1 = sift.index_bytes();
+  sift.insert(1, dataset_->photos[1].image);
+  EXPECT_GT(sift.index_bytes(), b1);
+}
+
+TEST_F(BaselineTest, SiftRetrievesExactDuplicate) {
+  SiftBaselineConfig cfg;
+  cfg.max_keypoints = 32;
+  SiftBaseline sift(cfg, sim::CostModel{});
+  for (std::size_t i = 0; i < 10; ++i) {
+    sift.insert(i, dataset_->photos[i].image);
+  }
+  const QueryOutcome out = sift.query(dataset_->photos[4].image, 3);
+  ASSERT_FALSE(out.hits.empty());
+  EXPECT_EQ(out.hits.front().id, 4u);
+  EXPECT_GT(out.hits.front().score, 0.9);  // self-match
+}
+
+TEST_F(BaselineTest, SiftQueryScansWholeStore) {
+  SiftBaselineConfig cfg;
+  cfg.max_keypoints = 16;
+  cfg.cache_pages = 1;  // disk-bound: cache useless
+  SiftBaseline sift(cfg, sim::CostModel{});
+  for (std::size_t i = 0; i < 10; ++i) {
+    sift.insert(i, dataset_->photos[i].image);
+  }
+  const QueryOutcome out = sift.query(dataset_->photos[0].image, 3);
+  // Brute force: one hit entry per stored image, disk reads charged.
+  EXPECT_EQ(out.hits.size(), 3u);
+  EXPECT_GT(out.cost.disk_reads(), 0u);
+}
+
+// ---------- PCA-SIFT baseline ----------
+
+TEST_F(BaselineTest, PcaSiftSmallerIndexThanSift) {
+  SiftBaselineConfig scfg;
+  scfg.max_keypoints = 32;
+  SiftBaseline sift(scfg, sim::CostModel{});
+  PcaSiftBaselineConfig pcfg;
+  pcfg.max_keypoints = 32;
+  PcaSiftBaseline pca_sift(pcfg, sim::CostModel{}, *pca_);
+  for (std::size_t i = 0; i < 8; ++i) {
+    sift.insert(i, dataset_->photos[i].image);
+    pca_sift.insert(i, dataset_->photos[i].image);
+  }
+  EXPECT_LT(pca_sift.index_bytes(), sift.index_bytes());
+}
+
+TEST_F(BaselineTest, PcaSiftRetrievesExactDuplicate) {
+  PcaSiftBaselineConfig cfg;
+  cfg.max_keypoints = 32;
+  PcaSiftBaseline baseline(cfg, sim::CostModel{}, *pca_);
+  for (std::size_t i = 0; i < 10; ++i) {
+    baseline.insert(i, dataset_->photos[i].image);
+  }
+  const QueryOutcome out = baseline.query(dataset_->photos[6].image, 3);
+  ASSERT_FALSE(out.hits.empty());
+  EXPECT_EQ(out.hits.front().id, 6u);
+}
+
+TEST_F(BaselineTest, PcaSiftFasterExtractionThanSift) {
+  PcaSiftBaselineConfig pcfg;
+  SiftBaselineConfig scfg;
+  EXPECT_LT(pcfg.extract.pca_sift_s, scfg.extract.sift_s);
+}
+
+// ---------- RNPE ----------
+
+TEST_F(BaselineTest, RnpeIndexesByLocation) {
+  RnpeConfig cfg;
+  cfg.tag_error_prob = 0.0;  // exact tags for this test
+  Rnpe rnpe(cfg, sim::CostModel{});
+  for (std::size_t i = 0; i < dataset_->photos.size(); ++i) {
+    const auto& p = dataset_->photos[i];
+    rnpe.insert(p.id, p.geo_x, p.geo_y, p.landmark, p.view);
+  }
+  EXPECT_EQ(rnpe.size(), dataset_->photos.size());
+
+  const auto& probe = dataset_->photos[3];
+  const QueryOutcome out =
+      rnpe.query(probe.geo_x, probe.geo_y, probe.landmark, probe.view, 5);
+  ASSERT_FALSE(out.hits.empty());
+  // With exact tags, the top hit must share the landmark tag.
+  const auto& top = out.hits.front();
+  EXPECT_EQ(dataset_->photos[top.id].landmark, probe.landmark);
+}
+
+TEST_F(BaselineTest, RnpeTagErrorsReduceAgreement) {
+  // With high tag noise, top hits often carry the wrong view tag —
+  // the accuracy ceiling of Table III.
+  RnpeConfig noisy;
+  noisy.tag_error_prob = 0.5;
+  noisy.seed = 123;
+  Rnpe rnpe(noisy, sim::CostModel{});
+  for (std::size_t i = 0; i < dataset_->photos.size(); ++i) {
+    const auto& p = dataset_->photos[i];
+    rnpe.insert(p.id, p.geo_x, p.geo_y, p.landmark, p.view);
+  }
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto& probe = dataset_->photos[i];
+    const QueryOutcome out =
+        rnpe.query(probe.geo_x, probe.geo_y, probe.landmark, probe.view, 3);
+    for (const auto& hit : out.hits) {
+      if (dataset_->photos[hit.id].view != probe.view) ++mismatches;
+    }
+  }
+  EXPECT_GT(mismatches, 0u);
+}
+
+TEST_F(BaselineTest, RnpeQueryCostIncludesTreeAccesses) {
+  RnpeConfig cfg;
+  Rnpe rnpe(cfg, sim::CostModel{});
+  for (std::size_t i = 0; i < dataset_->photos.size(); ++i) {
+    const auto& p = dataset_->photos[i];
+    rnpe.insert(p.id, p.geo_x, p.geo_y, p.landmark, p.view);
+  }
+  const QueryOutcome out = rnpe.query(50, 50, 0, 0, 5);
+  EXPECT_GT(out.cost.elapsed_s(), cfg.extract.rnpe_s);
+}
+
+TEST_F(BaselineTest, RnpeIndexSmallerThanSift) {
+  SiftBaselineConfig scfg;
+  scfg.max_keypoints = 32;
+  SiftBaseline sift(scfg, sim::CostModel{});
+  RnpeConfig rcfg;
+  rcfg.space.rnpe_bytes_per_image = 4096;  // small-image test scale
+  Rnpe rnpe(rcfg, sim::CostModel{});
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto& p = dataset_->photos[i];
+    sift.insert(i, p.image);
+    rnpe.insert(p.id, p.geo_x, p.geo_y, p.landmark, p.view);
+  }
+  EXPECT_LT(rnpe.index_bytes(), sift.index_bytes());
+}
+
+}  // namespace
+}  // namespace fast::baseline

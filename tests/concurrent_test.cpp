@@ -1,0 +1,133 @@
+// Concurrency tests: queries racing inserts/erases through the
+// ConcurrentFastIndex facade must never crash, lose acknowledged inserts,
+// or return ids that were never inserted.
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_index.hpp"
+#include "test_helpers.hpp"
+
+namespace fast::core {
+namespace {
+
+class ConcurrentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new workload::Dataset(test::small_dataset(32));
+    pca_ = new vision::PcaModel(test::fake_pca());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete pca_;
+    dataset_ = nullptr;
+    pca_ = nullptr;
+  }
+  static FastConfig small_config() {
+    FastConfig cfg;
+    cfg.cuckoo.capacity = 256;
+    return cfg;
+  }
+  static workload::Dataset* dataset_;
+  static vision::PcaModel* pca_;
+};
+
+workload::Dataset* ConcurrentTest::dataset_ = nullptr;
+vision::PcaModel* ConcurrentTest::pca_ = nullptr;
+
+TEST_F(ConcurrentTest, SerialSemanticsMatchFastIndex) {
+  ConcurrentFastIndex concurrent(small_config(), *pca_);
+  FastIndex plain(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 16; ++i) {
+    sigs.push_back(plain.summarize(dataset_->photos[i].image));
+    concurrent.insert_signature(i, sigs.back());
+    plain.insert_signature(i, sigs.back());
+  }
+  EXPECT_EQ(concurrent.size(), plain.size());
+  for (std::size_t i = 0; i < 16; ++i) {
+    const QueryResult a = concurrent.query_signature(sigs[i], 3);
+    const QueryResult b = plain.query_signature(sigs[i], 3);
+    ASSERT_EQ(a.hits.size(), b.hits.size());
+    for (std::size_t h = 0; h < a.hits.size(); ++h) {
+      EXPECT_EQ(a.hits[h].id, b.hits[h].id);
+    }
+  }
+}
+
+TEST_F(ConcurrentTest, QueriesRaceInsertsWithoutLosses) {
+  ConcurrentFastIndex index(small_config(), *pca_);
+  // Precompute signatures so worker threads exercise the locked paths hard.
+  std::vector<hash::SparseSignature> sigs;
+  FastIndex helper(small_config(), *pca_);
+  for (const auto& photo : dataset_->photos) {
+    sigs.push_back(helper.summarize(photo.image));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad_hits{0};
+  const std::size_t n = sigs.size();
+
+  std::thread writer([&] {
+    for (std::size_t round = 0; round < 20; ++round) {
+      for (std::size_t i = 0; i < n; ++i) {
+        index.insert_signature(round * n + i, sigs[i]);
+      }
+      // Erase half of this round's ids again.
+      for (std::size_t i = 0; i < n / 2; ++i) {
+        index.erase(round * n + i);
+      }
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t qi = static_cast<std::size_t>(r);
+      while (!stop) {
+        const QueryResult res = index.query_signature(sigs[qi % n], 5);
+        for (const auto& hit : res.hits) {
+          // Any returned id must be one the writer could have inserted.
+          if (hit.id % n >= n) ++bad_hits;
+          if (hit.score < 0.0 || hit.score > 1.0) ++bad_hits;
+        }
+        ++qi;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad_hits.load(), 0u);
+
+  // Every id the writer left in place is still retrievable.
+  for (std::size_t i = n / 2; i < n; ++i) {
+    const QueryResult res = index.query_signature(sigs[i], 1);
+    ASSERT_FALSE(res.hits.empty());
+    EXPECT_DOUBLE_EQ(res.hits.front().score, 1.0);
+  }
+}
+
+TEST_F(ConcurrentTest, ParallelInsertersAllLand) {
+  ConcurrentFastIndex index(small_config(), *pca_);
+  FastIndex helper(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (const auto& photo : dataset_->photos) {
+    sigs.push_back(helper.summarize(photo.image));
+  }
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::size_t i = 0; i < sigs.size(); ++i) {
+        index.insert_signature(t * 1000 + i, sigs[i]);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(index.size(), kThreads * sigs.size());
+}
+
+}  // namespace
+}  // namespace fast::core

@@ -1,0 +1,287 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/fast_index.hpp"
+#include "core/query_engine.hpp"
+#include "test_helpers.hpp"
+#include "workload/query_gen.hpp"
+
+namespace fast::core {
+namespace {
+
+class FastIndexTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new workload::Dataset(test::small_dataset(40));
+    pca_ = new vision::PcaModel(test::fake_pca());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete pca_;
+    dataset_ = nullptr;
+    pca_ = nullptr;
+  }
+
+  static FastConfig small_config() {
+    FastConfig cfg;
+    cfg.cuckoo.capacity = 256;
+    return cfg;
+  }
+
+  static workload::Dataset* dataset_;
+  static vision::PcaModel* pca_;
+};
+
+workload::Dataset* FastIndexTest::dataset_ = nullptr;
+vision::PcaModel* FastIndexTest::pca_ = nullptr;
+
+TEST_F(FastIndexTest, SummarizeIsDeterministic) {
+  FastIndex index(small_config(), *pca_);
+  const auto s1 = index.summarize(dataset_->photos[0].image);
+  const auto s2 = index.summarize(dataset_->photos[0].image);
+  EXPECT_EQ(s1.set_bits(), s2.set_bits());
+  EXPECT_GT(s1.popcount(), 0u);
+}
+
+TEST_F(FastIndexTest, DistinctImagesDistinctSignatures) {
+  FastIndex index(small_config(), *pca_);
+  const auto s1 = index.summarize(dataset_->photos[0].image);
+  const auto s2 = index.summarize(dataset_->photos[1].image);
+  EXPECT_LT(hash::SparseSignature::jaccard(s1, s2), 0.999);
+}
+
+TEST_F(FastIndexTest, InsertThenSignatureRetrievable) {
+  FastIndex index(small_config(), *pca_);
+  const auto sig = index.summarize(dataset_->photos[3].image);
+  const InsertResult r = index.insert_signature(3, sig);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(index.size(), 1u);
+  ASSERT_NE(index.signature_of(3), nullptr);
+  EXPECT_EQ(index.signature_of(3)->set_bits(), sig.set_bits());
+  EXPECT_EQ(index.signature_of(99), nullptr);
+}
+
+TEST_F(FastIndexTest, InsertedImageIsItsOwnTopHit) {
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 20; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+  }
+  for (std::size_t i = 0; i < 20; ++i) index.insert_signature(i, sigs[i]);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const QueryResult r = index.query_signature(sigs[i], 1);
+    ASSERT_FALSE(r.hits.empty()) << "image " << i;
+    // A perfect-score tie between identical signatures is legal; the top
+    // hit must then carry a signature identical to the query's.
+    EXPECT_DOUBLE_EQ(r.hits.front().score, 1.0);
+    const auto* top_sig = index.signature_of(r.hits.front().id);
+    ASSERT_NE(top_sig, nullptr);
+    EXPECT_EQ(top_sig->set_bits(), sigs[i].set_bits());
+  }
+}
+
+TEST_F(FastIndexTest, QueryCostsAccounted) {
+  FastIndex index(small_config(), *pca_);
+  const auto sig = index.summarize(dataset_->photos[0].image);
+  index.insert_signature(0, sig);
+  const QueryResult r = index.query_signature(sig, 3);
+  EXPECT_GT(r.bucket_probes, 0u);
+  EXPECT_GT(r.cost.elapsed_s(), 0.0);
+  EXPECT_FALSE(r.parallel_tasks.empty());
+}
+
+TEST_F(FastIndexTest, FullImageQueryChargesFeatureExtraction) {
+  FastIndex index(small_config(), *pca_);
+  index.insert(0, dataset_->photos[0].image);
+  const QueryResult r = index.query(dataset_->photos[0].image, 1);
+  EXPECT_GE(r.cost.elapsed_s(), index.config().feature_extract_s);
+  ASSERT_FALSE(r.hits.empty());
+  EXPECT_EQ(r.hits.front().id, 0u);
+}
+
+TEST_F(FastIndexTest, NearDuplicateRetrieved) {
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < dataset_->photos.size(); ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+  }
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    index.insert_signature(i, sigs[i]);
+  }
+  const auto queries = workload::make_dup_queries(*dataset_, 8);
+  std::size_t found = 0;
+  for (const auto& q : queries) {
+    const QueryResult r = index.query(q.image, 5);
+    for (const auto& h : r.hits) {
+      if (h.id == q.source) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(found, 6u);  // >= 75% of sources in top-5
+}
+
+TEST_F(FastIndexTest, CandidateNarrowing) {
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < dataset_->photos.size(); ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  const auto queries = workload::make_dup_queries(*dataset_, 8);
+  double mean_candidates = 0;
+  for (const auto& q : queries) {
+    mean_candidates +=
+        static_cast<double>(index.query(q.image, 5).candidates);
+  }
+  mean_candidates /= 8;
+  // The whole point of SA + CHS: the candidate set is a fraction of the
+  // corpus, not the corpus.
+  EXPECT_LT(mean_candidates, 0.8 * static_cast<double>(index.size()));
+}
+
+TEST_F(FastIndexTest, GroupsAggregateAcrossTables) {
+  FastIndex index(small_config(), *pca_);
+  const auto sig = index.summarize(dataset_->photos[0].image);
+  index.insert_signature(0, sig);
+  // One group per table for the first insert.
+  EXPECT_EQ(index.group_count(), index.config().minhash.bands);
+}
+
+TEST_F(FastIndexTest, CuckooGrowthKeepsAllKeys) {
+  FastConfig cfg = small_config();
+  cfg.cuckoo.capacity = 16;  // forces several growth cycles
+  FastIndex index(cfg, *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 30; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  for (std::size_t i = 0; i < 30; ++i) {
+    const QueryResult r = index.query_signature(sigs[i], 1);
+    ASSERT_FALSE(r.hits.empty());
+    EXPECT_DOUBLE_EQ(r.hits.front().score, 1.0);
+    const auto* top_sig = index.signature_of(r.hits.front().id);
+    ASSERT_NE(top_sig, nullptr);
+    EXPECT_EQ(top_sig->set_bits(), sigs[i].set_bits());
+  }
+}
+
+TEST_F(FastIndexTest, PStableBackendAlsoRetrieves) {
+  FastConfig cfg = small_config();
+  cfg.sa_backend = FastConfig::SaBackend::kPStable;
+  cfg.calibrate_target = 0.25;
+  FastIndex index(cfg, *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 25; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+  }
+  const auto queries = workload::make_dup_queries(*dataset_, 6, 0xca1);
+  std::vector<hash::SparseSignature> qsigs;
+  for (const auto& q : queries) qsigs.push_back(index.summarize(q.image));
+  index.calibrate_scale(qsigs, sigs);
+  EXPECT_NE(index.config().lsh_input_scale, 1.0);
+  for (std::size_t i = 0; i < 25; ++i) index.insert_signature(i, sigs[i]);
+  // Exact re-query must hit: identical vectors collide in every table.
+  const QueryResult r = index.query_signature(sigs[7], 1);
+  ASSERT_FALSE(r.hits.empty());
+  EXPECT_DOUBLE_EQ(r.hits.front().score, 1.0);
+  const auto* top_sig = index.signature_of(r.hits.front().id);
+  ASSERT_NE(top_sig, nullptr);
+  EXPECT_EQ(top_sig->set_bits(), sigs[7].set_bits());
+}
+
+TEST_F(FastIndexTest, IndexBytesGrowWithCorpus) {
+  FastIndex index(small_config(), *pca_);
+  const std::size_t empty_bytes = index.index_bytes();
+  for (std::size_t i = 0; i < 10; ++i) {
+    index.insert_signature(i, index.summarize(dataset_->photos[i].image));
+  }
+  EXPECT_GT(index.index_bytes(), empty_bytes);
+}
+
+TEST_F(FastIndexTest, SignatureStorageIsCompact) {
+  FastIndex index(small_config(), *pca_);
+  const auto sig = index.summarize(dataset_->photos[0].image);
+  // The sparse signature must be a small fraction of the dense bit-vector,
+  // and orders of magnitude below raw feature storage (~65 KB for SIFT).
+  EXPECT_LT(sig.storage_bytes(), index.config().bloom_bits / 8 * 4);
+  EXPECT_LT(sig.storage_bytes(), 16 * 1024u);
+}
+
+TEST_F(FastIndexTest, EmptyImageYieldsEmptySignatureAndNoCrash) {
+  FastIndex index(small_config(), *pca_);
+  img::Image flat(64, 64, 0.5f);
+  const auto sig = index.summarize(flat);
+  EXPECT_EQ(sig.popcount(), 0u);
+  index.insert_signature(77, sig);
+  const QueryResult r = index.query_signature(sig, 3);
+  // The empty signature matches itself deterministically.
+  ASSERT_FALSE(r.hits.empty());
+  EXPECT_EQ(r.hits.front().id, 77u);
+}
+
+// ---------- QueryEngine ----------
+
+TEST_F(FastIndexTest, BatchReportShapes) {
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 15; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  QueryEngine engine(index, 2);
+  BatchOptions opts;
+  opts.top_k = 3;
+  const BatchReport report = engine.run_batch(sigs, opts);
+  ASSERT_EQ(report.results.size(), sigs.size());
+  EXPECT_GT(report.sim_mean_latency_s, 0.0);
+  EXPECT_GE(report.sim_makespan_s, report.sim_mean_latency_s * 0.99);
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    ASSERT_FALSE(report.results[i].hits.empty());
+    EXPECT_DOUBLE_EQ(report.results[i].hits.front().score, 1.0);
+  }
+}
+
+TEST_F(FastIndexTest, FewSlotsQueueLatency) {
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 10; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  QueryEngine engine(index, 2);
+  BatchOptions one_slot;
+  one_slot.sim_slots = 1;
+  BatchOptions many_slots;
+  many_slots.sim_slots = 64;
+  const double queued = engine.run_batch(sigs, one_slot).sim_mean_latency_s;
+  const double parallel =
+      engine.run_batch(sigs, many_slots).sim_mean_latency_s;
+  EXPECT_GT(queued, parallel);
+}
+
+TEST_F(FastIndexTest, MulticoreLatencyDecreasesWithCores) {
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 20; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  const QueryResult r = index.query(dataset_->photos[0].image, 5);
+  double prev = QueryEngine::simulated_query_latency(r, 1);
+  for (std::size_t cores : {2, 4, 8, 16, 32}) {
+    const double lat = QueryEngine::simulated_query_latency(r, cores);
+    EXPECT_LE(lat, prev + 1e-12) << cores << " cores";
+    prev = lat;
+  }
+  // Near-linear at small core counts: 4 cores at least 2.5x faster than 1.
+  EXPECT_GT(QueryEngine::simulated_query_latency(r, 1) /
+                QueryEngine::simulated_query_latency(r, 4),
+            2.5);
+}
+
+}  // namespace
+}  // namespace fast::core

@@ -1,0 +1,175 @@
+// Edge-case coverage across modules: degenerate inputs, boundary sizes and
+// error paths that the mainline tests do not reach.
+#include <gtest/gtest.h>
+
+#include "hash/bloom_filter.hpp"
+#include "hash/flat_cuckoo_table.hpp"
+#include "hash/minhash.hpp"
+#include "hash/sparse_signature.hpp"
+#include "img/image.hpp"
+#include "img/draw.hpp"
+#include "img/transform.hpp"
+#include "index/r_tree.hpp"
+#include "util/rng.hpp"
+#include "vision/dog_detector.hpp"
+#include "vision/gaussian.hpp"
+#include "vision/pyramid.hpp"
+
+namespace fast {
+namespace {
+
+// ---------- images ----------
+
+TEST(Edge, OnePixelImageOperations) {
+  img::Image im(1, 1, 0.5f);
+  EXPECT_EQ(im.at_clamped(-3, 7), 0.5f);
+  EXPECT_EQ(im.sample_bilinear(0.3, 0.9), 0.5f);
+  const img::Image d = im.downsample2();
+  EXPECT_EQ(d.width(), 1u);  // clamps at 1, never 0
+  const img::Image u = im.upsample2();
+  EXPECT_EQ(u.width(), 2u);
+}
+
+TEST(Edge, OddSizedDownsample) {
+  img::Image im(7, 5, 0.25f);
+  const img::Image d = im.downsample2();
+  EXPECT_EQ(d.width(), 3u);
+  EXPECT_EQ(d.height(), 2u);
+  for (float p : d.pixels()) EXPECT_EQ(p, 0.25f);
+}
+
+TEST(Edge, WarpOfEmptyRegionSafe) {
+  img::Image im(4, 4, 1.0f);
+  img::Affine t;
+  t.tx = 1000;  // samples far outside: border replication everywhere
+  const img::Image out = img::warp_affine(im, t);
+  for (float p : out.pixels()) EXPECT_EQ(p, 1.0f);
+}
+
+// ---------- vision on tiny inputs ----------
+
+TEST(Edge, PyramidOnMinimumSizeImage) {
+  img::Image im(16, 16, 0.5f);
+  im.at(8, 8) = 1.0f;
+  const vision::Pyramid pyr = vision::build_pyramid(im);
+  EXPECT_EQ(pyr.octaves.size(), 1u);  // min_dimension stops octave 2
+}
+
+TEST(Edge, DetectorOnTinyImageDoesNotCrash) {
+  img::Image im(16, 16, 0.2f);
+  img::fill_circle(im, 8, 8, 2.0, 1.0f);
+  const auto kps = vision::detect_keypoints(im);
+  for (const auto& kp : kps) {
+    EXPECT_GE(kp.x, 0.0);
+    EXPECT_LT(kp.x, 16.0);
+  }
+}
+
+TEST(Edge, BlurSigmaSmallerThanPixel) {
+  img::Image im(8, 8, 0.5f);
+  im.at(4, 4) = 1.0f;
+  const img::Image out = vision::gaussian_blur(im, 0.3);
+  // Total intensity preserved by a normalized kernel (away from borders).
+  double sum_in = 0, sum_out = 0;
+  for (float p : im.pixels()) sum_in += p;
+  for (float p : out.pixels()) sum_out += p;
+  EXPECT_NEAR(sum_in, sum_out, 0.01);
+}
+
+// ---------- hashing edge cases ----------
+
+TEST(Edge, BloomSingleBitArray) {
+  hash::BloomFilter bf(64, 1);  // rounded to one word, one hash
+  bf.insert_u64(9);
+  EXPECT_TRUE(bf.maybe_contains_u64(9));
+  EXPECT_EQ(bf.set_bit_count(), 1u);
+}
+
+TEST(Edge, SparseSignatureEmptyEncode) {
+  const hash::SparseSignature sig({}, 1024);
+  const auto bytes = sig.encode();
+  const hash::SparseSignature back = hash::SparseSignature::decode(bytes);
+  EXPECT_EQ(back.popcount(), 0u);
+  EXPECT_EQ(back.bit_count(), 1024u);
+}
+
+TEST(Edge, SparseSignatureDecodeTruncatedThrows) {
+  const hash::SparseSignature sig({5, 100, 900}, 1024);
+  auto bytes = sig.encode();
+  bytes.resize(bytes.size() - 1);
+  EXPECT_THROW(hash::SparseSignature::decode(bytes), std::runtime_error);
+}
+
+TEST(Edge, MinHashOfEmptySignatureIsSentinel) {
+  hash::MinHasher mh(hash::MinHashConfig{.bands = 4, .band_size = 2,
+                                         .seed = 1});
+  const hash::SparseSignature empty({}, 256);
+  const auto m = mh.minhashes(empty);
+  for (const auto& p : m) {
+    EXPECT_EQ(p.min, ~0ULL);
+  }
+  // Two empty signatures band identically (deterministic grouping).
+  const auto m2 = mh.minhashes(hash::SparseSignature({}, 256));
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(mh.band_key(b, m), mh.band_key(b, m2));
+  }
+}
+
+TEST(Edge, FlatCuckooCapacityFloor) {
+  hash::FlatCuckooConfig cfg;
+  cfg.capacity = 1;  // clamped to 4 * window
+  cfg.window = 2;
+  hash::FlatCuckooTable t(cfg);
+  EXPECT_GE(t.capacity(), 8u);
+  EXPECT_TRUE(t.insert(1, 1));
+  EXPECT_TRUE(t.contains(1));
+}
+
+TEST(Edge, FlatCuckooValueZeroAndKeyZero) {
+  hash::FlatCuckooConfig cfg;
+  cfg.capacity = 32;
+  hash::FlatCuckooTable t(cfg);
+  EXPECT_TRUE(t.insert(0, 0));
+  ASSERT_TRUE(t.find(0).has_value());
+  EXPECT_EQ(t.find(0).value(), 0u);
+}
+
+// ---------- R-tree edge cases ----------
+
+TEST(Edge, RTreeDuplicatePositions) {
+  index::RTree tree(4);
+  for (std::uint64_t i = 0; i < 30; ++i) tree.insert(i, 5.0, 5.0);
+  const auto hits = tree.range(index::Rect{4, 4, 6, 6});
+  EXPECT_EQ(hits.size(), 30u);
+  const auto knn = tree.nearest(5.0, 5.0, 10);
+  EXPECT_EQ(knn.size(), 10u);
+  for (const auto& n : knn) EXPECT_EQ(n.distance, 0.0);
+}
+
+TEST(Edge, RTreeEmptyQueries) {
+  index::RTree tree(4);
+  EXPECT_TRUE(tree.range(index::Rect{0, 0, 1, 1}).empty());
+  EXPECT_TRUE(tree.nearest(0, 0, 3).empty());
+}
+
+TEST(Edge, RTreeNegativeCoordinates) {
+  index::RTree tree(4);
+  tree.insert(1, -10, -10);
+  tree.insert(2, 10, 10);
+  const auto hits = tree.range(index::Rect{-20, -20, 0, 0});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+// ---------- rng determinism across reseed ----------
+
+TEST(Edge, RngReseedRestoresSequence) {
+  util::Rng rng(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 8; ++i) first.push_back(rng.next_u64());
+  rng.reseed(77);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(rng.next_u64(), first[i]);
+}
+
+}  // namespace
+}  // namespace fast

@@ -1,0 +1,653 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "hash/bloom_filter.hpp"
+#include "hash/counting_bloom.hpp"
+#include "hash/cuckoo_table.hpp"
+#include "hash/flat_cuckoo_table.hpp"
+#include "hash/hashes.hpp"
+#include "hash/lsh_table_chained.hpp"
+#include "hash/ls_bloom_filter.hpp"
+#include "hash/minhash.hpp"
+#include "hash/multi_probe.hpp"
+#include "hash/pstable_lsh.hpp"
+#include "hash/sparse_signature.hpp"
+#include "util/rng.hpp"
+
+namespace fast::hash {
+namespace {
+
+// ---------- hash primitives ----------
+
+TEST(Hashes, Murmur3Deterministic) {
+  const Hash128 a = murmur3_128("hello world");
+  const Hash128 b = murmur3_128("hello world");
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+TEST(Hashes, Murmur3SeedChangesOutput) {
+  const Hash128 a = murmur3_128("hello", 1);
+  const Hash128 b = murmur3_128("hello", 2);
+  EXPECT_NE(a.lo, b.lo);
+}
+
+TEST(Hashes, Murmur3SensitiveToEveryByte) {
+  std::string s(40, 'a');
+  const Hash128 base = murmur3_128(s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    std::string mutated = s;
+    mutated[i] = 'b';
+    EXPECT_NE(murmur3_128(mutated).lo, base.lo) << "byte " << i;
+  }
+}
+
+TEST(Hashes, Murmur3HandlesAllTailLengths) {
+  // Exercise every switch-case tail (0..15 bytes beyond block boundary).
+  std::set<std::uint64_t> seen;
+  for (std::size_t len = 0; len <= 32; ++len) {
+    std::string s(len, 'x');
+    seen.insert(murmur3_128(s).lo);
+  }
+  EXPECT_EQ(seen.size(), 33u);  // all distinct
+}
+
+TEST(Hashes, Fnv1aKnownValue) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(fnv1a_64("", 0), 0xcbf29ce484222325ULL);
+}
+
+TEST(Hashes, Mix64Bijective) {
+  // Distinct inputs -> distinct outputs across a decent sample.
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 10000u);
+}
+
+TEST(Hashes, DerivedHashLinear) {
+  const Hash128 h{10, 3};
+  EXPECT_EQ(derived_hash(h, 0), 10u);
+  EXPECT_EQ(derived_hash(h, 4), 22u);
+}
+
+// ---------- BloomFilter ----------
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter bf(1024, 4);
+  for (std::uint64_t i = 0; i < 50; ++i) bf.insert_u64(i);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(bf.maybe_contains_u64(i));
+  }
+}
+
+TEST(Bloom, AbsentMostlyRejected) {
+  BloomFilter bf(4096, 8);
+  for (std::uint64_t i = 0; i < 100; ++i) bf.insert_u64(i);
+  int fp = 0;
+  for (std::uint64_t i = 1000; i < 2000; ++i) {
+    if (bf.maybe_contains_u64(i)) ++fp;
+  }
+  EXPECT_LT(fp, 20);
+}
+
+TEST(Bloom, EmptyRejectsEverything) {
+  BloomFilter bf(256, 4);
+  EXPECT_FALSE(bf.maybe_contains_u64(1));
+  EXPECT_EQ(bf.set_bit_count(), 0u);
+}
+
+TEST(Bloom, SetBitsBounded) {
+  BloomFilter bf(1024, 4);
+  bf.insert_u64(42);
+  EXPECT_LE(bf.set_bit_count(), 4u);
+  EXPECT_GE(bf.set_bit_count(), 1u);
+}
+
+TEST(Bloom, MergeIsUnion) {
+  BloomFilter a(512, 4), b(512, 4);
+  a.insert_u64(1);
+  b.insert_u64(2);
+  a.merge(b);
+  EXPECT_TRUE(a.maybe_contains_u64(1));
+  EXPECT_TRUE(a.maybe_contains_u64(2));
+}
+
+TEST(Bloom, ClearResets) {
+  BloomFilter bf(512, 4);
+  bf.insert_u64(7);
+  bf.clear();
+  EXPECT_FALSE(bf.maybe_contains_u64(7));
+  EXPECT_EQ(bf.inserted_count(), 0u);
+}
+
+TEST(Bloom, SimilarSetsShareBits) {
+  // Two filters over sets sharing 80% of elements have small Hamming
+  // distance relative to disjoint sets — the property SM relies on.
+  BloomFilter a(4096, 8), b(4096, 8), c(4096, 8);
+  for (std::uint64_t i = 0; i < 100; ++i) a.insert_u64(i);
+  for (std::uint64_t i = 20; i < 120; ++i) b.insert_u64(i);      // 80% shared
+  for (std::uint64_t i = 1000; i < 1100; ++i) c.insert_u64(i);   // disjoint
+  EXPECT_LT(BloomFilter::hamming(a, b), BloomFilter::hamming(a, c));
+}
+
+TEST(Bloom, FloatVectorMatchesBits) {
+  BloomFilter bf(256, 2);
+  bf.insert_u64(5);
+  const auto v = bf.to_float_vector();
+  ASSERT_EQ(v.size(), 256u);
+  std::size_t ones = 0;
+  for (float x : v) {
+    EXPECT_TRUE(x == 0.0f || x == 1.0f);
+    ones += x == 1.0f;
+  }
+  EXPECT_EQ(ones, bf.set_bit_count());
+}
+
+// Property sweep: the empirical false-positive rate tracks the analytic
+// (1 - e^{-kn/m})^k model across configurations.
+struct BloomParams {
+  std::size_t bits;
+  std::size_t k;
+  std::size_t n;
+};
+
+class BloomFprTest : public ::testing::TestWithParam<BloomParams> {};
+
+TEST_P(BloomFprTest, EmpiricalFprMatchesTheory) {
+  const auto [bits, k, n] = GetParam();
+  BloomFilter bf(bits, k);
+  for (std::uint64_t i = 0; i < n; ++i) bf.insert_u64(i);
+  std::size_t fp = 0;
+  constexpr std::size_t kProbes = 20000;
+  for (std::uint64_t i = 0; i < kProbes; ++i) {
+    if (bf.maybe_contains_u64(1000000 + i)) ++fp;
+  }
+  const double empirical = static_cast<double>(fp) / kProbes;
+  const double theory = bf.false_positive_rate();
+  EXPECT_NEAR(empirical, theory, std::max(0.02, theory * 0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BloomFprTest,
+    ::testing::Values(BloomParams{1024, 4, 50}, BloomParams{1024, 4, 200},
+                      BloomParams{4096, 8, 200}, BloomParams{4096, 2, 400},
+                      BloomParams{16384, 8, 1000},
+                      BloomParams{512, 6, 100}));
+
+// ---------- CountingBloomFilter ----------
+
+TEST(CountingBloom, InsertThenRemove) {
+  CountingBloomFilter cbf(2048, 4);
+  cbf.insert_u64(9);
+  EXPECT_TRUE(cbf.maybe_contains_u64(9));
+  cbf.remove_u64(9);
+  EXPECT_FALSE(cbf.maybe_contains_u64(9));
+}
+
+TEST(CountingBloom, RemoveKeepsOtherKeys) {
+  CountingBloomFilter cbf(4096, 4);
+  for (std::uint64_t i = 0; i < 50; ++i) cbf.insert_u64(i);
+  cbf.remove_u64(25);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    if (i == 25) continue;
+    EXPECT_TRUE(cbf.maybe_contains_u64(i)) << i;
+  }
+}
+
+TEST(CountingBloom, DuplicateInsertNeedsTwoRemoves) {
+  CountingBloomFilter cbf(2048, 4);
+  cbf.insert_u64(3);
+  cbf.insert_u64(3);
+  cbf.remove_u64(3);
+  EXPECT_TRUE(cbf.maybe_contains_u64(3));
+  cbf.remove_u64(3);
+  EXPECT_FALSE(cbf.maybe_contains_u64(3));
+}
+
+TEST(CountingBloom, SaturationDetected) {
+  CountingBloomFilter cbf(64, 2);
+  for (std::uint64_t i = 0; i < 600; ++i) cbf.insert_u64(i);
+  EXPECT_GT(cbf.saturation_count(), 0u);
+}
+
+// ---------- SparseSignature ----------
+
+TEST(SparseSignature, ExtractsSetBits) {
+  BloomFilter bf(256, 3);
+  bf.insert_u64(17);
+  const SparseSignature sig(bf);
+  EXPECT_EQ(sig.popcount(), bf.set_bit_count());
+  EXPECT_EQ(sig.bit_count(), 256u);
+  const auto v = sig.to_float_vector();
+  EXPECT_EQ(v, bf.to_float_vector());
+}
+
+TEST(SparseSignature, HammingMatchesDense) {
+  util::Rng rng(1);
+  BloomFilter a(1024, 4), b(1024, 4);
+  for (int i = 0; i < 60; ++i) a.insert_u64(rng.next_u64());
+  for (int i = 0; i < 60; ++i) b.insert_u64(rng.next_u64());
+  const SparseSignature sa(a), sb(b);
+  EXPECT_EQ(SparseSignature::hamming(sa, sb), BloomFilter::hamming(a, b));
+}
+
+TEST(SparseSignature, JaccardBounds) {
+  BloomFilter a(512, 4), b(512, 4);
+  a.insert_u64(1);
+  b.insert_u64(1);
+  const SparseSignature sa(a), sb(b);
+  EXPECT_DOUBLE_EQ(SparseSignature::jaccard(sa, sa), 1.0);
+  EXPECT_DOUBLE_EQ(SparseSignature::jaccard(sa, sb), 1.0);  // same bits
+}
+
+TEST(SparseSignature, JaccardDisjointIsZero) {
+  const SparseSignature a({1, 2, 3}, 64);
+  const SparseSignature b({10, 20}, 64);
+  EXPECT_EQ(SparseSignature::jaccard(a, b), 0.0);
+  EXPECT_EQ(SparseSignature::overlap(a, b), 0u);
+  EXPECT_EQ(SparseSignature::hamming(a, b), 5u);
+}
+
+TEST(SparseSignature, EmptyPairJaccardIsOne) {
+  const SparseSignature a({}, 64), b({}, 64);
+  EXPECT_EQ(SparseSignature::jaccard(a, b), 1.0);
+}
+
+TEST(SparseSignature, StorageBytesTracksPopcount) {
+  const SparseSignature small({1}, 1024);
+  const SparseSignature big({1, 2, 3, 4, 5, 6, 7, 8}, 1024);
+  EXPECT_LT(small.storage_bytes(), big.storage_bytes());
+}
+
+// ---------- p-stable LSH ----------
+
+TEST(PStableLsh, DeterministicKeys) {
+  LshConfig cfg;
+  cfg.dim = 16;
+  PStableLsh lsh(cfg);
+  std::vector<float> v(16, 0.5f);
+  EXPECT_EQ(lsh.all_keys(v), lsh.all_keys(v));
+}
+
+TEST(PStableLsh, IdenticalVectorsAlwaysCollide) {
+  LshConfig cfg;
+  cfg.dim = 8;
+  PStableLsh lsh(cfg);
+  std::vector<float> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<float> w = v;
+  for (std::size_t t = 0; t < cfg.tables; ++t) {
+    EXPECT_EQ(lsh.bucket_coords(t, v), lsh.bucket_coords(t, w));
+  }
+}
+
+TEST(PStableLsh, CollisionProbabilityDecreasesWithDistance) {
+  // Analytic p(c) is monotonically decreasing in c.
+  double prev = PStableLsh::collision_probability(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+  for (double c : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const double p = PStableLsh::collision_probability(c, 1.0);
+    EXPECT_LT(p, prev);
+    EXPECT_GE(p, 0.0);
+    prev = p;
+  }
+}
+
+TEST(PStableLsh, EmpiricalCollisionMatchesTheory) {
+  LshConfig cfg;
+  cfg.dim = 32;
+  cfg.tables = 1;
+  cfg.hashes_per_table = 400;  // 400 independent elementary hashes
+  cfg.omega = 1.0;
+  PStableLsh lsh(cfg);
+  util::Rng rng(5);
+  std::vector<float> v(32);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  for (double dist : {0.25, 0.5, 1.0}) {
+    // w = v + offset of norm `dist` along a random direction.
+    std::vector<float> dir(32);
+    for (auto& x : dir) x = static_cast<float>(rng.gaussian());
+    double n = 0;
+    for (float x : dir) n += x * x;
+    n = std::sqrt(n);
+    std::vector<float> w = v;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] += static_cast<float>(dir[i] / n * dist);
+    }
+    std::size_t collisions = 0;
+    for (std::size_t j = 0; j < cfg.hashes_per_table; ++j) {
+      if (lsh.hash_one(0, j, v) == lsh.hash_one(0, j, w)) ++collisions;
+    }
+    const double empirical =
+        static_cast<double>(collisions) / cfg.hashes_per_table;
+    const double theory = PStableLsh::collision_probability(dist, cfg.omega);
+    EXPECT_NEAR(empirical, theory, 0.08) << "dist " << dist;
+  }
+}
+
+TEST(PStableLsh, BucketKeySaltsByTable) {
+  LshConfig cfg;
+  cfg.dim = 4;
+  PStableLsh lsh(cfg);
+  const BucketCoords coords{1, 2, 3};
+  EXPECT_NE(lsh.bucket_key(0, coords), lsh.bucket_key(1, coords));
+}
+
+// ---------- multi-probe ----------
+
+TEST(MultiProbe, Depth0IsEmpty) {
+  EXPECT_TRUE(probe_sequence({1, 2, 3}, 0).empty());
+  EXPECT_EQ(probe_count(3, 0), 0u);
+}
+
+TEST(MultiProbe, Depth1EnumeratesSingleSteps) {
+  const auto probes = probe_sequence({5, 5}, 1);
+  EXPECT_EQ(probes.size(), probe_count(2, 1));
+  EXPECT_EQ(probes.size(), 4u);
+  std::set<BucketCoords> expected{{4, 5}, {6, 5}, {5, 4}, {5, 6}};
+  for (const auto& p : probes) {
+    EXPECT_TRUE(expected.count(p)) << "unexpected probe";
+  }
+}
+
+TEST(MultiProbe, Depth2AddsPairPerturbations) {
+  const auto probes = probe_sequence({0, 0, 0}, 2);
+  EXPECT_EQ(probes.size(), probe_count(3, 2));
+  EXPECT_EQ(probes.size(), 2u * 3 + 2u * 3 * 2);
+  // All probes distinct.
+  std::set<BucketCoords> unique(probes.begin(), probes.end());
+  EXPECT_EQ(unique.size(), probes.size());
+}
+
+// ---------- chained LSH table ----------
+
+TEST(ChainedTable, InsertAndFindAll) {
+  LshTableChained table(16);
+  table.insert(7, 100);
+  table.insert(7, 101);
+  table.insert(8, 200);
+  const auto vals = table.find(7);
+  EXPECT_EQ(vals.size(), 2u);
+  EXPECT_TRUE((vals[0] == 100 && vals[1] == 101) ||
+              (vals[0] == 101 && vals[1] == 100));
+}
+
+TEST(ChainedTable, ProbeCountGrowsWithChain) {
+  LshTableChained table(1);  // everything in one bucket
+  for (std::uint64_t i = 0; i < 20; ++i) table.insert(i, i);
+  std::size_t probes = 0;
+  table.find(0, &probes);
+  EXPECT_EQ(probes, 20u);  // walks the whole chain: vertical addressing
+  EXPECT_EQ(table.max_chain_length(), 20u);
+}
+
+TEST(ChainedTable, MissingKeyEmpty) {
+  LshTableChained table(8);
+  table.insert(1, 1);
+  EXPECT_TRUE(table.find(99).empty());
+}
+
+// ---------- standard cuckoo ----------
+
+TEST(Cuckoo, InsertFindErase) {
+  CuckooTable t(64);
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_TRUE(t.insert(2, 20));
+  EXPECT_EQ(t.find(1).value(), 10u);
+  EXPECT_EQ(t.find(2).value(), 20u);
+  EXPECT_FALSE(t.find(3).has_value());
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.find(1).has_value());
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Cuckoo, OverwriteExistingKey) {
+  CuckooTable t(64);
+  EXPECT_TRUE(t.insert(5, 1));
+  EXPECT_TRUE(t.insert(5, 2));
+  EXPECT_EQ(t.find(5).value(), 2u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Cuckoo, AllInsertedKeysFindableAtModerateLoad) {
+  CuckooTable t(1024);
+  // 40% load: standard 2-choice cuckoo handles this comfortably.
+  for (std::uint64_t i = 0; i < 409; ++i) {
+    ASSERT_TRUE(t.insert(i, i * 2)) << "key " << i;
+  }
+  for (std::uint64_t i = 0; i < 409; ++i) {
+    ASSERT_EQ(t.find(i).value(), i * 2);
+  }
+}
+
+TEST(Cuckoo, FailureRollsBackExactly) {
+  // Fill a tiny table to force an insertion failure, then verify every
+  // previously inserted key is still present with its value.
+  CuckooTable t(16, 0x5eed1, 32);
+  std::vector<std::uint64_t> inserted;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (t.insert(i, i + 1000)) {
+      inserted.push_back(i);
+    } else {
+      break;
+    }
+  }
+  EXPECT_GT(t.stats().failures + (64 - inserted.size()), 0u);
+  for (std::uint64_t k : inserted) {
+    ASSERT_EQ(t.find(k).value(), k + 1000) << "lost key after failure";
+  }
+}
+
+TEST(Cuckoo, HighLoadEventuallyFails) {
+  CuckooTable t(128, 7, 100);
+  std::size_t ok = 0;
+  for (std::uint64_t i = 0; i < 128; ++i) ok += t.insert(i, i);
+  EXPECT_LT(ok, 128u);  // 100% load is beyond 2-choice cuckoo
+  EXPECT_GT(t.stats().failures, 0u);
+}
+
+// ---------- flat cuckoo ----------
+
+TEST(FlatCuckoo, InsertFindErase) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 64;
+  FlatCuckooTable t(cfg);
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_EQ(t.find(1).value(), 10u);
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.contains(1));
+}
+
+TEST(FlatCuckoo, OverwriteInPlace) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 64;
+  FlatCuckooTable t(cfg);
+  t.insert(9, 1);
+  t.insert(9, 2);
+  EXPECT_EQ(t.find(9).value(), 2u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatCuckoo, SustainsHighLoad) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 1024;
+  cfg.window = 4;
+  FlatCuckooTable t(cfg);
+  // 90% load: far beyond standard cuckoo, fine with W=4 neighborhoods.
+  std::size_t ok = 0;
+  for (std::uint64_t i = 0; i < 921; ++i) ok += t.insert(i, i);
+  EXPECT_EQ(ok, 921u);
+  for (std::uint64_t i = 0; i < 921; ++i) {
+    ASSERT_TRUE(t.contains(i));
+  }
+}
+
+TEST(FlatCuckoo, ProbesPerLookupIsTwoW) {
+  FlatCuckooConfig cfg;
+  cfg.window = 4;
+  FlatCuckooTable t(cfg);
+  EXPECT_EQ(t.probes_per_lookup(), 8u);
+}
+
+TEST(FlatCuckoo, FarFewerFailuresThanStandardAtEqualLoad) {
+  // The Fig. 6 property, at test scale: load both tables to 85% and
+  // compare failure counts.
+  constexpr std::size_t kCap = 2048;
+  constexpr std::size_t kItems = 1741;  // 85%
+  std::size_t std_failures = 0, flat_failures = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    CuckooTable std_table(kCap, seed, 200);
+    FlatCuckooConfig cfg;
+    cfg.capacity = kCap;
+    cfg.seed = seed;
+    cfg.max_kicks = 200;
+    FlatCuckooTable flat_table(cfg);
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      std_failures += !std_table.insert(i, i);
+      flat_failures += !flat_table.insert(i, i);
+    }
+  }
+  EXPECT_EQ(flat_failures, 0u);
+  EXPECT_GT(std_failures, 0u);
+}
+
+TEST(FlatCuckoo, FailureRollsBackExactly) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 32;
+  cfg.window = 2;
+  cfg.max_kicks = 16;
+  FlatCuckooTable t(cfg);
+  std::vector<std::uint64_t> inserted;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (t.insert(i, i * 3)) inserted.push_back(i);
+  }
+  for (std::uint64_t k : inserted) {
+    ASSERT_EQ(t.find(k).value(), k * 3);
+  }
+}
+
+// ---------- MinHash ----------
+
+TEST(MinHash, DeterministicBands) {
+  MinHasher mh(MinHashConfig{});
+  const SparseSignature sig({1, 5, 9, 100}, 4096);
+  const auto m1 = mh.minhashes(sig);
+  const auto m2 = mh.minhashes(sig);
+  for (std::size_t b = 0; b < mh.config().bands; ++b) {
+    EXPECT_EQ(mh.band_key(b, m1), mh.band_key(b, m2));
+  }
+}
+
+TEST(MinHash, IdenticalSignaturesShareAllBands) {
+  MinHasher mh(MinHashConfig{});
+  const SparseSignature a({2, 4, 8, 16, 32}, 1024);
+  const SparseSignature b({2, 4, 8, 16, 32}, 1024);
+  const auto ma = mh.minhashes(a), mb = mh.minhashes(b);
+  for (std::size_t band = 0; band < mh.config().bands; ++band) {
+    EXPECT_EQ(mh.band_key(band, ma), mh.band_key(band, mb));
+  }
+}
+
+TEST(MinHash, CollisionRateTracksJaccard) {
+  // Build sets with known Jaccard and verify per-hash minhash agreement.
+  MinHashConfig cfg;
+  cfg.bands = 256;
+  cfg.band_size = 1;  // 256 independent minhashes
+  MinHasher mh(cfg);
+  util::Rng rng(3);
+  for (double target_j : {0.2, 0.5, 0.8}) {
+    // |A| = |B| = 300 with shared fraction s: J = s / (2 - s).
+    const double s = 2 * target_j / (1 + target_j);
+    const auto shared = static_cast<std::uint32_t>(300 * s);
+    std::vector<std::uint32_t> a, b;
+    for (std::uint32_t i = 0; i < shared; ++i) {
+      a.push_back(i);
+      b.push_back(i);
+    }
+    for (std::uint32_t i = shared; i < 300; ++i) {
+      a.push_back(10000 + i);
+      b.push_back(20000 + i);
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    const SparseSignature sa(a, 1 << 16), sb(b, 1 << 16);
+    const double j = SparseSignature::jaccard(sa, sb);
+    const auto ma = mh.minhashes(sa), mb = mh.minhashes(sb);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < cfg.bands; ++i) {
+      agree += ma[i].min == mb[i].min;
+    }
+    EXPECT_NEAR(static_cast<double>(agree) / cfg.bands, j, 0.09)
+        << "target J " << target_j;
+  }
+}
+
+TEST(MinHash, ProbeKeysDifferFromHomeKey) {
+  MinHasher mh(MinHashConfig{.bands = 4, .band_size = 3, .seed = 1});
+  const SparseSignature sig({1, 2, 3, 4, 5, 6, 7, 8}, 4096);
+  const auto m = mh.minhashes(sig);
+  for (std::size_t band = 0; band < 4; ++band) {
+    const auto probes = mh.probe_keys(band, m);
+    EXPECT_EQ(probes.size(), 3u);
+    for (std::uint64_t p : probes) {
+      EXPECT_NE(p, mh.band_key(band, m));
+    }
+  }
+}
+
+TEST(MinHash, CollisionProbabilityFormula) {
+  EXPECT_NEAR(MinHasher::collision_probability(1.0, 10, 2), 1.0, 1e-12);
+  EXPECT_NEAR(MinHasher::collision_probability(0.0, 10, 2), 0.0, 1e-12);
+  const double p1 = MinHasher::collision_probability(0.5, 10, 2);
+  const double p2 = MinHasher::collision_probability(0.3, 10, 2);
+  EXPECT_GT(p1, p2);
+}
+
+// ---------- Locality-Sensitive Bloom Filter ----------
+
+TEST(Lsbf, InsertedVectorIsNear) {
+  LsbfConfig cfg;
+  cfg.lsh.dim = 16;
+  cfg.lsh.omega = 4.0;
+  cfg.threshold = 5;
+  LocalitySensitiveBloomFilter lsbf(cfg);
+  std::vector<float> v(16, 1.0f);
+  lsbf.insert(v);
+  EXPECT_TRUE(lsbf.maybe_near(v));
+  EXPECT_EQ(lsbf.near_score(v), 1.0);
+}
+
+TEST(Lsbf, FarVectorRejected) {
+  LsbfConfig cfg;
+  cfg.lsh.dim = 16;
+  cfg.lsh.omega = 0.5;
+  LocalitySensitiveBloomFilter lsbf(cfg);
+  std::vector<float> v(16, 0.0f);
+  lsbf.insert(v);
+  std::vector<float> far(16, 100.0f);
+  EXPECT_FALSE(lsbf.maybe_near(far));
+  EXPECT_LT(lsbf.near_score(far), 0.5);
+}
+
+TEST(Lsbf, NearbyVectorScoresHigherThanFar) {
+  LsbfConfig cfg;
+  cfg.lsh.dim = 8;
+  cfg.lsh.omega = 2.0;
+  cfg.lsh.tables = 32;
+  LocalitySensitiveBloomFilter lsbf(cfg);
+  std::vector<float> v{1, 2, 3, 4, 5, 6, 7, 8};
+  lsbf.insert(v);
+  std::vector<float> near = v;
+  near[0] += 0.05f;
+  std::vector<float> far = v;
+  for (auto& x : far) x += 50.0f;
+  EXPECT_GT(lsbf.near_score(near), lsbf.near_score(far));
+}
+
+}  // namespace
+}  // namespace fast::hash

@@ -1,0 +1,263 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "index/kd_tree.hpp"
+#include "index/linear_scan.hpp"
+#include "index/r_tree.hpp"
+#include "util/rng.hpp"
+
+namespace fast::index {
+namespace {
+
+std::vector<std::vector<float>> random_points(std::size_t n, std::size_t dim,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> points(n);
+  for (auto& p : points) {
+    p.resize(dim);
+    for (auto& x : p) x = static_cast<float>(rng.uniform(-10, 10));
+  }
+  return points;
+}
+
+// ---------- LinearScan ----------
+
+TEST(LinearScan, NearestOrdersByDistance) {
+  LinearScan scan;
+  scan.add(1, {0, 0});
+  scan.add(2, {1, 0});
+  scan.add(3, {5, 0});
+  const std::vector<float> q{0.4f, 0};
+  const auto nn = scan.nearest(q, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].id, 1u);
+  EXPECT_EQ(nn[1].id, 2u);
+  EXPECT_EQ(nn[2].id, 3u);
+  EXPECT_NEAR(nn[0].distance, 0.4, 1e-6);
+}
+
+TEST(LinearScan, KLargerThanSize) {
+  LinearScan scan;
+  scan.add(1, {0.f});
+  const auto nn = scan.nearest(std::vector<float>{1.f}, 10);
+  EXPECT_EQ(nn.size(), 1u);
+}
+
+TEST(LinearScan, WithinRadius) {
+  LinearScan scan;
+  scan.add(1, {0, 0});
+  scan.add(2, {3, 4});
+  scan.add(3, {10, 0});
+  const auto hits = scan.within(std::vector<float>{0.f, 0.f}, 6.0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[1].id, 2u);
+}
+
+// ---------- KdTree ----------
+
+TEST(KdTree, EmptyTree) {
+  KdTree tree({}, {});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.nearest(std::vector<float>{}, 3).empty());
+}
+
+TEST(KdTree, SinglePoint) {
+  KdTree tree({7}, {{1.f, 2.f}});
+  const auto nn = tree.nearest(std::vector<float>{0.f, 0.f}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 7u);
+  EXPECT_NEAR(nn[0].distance, std::sqrt(5.0), 1e-6);
+}
+
+TEST(KdTree, NearestMatchesLinearScan) {
+  const auto points = random_points(500, 4, 1);
+  std::vector<std::uint64_t> ids(points.size());
+  LinearScan scan;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ids[i] = i;
+    scan.add(i, points[i]);
+  }
+  KdTree tree(ids, points);
+  util::Rng rng(2);
+  for (int q = 0; q < 50; ++q) {
+    std::vector<float> query(4);
+    for (auto& x : query) x = static_cast<float>(rng.uniform(-10, 10));
+    const auto kd = tree.nearest(query, 5);
+    const auto ls = scan.nearest(query, 5);
+    ASSERT_EQ(kd.size(), ls.size());
+    for (std::size_t i = 0; i < kd.size(); ++i) {
+      EXPECT_EQ(kd[i].id, ls[i].id) << "query " << q << " rank " << i;
+      EXPECT_NEAR(kd[i].distance, ls[i].distance, 1e-5);
+    }
+  }
+}
+
+TEST(KdTree, WithinMatchesLinearScan) {
+  const auto points = random_points(300, 3, 3);
+  std::vector<std::uint64_t> ids(points.size());
+  LinearScan scan;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ids[i] = i;
+    scan.add(i, points[i]);
+  }
+  KdTree tree(ids, points);
+  util::Rng rng(4);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<float> query(3);
+    for (auto& x : query) x = static_cast<float>(rng.uniform(-10, 10));
+    const auto kd = tree.within(query, 4.0);
+    const auto ls = scan.within(query, 4.0);
+    ASSERT_EQ(kd.size(), ls.size());
+    for (std::size_t i = 0; i < kd.size(); ++i) {
+      EXPECT_EQ(kd[i].id, ls[i].id);
+    }
+  }
+}
+
+TEST(KdTree, PrunesNodes) {
+  // Branch-and-bound must visit far fewer nodes than the full tree for a
+  // clustered query.
+  const auto points = random_points(2000, 3, 5);
+  std::vector<std::uint64_t> ids(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) ids[i] = i;
+  KdTree tree(ids, points);
+  std::size_t visited = 0;
+  tree.nearest(points[42], 1, &visited);
+  EXPECT_LT(visited, 2000u);
+  EXPECT_GT(visited, 0u);
+}
+
+TEST(KdTree, DuplicatePointsAllFound) {
+  std::vector<std::vector<float>> points(5, {1.f, 1.f});
+  KdTree tree({0, 1, 2, 3, 4}, points);
+  const auto nn = tree.nearest(std::vector<float>{1.f, 1.f}, 5);
+  std::set<std::uint64_t> got;
+  for (const auto& n : nn) got.insert(n.id);
+  EXPECT_EQ(got.size(), 5u);
+}
+
+// ---------- RTree ----------
+
+TEST(RTree, RectGeometry) {
+  const Rect r{0, 0, 10, 5};
+  EXPECT_EQ(r.area(), 50.0);
+  EXPECT_TRUE(r.contains_point(5, 2));
+  EXPECT_FALSE(r.contains_point(11, 2));
+  EXPECT_TRUE(r.intersects(Rect{9, 4, 20, 20}));
+  EXPECT_FALSE(r.intersects(Rect{11, 6, 20, 20}));
+  EXPECT_EQ(r.min_dist_sq(5, 2), 0.0);
+  EXPECT_EQ(r.min_dist_sq(13, 9), 9.0 + 16.0);
+}
+
+TEST(RTree, RectExpansion) {
+  const Rect a{0, 0, 1, 1};
+  const Rect b{2, 2, 3, 3};
+  const Rect e = a.expanded(b);
+  EXPECT_EQ(e.min_x, 0);
+  EXPECT_EQ(e.max_x, 3);
+  EXPECT_EQ(a.enlargement(b), 9.0 - 1.0);
+}
+
+TEST(RTree, InsertAndRangeSmall) {
+  RTree tree(4);
+  tree.insert(1, 1, 1);
+  tree.insert(2, 5, 5);
+  tree.insert(3, 9, 9);
+  const auto hits = tree.range(Rect{0, 0, 6, 6});
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(RTree, RangeMatchesBruteForceAfterSplits) {
+  util::Rng rng(6);
+  RTree tree(6);
+  std::vector<std::pair<double, double>> points;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 100);
+    const double y = rng.uniform(0, 100);
+    tree.insert(i, x, y);
+    points.emplace_back(x, y);
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  for (int q = 0; q < 25; ++q) {
+    const double x0 = rng.uniform(0, 80), y0 = rng.uniform(0, 80);
+    const Rect query{x0, y0, x0 + 20, y0 + 20};
+    auto hits = tree.range(query);
+    std::sort(hits.begin(), hits.end());
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t i = 0; i < points.size(); ++i) {
+      if (query.contains_point(points[i].first, points[i].second)) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(hits, expected) << "query " << q;
+  }
+}
+
+TEST(RTree, NearestMatchesBruteForce) {
+  util::Rng rng(8);
+  RTree tree(8);
+  std::vector<std::pair<double, double>> points;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const double x = rng.uniform(0, 100);
+    const double y = rng.uniform(0, 100);
+    tree.insert(i, x, y);
+    points.emplace_back(x, y);
+  }
+  for (int q = 0; q < 20; ++q) {
+    const double qx = rng.uniform(0, 100), qy = rng.uniform(0, 100);
+    const auto knn = tree.nearest(qx, qy, 5);
+    ASSERT_EQ(knn.size(), 5u);
+    // Brute force.
+    std::vector<std::pair<double, std::uint64_t>> bf;
+    for (std::uint64_t i = 0; i < points.size(); ++i) {
+      const double dx = points[i].first - qx, dy = points[i].second - qy;
+      bf.emplace_back(std::sqrt(dx * dx + dy * dy), i);
+    }
+    std::sort(bf.begin(), bf.end());
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(knn[i].distance, bf[i].first, 1e-9) << "rank " << i;
+    }
+  }
+}
+
+TEST(RTree, NearestOrdered) {
+  RTree tree(4);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    tree.insert(i, static_cast<double>(i), 0);
+  }
+  const auto knn = tree.nearest(25.2, 0, 4);
+  ASSERT_EQ(knn.size(), 4u);
+  for (std::size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_GE(knn[i].distance, knn[i - 1].distance);
+  }
+  EXPECT_EQ(knn[0].id, 25u);
+}
+
+TEST(RTree, HeightGrowsLogarithmically) {
+  RTree tree(8);
+  util::Rng rng(10);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    tree.insert(i, rng.uniform(0, 1000), rng.uniform(0, 1000));
+  }
+  // 1000 points with fan-out >= 4 must fit in height <= 6.
+  EXPECT_LE(tree.height(), 6u);
+  EXPECT_GE(tree.height(), 2u);
+}
+
+TEST(RTree, AccessCountReported) {
+  RTree tree(4);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    tree.insert(i, static_cast<double>(i % 10), static_cast<double>(i / 10));
+  }
+  std::size_t accesses = 0;
+  tree.range(Rect{0, 0, 2, 2}, &accesses);
+  EXPECT_GT(accesses, 0u);
+  EXPECT_LT(accesses, tree.node_count() + 1);
+}
+
+}  // namespace
+}  // namespace fast::index

@@ -1,0 +1,233 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/fast_index.hpp"
+#include "mobile/chunker.hpp"
+#include "mobile/transmitter.hpp"
+#include "mobile/user_groups.hpp"
+#include "test_helpers.hpp"
+#include "vision/pca_sift.hpp"
+
+namespace fast::mobile {
+namespace {
+
+// ---------- Chunker ----------
+
+TEST(Chunker, CoversWholeInput) {
+  Chunker chunker;
+  const auto data = synth_file_bytes(1, 100000);
+  const auto chunks = chunker.chunk(data);
+  ASSERT_FALSE(chunks.empty());
+  std::size_t total = 0;
+  std::size_t expected_offset = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.offset, expected_offset);
+    expected_offset += c.length;
+    total += c.length;
+  }
+  EXPECT_EQ(total, data.size());
+}
+
+TEST(Chunker, RespectsSizeBounds) {
+  ChunkerConfig cfg;
+  Chunker chunker(cfg);
+  const auto data = synth_file_bytes(2, 500000);
+  const auto chunks = chunker.chunk(data);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {  // last may be short
+    EXPECT_GE(chunks[i].length, cfg.min_chunk);
+    EXPECT_LE(chunks[i].length, cfg.max_chunk);
+  }
+}
+
+TEST(Chunker, MeanChunkNearTarget) {
+  ChunkerConfig cfg;
+  Chunker chunker(cfg);
+  const auto data = synth_file_bytes(3, 2000000);
+  const auto chunks = chunker.chunk(data);
+  const double mean =
+      static_cast<double>(data.size()) / static_cast<double>(chunks.size());
+  // Expected chunk size for masked CDC with min/max clamps is around
+  // min + avg; allow a generous band.
+  EXPECT_GT(mean, cfg.avg_chunk * 0.5);
+  EXPECT_LT(mean, cfg.avg_chunk * 3.0);
+}
+
+TEST(Chunker, IdenticalInputsIdenticalChunks) {
+  Chunker chunker;
+  const auto a = synth_file_bytes(5, 50000);
+  const auto b = synth_file_bytes(5, 50000);
+  const auto ca = chunker.chunk(a);
+  const auto cb = chunker.chunk(b);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].fingerprint, cb[i].fingerprint);
+  }
+}
+
+TEST(Chunker, ContentShiftPreservesMostChunks) {
+  // CDC's defining property: prepending bytes only perturbs the first
+  // chunk boundary, the rest re-synchronize.
+  Chunker chunker;
+  const auto base = synth_file_bytes(7, 200000);
+  std::vector<std::uint8_t> shifted(100, 0xAB);
+  shifted.insert(shifted.end(), base.begin(), base.end());
+  const auto ca = chunker.chunk(base);
+  const auto cb = chunker.chunk(shifted);
+  std::set<std::uint64_t> fps;
+  for (const auto& c : ca) fps.insert(c.fingerprint);
+  std::size_t shared = 0;
+  for (const auto& c : cb) shared += fps.count(c.fingerprint);
+  EXPECT_GT(static_cast<double>(shared) / ca.size(), 0.6);
+}
+
+TEST(Chunker, EmptyInputNoChunks) {
+  Chunker chunker;
+  EXPECT_TRUE(chunker.chunk({}).empty());
+}
+
+TEST(SynthFile, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(synth_file_bytes(9, 1000), synth_file_bytes(9, 1000));
+  EXPECT_NE(synth_file_bytes(9, 1000), synth_file_bytes(10, 1000));
+}
+
+// ---------- Transmitters ----------
+
+class TransmitTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::DatasetSpec spec = workload::DatasetSpec::wuhan(30);
+    spec.image_size = 96;  // enough texture for reliable signatures
+    spec.mean_file_mb = 2.0;  // multi-MB photos: the Fig. 8 regime
+    dataset_ = new workload::Dataset(workload::SceneGenerator(spec).generate());
+    // A real (trained) eigenspace: near-duplicate suppression needs
+    // data-adapted descriptors, which the random fake basis cannot give.
+    std::vector<img::Image> sample;
+    for (std::size_t i = 0; i < 10; ++i) {
+      sample.push_back(dataset_->photos[i].image);
+    }
+    pca_cfg_ = new vision::PcaSiftConfig();
+    pca_cfg_->patch_size = 13;
+    pca_ = new vision::PcaModel(
+        vision::train_pca_sift(sample, *pca_cfg_, 500));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete pca_;
+    delete pca_cfg_;
+    dataset_ = nullptr;
+    pca_ = nullptr;
+    pca_cfg_ = nullptr;
+  }
+
+  static core::FastConfig fast_config() {
+    core::FastConfig cfg;
+    cfg.pca_sift = *pca_cfg_;
+    cfg.cuckoo.capacity = 512;
+    return cfg;
+  }
+
+  static workload::Dataset* dataset_;
+  static vision::PcaModel* pca_;
+  static vision::PcaSiftConfig* pca_cfg_;
+};
+
+workload::Dataset* TransmitTest::dataset_ = nullptr;
+vision::PcaModel* TransmitTest::pca_ = nullptr;
+vision::PcaSiftConfig* TransmitTest::pca_cfg_ = nullptr;
+
+TEST_F(TransmitTest, UserGroupsPartitionLandmarks) {
+  const auto groups = make_user_groups(*dataset_, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  std::set<std::uint32_t> seen;
+  std::size_t total = 0;
+  for (const auto& g : groups) {
+    EXPECT_FALSE(g.landmarks.empty());
+    total += g.landmarks.size();
+    for (auto l : g.landmarks) {
+      EXPECT_TRUE(seen.insert(l).second) << "landmark in two groups";
+    }
+  }
+  EXPECT_EQ(total, dataset_->spec.landmarks);
+}
+
+TEST_F(TransmitTest, UploadBatchShape) {
+  const auto groups = make_user_groups(*dataset_, 3);
+  const auto batch = make_upload_batch(*dataset_, groups[0], 20, 1);
+  EXPECT_EQ(batch.size(), 20u);
+  for (const auto& item : batch) {
+    EXPECT_NE(item.image, nullptr);
+    EXPECT_GT(item.file_bytes, 0u);
+  }
+}
+
+TEST_F(TransmitTest, ChunkTransmitterDedupsExactReshares) {
+  const auto groups = make_user_groups(*dataset_, 3);
+  UserGroupSpec heavy = groups[0];
+  heavy.exact_dup_prob = 0.9;  // nearly everything is a re-share
+  const auto batch = make_upload_batch(*dataset_, heavy, 15, 2);
+  ChunkTransmitter tx(ChunkerConfig{}, sim::EnergyModel{});
+  const TransmissionReport report = tx.upload_batch(batch);
+  EXPECT_EQ(report.images, 15u);
+  EXPECT_GT(report.suppressed, 0u);
+  EXPECT_LT(report.sent_bytes, report.raw_bytes);
+  EXPECT_GT(report.bandwidth_savings(), 0.3);
+}
+
+TEST_F(TransmitTest, ChunkTransmitterCannotDedupNearDuplicates) {
+  const auto groups = make_user_groups(*dataset_, 3);
+  UserGroupSpec no_reshare = groups[0];
+  no_reshare.exact_dup_prob = 0.0;  // only near-duplicates remain
+  const auto batch = make_upload_batch(*dataset_, no_reshare, 10, 3);
+  ChunkTransmitter tx(ChunkerConfig{}, sim::EnergyModel{});
+  const TransmissionReport report = tx.upload_batch(batch);
+  // Different shots share no bytes, so most data is still transmitted
+  // (random re-draws of the same photo are the only dedup opportunity).
+  EXPECT_GT(static_cast<double>(report.sent_bytes), 0.55 * report.raw_bytes);
+}
+
+TEST_F(TransmitTest, FastTransmitterSuppressesNearDuplicates) {
+  core::FastIndex index(fast_config(), *pca_);
+  FastTransmitter tx(index, sim::EnergyModel{}, 0.14);
+  const auto groups = make_user_groups(*dataset_, 3);
+  UserGroupSpec g = groups[0];
+  g.exact_dup_prob = 0.3;
+  const auto batch = make_upload_batch(*dataset_, g, 25, 4);
+  const TransmissionReport report = tx.upload_batch(batch);
+  EXPECT_EQ(report.images, 25u);
+  EXPECT_GT(report.suppressed, 0u);
+  EXPECT_GT(report.bandwidth_savings(), 0.2);
+}
+
+TEST_F(TransmitTest, FastBeatsChunkOnNearDupHeavyStreams) {
+  // The Fig. 8 headline at test scale: with near-duplicate-rich uploads,
+  // FAST transmits fewer bytes and burns less energy than chunking.
+  const auto groups = make_user_groups(*dataset_, 3);
+  UserGroupSpec g = groups[1];
+  g.exact_dup_prob = 0.2;
+  const auto batch = make_upload_batch(*dataset_, g, 25, 5);
+
+  ChunkTransmitter chunk_tx(ChunkerConfig{}, sim::EnergyModel{});
+  const TransmissionReport chunk_report = chunk_tx.upload_batch(batch);
+
+  core::FastIndex index(fast_config(), *pca_);
+  FastTransmitter fast_tx(index, sim::EnergyModel{}, 0.14);
+  const TransmissionReport fast_report = fast_tx.upload_batch(batch);
+
+  EXPECT_LT(fast_report.sent_bytes, chunk_report.sent_bytes);
+  EXPECT_LT(fast_report.energy_joule, chunk_report.energy_joule);
+}
+
+TEST_F(TransmitTest, EnergyIncludesCpu) {
+  core::FastIndex index(fast_config(), *pca_);
+  sim::EnergyModel energy;
+  FastTransmitter tx(index, energy, 0.14);
+  const auto groups = make_user_groups(*dataset_, 3);
+  const auto batch = make_upload_batch(*dataset_, groups[0], 5, 6);
+  const TransmissionReport report = tx.upload_batch(batch);
+  EXPECT_GT(report.cpu_seconds, 0.0);
+  EXPECT_GT(report.energy_joule, energy.compute_joule(report.cpu_seconds));
+}
+
+}  // namespace
+}  // namespace fast::mobile

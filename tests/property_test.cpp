@@ -1,0 +1,247 @@
+// Parameterized property sweeps across the hashing and storage invariants
+// (TEST_P): these complement the per-module unit tests with broader
+// configuration coverage.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hash/cuckoo_table.hpp"
+#include "hash/flat_cuckoo_table.hpp"
+#include "hash/minhash.hpp"
+#include "hash/pstable_lsh.hpp"
+#include "hash/sparse_signature.hpp"
+#include "mobile/chunker.hpp"
+#include "sim/cluster_model.hpp"
+#include "util/rng.hpp"
+
+namespace fast {
+namespace {
+
+// ---------- p-stable LSH: locality across (dim, omega) ----------
+
+struct LshParams {
+  std::size_t dim;
+  double omega;
+};
+
+class LshLocalityTest : public ::testing::TestWithParam<LshParams> {};
+
+TEST_P(LshLocalityTest, NearPairsCollideMoreThanFarPairs) {
+  const auto [dim, omega] = GetParam();
+  hash::LshConfig cfg;
+  cfg.dim = dim;
+  cfg.omega = omega;
+  cfg.tables = 1;
+  cfg.hashes_per_table = 200;
+  hash::PStableLsh lsh(cfg);
+  util::Rng rng(dim * 31 + static_cast<std::uint64_t>(omega * 100));
+
+  std::vector<float> v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  auto offset_by = [&](double dist) {
+    std::vector<float> dir(dim);
+    double norm = 0;
+    for (auto& x : dir) {
+      x = static_cast<float>(rng.gaussian());
+      norm += x * x;
+    }
+    norm = std::sqrt(norm);
+    std::vector<float> w = v;
+    for (std::size_t i = 0; i < dim; ++i) {
+      w[i] += static_cast<float>(dir[i] / norm * dist);
+    }
+    return w;
+  };
+  auto collisions = [&](const std::vector<float>& w) {
+    std::size_t c = 0;
+    for (std::size_t j = 0; j < cfg.hashes_per_table; ++j) {
+      c += lsh.hash_one(0, j, v) == lsh.hash_one(0, j, w);
+    }
+    return c;
+  };
+  const std::size_t near = collisions(offset_by(omega * 0.2));
+  const std::size_t far = collisions(offset_by(omega * 3.0));
+  EXPECT_GT(near, far);
+  EXPECT_GT(near, cfg.hashes_per_table / 2);  // near pairs mostly collide
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LshLocalityTest,
+                         ::testing::Values(LshParams{8, 0.5},
+                                           LshParams{8, 2.0},
+                                           LshParams{64, 0.85},
+                                           LshParams{256, 0.85},
+                                           LshParams{256, 4.0}));
+
+// ---------- MinHash: banding collision tracks Jaccard across configs ----
+
+struct BandParams {
+  std::size_t bands;
+  std::size_t band_size;
+};
+
+class MinHashBandTest : public ::testing::TestWithParam<BandParams> {};
+
+TEST_P(MinHashBandTest, HigherJaccardNeverCollidesLess) {
+  const auto [bands, band_size] = GetParam();
+  hash::MinHasher mh(hash::MinHashConfig{bands, band_size, 0x88});
+  auto make_pair = [&](double share, std::uint64_t salt) {
+    std::vector<std::uint32_t> a, b;
+    const std::uint32_t n = 400;
+    const auto shared = static_cast<std::uint32_t>(share * n);
+    for (std::uint32_t i = 0; i < shared; ++i) {
+      a.push_back(i);
+      b.push_back(i);
+    }
+    for (std::uint32_t i = shared; i < n; ++i) {
+      a.push_back(100000 + i + static_cast<std::uint32_t>(salt) * 7919);
+      b.push_back(200000 + i + static_cast<std::uint32_t>(salt) * 104729);
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    return std::pair(hash::SparseSignature(a, 1 << 20),
+                     hash::SparseSignature(b, 1 << 20));
+  };
+  auto shared_bands = [&](double share) {
+    std::size_t total = 0;
+    for (std::uint64_t salt = 0; salt < 8; ++salt) {
+      const auto [sa, sb] = make_pair(share, salt);
+      const auto ma = mh.minhashes(sa), mb = mh.minhashes(sb);
+      for (std::size_t band = 0; band < bands; ++band) {
+        total += mh.band_key(band, ma) == mh.band_key(band, mb);
+      }
+    }
+    return total;
+  };
+  EXPECT_GE(shared_bands(0.9), shared_bands(0.5));
+  EXPECT_GE(shared_bands(0.5), shared_bands(0.1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MinHashBandTest,
+                         ::testing::Values(BandParams{16, 1},
+                                           BandParams{32, 2},
+                                           BandParams{48, 2},
+                                           BandParams{48, 3},
+                                           BandParams{96, 4}));
+
+// ---------- Cuckoo tables: lookup-after-insert across load/window ------
+
+struct CuckooParams {
+  std::size_t capacity;
+  std::size_t window;
+  double load;
+};
+
+class FlatCuckooLoadTest : public ::testing::TestWithParam<CuckooParams> {};
+
+TEST_P(FlatCuckooLoadTest, EverySuccessfulInsertRemainsFindable) {
+  const auto [capacity, window, load] = GetParam();
+  hash::FlatCuckooConfig cfg;
+  cfg.capacity = capacity;
+  cfg.window = window;
+  cfg.seed = capacity ^ window;
+  hash::FlatCuckooTable table(cfg);
+  const auto items =
+      static_cast<std::size_t>(load * static_cast<double>(capacity));
+  std::vector<std::uint64_t> stored;
+  for (std::uint64_t i = 0; i < items; ++i) {
+    const std::uint64_t key = hash::mix64(i ^ cfg.seed);
+    if (table.insert(key, i)) stored.push_back(key);
+  }
+  EXPECT_EQ(table.size(), stored.size());
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    ASSERT_TRUE(table.contains(stored[i])) << "key index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FlatCuckooLoadTest,
+    ::testing::Values(CuckooParams{256, 1, 0.45},
+                      CuckooParams{256, 2, 0.70},
+                      CuckooParams{1024, 4, 0.90},
+                      CuckooParams{4096, 4, 0.93},
+                      CuckooParams{4096, 8, 0.97},
+                      CuckooParams{16384, 4, 0.90}));
+
+// ---------- Sparse signatures: encode/decode across densities ----------
+
+class SignatureCodecTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SignatureCodecTest, EncodeDecodeRoundTrip) {
+  const std::size_t popcount = GetParam();
+  util::Rng rng(popcount + 1);
+  std::vector<std::uint32_t> bits;
+  std::uint32_t cur = 0;
+  for (std::size_t i = 0; i < popcount; ++i) {
+    cur += 1 + static_cast<std::uint32_t>(rng.uniform_u64(200));
+    bits.push_back(cur);
+  }
+  const hash::SparseSignature sig(bits, cur + 1);
+  const auto encoded = sig.encode();
+  EXPECT_EQ(encoded.size(), sig.storage_bytes());
+  const hash::SparseSignature back = hash::SparseSignature::decode(encoded);
+  EXPECT_EQ(back.set_bits(), sig.set_bits());
+  EXPECT_EQ(back.bit_count(), sig.bit_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SignatureCodecTest,
+                         ::testing::Values(0, 1, 7, 64, 500, 3000));
+
+// ---------- Chunker: coverage invariant across configurations ----------
+
+struct ChunkParams {
+  std::size_t min_chunk;
+  std::size_t avg_chunk;
+  std::size_t max_chunk;
+};
+
+class ChunkerSweepTest : public ::testing::TestWithParam<ChunkParams> {};
+
+TEST_P(ChunkerSweepTest, ChunksPartitionInput) {
+  const auto [min_c, avg_c, max_c] = GetParam();
+  mobile::ChunkerConfig cfg;
+  cfg.min_chunk = min_c;
+  cfg.avg_chunk = avg_c;
+  cfg.max_chunk = max_c;
+  mobile::Chunker chunker(cfg);
+  const auto data = mobile::synth_file_bytes(min_c * 31, 300000);
+  const auto chunks = chunker.chunk(data);
+  std::size_t offset = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.offset, offset);
+    EXPECT_LE(c.length, max_c);
+    offset += c.length;
+  }
+  EXPECT_EQ(offset, data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChunkerSweepTest,
+                         ::testing::Values(ChunkParams{256, 1024, 8192},
+                                           ChunkParams{2048, 8192, 65536},
+                                           ChunkParams{4096, 16384, 32768},
+                                           ChunkParams{1024, 4096, 4096}));
+
+// ---------- Cluster model: LPT bound property --------------------------
+
+class MakespanTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MakespanTest, WithinLptBoundOfLowerBound) {
+  const std::size_t slots = GetParam();
+  util::Rng rng(slots);
+  std::vector<double> tasks(slots * 7);
+  double total = 0, longest = 0;
+  for (double& t : tasks) {
+    t = rng.uniform(0.1, 10.0);
+    total += t;
+    longest = std::max(longest, t);
+  }
+  const double mk = sim::ClusterModel::makespan(tasks, slots);
+  const double lower = std::max(total / static_cast<double>(slots), longest);
+  EXPECT_GE(mk, lower - 1e-9);
+  EXPECT_LE(mk, lower * 4.0 / 3.0 + 1e-9);  // LPT guarantee
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MakespanTest,
+                         ::testing::Values(1, 2, 4, 8, 32, 256));
+
+}  // namespace
+}  // namespace fast

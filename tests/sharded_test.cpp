@@ -1,0 +1,207 @@
+// Tests for the distributed index, deletion and persistence extensions.
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/fast_index.hpp"
+#include "core/sharded_index.hpp"
+#include "test_helpers.hpp"
+#include "workload/query_gen.hpp"
+
+namespace fast::core {
+namespace {
+
+class ShardedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new workload::Dataset(test::small_dataset(36));
+    pca_ = new vision::PcaModel(test::fake_pca());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete pca_;
+    dataset_ = nullptr;
+    pca_ = nullptr;
+  }
+  static FastConfig small_config() {
+    FastConfig cfg;
+    cfg.cuckoo.capacity = 256;
+    return cfg;
+  }
+  static workload::Dataset* dataset_;
+  static vision::PcaModel* pca_;
+};
+
+workload::Dataset* ShardedTest::dataset_ = nullptr;
+vision::PcaModel* ShardedTest::pca_ = nullptr;
+
+// ---------- ShardedFastIndex ----------
+
+TEST_F(ShardedTest, InsertsRouteToOwningShard) {
+  ShardedFastIndex index(small_config(), *pca_, 4, 2);
+  for (std::size_t i = 0; i < 20; ++i) {
+    index.insert(i, dataset_->photos[i].image);
+  }
+  EXPECT_EQ(index.size(), 20u);
+  std::size_t sum = 0;
+  for (std::size_t s = 0; s < index.shard_count(); ++s) {
+    sum += index.shard(s).size();
+  }
+  EXPECT_EQ(sum, 20u);
+  // Each id lives exactly in its mapped shard.
+  for (std::size_t i = 0; i < 20; ++i) {
+    const std::size_t owner = index.shard_of(i);
+    EXPECT_NE(index.shard(owner).signature_of(i), nullptr);
+  }
+}
+
+TEST_F(ShardedTest, ScatterGatherMatchesSingleIndexTopHit) {
+  ShardedFastIndex sharded(small_config(), *pca_, 4, 2);
+  FastIndex single(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 24; ++i) {
+    sigs.push_back(single.summarize(dataset_->photos[i].image));
+    sharded.insert_signature(i, sigs.back());
+    single.insert_signature(i, sigs.back());
+  }
+  for (std::size_t i = 0; i < 24; ++i) {
+    const QueryResult a = sharded.query_signature(sigs[i], 1);
+    const QueryResult b = single.query_signature(sigs[i], 1);
+    ASSERT_FALSE(a.hits.empty());
+    ASSERT_FALSE(b.hits.empty());
+    EXPECT_DOUBLE_EQ(a.hits.front().score, b.hits.front().score);
+  }
+}
+
+TEST_F(ShardedTest, QueryCostIncludesNetworkHops) {
+  ShardedFastIndex index(small_config(), *pca_, 4, 2);
+  const auto sig = index.shard(0).summarize(dataset_->photos[0].image);
+  index.insert_signature(0, sig);
+  const QueryResult r = index.query_signature(sig, 3);
+  EXPECT_GT(r.cost.elapsed_s(), 2 * small_config().cost.net_rtt_s);
+}
+
+TEST_F(ShardedTest, SingleShardDegeneratesToFastIndex) {
+  ShardedFastIndex sharded(small_config(), *pca_, 1, 1);
+  FastIndex single(small_config(), *pca_);
+  const auto sig = single.summarize(dataset_->photos[5].image);
+  sharded.insert_signature(5, sig);
+  single.insert_signature(5, sig);
+  const QueryResult a = sharded.query_signature(sig, 1);
+  const QueryResult b = single.query_signature(sig, 1);
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  EXPECT_EQ(a.hits.front().id, b.hits.front().id);
+}
+
+TEST_F(ShardedTest, IndexBytesSumOverShards) {
+  ShardedFastIndex index(small_config(), *pca_, 3, 1);
+  const std::size_t empty = index.index_bytes();
+  index.insert(0, dataset_->photos[0].image);
+  EXPECT_GT(index.index_bytes(), empty);
+}
+
+// ---------- erase ----------
+
+TEST_F(ShardedTest, EraseRemovesFromResults) {
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 12; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  ASSERT_TRUE(index.erase(5));
+  EXPECT_EQ(index.size(), 11u);
+  EXPECT_EQ(index.signature_of(5), nullptr);
+  const QueryResult r = index.query_signature(sigs[5], 12);
+  for (const auto& hit : r.hits) {
+    EXPECT_NE(hit.id, 5u);
+  }
+}
+
+TEST_F(ShardedTest, EraseUnknownIdReturnsFalse) {
+  FastIndex index(small_config(), *pca_);
+  EXPECT_FALSE(index.erase(12345));
+}
+
+TEST_F(ShardedTest, EraseKeepsOtherImagesRetrievable) {
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 12; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  for (std::size_t i = 0; i < 6; ++i) index.erase(i);
+  for (std::size_t i = 6; i < 12; ++i) {
+    const QueryResult r = index.query_signature(sigs[i], 1);
+    ASSERT_FALSE(r.hits.empty()) << i;
+    EXPECT_DOUBLE_EQ(r.hits.front().score, 1.0);
+  }
+}
+
+TEST_F(ShardedTest, ReinsertAfterErase) {
+  FastIndex index(small_config(), *pca_);
+  const auto sig = index.summarize(dataset_->photos[0].image);
+  index.insert_signature(7, sig);
+  index.erase(7);
+  index.insert_signature(7, sig);
+  const QueryResult r = index.query_signature(sig, 1);
+  ASSERT_FALSE(r.hits.empty());
+  EXPECT_EQ(r.hits.front().id, 7u);
+}
+
+// ---------- persistence ----------
+
+TEST_F(ShardedTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fast_index_test.bin")
+          .string();
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 15; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  index.save(path);
+
+  FastIndex restored = FastIndex::load(path, small_config(), *pca_);
+  EXPECT_EQ(restored.size(), index.size());
+  for (std::size_t i = 0; i < 15; ++i) {
+    const auto* sig = restored.signature_of(i);
+    ASSERT_NE(sig, nullptr);
+    EXPECT_EQ(sig->set_bits(), sigs[i].set_bits());
+    const QueryResult r = restored.query_signature(sigs[i], 1);
+    ASSERT_FALSE(r.hits.empty());
+    EXPECT_DOUBLE_EQ(r.hits.front().score, 1.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ShardedTest, LoadRejectsGeometryMismatch) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fast_index_geom.bin")
+          .string();
+  FastIndex index(small_config(), *pca_);
+  index.insert_signature(0, index.summarize(dataset_->photos[0].image));
+  index.save(path);
+  FastConfig other = small_config();
+  other.bloom_bits = 4096;
+  other.lsh.dim = 4096;
+  EXPECT_THROW(FastIndex::load(path, other, *pca_), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST_F(ShardedTest, LoadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fast_index_garbage.bin")
+          .string();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not an index", f);
+  std::fclose(f);
+  EXPECT_THROW(FastIndex::load(path, small_config(), *pca_),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fast::core

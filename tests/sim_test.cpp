@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster_model.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/energy_model.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace fast::sim {
+namespace {
+
+// ---------- CostModel ----------
+
+TEST(CostModel, DiskReadIncludesSeekAndTransfer) {
+  CostModel cost;
+  const double t = cost.disk_read_s(cost.disk_page_bytes);
+  EXPECT_GT(t, cost.disk_seek_s);
+  EXPECT_LT(t, cost.disk_seek_s + 1e-3);
+}
+
+TEST(CostModel, LargerReadsTakeLonger) {
+  CostModel cost;
+  EXPECT_LT(cost.disk_read_s(4096), cost.disk_read_s(1 << 20));
+}
+
+TEST(CostModel, NetworkTransferScalesWithBytes) {
+  CostModel cost;
+  const double small = cost.net_transfer_s(1000);
+  const double large = cost.net_transfer_s(1000000);
+  EXPECT_LT(small, large);
+  EXPECT_GT(small, cost.net_rtt_s);
+}
+
+// ---------- SimClock ----------
+
+TEST(SimClock, AccumulatesCharges) {
+  SimClock clock;
+  clock.charge(1.5);
+  clock.charge(0.5);
+  EXPECT_DOUBLE_EQ(clock.elapsed_s(), 2.0);
+}
+
+TEST(SimClock, NegativeChargeIgnored) {
+  SimClock clock;
+  clock.charge(-1.0);
+  EXPECT_EQ(clock.elapsed_s(), 0.0);
+}
+
+TEST(SimClock, CountersTrackEvents) {
+  SimClock clock;
+  clock.charge_disk_read(0.01);
+  clock.charge_disk_write(0.01);
+  clock.charge_hash(1e-8, 5);
+  clock.charge_flops(1e-9, 100);
+  clock.charge_ram(1e-7, 3);
+  EXPECT_EQ(clock.disk_reads(), 1u);
+  EXPECT_EQ(clock.disk_writes(), 1u);
+  EXPECT_EQ(clock.hash_ops(), 5u);
+  EXPECT_EQ(clock.flops(), 100u);
+  EXPECT_EQ(clock.ram_accesses(), 3u);
+}
+
+TEST(SimClock, MergeAddsEverything) {
+  SimClock a, b;
+  a.charge_disk_read(0.1);
+  b.charge_disk_read(0.2);
+  b.charge_hash(1e-8, 7);
+  a.merge(b);
+  EXPECT_NEAR(a.elapsed_s(), 0.3 + 7e-8, 1e-12);
+  EXPECT_EQ(a.disk_reads(), 2u);
+  EXPECT_EQ(a.hash_ops(), 7u);
+}
+
+TEST(SimClock, ResetClears) {
+  SimClock clock;
+  clock.charge_disk_read(1.0);
+  clock.reset();
+  EXPECT_EQ(clock.elapsed_s(), 0.0);
+  EXPECT_EQ(clock.disk_reads(), 0u);
+}
+
+// ---------- ClusterModel ----------
+
+TEST(ClusterModel, MakespanSerialIsSum) {
+  EXPECT_DOUBLE_EQ(ClusterModel::makespan({1, 2, 3}, 1), 6.0);
+}
+
+TEST(ClusterModel, MakespanFullyParallelIsMax) {
+  EXPECT_DOUBLE_EQ(ClusterModel::makespan({1, 2, 3}, 3), 3.0);
+}
+
+TEST(ClusterModel, MakespanEmptyIsZero) {
+  EXPECT_EQ(ClusterModel::makespan({}, 4), 0.0);
+}
+
+TEST(ClusterModel, MakespanNeverBelowMaxTask) {
+  const double mk = ClusterModel::makespan({10, 1, 1, 1}, 4);
+  EXPECT_GE(mk, 10.0);
+}
+
+TEST(ClusterModel, MakespanMonotoneInSlots) {
+  const std::vector<double> tasks{3, 1, 4, 1, 5, 9, 2, 6};
+  double prev = ClusterModel::makespan(tasks, 1);
+  for (std::size_t s = 2; s <= 8; ++s) {
+    const double mk = ClusterModel::makespan(tasks, s);
+    EXPECT_LE(mk, prev + 1e-12);
+    prev = mk;
+  }
+}
+
+TEST(ClusterModel, MakespanNearLinearSpeedupForUniformTasks) {
+  // 64 equal tasks over k slots: makespan = 64/k exactly when k divides 64.
+  std::vector<double> tasks(64, 1.0);
+  EXPECT_DOUBLE_EQ(ClusterModel::makespan(tasks, 4), 16.0);
+  EXPECT_DOUBLE_EQ(ClusterModel::makespan(tasks, 16), 4.0);
+  EXPECT_DOUBLE_EQ(ClusterModel::makespan(tasks, 64), 1.0);
+}
+
+TEST(ClusterModel, MeanCompletionSingleSlotQueues) {
+  // FIFO on one slot: completions 1, 3, 6 -> mean 10/3.
+  EXPECT_NEAR(ClusterModel::mean_completion({1, 2, 3}, 1), 10.0 / 3, 1e-12);
+}
+
+TEST(ClusterModel, MeanCompletionManySlotsIsMeanTask) {
+  EXPECT_NEAR(ClusterModel::mean_completion({1, 2, 3}, 3), 2.0, 1e-12);
+}
+
+TEST(ClusterModel, MeanCompletionEmptyIsZero) {
+  EXPECT_EQ(ClusterModel::mean_completion({}, 2), 0.0);
+}
+
+TEST(ClusterModel, TotalCores) {
+  CostModel cost;
+  cost.nodes = 4;
+  cost.cores_per_node = 8;
+  ClusterModel cluster(cost);
+  EXPECT_EQ(cluster.total_cores(), 32u);
+}
+
+// ---------- EnergyModel ----------
+
+TEST(EnergyModel, TransmitScalesWithBytes) {
+  EnergyModel e;
+  const double one_kb = e.transmit_joule(1024);
+  const double one_mb = e.transmit_joule(1 << 20);
+  EXPECT_LT(one_kb, one_mb);
+  EXPECT_GT(one_kb, e.tx_tail_joule);  // tail energy always paid
+}
+
+TEST(EnergyModel, ComputeScalesWithTime) {
+  EnergyModel e;
+  EXPECT_DOUBLE_EQ(e.compute_joule(2.0), 2.0 * e.cpu_joule_per_s);
+}
+
+TEST(EnergyModel, IdleScalesWithTime) {
+  EnergyModel e;
+  EXPECT_DOUBLE_EQ(e.idle_joule(10.0), 10.0 * e.idle_watt);
+}
+
+}  // namespace
+}  // namespace fast::sim

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "storage/page_cache.hpp"
+#include "storage/shard.hpp"
+#include "storage/sql_like_store.hpp"
+
+namespace fast::storage {
+namespace {
+
+// ---------- PageCache ----------
+
+TEST(PageCache, MissThenHit) {
+  PageCache cache(4);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PageCache, EvictsLeastRecentlyUsed) {
+  PageCache cache(2);
+  cache.access(1);
+  cache.access(2);
+  cache.access(1);  // 1 most recent
+  cache.access(3);  // evicts 2
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));
+}
+
+TEST(PageCache, ZeroCapacityAlwaysMisses) {
+  PageCache cache(0);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(PageCache, SizeBoundedByCapacity) {
+  PageCache cache(3);
+  for (std::uint64_t p = 0; p < 100; ++p) cache.access(p);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PageCache, ClearEmpties) {
+  PageCache cache(4);
+  cache.access(1);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.access(1));
+}
+
+// ---------- SqlLikeStore ----------
+
+TEST(SqlStore, PutChargesWrite) {
+  sim::CostModel cost;
+  SqlLikeStore store(cost, 16);
+  sim::SimClock clock;
+  store.put(1, 100000, clock);
+  EXPECT_GT(clock.elapsed_s(), cost.disk_seek_s);
+  EXPECT_EQ(clock.disk_writes(), 1u);
+  EXPECT_EQ(store.record_count(), 1u);
+  EXPECT_EQ(store.total_bytes(), 100000u);
+}
+
+TEST(SqlStore, ReadMissingReturnsNullopt) {
+  sim::CostModel cost;
+  SqlLikeStore store(cost, 16);
+  sim::SimClock clock;
+  EXPECT_FALSE(store.read(99, clock).has_value());
+  EXPECT_EQ(clock.elapsed_s(), 0.0);
+}
+
+TEST(SqlStore, ColdReadChargesDiskWarmReadDoesNot) {
+  sim::CostModel cost;
+  SqlLikeStore store(cost, 1024);
+  sim::SimClock w;
+  store.put(1, 8192, w);
+
+  sim::SimClock cold;
+  EXPECT_EQ(store.read(1, cold).value(), 8192u);
+  EXPECT_GE(cold.disk_reads(), 1u);
+  EXPECT_GT(cold.elapsed_s(), cost.disk_seek_s);
+
+  sim::SimClock warm;
+  store.read(1, warm);
+  EXPECT_EQ(warm.disk_reads(), 0u);
+  EXPECT_LT(warm.elapsed_s(), cold.elapsed_s());
+}
+
+TEST(SqlStore, CacheThrashingKeepsCostHigh) {
+  sim::CostModel cost;
+  SqlLikeStore store(cost, 2);  // tiny cache
+  sim::SimClock w;
+  for (std::uint64_t i = 0; i < 20; ++i) store.put(i, 8192, w);
+  // Scanning all records twice: second pass still misses (thrash).
+  sim::SimClock pass1, pass2;
+  for (std::uint64_t i = 0; i < 20; ++i) store.read(i, pass1);
+  for (std::uint64_t i = 0; i < 20; ++i) store.read(i, pass2);
+  EXPECT_GE(pass2.disk_reads(), pass1.disk_reads() / 2);
+}
+
+TEST(SqlStore, PageCountReflectsBytes) {
+  sim::CostModel cost;
+  SqlLikeStore store(cost, 4);
+  sim::SimClock clock;
+  store.put(1, cost.disk_page_bytes * 3 + 1, clock);
+  EXPECT_EQ(store.page_count(), 4u);
+}
+
+TEST(SqlStore, ContainsWorks) {
+  sim::CostModel cost;
+  SqlLikeStore store(cost, 4);
+  sim::SimClock clock;
+  store.put(5, 10, clock);
+  EXPECT_TRUE(store.contains(5));
+  EXPECT_FALSE(store.contains(6));
+}
+
+// ---------- ShardMap ----------
+
+TEST(ShardMap, StableAssignment) {
+  ShardMap shards(8);
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(shards.shard_of(id), shards.shard_of(id));
+    EXPECT_LT(shards.shard_of(id), 8u);
+  }
+}
+
+TEST(ShardMap, RoughlyUniform) {
+  ShardMap shards(4);
+  std::vector<int> counts(4, 0);
+  for (std::uint64_t id = 0; id < 10000; ++id) {
+    ++counts[shards.shard_of(id)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 2500, 300);
+  }
+}
+
+TEST(ShardMap, PartitionCoversAll) {
+  ShardMap shards(3);
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 50; ++i) ids.push_back(i);
+  const auto parts = shards.partition(ids);
+  ASSERT_EQ(parts.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(ShardMap, ZeroShardsClampedToOne) {
+  ShardMap shards(0);
+  EXPECT_EQ(shards.shard_count(), 1u);
+  EXPECT_EQ(shards.shard_of(123), 0u);
+}
+
+}  // namespace
+}  // namespace fast::storage

@@ -1,0 +1,48 @@
+// Shared fixtures for the test suite: cheap deterministic PCA models and
+// small synthetic datasets, so vision/core tests stay fast.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/vecmath.hpp"
+#include "vision/pca.hpp"
+#include "workload/dataset.hpp"
+#include "workload/scene_generator.hpp"
+
+namespace fast::test {
+
+/// A deterministic stand-in for the trained PCA-SIFT eigenspace: random
+/// near-orthonormal projection rows with matched eigenvalues. Adequate wherever
+/// a test needs *a* projection but not a data-adapted one (real training is
+/// covered by the vision tests and used in the benches).
+inline vision::PcaModel fake_pca(std::size_t input_dim = 578,
+                                 std::size_t output_dim = 36,
+                                 std::uint64_t seed = 0xfa4e) {
+  vision::PcaModel model;
+  model.mean.assign(input_dim, 0.0f);
+  util::Rng rng(seed);
+  model.components.resize(output_dim);
+  // Projecting unit-norm patches through random unit rows yields values
+  // with variance ~1/input_dim; the eigenvalues must reflect that so the
+  // summarizer's whitening produces ~N(0,1) components.
+  model.eigenvalues.assign(output_dim,
+                           1.0f / static_cast<float>(input_dim));
+  for (auto& row : model.components) {
+    row.resize(input_dim);
+    for (auto& v : row) v = static_cast<float>(rng.gaussian());
+    util::normalize_l2(row);
+  }
+  return model;
+}
+
+/// A small, quickly generated dataset (64-pixel images).
+inline workload::Dataset small_dataset(std::size_t images = 30,
+                                       std::uint64_t seed = 7) {
+  workload::DatasetSpec spec = workload::DatasetSpec::wuhan(images);
+  spec.image_size = 96;
+  spec.seed = seed;
+  return workload::SceneGenerator(spec).generate();
+}
+
+}  // namespace fast::test

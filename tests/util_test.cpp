@@ -1,0 +1,350 @@
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/vecmath.hpp"
+
+namespace fast::util {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(11);
+  constexpr std::uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform_u64(n)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(n), 600);
+  }
+}
+
+TEST(Rng, UniformIntWithinRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(17);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.bernoulli(0.3);
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(first, sm2.next());
+  EXPECT_NE(first, sm.next());  // advances
+}
+
+// ---------- ZipfDistribution ----------
+
+TEST(Zipf, ValuesInRange) {
+  Rng rng(3);
+  ZipfDistribution zipf(20, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t v = zipf(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Zipf, RankOneIsMostFrequent) {
+  Rng rng(29);
+  ZipfDistribution zipf(10, 1.2);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[5]);
+  EXPECT_GT(counts[5], counts[10]);
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  Rng rng(31);
+  ZipfDistribution zipf(4, 0.0);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[zipf(rng)];
+  for (int r = 1; r <= 4; ++r) {
+    EXPECT_NEAR(counts[r], 10000, 400);
+  }
+}
+
+// ---------- OnlineStats ----------
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, MatchesBatchComputation) {
+  Rng rng(37);
+  OnlineStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    xs.push_back(x);
+    s.add(x);
+  }
+  const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / 1000.0;
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= 999.0;
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(41);
+  OnlineStats whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.gaussian();
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+// ---------- percentile / summarize ----------
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_EQ(percentile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v{5, 1, 9, 3};
+  EXPECT_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, Interpolates) {
+  // sorted: 0, 10 -> p25 = 2.5
+  EXPECT_NEAR(percentile({0, 10}, 0.25), 2.5, 1e-12);
+}
+
+TEST(Summarize, BasicFields) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.p50, 3.0);
+}
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+// ---------- vecmath ----------
+
+TEST(VecMath, Dot) {
+  const std::vector<float> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(dot(a, b), 32.0);
+}
+
+TEST(VecMath, L2Distance) {
+  const std::vector<float> a{0, 0}, b{3, 4};
+  EXPECT_EQ(l2_distance(a, b), 5.0);
+  EXPECT_EQ(l2_distance_sq(a, b), 25.0);
+}
+
+TEST(VecMath, NormalizeL2) {
+  std::vector<float> v{3, 4};
+  normalize_l2(v);
+  EXPECT_NEAR(l2_norm(v), 1.0, 1e-6);
+  EXPECT_NEAR(v[0], 0.6, 1e-6);
+}
+
+TEST(VecMath, NormalizeZeroVectorIsNoop) {
+  std::vector<float> v{0, 0, 0};
+  normalize_l2(v);
+  EXPECT_EQ(v[0], 0.0f);
+}
+
+TEST(VecMath, HammingDistance) {
+  const std::vector<std::uint64_t> a{0b1010, 0xFF};
+  const std::vector<std::uint64_t> b{0b0110, 0x0F};
+  EXPECT_EQ(hamming_distance(a, b), 2u + 4u);
+}
+
+TEST(VecMath, Popcount) {
+  const std::vector<std::uint64_t> w{0xF, 0x1, 0};
+  EXPECT_EQ(popcount(w), 5u);
+}
+
+TEST(VecMath, MeanVector) {
+  const std::vector<std::vector<float>> rows{{1, 2}, {3, 4}};
+  const std::vector<float> m = mean_vector(rows);
+  EXPECT_EQ(m[0], 2.0f);
+  EXPECT_EQ(m[1], 3.0f);
+}
+
+// ---------- Table ----------
+
+TEST(Table, TextRenderingContainsCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "2"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("value"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"a"});
+  t.add_row({"x,y"});
+  t.add_row({"he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableFormat, Duration) {
+  EXPECT_EQ(fmt_duration(0.0000005), "0.5us");
+  EXPECT_EQ(fmt_duration(0.005), "5.00ms");
+  EXPECT_EQ(fmt_duration(2.5), "2.50s");
+  EXPECT_EQ(fmt_duration(600), "10.0min");
+}
+
+TEST(TableFormat, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512.00B");
+  EXPECT_EQ(fmt_bytes(2048), "2.00KB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024 * 1024), "3.50MB");
+}
+
+TEST(TableFormat, Percent) {
+  EXPECT_EQ(fmt_percent(0.9712), "97.12%");
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&sum] { sum += 1; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 200);
+}
+
+}  // namespace
+}  // namespace fast::util
