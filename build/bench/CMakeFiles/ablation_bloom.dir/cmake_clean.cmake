@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bloom.dir/ablation_bloom.cpp.o"
+  "CMakeFiles/ablation_bloom.dir/ablation_bloom.cpp.o.d"
+  "ablation_bloom"
+  "ablation_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

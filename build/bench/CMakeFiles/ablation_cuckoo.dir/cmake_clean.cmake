@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cuckoo.dir/ablation_cuckoo.cpp.o"
+  "CMakeFiles/ablation_cuckoo.dir/ablation_cuckoo.cpp.o.d"
+  "ablation_cuckoo"
+  "ablation_cuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lsh.dir/ablation_lsh.cpp.o"
+  "CMakeFiles/ablation_lsh.dir/ablation_lsh.cpp.o.d"
+  "ablation_lsh"
+  "ablation_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_lsh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shards.dir/ablation_shards.cpp.o"
+  "CMakeFiles/ablation_shards.dir/ablation_shards.cpp.o.d"
+  "ablation_shards"
+  "ablation_shards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_bench_common.dir/common.cpp.o"
+  "CMakeFiles/fast_bench_common.dir/common.cpp.o.d"
+  "libfast_bench_common.a"
+  "libfast_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_index_construction.dir/fig3_index_construction.cpp.o"
+  "CMakeFiles/fig3_index_construction.dir/fig3_index_construction.cpp.o.d"
+  "fig3_index_construction"
+  "fig3_index_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_index_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_query_latency.dir/fig4_query_latency.cpp.o"
+  "CMakeFiles/fig4_query_latency.dir/fig4_query_latency.cpp.o.d"
+  "fig4_query_latency"
+  "fig4_query_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_query_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

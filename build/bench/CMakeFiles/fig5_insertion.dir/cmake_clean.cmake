@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_insertion.dir/fig5_insertion.cpp.o"
+  "CMakeFiles/fig5_insertion.dir/fig5_insertion.cpp.o.d"
+  "fig5_insertion"
+  "fig5_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

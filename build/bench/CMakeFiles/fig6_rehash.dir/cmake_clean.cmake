@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rehash.dir/fig6_rehash.cpp.o"
+  "CMakeFiles/fig6_rehash.dir/fig6_rehash.cpp.o.d"
+  "fig6_rehash"
+  "fig6_rehash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rehash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

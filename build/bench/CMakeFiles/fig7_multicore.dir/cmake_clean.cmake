@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_multicore.dir/fig7_multicore.cpp.o"
+  "CMakeFiles/fig7_multicore.dir/fig7_multicore.cpp.o.d"
+  "fig7_multicore"
+  "fig7_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

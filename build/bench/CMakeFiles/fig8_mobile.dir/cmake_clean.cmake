@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mobile.dir/fig8_mobile.cpp.o"
+  "CMakeFiles/fig8_mobile.dir/fig8_mobile.cpp.o.d"
+  "fig8_mobile"
+  "fig8_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

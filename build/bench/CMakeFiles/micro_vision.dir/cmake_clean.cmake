@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_vision.dir/micro_vision.cpp.o"
+  "CMakeFiles/micro_vision.dir/micro_vision.cpp.o.d"
+  "micro_vision"
+  "micro_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_accuracy.dir/table3_accuracy.cpp.o"
+  "CMakeFiles/table3_accuracy.dir/table3_accuracy.cpp.o.d"
+  "table3_accuracy"
+  "table3_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

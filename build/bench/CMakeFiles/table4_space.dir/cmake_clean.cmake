@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_space.dir/table4_space.cpp.o"
+  "CMakeFiles/table4_space.dir/table4_space.cpp.o.d"
+  "table4_space"
+  "table4_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

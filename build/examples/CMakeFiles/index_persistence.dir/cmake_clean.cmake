@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_persistence.dir/index_persistence.cpp.o"
+  "CMakeFiles/index_persistence.dir/index_persistence.cpp.o.d"
+  "index_persistence"
+  "index_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

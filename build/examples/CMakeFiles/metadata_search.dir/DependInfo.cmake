@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/metadata_search.cpp" "examples/CMakeFiles/metadata_search.dir/metadata_search.cpp.o" "gcc" "examples/CMakeFiles/metadata_search.dir/metadata_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/fast_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fast_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fast_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/fast_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

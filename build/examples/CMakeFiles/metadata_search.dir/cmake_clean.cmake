@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_search.dir/metadata_search.cpp.o"
+  "CMakeFiles/metadata_search.dir/metadata_search.cpp.o.d"
+  "metadata_search"
+  "metadata_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missing_child.dir/missing_child.cpp.o"
+  "CMakeFiles/missing_child.dir/missing_child.cpp.o.d"
+  "missing_child"
+  "missing_child.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missing_child.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

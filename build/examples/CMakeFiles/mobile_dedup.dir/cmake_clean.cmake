@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_dedup.dir/mobile_dedup.cpp.o"
+  "CMakeFiles/mobile_dedup.dir/mobile_dedup.cpp.o.d"
+  "mobile_dedup"
+  "mobile_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/pca_sift_baseline.cpp" "src/baseline/CMakeFiles/fast_baseline.dir/pca_sift_baseline.cpp.o" "gcc" "src/baseline/CMakeFiles/fast_baseline.dir/pca_sift_baseline.cpp.o.d"
+  "/root/repo/src/baseline/rnpe.cpp" "src/baseline/CMakeFiles/fast_baseline.dir/rnpe.cpp.o" "gcc" "src/baseline/CMakeFiles/fast_baseline.dir/rnpe.cpp.o.d"
+  "/root/repo/src/baseline/sift_baseline.cpp" "src/baseline/CMakeFiles/fast_baseline.dir/sift_baseline.cpp.o" "gcc" "src/baseline/CMakeFiles/fast_baseline.dir/sift_baseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/fast_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fast_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fast_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fast_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/fast_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

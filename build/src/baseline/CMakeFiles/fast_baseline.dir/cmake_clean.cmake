@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_baseline.dir/pca_sift_baseline.cpp.o"
+  "CMakeFiles/fast_baseline.dir/pca_sift_baseline.cpp.o.d"
+  "CMakeFiles/fast_baseline.dir/rnpe.cpp.o"
+  "CMakeFiles/fast_baseline.dir/rnpe.cpp.o.d"
+  "CMakeFiles/fast_baseline.dir/sift_baseline.cpp.o"
+  "CMakeFiles/fast_baseline.dir/sift_baseline.cpp.o.d"
+  "libfast_baseline.a"
+  "libfast_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_core.dir/fast_index.cpp.o"
+  "CMakeFiles/fast_core.dir/fast_index.cpp.o.d"
+  "CMakeFiles/fast_core.dir/query_engine.cpp.o"
+  "CMakeFiles/fast_core.dir/query_engine.cpp.o.d"
+  "CMakeFiles/fast_core.dir/sharded_index.cpp.o"
+  "CMakeFiles/fast_core.dir/sharded_index.cpp.o.d"
+  "libfast_core.a"
+  "libfast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/bloom_filter.cpp" "src/hash/CMakeFiles/fast_hash.dir/bloom_filter.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/bloom_filter.cpp.o.d"
+  "/root/repo/src/hash/counting_bloom.cpp" "src/hash/CMakeFiles/fast_hash.dir/counting_bloom.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/counting_bloom.cpp.o.d"
+  "/root/repo/src/hash/cuckoo_table.cpp" "src/hash/CMakeFiles/fast_hash.dir/cuckoo_table.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/cuckoo_table.cpp.o.d"
+  "/root/repo/src/hash/flat_cuckoo_table.cpp" "src/hash/CMakeFiles/fast_hash.dir/flat_cuckoo_table.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/flat_cuckoo_table.cpp.o.d"
+  "/root/repo/src/hash/hashes.cpp" "src/hash/CMakeFiles/fast_hash.dir/hashes.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/hashes.cpp.o.d"
+  "/root/repo/src/hash/ls_bloom_filter.cpp" "src/hash/CMakeFiles/fast_hash.dir/ls_bloom_filter.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/ls_bloom_filter.cpp.o.d"
+  "/root/repo/src/hash/lsh_table_chained.cpp" "src/hash/CMakeFiles/fast_hash.dir/lsh_table_chained.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/lsh_table_chained.cpp.o.d"
+  "/root/repo/src/hash/minhash.cpp" "src/hash/CMakeFiles/fast_hash.dir/minhash.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/minhash.cpp.o.d"
+  "/root/repo/src/hash/multi_probe.cpp" "src/hash/CMakeFiles/fast_hash.dir/multi_probe.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/multi_probe.cpp.o.d"
+  "/root/repo/src/hash/pstable_lsh.cpp" "src/hash/CMakeFiles/fast_hash.dir/pstable_lsh.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/pstable_lsh.cpp.o.d"
+  "/root/repo/src/hash/sparse_signature.cpp" "src/hash/CMakeFiles/fast_hash.dir/sparse_signature.cpp.o" "gcc" "src/hash/CMakeFiles/fast_hash.dir/sparse_signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

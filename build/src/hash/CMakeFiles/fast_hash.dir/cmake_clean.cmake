@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_hash.dir/bloom_filter.cpp.o"
+  "CMakeFiles/fast_hash.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/fast_hash.dir/counting_bloom.cpp.o"
+  "CMakeFiles/fast_hash.dir/counting_bloom.cpp.o.d"
+  "CMakeFiles/fast_hash.dir/cuckoo_table.cpp.o"
+  "CMakeFiles/fast_hash.dir/cuckoo_table.cpp.o.d"
+  "CMakeFiles/fast_hash.dir/flat_cuckoo_table.cpp.o"
+  "CMakeFiles/fast_hash.dir/flat_cuckoo_table.cpp.o.d"
+  "CMakeFiles/fast_hash.dir/hashes.cpp.o"
+  "CMakeFiles/fast_hash.dir/hashes.cpp.o.d"
+  "CMakeFiles/fast_hash.dir/ls_bloom_filter.cpp.o"
+  "CMakeFiles/fast_hash.dir/ls_bloom_filter.cpp.o.d"
+  "CMakeFiles/fast_hash.dir/lsh_table_chained.cpp.o"
+  "CMakeFiles/fast_hash.dir/lsh_table_chained.cpp.o.d"
+  "CMakeFiles/fast_hash.dir/minhash.cpp.o"
+  "CMakeFiles/fast_hash.dir/minhash.cpp.o.d"
+  "CMakeFiles/fast_hash.dir/multi_probe.cpp.o"
+  "CMakeFiles/fast_hash.dir/multi_probe.cpp.o.d"
+  "CMakeFiles/fast_hash.dir/pstable_lsh.cpp.o"
+  "CMakeFiles/fast_hash.dir/pstable_lsh.cpp.o.d"
+  "CMakeFiles/fast_hash.dir/sparse_signature.cpp.o"
+  "CMakeFiles/fast_hash.dir/sparse_signature.cpp.o.d"
+  "libfast_hash.a"
+  "libfast_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfast_hash.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/img/draw.cpp" "src/img/CMakeFiles/fast_img.dir/draw.cpp.o" "gcc" "src/img/CMakeFiles/fast_img.dir/draw.cpp.o.d"
+  "/root/repo/src/img/image.cpp" "src/img/CMakeFiles/fast_img.dir/image.cpp.o" "gcc" "src/img/CMakeFiles/fast_img.dir/image.cpp.o.d"
+  "/root/repo/src/img/pnm_io.cpp" "src/img/CMakeFiles/fast_img.dir/pnm_io.cpp.o" "gcc" "src/img/CMakeFiles/fast_img.dir/pnm_io.cpp.o.d"
+  "/root/repo/src/img/transform.cpp" "src/img/CMakeFiles/fast_img.dir/transform.cpp.o" "gcc" "src/img/CMakeFiles/fast_img.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

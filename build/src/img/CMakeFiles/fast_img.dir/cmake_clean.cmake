@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_img.dir/draw.cpp.o"
+  "CMakeFiles/fast_img.dir/draw.cpp.o.d"
+  "CMakeFiles/fast_img.dir/image.cpp.o"
+  "CMakeFiles/fast_img.dir/image.cpp.o.d"
+  "CMakeFiles/fast_img.dir/pnm_io.cpp.o"
+  "CMakeFiles/fast_img.dir/pnm_io.cpp.o.d"
+  "CMakeFiles/fast_img.dir/transform.cpp.o"
+  "CMakeFiles/fast_img.dir/transform.cpp.o.d"
+  "libfast_img.a"
+  "libfast_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/kd_tree.cpp" "src/index/CMakeFiles/fast_index.dir/kd_tree.cpp.o" "gcc" "src/index/CMakeFiles/fast_index.dir/kd_tree.cpp.o.d"
+  "/root/repo/src/index/linear_scan.cpp" "src/index/CMakeFiles/fast_index.dir/linear_scan.cpp.o" "gcc" "src/index/CMakeFiles/fast_index.dir/linear_scan.cpp.o.d"
+  "/root/repo/src/index/r_tree.cpp" "src/index/CMakeFiles/fast_index.dir/r_tree.cpp.o" "gcc" "src/index/CMakeFiles/fast_index.dir/r_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

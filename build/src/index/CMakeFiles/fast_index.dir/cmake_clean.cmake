@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_index.dir/kd_tree.cpp.o"
+  "CMakeFiles/fast_index.dir/kd_tree.cpp.o.d"
+  "CMakeFiles/fast_index.dir/linear_scan.cpp.o"
+  "CMakeFiles/fast_index.dir/linear_scan.cpp.o.d"
+  "CMakeFiles/fast_index.dir/r_tree.cpp.o"
+  "CMakeFiles/fast_index.dir/r_tree.cpp.o.d"
+  "libfast_index.a"
+  "libfast_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_mobile.dir/chunker.cpp.o"
+  "CMakeFiles/fast_mobile.dir/chunker.cpp.o.d"
+  "CMakeFiles/fast_mobile.dir/transmitter.cpp.o"
+  "CMakeFiles/fast_mobile.dir/transmitter.cpp.o.d"
+  "CMakeFiles/fast_mobile.dir/user_groups.cpp.o"
+  "CMakeFiles/fast_mobile.dir/user_groups.cpp.o.d"
+  "libfast_mobile.a"
+  "libfast_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fast_mobile.
+# This may be replaced when dependencies are built.

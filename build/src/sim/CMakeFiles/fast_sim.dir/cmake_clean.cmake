@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_sim.dir/cluster_model.cpp.o"
+  "CMakeFiles/fast_sim.dir/cluster_model.cpp.o.d"
+  "libfast_sim.a"
+  "libfast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

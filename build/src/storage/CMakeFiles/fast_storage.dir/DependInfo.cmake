@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/page_cache.cpp" "src/storage/CMakeFiles/fast_storage.dir/page_cache.cpp.o" "gcc" "src/storage/CMakeFiles/fast_storage.dir/page_cache.cpp.o.d"
+  "/root/repo/src/storage/shard.cpp" "src/storage/CMakeFiles/fast_storage.dir/shard.cpp.o" "gcc" "src/storage/CMakeFiles/fast_storage.dir/shard.cpp.o.d"
+  "/root/repo/src/storage/sql_like_store.cpp" "src/storage/CMakeFiles/fast_storage.dir/sql_like_store.cpp.o" "gcc" "src/storage/CMakeFiles/fast_storage.dir/sql_like_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fast_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_storage.dir/page_cache.cpp.o"
+  "CMakeFiles/fast_storage.dir/page_cache.cpp.o.d"
+  "CMakeFiles/fast_storage.dir/shard.cpp.o"
+  "CMakeFiles/fast_storage.dir/shard.cpp.o.d"
+  "CMakeFiles/fast_storage.dir/sql_like_store.cpp.o"
+  "CMakeFiles/fast_storage.dir/sql_like_store.cpp.o.d"
+  "libfast_storage.a"
+  "libfast_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

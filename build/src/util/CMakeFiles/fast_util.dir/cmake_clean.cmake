@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_util.dir/rng.cpp.o"
+  "CMakeFiles/fast_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fast_util.dir/stats.cpp.o"
+  "CMakeFiles/fast_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fast_util.dir/table.cpp.o"
+  "CMakeFiles/fast_util.dir/table.cpp.o.d"
+  "CMakeFiles/fast_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fast_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/fast_util.dir/vecmath.cpp.o"
+  "CMakeFiles/fast_util.dir/vecmath.cpp.o.d"
+  "libfast_util.a"
+  "libfast_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

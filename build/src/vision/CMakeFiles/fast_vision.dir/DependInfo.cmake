@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/dog_detector.cpp" "src/vision/CMakeFiles/fast_vision.dir/dog_detector.cpp.o" "gcc" "src/vision/CMakeFiles/fast_vision.dir/dog_detector.cpp.o.d"
+  "/root/repo/src/vision/gaussian.cpp" "src/vision/CMakeFiles/fast_vision.dir/gaussian.cpp.o" "gcc" "src/vision/CMakeFiles/fast_vision.dir/gaussian.cpp.o.d"
+  "/root/repo/src/vision/matcher.cpp" "src/vision/CMakeFiles/fast_vision.dir/matcher.cpp.o" "gcc" "src/vision/CMakeFiles/fast_vision.dir/matcher.cpp.o.d"
+  "/root/repo/src/vision/pca.cpp" "src/vision/CMakeFiles/fast_vision.dir/pca.cpp.o" "gcc" "src/vision/CMakeFiles/fast_vision.dir/pca.cpp.o.d"
+  "/root/repo/src/vision/pca_sift.cpp" "src/vision/CMakeFiles/fast_vision.dir/pca_sift.cpp.o" "gcc" "src/vision/CMakeFiles/fast_vision.dir/pca_sift.cpp.o.d"
+  "/root/repo/src/vision/pyramid.cpp" "src/vision/CMakeFiles/fast_vision.dir/pyramid.cpp.o" "gcc" "src/vision/CMakeFiles/fast_vision.dir/pyramid.cpp.o.d"
+  "/root/repo/src/vision/sift_descriptor.cpp" "src/vision/CMakeFiles/fast_vision.dir/sift_descriptor.cpp.o" "gcc" "src/vision/CMakeFiles/fast_vision.dir/sift_descriptor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/fast_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_vision.dir/dog_detector.cpp.o"
+  "CMakeFiles/fast_vision.dir/dog_detector.cpp.o.d"
+  "CMakeFiles/fast_vision.dir/gaussian.cpp.o"
+  "CMakeFiles/fast_vision.dir/gaussian.cpp.o.d"
+  "CMakeFiles/fast_vision.dir/matcher.cpp.o"
+  "CMakeFiles/fast_vision.dir/matcher.cpp.o.d"
+  "CMakeFiles/fast_vision.dir/pca.cpp.o"
+  "CMakeFiles/fast_vision.dir/pca.cpp.o.d"
+  "CMakeFiles/fast_vision.dir/pca_sift.cpp.o"
+  "CMakeFiles/fast_vision.dir/pca_sift.cpp.o.d"
+  "CMakeFiles/fast_vision.dir/pyramid.cpp.o"
+  "CMakeFiles/fast_vision.dir/pyramid.cpp.o.d"
+  "CMakeFiles/fast_vision.dir/sift_descriptor.cpp.o"
+  "CMakeFiles/fast_vision.dir/sift_descriptor.cpp.o.d"
+  "libfast_vision.a"
+  "libfast_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

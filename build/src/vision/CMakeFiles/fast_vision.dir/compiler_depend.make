@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fast_vision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cpp" "src/workload/CMakeFiles/fast_workload.dir/dataset.cpp.o" "gcc" "src/workload/CMakeFiles/fast_workload.dir/dataset.cpp.o.d"
+  "/root/repo/src/workload/metadata.cpp" "src/workload/CMakeFiles/fast_workload.dir/metadata.cpp.o" "gcc" "src/workload/CMakeFiles/fast_workload.dir/metadata.cpp.o.d"
+  "/root/repo/src/workload/query_gen.cpp" "src/workload/CMakeFiles/fast_workload.dir/query_gen.cpp.o" "gcc" "src/workload/CMakeFiles/fast_workload.dir/query_gen.cpp.o.d"
+  "/root/repo/src/workload/scene_generator.cpp" "src/workload/CMakeFiles/fast_workload.dir/scene_generator.cpp.o" "gcc" "src/workload/CMakeFiles/fast_workload.dir/scene_generator.cpp.o.d"
+  "/root/repo/src/workload/tune.cpp" "src/workload/CMakeFiles/fast_workload.dir/tune.cpp.o" "gcc" "src/workload/CMakeFiles/fast_workload.dir/tune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/fast_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fast_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_workload.dir/dataset.cpp.o"
+  "CMakeFiles/fast_workload.dir/dataset.cpp.o.d"
+  "CMakeFiles/fast_workload.dir/metadata.cpp.o"
+  "CMakeFiles/fast_workload.dir/metadata.cpp.o.d"
+  "CMakeFiles/fast_workload.dir/query_gen.cpp.o"
+  "CMakeFiles/fast_workload.dir/query_gen.cpp.o.d"
+  "CMakeFiles/fast_workload.dir/scene_generator.cpp.o"
+  "CMakeFiles/fast_workload.dir/scene_generator.cpp.o.d"
+  "CMakeFiles/fast_workload.dir/tune.cpp.o"
+  "CMakeFiles/fast_workload.dir/tune.cpp.o.d"
+  "libfast_workload.a"
+  "libfast_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

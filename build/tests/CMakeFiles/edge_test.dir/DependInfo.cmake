@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edge_test.cpp" "tests/CMakeFiles/edge_test.dir/edge_test.cpp.o" "gcc" "tests/CMakeFiles/edge_test.dir/edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/fast_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fast_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fast_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/fast_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/img_test.dir/img_test.cpp.o"
+  "CMakeFiles/img_test.dir/img_test.cpp.o.d"
+  "img_test"
+  "img_test.pdb"
+  "img_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/img_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

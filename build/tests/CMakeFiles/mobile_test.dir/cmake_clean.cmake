@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_test.dir/mobile_test.cpp.o"
+  "CMakeFiles/mobile_test.dir/mobile_test.cpp.o.d"
+  "mobile_test"
+  "mobile_test.pdb"
+  "mobile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/fast_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobile/CMakeFiles/fast_mobile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fast_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/fast_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fast_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/fast_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

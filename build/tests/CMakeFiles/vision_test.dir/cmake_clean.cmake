@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_test.dir/vision_test.cpp.o"
+  "CMakeFiles/vision_test.dir/vision_test.cpp.o.d"
+  "vision_test"
+  "vision_test.pdb"
+  "vision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
