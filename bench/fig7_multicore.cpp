@@ -2,12 +2,14 @@
 // structured addressing exposes independent probe/rank/extract work units
 // that a multicore schedules freely, so per-query latency drops almost
 // linearly with core count.
+#include <chrono>
 #include <cstdio>
 
 #include "common.hpp"
 #include "core/query_engine.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fast::bench {
 namespace {
@@ -39,6 +41,32 @@ void run_dataset(const workload::DatasetSpec& spec, std::size_t queries) {
   }
   table.print("Fig. 7 — multicore query latency (" + env.dataset.spec.name +
               ")");
+
+  // Native counterpart: run the same query set through query_batch with a
+  // real thread pool and report measured wall time per thread count.
+  std::vector<const img::Image*> query_images;
+  query_images.reserve(env.queries.size());
+  for (const auto& q : env.queries) {
+    query_images.push_back(&q.image);
+  }
+  using clock = std::chrono::steady_clock;
+  util::Table native({"threads", "batch wall time", "queries/s",
+                      "speedup vs 1 thread"});
+  double base_s = 0;
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    util::ThreadPool pool(threads);
+    const auto t0 = clock::now();
+    const auto batch = index->query_batch(query_images, 10, &pool);
+    const double wall_s =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    if (threads == 1) base_s = wall_s;
+    native.add_row({std::to_string(threads), util::fmt_duration(wall_s),
+                    util::fmt_double(static_cast<double>(batch.size()) / wall_s,
+                                     1),
+                    util::fmt_double(base_s / wall_s, 2) + "x"});
+  }
+  native.print("Fig. 7 addendum — native query_batch wall time (" +
+               env.dataset.spec.name + ")");
 }
 
 }  // namespace

@@ -57,10 +57,19 @@ struct FastConfig {
   /// Scaled NN distance the calibration targets, as a fraction of omega.
   double calibrate_target = 0.25;
 
-  // CHS: flat-structured cuckoo storage. Tables start small and double
-  // proactively at 80% load (amortized O(1) inserts).
+  // CHS: group storage behind the aggregator's bucket keys. Two runtime-
+  // selectable backends:
+  //  - kFlatCuckoo: the paper's flat-structured cuckoo addressing — fixed
+  //    2W-probe lookups, proactive doubling at 80% load (amortized O(1));
+  //  - kChained: conventional vertical addressing (bucket chains), the
+  //    baseline of §III-C3 kept selectable for ablations.
+  enum class ChsBackend { kFlatCuckoo, kChained };
+  ChsBackend chs_backend = ChsBackend::kFlatCuckoo;
   hash::FlatCuckooConfig cuckoo{
       .capacity = 256, .window = 4, .max_kicks = 500, .seed = 0xfa57};
+  /// Chain heads per table for the kChained baseline (fixed; chains absorb
+  /// overflow, which is exactly the unbounded-probe behavior under study).
+  std::size_t chained_buckets = 4096;
 
   // Simulated platform for the cost accounting.
   sim::CostModel cost;

@@ -4,76 +4,41 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
 #include <limits>
+#include <stdexcept>
 #include <unordered_set>
 
-#include "hash/multi_probe.hpp"
+#include "core/pipeline/factory.hpp"
 #include "util/check.hpp"
-#include "vision/dog_detector.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fast::core {
 
-namespace {
-/// Proactive growth threshold for the per-table cuckoo load factor.
-constexpr double kGrowAt = 0.80;
-}  // namespace
-
 FastIndex::FastIndex(FastConfig config, vision::PcaModel pca)
-    : config_(std::move(config)), pca_(std::move(pca)), lsh_(config_.lsh),
-      minhasher_(config_.minhash) {
+    : FastIndex(config, pipeline::make_summarizer(config, std::move(pca)),
+                pipeline::make_aggregator(config), nullptr) {}
+
+FastIndex::FastIndex(FastConfig config,
+                     std::unique_ptr<pipeline::Summarizer> summarizer,
+                     std::unique_ptr<pipeline::SemanticAggregator> aggregator,
+                     std::unique_ptr<pipeline::GroupStore> store)
+    : config_(std::move(config)), summarizer_(std::move(summarizer)),
+      aggregator_(std::move(aggregator)), store_(std::move(store)) {
   FAST_CHECK_MSG(config_.lsh.dim == config_.bloom_bits,
                  "LSH input dim must equal the Bloom summary width");
-  const std::size_t n_tables = config_.sa_backend == FastConfig::SaBackend::kPStable
-                                   ? config_.lsh.tables
-                                   : config_.minhash.bands;
-  tables_.reserve(n_tables);
-  for (std::size_t t = 0; t < n_tables; ++t) {
-    hash::FlatCuckooConfig cc = config_.cuckoo;
-    cc.seed = config_.cuckoo.seed + t * 0x9e37ULL;
-    tables_.push_back(Table{hash::FlatCuckooTable(cc), {}, cc.seed});
+  FAST_CHECK_MSG(summarizer_ != nullptr && aggregator_ != nullptr,
+                 "pipeline stages must be non-null");
+  FAST_CHECK_MSG(summarizer_->signature_bits() == config_.bloom_bits,
+                 "summarizer width must match the configured Bloom width");
+  if (store_ == nullptr) {
+    store_ = pipeline::make_group_store(config_, aggregator_->table_count());
   }
+  FAST_CHECK_MSG(store_->table_count() == aggregator_->table_count(),
+                 "SA and CHS stages must agree on the table count");
 }
 
 hash::SparseSignature FastIndex::summarize(const img::Image& image) const {
-  vision::DogConfig dog = config_.dog;
-  dog.max_keypoints = config_.max_keypoints;
-  const auto keypoints = vision::detect_keypoints(image, dog);
-
-  hash::BloomFilter bloom(config_.bloom_bits, config_.bloom_hashes);
-  // Group buffer: [group index, coarse x, coarse y, cell_0, ..., cell_{G-1}].
-  std::vector<std::int16_t> cells(3 + config_.quantize_group_dims);
-  for (const auto& kp : keypoints) {
-    const std::vector<float> desc =
-        vision::compute_pca_sift(image, kp, pca_, config_.pca_sift);
-    // Whiten each component by its PCA standard deviation so quantization
-    // jitter is uniform across dimensions, then hash each group of
-    // components as one Bloom item. Descriptors of the same physical
-    // feature under near-duplicate perturbations agree on most groups and
-    // therefore set mostly identical bits (the paper's "identical features
-    // project the same bits"), while unrelated descriptors agree on none.
-    const std::size_t g_dims = config_.quantize_group_dims;
-    // Coarse spatial cell of the keypoint: near-duplicate shots move
-    // keypoints by a few pixels only, while coincidentally similar local
-    // structure on a different landmark sits elsewhere in the frame.
-    const double spatial = config_.spatial_cell_px;
-    cells[1] = static_cast<std::int16_t>(std::lround(kp.x / spatial));
-    cells[2] = static_cast<std::int16_t>(std::lround(kp.y / spatial));
-    for (std::size_t start = 0; start + g_dims <= desc.size();
-         start += g_dims) {
-      cells[0] = static_cast<std::int16_t>(start / g_dims);
-      for (std::size_t i = 0; i < g_dims; ++i) {
-        const float lambda = start + i < pca_.eigenvalues.size()
-                                 ? pca_.eigenvalues[start + i]
-                                 : 0.0f;
-        const float sd = std::sqrt(lambda + 1e-8f);
-        cells[3 + i] = static_cast<std::int16_t>(
-            std::lround(desc[start + i] / (sd * config_.quantize_cell)));
-      }
-      bloom.insert(cells.data(), cells.size() * sizeof(cells[0]));
-    }
-  }
-  return hash::SparseSignature(bloom);
+  return summarizer_->summarize(image);
 }
 
 void FastIndex::calibrate_scale(
@@ -102,98 +67,7 @@ void FastIndex::calibrate_scale(
   const double median_nn = std::max(nn[nn.size() / 2], 1.0);
   config_.lsh_input_scale =
       config_.calibrate_target * config_.lsh.omega / median_nn;
-}
-
-std::vector<std::uint64_t> FastIndex::table_keys(
-    const hash::SparseSignature& signature,
-    std::vector<std::vector<std::uint64_t>>* probes) const {
-  std::vector<std::uint64_t> keys(tables_.size());
-  if (probes != nullptr) probes->assign(tables_.size(), {});
-
-  if (config_.sa_backend == FastConfig::SaBackend::kPStable) {
-    std::vector<float> dense = signature.to_float_vector();
-    const auto scale = static_cast<float>(config_.lsh_input_scale);
-    for (float& x : dense) x *= scale;
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
-      const hash::BucketCoords home = lsh_.bucket_coords(t, dense);
-      keys[t] = lsh_.bucket_key(t, home);
-      if (probes != nullptr && config_.probe_depth > 0) {
-        auto& probe_keys = (*probes)[t];
-        for (const hash::BucketCoords& p :
-             hash::probe_sequence(home, config_.probe_depth)) {
-          probe_keys.push_back(lsh_.bucket_key(t, p));
-        }
-      }
-    }
-  } else {
-    const auto mh = minhasher_.minhashes(signature);
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
-      keys[t] = minhasher_.band_key(t, mh);
-      if (probes != nullptr && config_.minhash_multiprobe) {
-        (*probes)[t] = minhasher_.probe_keys(t, mh);
-      }
-    }
-  }
-  return keys;
-}
-
-void FastIndex::maybe_grow(std::size_t t) {
-  Table& table = tables_[t];
-  if (table.cuckoo.load_factor() < kGrowAt) return;
-  std::size_t capacity = table.cuckoo.capacity() * 2;
-  for (;;) {
-    table.seed = hash::mix64(table.seed + 1);
-    hash::FlatCuckooConfig cc = config_.cuckoo;
-    cc.capacity = capacity;
-    cc.seed = table.seed;
-    hash::FlatCuckooTable rebuilt(cc);
-    bool ok = true;
-    for (const auto& [k, g] : table.entries) {
-      if (!rebuilt.insert(k, g)) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      table.cuckoo = std::move(rebuilt);
-      return;
-    }
-    capacity *= 2;
-  }
-}
-
-std::size_t FastIndex::place_with_rehash(std::size_t t, std::uint64_t key,
-                                         std::uint64_t group) {
-  maybe_grow(t);
-  Table& table = tables_[t];
-  table.entries.emplace_back(key, group);
-  if (table.cuckoo.insert(key, group)) return 0;
-
-  // Rehash loop: rebuild this table's cuckoo with a fresh seed (same
-  // capacity first; double it if even a fresh seed cannot place everything,
-  // which only happens near 100% load).
-  std::size_t events = 0;
-  std::size_t capacity = table.cuckoo.capacity();
-  for (;;) {
-    ++events;
-    table.seed = hash::mix64(table.seed + 1);
-    hash::FlatCuckooConfig cc = config_.cuckoo;
-    cc.capacity = capacity;
-    cc.seed = table.seed;
-    hash::FlatCuckooTable rebuilt(cc);
-    bool ok = true;
-    for (const auto& [k, g] : table.entries) {
-      if (!rebuilt.insert(k, g)) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      table.cuckoo = std::move(rebuilt);
-      return events;
-    }
-    capacity *= 2;
-  }
+  aggregator_->set_input_scale(config_.lsh_input_scale);
 }
 
 InsertResult FastIndex::insert(std::uint64_t id, const img::Image& image) {
@@ -213,51 +87,92 @@ InsertResult FastIndex::insert_signature(
   InsertResult result;
   FAST_CHECK(signature.bit_count() == config_.bloom_bits);
 
-  // SA hashing cost: p-stable projections or minwise passes.
-  if (config_.sa_backend == FastConfig::SaBackend::kPStable) {
-    result.cost.charge_flops(
-        config_.cost.flop_s,
-        config_.lsh.tables * config_.lsh.hashes_per_table * config_.lsh.dim);
+  // SA hashing cost: p-stable projections or minwise passes, in the
+  // aggregator's cost domain.
+  const std::size_t sa_ops = aggregator_->insert_hash_ops(signature);
+  if (aggregator_->cost_domain() ==
+      pipeline::SemanticAggregator::CostDomain::kFlops) {
+    result.cost.charge_flops(config_.cost.flop_s, sa_ops);
   } else {
-    // Minwise hashing streams every set bit through each hash's mixer.
-    result.cost.charge_hash(config_.cost.mix_op_s,
-                            signature.popcount() * minhasher_.hash_count());
+    result.cost.charge_hash(config_.cost.mix_op_s, sa_ops);
   }
 
-  const std::vector<std::uint64_t> keys = table_keys(signature, nullptr);
-  for (std::size_t t = 0; t < tables_.size(); ++t) {
-    result.cost.charge_ram(config_.cost.ram_access_s,
-                           tables_[t].cuckoo.probes_per_lookup());
-    if (const auto group = tables_[t].cuckoo.find(keys[t])) {
+  const std::vector<std::uint64_t> keys =
+      aggregator_->keys(signature, nullptr);
+  for (std::size_t t = 0; t < keys.size(); ++t) {
+    std::size_t lookup_probes = 0;
+    const auto group = store_->find(t, keys[t], &lookup_probes);
+    result.cost.charge_ram(config_.cost.ram_access_s, lookup_probes);
+    if (group) {
       groups_[*group].push_back(id);
     } else {
       const std::uint64_t group_id = groups_.size();
       groups_.emplace_back(std::vector<std::uint64_t>{id});
-      const std::size_t events = place_with_rehash(t, keys[t], group_id);
+      const std::size_t events = store_->place(t, keys[t], group_id);
       result.rehashes += events;
       rehashes_ += events;
       if (events > 0) result.ok = false;
       result.cost.charge_ram(config_.cost.ram_access_s,
-                             tables_[t].cuckoo.probes_per_lookup());
+                             store_->lookup_cost_probes(t));
     }
   }
   signatures_.emplace(id, signature);
   return result;
 }
 
+std::vector<hash::SparseSignature> FastIndex::summarize_batch(
+    std::span<const img::Image* const> images, util::ThreadPool* pool) const {
+  std::vector<hash::SparseSignature> sigs(images.size());
+  if (pool != nullptr && images.size() > 1) {
+    pool->parallel_for(images.size(), [&](std::size_t i) {
+      sigs[i] = summarize(*images[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      sigs[i] = summarize(*images[i]);
+    }
+  }
+  return sigs;
+}
+
+std::vector<InsertResult> FastIndex::insert_batch(
+    std::span<const BatchImage> items, util::ThreadPool* pool) {
+  // Stage split: FE+SM for the whole batch first (embarrassingly parallel,
+  // no index state touched), then placement in item order — the same final
+  // state and per-item costs as sequential insert() calls.
+  std::vector<const img::Image*> images(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) images[i] = items[i].image;
+  const std::vector<hash::SparseSignature> sigs =
+      summarize_batch(images, pool);
+
+  std::vector<InsertResult> results;
+  results.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    InsertResult fe;
+    fe.cost.charge(config_.feature_extract_s);
+    fe.cost.charge_hash(config_.cost.hash_op_s,
+                        config_.max_keypoints * config_.bloom_hashes);
+    InsertResult stored = insert_signature(items[i].id, sigs[i]);
+    stored.cost.merge(fe.cost);
+    results.push_back(std::move(stored));
+  }
+  return results;
+}
+
 bool FastIndex::erase(std::uint64_t id) {
   const auto it = signatures_.find(id);
   if (it == signatures_.end()) return false;
-  const std::vector<std::uint64_t> keys = table_keys(it->second, nullptr);
-  for (std::size_t t = 0; t < tables_.size(); ++t) {
-    if (const auto group = tables_[t].cuckoo.find(keys[t])) {
+  const std::vector<std::uint64_t> keys =
+      aggregator_->keys(it->second, nullptr);
+  for (std::size_t t = 0; t < keys.size(); ++t) {
+    if (const auto group = store_->find(t, keys[t])) {
       auto& members = groups_[*group];
       members.erase(std::remove(members.begin(), members.end(), id),
                     members.end());
       // An emptied group's bucket key is dropped so queries stop probing
-      // it. (The append-only rebuild log keeps the mapping; a rebuilt table
+      // it. (Flat-cuckoo rebuild logs keep the mapping; a rebuilt table
       // would resurrect the key pointing at an empty group — harmless.)
-      if (members.empty()) tables_[t].cuckoo.erase(keys[t]);
+      if (members.empty()) store_->erase_key(t, keys[t]);
     }
   }
   signatures_.erase(it);
@@ -317,12 +232,16 @@ FastIndex FastIndex::load(const std::string& path, FastConfig config,
 }
 
 QueryResult FastIndex::query(const img::Image& image, std::size_t k) const {
+  return query_summarized(summarize(image), k);
+}
+
+QueryResult FastIndex::query_summarized(const hash::SparseSignature& signature,
+                                        std::size_t k) const {
   QueryResult pre;
   pre.cost.charge(config_.feature_extract_s);
-  const hash::SparseSignature sig = summarize(image);
   pre.cost.charge_hash(config_.cost.hash_op_s,
                        config_.max_keypoints * config_.bloom_hashes);
-  QueryResult result = query_signature(sig, k);
+  QueryResult result = query_signature(signature, k);
   result.cost.merge(pre.cost);
   // Feature extraction parallelizes across interest points: expose it as
   // max_keypoints independent task chunks for the multicore model.
@@ -334,47 +253,63 @@ QueryResult FastIndex::query(const img::Image& image, std::size_t k) const {
   return result;
 }
 
+std::vector<QueryResult> FastIndex::query_batch(
+    std::span<const img::Image* const> images, std::size_t k,
+    util::ThreadPool* pool) const {
+  // The whole per-query pipeline (FE+SM+probe+rank) is read-only, so the
+  // batch fans complete queries across the pool, not just summarization.
+  std::vector<QueryResult> results(images.size());
+  if (pool != nullptr && images.size() > 1) {
+    pool->parallel_for(images.size(), [&](std::size_t i) {
+      results[i] = query(*images[i], k);
+    });
+  } else {
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      results[i] = query(*images[i], k);
+    }
+  }
+  return results;
+}
+
 QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
                                        std::size_t k) const {
   QueryResult result;
   FAST_CHECK(signature.bit_count() == config_.bloom_bits);
 
   std::vector<std::vector<std::uint64_t>> probes;
-  const std::vector<std::uint64_t> keys = table_keys(signature, &probes);
+  const std::vector<std::uint64_t> keys =
+      aggregator_->keys(signature, &probes);
 
   // Collect candidates from the home bucket plus the probe buckets of
-  // every table. Each cuckoo lookup is a fixed 2W-slot read; the per-table
-  // work items are independent (flat addressing -> Fig. 7 parallelism).
+  // every table. Each flat-addressed lookup is a fixed bounded slot read;
+  // the per-table work items are independent (Fig. 7 parallelism).
   std::unordered_set<std::uint64_t> candidate_ids;
+  const std::size_t per_table_ops =
+      aggregator_->query_hash_ops_per_table(signature);
   const double hash_cost =
-      config_.sa_backend == FastConfig::SaBackend::kPStable
-          ? config_.cost.flop_s * static_cast<double>(
-                config_.lsh.hashes_per_table * config_.lsh.dim)
-          : config_.cost.mix_op_s *
-                static_cast<double>(signature.popcount() *
-                                    config_.minhash.band_size);
-  for (std::size_t t = 0; t < tables_.size(); ++t) {
-    std::size_t table_probes = 0;
+      aggregator_->cost_domain() ==
+              pipeline::SemanticAggregator::CostDomain::kFlops
+          ? config_.cost.flop_s * static_cast<double>(per_table_ops)
+          : config_.cost.mix_op_s * static_cast<double>(per_table_ops);
+  for (std::size_t t = 0; t < keys.size(); ++t) {
+    std::size_t table_slot_reads = 0;
     auto probe_bucket = [&](std::uint64_t key) {
       ++result.bucket_probes;
-      ++table_probes;
-      if (const auto group = tables_[t].cuckoo.find(key)) {
+      std::size_t lookup_probes = 0;
+      if (const auto group = store_->find(t, key, &lookup_probes)) {
         for (const std::uint64_t id : groups_[*group]) {
           candidate_ids.insert(id);
         }
       }
+      table_slot_reads += lookup_probes;
     };
     probe_bucket(keys[t]);
     for (const std::uint64_t pk : probes[t]) probe_bucket(pk);
 
     const double probe_cost =
-        config_.cost.ram_access_s *
-        static_cast<double>(table_probes *
-                            tables_[t].cuckoo.probes_per_lookup());
+        config_.cost.ram_access_s * static_cast<double>(table_slot_reads);
     result.cost.charge(hash_cost);
-    result.cost.charge_ram(
-        config_.cost.ram_access_s,
-        table_probes * tables_[t].cuckoo.probes_per_lookup());
+    result.cost.charge_ram(config_.cost.ram_access_s, table_slot_reads);
     result.parallel_tasks.push_back(hash_cost + probe_cost);
   }
 
@@ -416,32 +351,16 @@ std::size_t FastIndex::index_bytes() const {
   for (const auto& [id, sig] : signatures_) {
     bytes += sizeof(id) + sig.storage_bytes();
   }
-  for (const Table& t : tables_) {
-    bytes += t.cuckoo.capacity() * (sizeof(std::uint64_t) * 2 + 1);
-  }
+  bytes += store_->store_bytes();
   for (const auto& group : groups_) {
     bytes += sizeof(std::uint64_t) * group.size() + sizeof(std::uint64_t);
   }
-  if (config_.sa_backend == FastConfig::SaBackend::kPStable) {
-    // LSH parameters: L*M a-vectors of dim floats + offsets.
-    bytes += config_.lsh.tables * config_.lsh.hashes_per_table *
-             (config_.lsh.dim * sizeof(float) + sizeof(float));
-  } else {
-    bytes += minhasher_.hash_count() * sizeof(std::uint64_t);
-  }
+  bytes += aggregator_->param_bytes();
   return bytes;
 }
 
 hash::CuckooStats FastIndex::cuckoo_stats() const {
-  hash::CuckooStats total;
-  for (const Table& t : tables_) {
-    const hash::CuckooStats& s = t.cuckoo.stats();
-    total.inserts += s.inserts;
-    total.failures += s.failures;
-    total.total_kicks += s.total_kicks;
-    total.max_kick_chain = std::max(total.max_kick_chain, s.max_kick_chain);
-  }
-  return total;
+  return store_->stats();
 }
 
 }  // namespace fast::core

@@ -1,17 +1,29 @@
-// FastIndex — the paper's primary contribution, assembled end to end:
+// FastIndex — the paper's primary contribution, assembled end to end from
+// four composable stages:
 //
 //   FE  (feature extraction)   DoG interest points + PCA-SIFT descriptors
 //   SM  (summarization)        per-image Bloom filter over quantized
 //                              descriptors, stored sparsely (~40 B/image)
-//   SA  (semantic aggregation) p-stable LSH over the Bloom bit-vectors,
-//                              multi-probe of adjacent buckets
-//   CHS (cuckoo-hash storage)  flat-structured addressing: bucket-key ->
-//                              correlation group in a windowed cuckoo table
+//   SA  (semantic aggregation) per-table bucket keys over the summaries:
+//                              p-stable LSH with multi-probe, or MinHash
+//                              banding (pipeline::SemanticAggregator)
+//   CHS (storage)              bucket-key -> correlation group: flat
+//                              windowed cuckoo addressing, or the chained
+//                              vertical-addressing baseline
+//                              (pipeline::GroupStore)
 //
-// Queries are O(1): L tables x (1 + 2M adjacent probes) x 2W slot reads,
-// all constants, followed by ranking the (small) candidate set by sparse-
+// The index is a thin composition over pipeline::{Summarizer,
+// SemanticAggregator, GroupStore}; backends are selected by FastConfig (or
+// injected directly) instead of being hard-wired here. Queries are O(1):
+// L tables x (1 + probes) x bounded slot reads, all constants under flat
+// addressing, followed by ranking the (small) candidate set by sparse-
 // signature Jaccard similarity. Every operation reports simulated platform
 // costs (see sim::CostModel) alongside its native execution.
+//
+// Batch-first execution: insert_batch/query_batch fan the expensive FE+SM
+// stage across a util::ThreadPool before touching index state, so the
+// placement phase (and, in the concurrent facade, the writer lock) runs
+// once over precomputed signatures.
 #pragma once
 
 #include <cstdint>
@@ -23,21 +35,41 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/pipeline/group_store.hpp"
+#include "core/pipeline/semantic_aggregator.hpp"
+#include "core/pipeline/summarizer.hpp"
 #include "core/result.hpp"
-#include "hash/bloom_filter.hpp"
-#include "hash/flat_cuckoo_table.hpp"
-#include "hash/pstable_lsh.hpp"
 #include "hash/sparse_signature.hpp"
 #include "img/image.hpp"
 #include "vision/pca.hpp"
 
+namespace fast::util {
+class ThreadPool;
+}
+
 namespace fast::core {
+
+/// One item of a batched ingest: the image stays owned by the caller.
+struct BatchImage {
+  std::uint64_t id = 0;
+  const img::Image* image = nullptr;
+};
 
 class FastIndex {
  public:
   /// `pca` is the PCA-SIFT eigenspace, trained offline on a sample of the
-  /// corpus (see vision::train_pca_sift).
+  /// corpus (see vision::train_pca_sift). Stages are built from `config`
+  /// via pipeline::make_* factories.
   FastIndex(FastConfig config, vision::PcaModel pca);
+
+  /// Stage-injection constructor: composes caller-provided FE/SM, SA and
+  /// CHS implementations (tests, experimental backends). The aggregator
+  /// and store must agree on the table count; the summarizer's signature
+  /// width must match config.bloom_bits.
+  FastIndex(FastConfig config,
+            std::unique_ptr<pipeline::Summarizer> summarizer,
+            std::unique_ptr<pipeline::SemanticAggregator> aggregator,
+            std::unique_ptr<pipeline::GroupStore> store);
 
   const FastConfig& config() const noexcept { return config_; }
   std::size_t size() const noexcept { return signatures_.size(); }
@@ -64,6 +96,13 @@ class FastIndex {
   /// Inserts a precomputed signature (e.g., shipped by a mobile client).
   InsertResult insert_signature(std::uint64_t id,
                                 const hash::SparseSignature& signature);
+
+  /// Batch ingest: FE+SM runs for all items first — fanned across `pool`
+  /// when provided — then placement proceeds in item order, so the final
+  /// index state is identical to sequential insert() calls. Per-item
+  /// results match insert()'s cost accounting.
+  std::vector<InsertResult> insert_batch(std::span<const BatchImage> items,
+                                         util::ThreadPool* pool = nullptr);
 
   /// Removes an image from the index: its id leaves every correlation
   /// group it joined and its signature is dropped (photo-retention expiry
@@ -92,46 +131,37 @@ class FastIndex {
   QueryResult query_signature(const hash::SparseSignature& signature,
                               std::size_t k) const;
 
+  /// Batch query: FE+SM and the per-query probe/rank work both fan across
+  /// `pool` when provided. Results are identical to per-item query() calls.
+  std::vector<QueryResult> query_batch(
+      std::span<const img::Image* const> images, std::size_t k,
+      util::ThreadPool* pool = nullptr) const;
+
   /// The stored signature of an image (for tests / re-ranking).
   const hash::SparseSignature* signature_of(std::uint64_t id) const;
 
-  /// Total bytes of the in-memory index: sparse signatures + cuckoo slots +
-  /// group membership lists + LSH parameters. This is the FAST column of
-  /// Table IV.
+  /// Total bytes of the in-memory index: sparse signatures + storage slots +
+  /// group membership lists + aggregator parameters. This is the FAST
+  /// column of Table IV.
   std::size_t index_bytes() const;
 
-  /// Aggregate cuckoo statistics across the L tables.
+  /// Aggregate storage statistics across the L tables.
   hash::CuckooStats cuckoo_stats() const;
 
  private:
-  struct Table {
-    hash::FlatCuckooTable cuckoo;
-    /// Append-only (key -> group) log enabling rebuild on rehash.
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
-    std::uint64_t seed;
-  };
+  /// query() minus summarization: costs for a query whose signature was
+  /// just extracted from an image (FE charge + parallel FE task chunks).
+  QueryResult query_summarized(const hash::SparseSignature& signature,
+                               std::size_t k) const;
 
-  /// Places key->group into table `t`, rehashing with fresh seeds until the
-  /// insertion succeeds. Returns the number of rehash events.
-  std::size_t place_with_rehash(std::size_t t, std::uint64_t key,
-                                std::uint64_t group);
-
-  /// Computes the per-table bucket keys of a signature under the active SA
-  /// backend. `probes` additionally receives per-table probe keys (adjacent
-  /// buckets / runner-up bands) when non-null.
-  std::vector<std::uint64_t> table_keys(
-      const hash::SparseSignature& signature,
-      std::vector<std::vector<std::uint64_t>>* probes) const;
-
-  /// Doubles a table's cuckoo capacity when its load factor crosses the
-  /// growth threshold (amortized O(1) insert despite fixed-size tables).
-  void maybe_grow(std::size_t t);
+  /// Runs FE+SM for `images`, fanned across `pool` when provided.
+  std::vector<hash::SparseSignature> summarize_batch(
+      std::span<const img::Image* const> images, util::ThreadPool* pool) const;
 
   FastConfig config_;
-  vision::PcaModel pca_;
-  hash::PStableLsh lsh_;
-  hash::MinHasher minhasher_;
-  std::vector<Table> tables_;                       // L of them
+  std::unique_ptr<pipeline::Summarizer> summarizer_;
+  std::unique_ptr<pipeline::SemanticAggregator> aggregator_;
+  std::unique_ptr<pipeline::GroupStore> store_;
   std::vector<std::vector<std::uint64_t>> groups_;  // group id -> member ids
   std::unordered_map<std::uint64_t, hash::SparseSignature> signatures_;
   std::size_t rehashes_ = 0;

@@ -1,0 +1,29 @@
+// Builds the concrete stage adapters a FastConfig selects. The factory is
+// the only place the pipeline names concrete backends; FastIndex itself
+// composes whatever stages it is handed, so new FE/SA/CHS implementations
+// plug in here (or are injected directly through FastIndex's stage
+// constructor) without touching the index.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/pipeline/group_store.hpp"
+#include "core/pipeline/semantic_aggregator.hpp"
+#include "core/pipeline/summarizer.hpp"
+#include "vision/pca.hpp"
+
+namespace fast::core::pipeline {
+
+/// FE+SM stage: DoG + PCA-SIFT features folded into a Bloom summary.
+std::unique_ptr<Summarizer> make_summarizer(const FastConfig& config,
+                                            vision::PcaModel pca);
+
+/// SA stage per config.sa_backend (p-stable LSH or MinHash banding).
+std::unique_ptr<SemanticAggregator> make_aggregator(const FastConfig& config);
+
+/// CHS stage per config.chs_backend, sized to the aggregator's `tables`.
+std::unique_ptr<GroupStore> make_group_store(const FastConfig& config,
+                                             std::size_t tables);
+
+}  // namespace fast::core::pipeline

@@ -1,0 +1,55 @@
+// Stage 3 of the FAST pipeline (SA): sparse signature -> per-table bucket
+// keys (plus optional probe keys for multi-probe recall). An aggregator
+// fixes the number of tables the storage stage must maintain and the hash
+// cost the simulated platform is charged. Implementations wrap the p-stable
+// LSH of the paper (L tables of M concatenated hashes) and the MinHash
+// banding alternative; both are pure functions of the signature, so the
+// batch path can evaluate them in parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/sparse_signature.hpp"
+
+namespace fast::core::pipeline {
+
+class SemanticAggregator {
+ public:
+  /// Unit the hash-op counts below are denominated in, mapped to a rate by
+  /// the sim::CostModel (keeps the sim layer out of the hash adapters).
+  enum class CostDomain { kFlops, kMixOps };
+
+  virtual ~SemanticAggregator() = default;
+
+  /// Number of independent tables (L for p-stable LSH, bands for MinHash).
+  virtual std::size_t table_count() const noexcept = 0;
+
+  /// Bucket keys of `signature` across all tables (length table_count()).
+  /// When `probes` is non-null it receives, per table, the additional keys
+  /// to probe on queries (adjacent buckets / runner-up bands); insert paths
+  /// pass nullptr and skip that work.
+  virtual std::vector<std::uint64_t> keys(
+      const hash::SparseSignature& signature,
+      std::vector<std::vector<std::uint64_t>>* probes) const = 0;
+
+  virtual CostDomain cost_domain() const noexcept = 0;
+
+  /// Modeled hash operations to aggregate one signature on insert
+  /// (all tables).
+  virtual std::size_t insert_hash_ops(
+      const hash::SparseSignature& signature) const noexcept = 0;
+
+  /// Modeled hash operations per table on the query path.
+  virtual std::size_t query_hash_ops_per_table(
+      const hash::SparseSignature& signature) const noexcept = 0;
+
+  /// Bytes of hash parameters held in memory (Table IV accounting).
+  virtual std::size_t param_bytes() const noexcept = 0;
+
+  /// Rescales the aggregator's input domain (the paper's R-selection step,
+  /// FastIndex::calibrate_scale). Backends without a metric input ignore it.
+  virtual void set_input_scale(double /*scale*/) {}
+};
+
+}  // namespace fast::core::pipeline

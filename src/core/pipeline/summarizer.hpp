@@ -1,0 +1,28 @@
+// Stage 1+2 of the FAST pipeline (FE + SM): image -> compact sparse
+// signature. The paper treats feature extraction and summarization as one
+// boundary — raw pixels go in, a ~40 B membership summary comes out — so the
+// pipeline exposes them as a single stage. Implementations are stateless
+// with respect to the corpus (const summarize), which is what lets the
+// batch execution path fan FE/SM across a thread pool before any index
+// lock is taken.
+#pragma once
+
+#include "hash/sparse_signature.hpp"
+#include "img/image.hpp"
+
+namespace fast::core::pipeline {
+
+class Summarizer {
+ public:
+  virtual ~Summarizer() = default;
+
+  /// Extracts features from `image` and folds them into a sparse summary.
+  /// Must be deterministic and safe to call concurrently.
+  virtual hash::SparseSignature summarize(const img::Image& image) const = 0;
+
+  /// Width (bits) of the summaries this stage emits; downstream stages
+  /// validate their input geometry against it.
+  virtual std::size_t signature_bits() const noexcept = 0;
+};
+
+}  // namespace fast::core::pipeline

@@ -7,6 +7,21 @@ namespace fast::core {
 QueryEngine::QueryEngine(const FastIndex& index, std::size_t threads)
     : index_(index), pool_(threads) {}
 
+void QueryEngine::finish_report(BatchReport& report,
+                                std::size_t sim_slots) const {
+  std::size_t slots = sim_slots;
+  if (slots == 0) {
+    slots = index_.config().cost.nodes * index_.config().cost.cores_per_node;
+  }
+  std::vector<double> costs;
+  costs.reserve(report.results.size());
+  for (const QueryResult& r : report.results) {
+    costs.push_back(r.cost.elapsed_s());
+  }
+  report.sim_mean_latency_s = sim::ClusterModel::mean_completion(costs, slots);
+  report.sim_makespan_s = sim::ClusterModel::makespan(costs, slots);
+}
+
 BatchReport QueryEngine::run_batch(
     std::span<const hash::SparseSignature> queries,
     const BatchOptions& options) {
@@ -19,17 +34,19 @@ BatchReport QueryEngine::run_batch(
   });
   report.native_wall_s = timer.elapsed_seconds();
 
-  std::size_t slots = options.sim_slots;
-  if (slots == 0) {
-    slots = index_.config().cost.nodes * index_.config().cost.cores_per_node;
-  }
-  std::vector<double> costs;
-  costs.reserve(queries.size());
-  for (const QueryResult& r : report.results) {
-    costs.push_back(r.cost.elapsed_s());
-  }
-  report.sim_mean_latency_s = sim::ClusterModel::mean_completion(costs, slots);
-  report.sim_makespan_s = sim::ClusterModel::makespan(costs, slots);
+  finish_report(report, options.sim_slots);
+  return report;
+}
+
+BatchReport QueryEngine::run_image_batch(
+    std::span<const img::Image* const> images, const BatchOptions& options) {
+  BatchReport report;
+
+  util::WallTimer timer;
+  report.results = index_.query_batch(images, options.top_k, &pool_);
+  report.native_wall_s = timer.elapsed_seconds();
+
+  finish_report(report, options.sim_slots);
   return report;
 }
 

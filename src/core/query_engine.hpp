@@ -41,12 +41,20 @@ class QueryEngine {
   BatchReport run_batch(std::span<const hash::SparseSignature> queries,
                         const BatchOptions& options = {});
 
+  /// Full-pipeline variant: raw images enter the batch path, so FE+SM fans
+  /// across the pool alongside the probe/rank work (FastIndex::query_batch).
+  BatchReport run_image_batch(std::span<const img::Image* const> images,
+                              const BatchOptions& options = {});
+
   /// Simulated latency of one already-executed query on a `cores`-way
   /// multicore: the makespan of its independent probe/rank tasks (Fig. 7).
   static double simulated_query_latency(const QueryResult& result,
                                         std::size_t cores);
 
  private:
+  /// Fills the simulated-latency fields from the executed results.
+  void finish_report(BatchReport& report, std::size_t sim_slots) const;
+
   const FastIndex& index_;
   util::ThreadPool pool_;
 };

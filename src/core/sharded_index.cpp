@@ -40,6 +40,65 @@ InsertResult ShardedFastIndex::insert_signature(
   return r;
 }
 
+std::vector<InsertResult> ShardedFastIndex::insert_batch(
+    std::span<const BatchImage> items) {
+  // FE+SM for the whole batch, fanned across the native pool. Any shard's
+  // summarizer is equivalent (shards differ only in storage seeds).
+  std::vector<hash::SparseSignature> sigs(items.size());
+  pool_.parallel_for(items.size(), [&](std::size_t i) {
+    sigs[i] = shards_.front()->summarize(*items[i].image);
+  });
+
+  // Partition item indices into per-shard sub-batches, then let every
+  // shard place its own sub-batch in parallel (shards are independent).
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    by_shard[shard_map_.shard_of(items[i].id)].push_back(i);
+  }
+  std::vector<InsertResult> results(items.size());
+  pool_.parallel_for(shards_.size(), [&](std::size_t s) {
+    for (const std::size_t i : by_shard[s]) {
+      InsertResult fe;
+      fe.cost.charge(config_.feature_extract_s);
+      fe.cost.charge_hash(config_.cost.hash_op_s,
+                          config_.max_keypoints * config_.bloom_hashes);
+      InsertResult stored = shards_[s]->insert_signature(items[i].id, sigs[i]);
+      stored.cost.merge(fe.cost);
+      stored.cost.charge(config_.cost.net_transfer_s(512));
+      results[i] = std::move(stored);
+    }
+  });
+  return results;
+}
+
+std::vector<QueryResult> ShardedFastIndex::query_batch(
+    std::span<const img::Image* const> images, std::size_t k) const {
+  std::vector<hash::SparseSignature> sigs(images.size());
+  pool_.parallel_for(images.size(), [&](std::size_t i) {
+    sigs[i] = shards_.front()->summarize(*images[i]);
+  });
+
+  // Flat (query x shard) probe matrix: every cell is independent, so the
+  // pool schedules across both dimensions at once instead of serializing
+  // queries behind each other's scatter-gather.
+  const std::size_t ns = shards_.size();
+  std::vector<std::vector<QueryResult>> per_query(
+      images.size(), std::vector<QueryResult>(ns));
+  pool_.parallel_for(images.size() * ns, [&](std::size_t cell) {
+    const std::size_t q = cell / ns;
+    const std::size_t s = cell % ns;
+    per_query[q][s] = shards_[s]->query_signature(sigs[q], k);
+  });
+
+  std::vector<QueryResult> results;
+  results.reserve(images.size());
+  for (auto& per_shard : per_query) {
+    results.push_back(
+        gather(std::move(per_shard), k, config_.feature_extract_s));
+  }
+  return results;
+}
+
 QueryResult ShardedFastIndex::gather(std::vector<QueryResult> per_shard,
                                      std::size_t k, double fe_cost) const {
   QueryResult merged;

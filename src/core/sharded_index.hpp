@@ -40,12 +40,24 @@ class ShardedFastIndex {
   InsertResult insert_signature(std::uint64_t id,
                                 const hash::SparseSignature& signature);
 
+  /// Batch ingest: FE+SM for the whole batch fans across the native pool,
+  /// then each shard places its sub-batch — shards are independent, so the
+  /// placement phase itself runs shard-parallel. Per-item results match
+  /// insert()'s accounting; results[i] corresponds to items[i].
+  std::vector<InsertResult> insert_batch(std::span<const BatchImage> items);
+
   /// Scatter-gather query across all shards; shards probe in parallel
   /// (native threads) and the merged top-k is returned. The simulated cost
   /// is scatter + max over shards + gather.
   QueryResult query(const img::Image& image, std::size_t k) const;
   QueryResult query_signature(const hash::SparseSignature& signature,
                               std::size_t k) const;
+
+  /// Batch scatter-gather: summarization and the (query x shard) probe
+  /// matrix both fan across the native pool; results match per-item
+  /// query() calls.
+  std::vector<QueryResult> query_batch(
+      std::span<const img::Image* const> images, std::size_t k) const;
 
   /// Sum of all shards' in-memory index bytes.
   std::size_t index_bytes() const;

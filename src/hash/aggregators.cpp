@@ -1,0 +1,97 @@
+#include "hash/aggregators.hpp"
+
+#include "hash/multi_probe.hpp"
+
+namespace fast::hash {
+
+PStableAggregator::PStableAggregator(const LshConfig& config, int probe_depth,
+                                     double input_scale)
+    : lsh_(config), probe_depth_(probe_depth), input_scale_(input_scale) {}
+
+std::size_t PStableAggregator::table_count() const noexcept {
+  return lsh_.config().tables;
+}
+
+std::vector<std::uint64_t> PStableAggregator::keys(
+    const SparseSignature& signature,
+    std::vector<std::vector<std::uint64_t>>* probes) const {
+  const std::size_t n = table_count();
+  std::vector<std::uint64_t> keys(n);
+  if (probes != nullptr) probes->assign(n, {});
+
+  std::vector<float> dense = signature.to_float_vector();
+  const auto scale = static_cast<float>(input_scale_);
+  for (float& x : dense) x *= scale;
+  for (std::size_t t = 0; t < n; ++t) {
+    const BucketCoords home = lsh_.bucket_coords(t, dense);
+    keys[t] = lsh_.bucket_key(t, home);
+    if (probes != nullptr && probe_depth_ > 0) {
+      auto& probe_keys = (*probes)[t];
+      for (const BucketCoords& p : probe_sequence(home, probe_depth_)) {
+        probe_keys.push_back(lsh_.bucket_key(t, p));
+      }
+    }
+  }
+  return keys;
+}
+
+std::size_t PStableAggregator::insert_hash_ops(
+    const SparseSignature& /*signature*/) const noexcept {
+  const LshConfig& c = lsh_.config();
+  return c.tables * c.hashes_per_table * c.dim;
+}
+
+std::size_t PStableAggregator::query_hash_ops_per_table(
+    const SparseSignature& /*signature*/) const noexcept {
+  const LshConfig& c = lsh_.config();
+  return c.hashes_per_table * c.dim;
+}
+
+std::size_t PStableAggregator::param_bytes() const noexcept {
+  // L*M a-vectors of dim floats plus one offset each.
+  const LshConfig& c = lsh_.config();
+  return c.tables * c.hashes_per_table *
+         (c.dim * sizeof(float) + sizeof(float));
+}
+
+MinHashAggregator::MinHashAggregator(const MinHashConfig& config,
+                                     bool multiprobe)
+    : minhasher_(config), multiprobe_(multiprobe) {}
+
+std::size_t MinHashAggregator::table_count() const noexcept {
+  return minhasher_.config().bands;
+}
+
+std::vector<std::uint64_t> MinHashAggregator::keys(
+    const SparseSignature& signature,
+    std::vector<std::vector<std::uint64_t>>* probes) const {
+  const std::size_t n = table_count();
+  std::vector<std::uint64_t> keys(n);
+  if (probes != nullptr) probes->assign(n, {});
+
+  const auto mh = minhasher_.minhashes(signature);
+  for (std::size_t t = 0; t < n; ++t) {
+    keys[t] = minhasher_.band_key(t, mh);
+    if (probes != nullptr && multiprobe_) {
+      (*probes)[t] = minhasher_.probe_keys(t, mh);
+    }
+  }
+  return keys;
+}
+
+std::size_t MinHashAggregator::insert_hash_ops(
+    const SparseSignature& signature) const noexcept {
+  // Minwise hashing streams every set bit through each hash's mixer.
+  return signature.popcount() * minhasher_.hash_count();
+}
+
+std::size_t MinHashAggregator::query_hash_ops_per_table(
+    const SparseSignature& signature) const noexcept {
+  return signature.popcount() * minhasher_.config().band_size;
+}
+
+std::size_t MinHashAggregator::param_bytes() const noexcept {
+  return minhasher_.hash_count() * sizeof(std::uint64_t);
+}
+
+}  // namespace fast::hash

@@ -16,6 +16,24 @@ void LshTableChained::insert(std::uint64_t key, std::uint64_t value) {
   ++size_;
 }
 
+bool LshTableChained::erase(std::uint64_t key) noexcept {
+  const std::size_t b = bucket_of(key);
+  std::int64_t prev = -1;
+  for (std::int64_t i = heads_[b]; i >= 0;
+       prev = i, i = nodes_[static_cast<std::size_t>(i)].next) {
+    const Node& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.key != key) continue;
+    if (prev < 0) {
+      heads_[b] = n.next;
+    } else {
+      nodes_[static_cast<std::size_t>(prev)].next = n.next;
+    }
+    --size_;
+    return true;
+  }
+  return false;
+}
+
 std::vector<std::uint64_t> LshTableChained::find(std::uint64_t key,
                                                  std::size_t* probes) const {
   std::vector<std::uint64_t> out;

@@ -26,6 +26,11 @@ class LshTableChained {
   /// Appends `value` under `key`. Never fails (chains grow unboundedly).
   void insert(std::uint64_t key, std::uint64_t value);
 
+  /// Unlinks the first node stored under `key`; returns false when absent.
+  /// The node's arena slot is abandoned (index-linked storage), so erase
+  /// frees no memory — acceptable for the baseline's expiry path.
+  bool erase(std::uint64_t key) noexcept;
+
   /// Returns all values stored under `key`, walking the chain. The probe
   /// cost (number of nodes traversed, including non-matching collisions) is
   /// written to `probes` when non-null — the quantity FAST's flat

@@ -52,7 +52,19 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for EVERY block before letting any exception escape: an early
+  // rethrow would abandon workers still executing blocks that reference
+  // `fn` (and the caller's captures) after parallel_for returned. The
+  // first exception, in block order, is propagated to the caller.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace fast::util

@@ -43,7 +43,10 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Work is divided into contiguous blocks, one per worker, to keep memory
-  /// access streams cache-friendly.
+  /// access streams cache-friendly. If any invocation of fn throws, every
+  /// block still runs to completion (or its own failure) and the first
+  /// exception, in block order, is rethrown to the caller; the remaining
+  /// iterations of a throwing block are skipped.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

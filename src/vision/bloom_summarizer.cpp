@@ -1,0 +1,56 @@
+#include "vision/bloom_summarizer.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "hash/bloom_filter.hpp"
+#include "vision/dog_detector.hpp"
+
+namespace fast::vision {
+
+BloomSummarizer::BloomSummarizer(BloomSummarizerConfig config, PcaModel pca)
+    : config_(std::move(config)), pca_(std::move(pca)) {
+  config_.dog.max_keypoints = config_.max_keypoints;
+}
+
+hash::SparseSignature BloomSummarizer::summarize(
+    const img::Image& image) const {
+  const auto keypoints = detect_keypoints(image, config_.dog);
+
+  hash::BloomFilter bloom(config_.bloom_bits, config_.bloom_hashes);
+  // Group buffer: [group index, coarse x, coarse y, cell_0, ..., cell_{G-1}].
+  std::vector<std::int16_t> cells(3 + config_.quantize_group_dims);
+  for (const auto& kp : keypoints) {
+    const std::vector<float> desc =
+        compute_pca_sift(image, kp, pca_, config_.pca_sift);
+    // Whiten each component by its PCA standard deviation so quantization
+    // jitter is uniform across dimensions, then hash each group of
+    // components as one Bloom item. Descriptors of the same physical
+    // feature under near-duplicate perturbations agree on most groups and
+    // therefore set mostly identical bits (the paper's "identical features
+    // project the same bits"), while unrelated descriptors agree on none.
+    const std::size_t g_dims = config_.quantize_group_dims;
+    // Coarse spatial cell of the keypoint: near-duplicate shots move
+    // keypoints by a few pixels only, while coincidentally similar local
+    // structure on a different landmark sits elsewhere in the frame.
+    const double spatial = config_.spatial_cell_px;
+    cells[1] = static_cast<std::int16_t>(std::lround(kp.x / spatial));
+    cells[2] = static_cast<std::int16_t>(std::lround(kp.y / spatial));
+    for (std::size_t start = 0; start + g_dims <= desc.size();
+         start += g_dims) {
+      cells[0] = static_cast<std::int16_t>(start / g_dims);
+      for (std::size_t i = 0; i < g_dims; ++i) {
+        const float lambda = start + i < pca_.eigenvalues.size()
+                                 ? pca_.eigenvalues[start + i]
+                                 : 0.0f;
+        const float sd = std::sqrt(lambda + 1e-8f);
+        cells[3 + i] = static_cast<std::int16_t>(
+            std::lround(desc[start + i] / (sd * config_.quantize_cell)));
+      }
+      bloom.insert(cells.data(), cells.size() * sizeof(cells[0]));
+    }
+  }
+  return hash::SparseSignature(bloom);
+}
+
+}  // namespace fast::vision

@@ -1,0 +1,44 @@
+// Summarizer adapter: DoG interest points + PCA-SIFT descriptors (FE)
+// folded into a per-image Bloom membership summary (SM), stored sparsely at
+// ~40 B/image. This is the FE+SM stage of the paper's pipeline, factored
+// out of the index so the batch execution path can fan it across a thread
+// pool and so alternative front ends (GPU extraction, mobile-shipped
+// signatures) can slot in behind the same interface.
+#pragma once
+
+#include <cstdint>
+
+#include "core/pipeline/summarizer.hpp"
+#include "vision/dog_detector.hpp"
+#include "vision/pca.hpp"
+#include "vision/pca_sift.hpp"
+
+namespace fast::vision {
+
+struct BloomSummarizerConfig {
+  DogConfig dog;
+  PcaSiftConfig pca_sift;
+  std::size_t max_keypoints = 128;
+  std::size_t bloom_bits = 16384;       ///< m
+  std::size_t bloom_hashes = 8;         ///< k
+  std::size_t quantize_group_dims = 6;  ///< components per quantized group
+  float quantize_cell = 2.0f;           ///< cell width in whitened units
+  double spatial_cell_px = 32.0;        ///< coarse keypoint-position cell
+};
+
+class BloomSummarizer final : public core::pipeline::Summarizer {
+ public:
+  /// `pca` is the PCA-SIFT eigenspace, trained offline on a corpus sample.
+  BloomSummarizer(BloomSummarizerConfig config, PcaModel pca);
+
+  hash::SparseSignature summarize(const img::Image& image) const override;
+  std::size_t signature_bits() const noexcept override {
+    return config_.bloom_bits;
+  }
+
+ private:
+  BloomSummarizerConfig config_;
+  PcaModel pca_;
+};
+
+}  // namespace fast::vision

@@ -129,5 +129,90 @@ TEST_F(ConcurrentTest, ParallelInsertersAllLand) {
   EXPECT_EQ(index.size(), kThreads * sigs.size());
 }
 
+TEST_F(ConcurrentTest, InsertBatchTakesWriterLockOncePerBatch) {
+  ConcurrentFastIndex index(small_config(), *pca_, 2);
+  std::vector<BatchImage> items;
+  for (std::size_t i = 0; i < 16; ++i) {
+    items.push_back(BatchImage{i, &dataset_->photos[i].image});
+  }
+  const std::size_t locks_before = index.writer_lock_count();
+  const auto results = index.insert_batch(items);
+  EXPECT_EQ(index.writer_lock_count(), locks_before + 1);
+  ASSERT_EQ(results.size(), items.size());
+  EXPECT_EQ(index.size(), items.size());
+
+  // The per-image path pays one writer-lock round-trip per insert.
+  const std::size_t locks_mid = index.writer_lock_count();
+  for (std::size_t i = 16; i < 20; ++i) {
+    index.insert(i, dataset_->photos[i].image);
+  }
+  EXPECT_EQ(index.writer_lock_count(), locks_mid + 4);
+}
+
+TEST_F(ConcurrentTest, BatchMatchesPerImagePath) {
+  ConcurrentFastIndex batched(small_config(), *pca_, 2);
+  ConcurrentFastIndex sequential(small_config(), *pca_, 2);
+  std::vector<BatchImage> items;
+  for (std::size_t i = 0; i < 12; ++i) {
+    items.push_back(BatchImage{i, &dataset_->photos[i].image});
+  }
+  batched.insert_batch(items);
+  for (const auto& item : items) sequential.insert(item.id, *item.image);
+  EXPECT_EQ(batched.size(), sequential.size());
+
+  std::vector<const img::Image*> queries;
+  for (std::size_t i = 0; i < 6; ++i) {
+    queries.push_back(&dataset_->photos[i].image);
+  }
+  const auto batch_results = batched.query_batch(queries, 3);
+  ASSERT_EQ(batch_results.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult single = sequential.query(*queries[i], 3);
+    ASSERT_EQ(batch_results[i].hits.size(), single.hits.size());
+    for (std::size_t h = 0; h < single.hits.size(); ++h) {
+      EXPECT_EQ(batch_results[i].hits[h].id, single.hits[h].id);
+      EXPECT_DOUBLE_EQ(batch_results[i].hits[h].score, single.hits[h].score);
+    }
+  }
+}
+
+TEST_F(ConcurrentTest, QueriesRaceBatchInsertsWithoutLosses) {
+  ConcurrentFastIndex index(small_config(), *pca_, 2);
+  std::vector<BatchImage> items;
+  for (std::size_t i = 0; i < dataset_->photos.size(); ++i) {
+    items.push_back(BatchImage{i, &dataset_->photos[i].image});
+  }
+  FastIndex helper(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (const auto& photo : dataset_->photos) {
+    sigs.push_back(helper.summarize(photo.image));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad_hits{0};
+  std::thread writer([&] {
+    for (std::size_t round = 0; round < 4; ++round) {
+      std::vector<BatchImage> batch = items;
+      for (auto& item : batch) item.id += round * 1000;
+      index.insert_batch(batch);
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    std::size_t qi = 0;
+    while (!stop) {
+      const QueryResult res = index.query_signature(sigs[qi % sigs.size()], 5);
+      for (const auto& hit : res.hits) {
+        if (hit.score < 0.0 || hit.score > 1.0) ++bad_hits;
+      }
+      ++qi;
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(bad_hits.load(), 0u);
+  EXPECT_EQ(index.size(), 4 * items.size());
+}
+
 }  // namespace
 }  // namespace fast::core

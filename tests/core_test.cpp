@@ -1,4 +1,6 @@
+#include <cstdio>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -221,6 +223,71 @@ TEST_F(FastIndexTest, EmptyImageYieldsEmptySignatureAndNoCrash) {
   // The empty signature matches itself deterministically.
   ASSERT_FALSE(r.hits.empty());
   EXPECT_EQ(r.hits.front().id, 77u);
+}
+
+// ---------- erase ----------
+
+TEST_F(FastIndexTest, EraseRemovesFromQueryResults) {
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 12; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  ASSERT_TRUE(index.erase(5));
+  EXPECT_EQ(index.size(), 11u);
+  EXPECT_EQ(index.signature_of(5), nullptr);
+  const QueryResult r = index.query_signature(sigs[5], 12);
+  for (const auto& hit : r.hits) EXPECT_NE(hit.id, 5u);
+  // Unknown ids (and double-erase) are rejected.
+  EXPECT_FALSE(index.erase(5));
+  EXPECT_FALSE(index.erase(999));
+}
+
+TEST_F(FastIndexTest, EraseThenReinsertSameIdRoundtrips) {
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 10; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  ASSERT_TRUE(index.erase(4));
+  index.insert_signature(4, sigs[4]);
+  EXPECT_EQ(index.size(), 10u);
+  const QueryResult r = index.query_signature(sigs[4], 1);
+  ASSERT_FALSE(r.hits.empty());
+  EXPECT_DOUBLE_EQ(r.hits.front().score, 1.0);
+  const auto* top_sig = index.signature_of(r.hits.front().id);
+  ASSERT_NE(top_sig, nullptr);
+  EXPECT_EQ(top_sig->set_bits(), sigs[4].set_bits());
+}
+
+TEST_F(FastIndexTest, SaveLoadAfterErasePreservesStateAndAnswers) {
+  const std::string path = "/tmp/fast_index_erase_roundtrip.bin";
+  FastIndex index(small_config(), *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 12; ++i) {
+    sigs.push_back(index.summarize(dataset_->photos[i].image));
+    index.insert_signature(i, sigs.back());
+  }
+  ASSERT_TRUE(index.erase(2));
+  ASSERT_TRUE(index.erase(7));
+  index.save(path);
+
+  FastIndex loaded = FastIndex::load(path, small_config(), *pca_);
+  EXPECT_EQ(loaded.size(), index.size());
+  EXPECT_EQ(loaded.signature_of(2), nullptr);
+  EXPECT_EQ(loaded.signature_of(7), nullptr);
+  for (std::size_t i = 0; i < 12; ++i) {
+    const QueryResult before = index.query_signature(sigs[i], 3);
+    const QueryResult after = loaded.query_signature(sigs[i], 3);
+    ASSERT_EQ(before.hits.size(), after.hits.size()) << "query " << i;
+    for (std::size_t h = 0; h < before.hits.size(); ++h) {
+      EXPECT_EQ(before.hits[h].id, after.hits[h].id);
+      EXPECT_DOUBLE_EQ(before.hits[h].score, after.hits[h].score);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 // ---------- QueryEngine ----------

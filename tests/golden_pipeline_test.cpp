@@ -1,0 +1,164 @@
+// Refactor parity: the stage-composed pipeline must return bit-identical
+// query results (ids + scores) to the pre-refactor monolithic FastIndex.
+// The golden values below were captured from the monolith (commit 7b05e94,
+// before src/core/pipeline/ existed) on the deterministic corpus
+// test::small_dataset(40) / test::fake_pca(), for both SA backends. Any
+// change to stage wiring that perturbs keys, probe order, group assignment
+// or ranking shows up here as a hard mismatch.
+//
+// The chained-CHS cross-check additionally pins down that the group store
+// is a pure key->group mapping: both storage backends must assign the same
+// group ids in the same order and therefore return identical hits.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fast_index.hpp"
+#include "test_helpers.hpp"
+#include "workload/query_gen.hpp"
+
+namespace fast::core {
+namespace {
+
+struct GoldenHit {
+  std::uint64_t id;
+  double score;
+};
+using GoldenQuery = std::vector<GoldenHit>;
+
+// Captured from the pre-refactor monolith: 25 corpus signatures inserted,
+// 6 dup queries (seed 0xca1), top-5 per query.
+const std::vector<GoldenQuery> kGoldenMinHash = {
+    {{6ULL, 0.17551234892275355},
+     {11ULL, 0.060296846011131729},
+     {14ULL, 0.059207225288509781}},
+    {{9ULL, 0.076576576576576572}, {22ULL, 0.068273092369477914}},
+    {{24ULL, 0.2157456472369417}},
+    {{22ULL, 0.08340611353711791},
+     {18ULL, 0.06133333333333333},
+     {11ULL, 0.05201266395296246}},
+    {{2ULL, 0.19798917246713071}},
+    {{0ULL, 0.082089552238805971},
+     {5ULL, 0.081570996978851965},
+     {15ULL, 0.06407035175879397},
+     {2ULL, 0.052872062663185379}},
+};
+
+const std::vector<GoldenQuery> kGoldenPStable = {
+    {{6ULL, 0.17551234892275355},
+     {5ULL, 0.081974438078448661},
+     {16ULL, 0.077613279497532522},
+     {8ULL, 0.069675723049956173},
+     {17ULL, 0.064872657376261411}},
+    {{11ULL, 0.11615154536390827},
+     {8ULL, 0.084730403262347084},
+     {23ULL, 0.08232711306256861},
+     {6ULL, 0.081481481481481488},
+     {9ULL, 0.076576576576576572}},
+    {{24ULL, 0.2157456472369417},
+     {1ULL, 0.12306701030927836},
+     {16ULL, 0.086533538146441366},
+     {22ULL, 0.083751253761283853},
+     {12ULL, 0.080600333518621461}},
+    {{22ULL, 0.08340611353711791},
+     {2ULL, 0.079295154185022032},
+     {16ULL, 0.077194530216144683},
+     {10ULL, 0.071428571428571425},
+     {7ULL, 0.069492360768851652}},
+    {{2ULL, 0.19798917246713071},
+     {11ULL, 0.088068181818181823},
+     {4ULL, 0.076869322152341019},
+     {9ULL, 0.064665127020785224},
+     {16ULL, 0.064465408805031446}},
+    {{3ULL, 0.1059322033898305},
+     {7ULL, 0.08835820895522388},
+     {8ULL, 0.087111563932755987},
+     {20ULL, 0.083550913838120106},
+     {0ULL, 0.082089552238805971}},
+};
+
+class GoldenPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new workload::Dataset(test::small_dataset(40));
+    pca_ = new vision::PcaModel(test::fake_pca());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete pca_;
+    dataset_ = nullptr;
+    pca_ = nullptr;
+  }
+
+  /// Mirrors the capture harness exactly: 25 inserts, 6 queries, top-5.
+  static std::vector<QueryResult> run_queries(FastConfig cfg,
+                                              bool calibrate) {
+    FastIndex index(cfg, *pca_);
+    std::vector<hash::SparseSignature> sigs;
+    for (std::size_t i = 0; i < 25; ++i) {
+      sigs.push_back(index.summarize(dataset_->photos[i].image));
+    }
+    const auto queries = workload::make_dup_queries(*dataset_, 6, 0xca1);
+    std::vector<hash::SparseSignature> qsigs;
+    for (const auto& q : queries) qsigs.push_back(index.summarize(q.image));
+    if (calibrate) index.calibrate_scale(qsigs, sigs);
+    for (std::size_t i = 0; i < 25; ++i) index.insert_signature(i, sigs[i]);
+    std::vector<QueryResult> results;
+    for (const auto& qs : qsigs) {
+      results.push_back(index.query_signature(qs, 5));
+    }
+    return results;
+  }
+
+  static void expect_matches_golden(const std::vector<QueryResult>& results,
+                                    const std::vector<GoldenQuery>& golden) {
+    ASSERT_EQ(results.size(), golden.size());
+    for (std::size_t q = 0; q < golden.size(); ++q) {
+      ASSERT_EQ(results[q].hits.size(), golden[q].size()) << "query " << q;
+      for (std::size_t h = 0; h < golden[q].size(); ++h) {
+        EXPECT_EQ(results[q].hits[h].id, golden[q][h].id)
+            << "query " << q << " hit " << h;
+        EXPECT_DOUBLE_EQ(results[q].hits[h].score, golden[q][h].score)
+            << "query " << q << " hit " << h;
+      }
+    }
+  }
+
+  static FastConfig small_config() {
+    FastConfig cfg;
+    cfg.cuckoo.capacity = 256;
+    return cfg;
+  }
+
+  static workload::Dataset* dataset_;
+  static vision::PcaModel* pca_;
+};
+
+workload::Dataset* GoldenPipelineTest::dataset_ = nullptr;
+vision::PcaModel* GoldenPipelineTest::pca_ = nullptr;
+
+TEST_F(GoldenPipelineTest, MinHashBackendMatchesPreRefactorGolden) {
+  FastConfig cfg = small_config();
+  cfg.sa_backend = FastConfig::SaBackend::kMinHash;
+  expect_matches_golden(run_queries(cfg, false), kGoldenMinHash);
+}
+
+TEST_F(GoldenPipelineTest, PStableBackendMatchesPreRefactorGolden) {
+  FastConfig cfg = small_config();
+  cfg.sa_backend = FastConfig::SaBackend::kPStable;
+  expect_matches_golden(run_queries(cfg, true), kGoldenPStable);
+}
+
+TEST_F(GoldenPipelineTest, ChainedStoreReturnsIdenticalHits) {
+  // The CHS stage only decides *where* key->group lives; swapping flat
+  // cuckoo addressing for the chained baseline must not change any answer.
+  FastConfig cfg = small_config();
+  cfg.chs_backend = FastConfig::ChsBackend::kChained;
+  expect_matches_golden(run_queries(cfg, false), kGoldenMinHash);
+
+  cfg.sa_backend = FastConfig::SaBackend::kPStable;
+  expect_matches_golden(run_queries(cfg, true), kGoldenPStable);
+}
+
+}  // namespace
+}  // namespace fast::core

@@ -203,5 +203,56 @@ TEST_F(ShardedTest, LoadRejectsGarbage) {
   std::remove(path.c_str());
 }
 
+// ---------- batch path ----------
+
+TEST_F(ShardedTest, InsertBatchMatchesPerItemInserts) {
+  ShardedFastIndex batched(small_config(), *pca_, 4, 2);
+  ShardedFastIndex sequential(small_config(), *pca_, 4, 2);
+  std::vector<BatchImage> items;
+  for (std::size_t i = 0; i < 24; ++i) {
+    items.push_back(BatchImage{i, &dataset_->photos[i].image});
+  }
+  const auto batch_results = batched.insert_batch(items);
+  std::vector<InsertResult> seq_results;
+  for (const auto& item : items) {
+    seq_results.push_back(sequential.insert(item.id, *item.image));
+  }
+  ASSERT_EQ(batch_results.size(), seq_results.size());
+  EXPECT_EQ(batched.size(), sequential.size());
+  for (std::size_t s = 0; s < batched.shard_count(); ++s) {
+    EXPECT_EQ(batched.shard(s).size(), sequential.shard(s).size());
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(batch_results[i].ok, seq_results[i].ok);
+    EXPECT_DOUBLE_EQ(batch_results[i].cost.elapsed_s(),
+                     seq_results[i].cost.elapsed_s());
+  }
+}
+
+TEST_F(ShardedTest, QueryBatchMatchesPerItemQueries) {
+  ShardedFastIndex index(small_config(), *pca_, 4, 2);
+  std::vector<BatchImage> items;
+  for (std::size_t i = 0; i < 24; ++i) {
+    items.push_back(BatchImage{i, &dataset_->photos[i].image});
+  }
+  index.insert_batch(items);
+
+  std::vector<const img::Image*> queries;
+  for (std::size_t i = 0; i < 8; ++i) {
+    queries.push_back(&dataset_->photos[i].image);
+  }
+  const auto batch = index.query_batch(queries, 5);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult single = index.query(*queries[i], 5);
+    ASSERT_EQ(batch[i].hits.size(), single.hits.size());
+    EXPECT_DOUBLE_EQ(batch[i].cost.elapsed_s(), single.cost.elapsed_s());
+    for (std::size_t h = 0; h < single.hits.size(); ++h) {
+      EXPECT_EQ(batch[i].hits[h].id, single.hits[h].id);
+      EXPECT_DOUBLE_EQ(batch[i].hits[h].score, single.hits[h].score);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fast::core

@@ -1,8 +1,10 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <future>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -333,6 +335,34 @@ TEST(ThreadPool, ParallelForZeroIsNoop) {
   bool touched = false;
   pool.parallel_for(0, [&](std::size_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Every non-throwing block still ran to completion before the rethrow —
+  // no worker is left touching the (now dead) body closure.
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   hits[i]++;
+                                   if (i == 0) throw std::logic_error("first");
+                                 }),
+               std::logic_error);
+  int covered = 0;
+  for (auto& h : hits) covered += h.load();
+  // Block 0 throws at its first index; the other blocks run fully.
+  EXPECT_GE(covered, 64 - 64 / 4);
+
+  // The pool remains fully usable after an exceptional parallel_for.
+  std::atomic<int> sum{0};
+  pool.parallel_for(32, [&](std::size_t) { sum += 1; });
+  EXPECT_EQ(sum.load(), 32);
 }
 
 TEST(ThreadPool, ManyTasksComplete) {
