@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <filesystem>
 
 #include "util/table.hpp"
 #include "workload/scene_generator.hpp"
@@ -101,6 +103,21 @@ void print_dataset_banner(const workload::Dataset& dataset) {
       dataset.spec.name.c_str(), dataset.photos.size(),
       dataset.spec.landmarks,
       util::fmt_bytes(static_cast<double>(dataset.total_file_bytes())).c_str());
+}
+
+void dump_metrics(const util::MetricsRegistry& registry,
+                  const std::string& name) {
+  const char* override_dir = std::getenv("FAST_METRICS_DIR");
+  const std::string dir = override_dir != nullptr ? override_dir : "results";
+  try {
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/" + name + "_metrics.json";
+    registry.write_json(path);
+    std::printf("metrics: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metrics dump failed for %s: %s\n", name.c_str(),
+                 e.what());
+  }
 }
 
 bool contains_id(const std::vector<core::ScoredId>& hits,

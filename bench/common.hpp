@@ -13,6 +13,7 @@
 #include "baseline/rnpe.hpp"
 #include "baseline/sift_baseline.hpp"
 #include "core/fast_index.hpp"
+#include "util/metrics.hpp"
 #include "vision/pca.hpp"
 #include "vision/pca_sift.hpp"
 #include "workload/dataset.hpp"
@@ -72,6 +73,13 @@ std::unique_ptr<core::FastIndex> build_fast_only(
 
 /// Prints a Table II-style banner describing the scaled dataset.
 void print_dataset_banner(const workload::Dataset& dataset);
+
+/// Writes `registry` as JSON to results/<name>_metrics.json (creating
+/// results/ if needed; FAST_METRICS_DIR overrides the directory) and prints
+/// the path, so every bench run leaves a machine-readable per-stage record
+/// next to its tables. Failures are reported, not fatal.
+void dump_metrics(const util::MetricsRegistry& registry,
+                  const std::string& name);
 
 /// True if `hits` contains `wanted` among its ids.
 bool contains_id(const std::vector<core::ScoredId>& hits, std::uint64_t wanted);

@@ -72,6 +72,7 @@ void run_dataset(const workload::DatasetSpec& spec, std::size_t queries,
               util::fmt_percent(1.0 - fast_total / pca_total).c_str(),
               util::fmt_percent(1.0 - fast_total / rnpe_total).c_str());
 
+  dump_metrics(schemes.fast->metrics(), "fig3_" + env.dataset.spec.name);
   run_batch_construction(env, cfg);
 }
 

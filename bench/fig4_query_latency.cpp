@@ -103,6 +103,9 @@ void run_dataset(const workload::DatasetSpec& spec, std::size_t queries,
   paper_table.print(
       "Fig. 4 — extrapolated to the paper's corpus scale (" +
       env.dataset.spec.name + ")");
+
+  // Per-stage counters/histograms behind the FAST column (FE/SM, SA, CHS).
+  dump_metrics(schemes.fast->metrics(), "fig4_" + env.dataset.spec.name);
 }
 
 }  // namespace

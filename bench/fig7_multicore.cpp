@@ -67,6 +67,8 @@ void run_dataset(const workload::DatasetSpec& spec, std::size_t queries) {
   }
   native.print("Fig. 7 addendum — native query_batch wall time (" +
                env.dataset.spec.name + ")");
+
+  dump_metrics(index->metrics(), "fig7_" + env.dataset.spec.name);
 }
 
 }  // namespace

@@ -13,11 +13,15 @@
 // Run: ./build/examples/batch_pipeline [num_images]
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <filesystem>
 #include <memory>
+#include <string>
 
 #include "core/fast_index.hpp"
 #include "core/pipeline/factory.hpp"
 #include "hash/group_stores.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -72,6 +76,22 @@ RunStats run(fast::core::FastIndex& index,
   return stats;
 }
 
+// Writes the variant's per-stage metrics registry next to the tabular
+// output (FAST_METRICS_DIR overrides the directory). Non-fatal on failure.
+void dump_metrics(const fast::core::FastIndex& index, const std::string& tag) {
+  const char* override_dir = std::getenv("FAST_METRICS_DIR");
+  const std::string dir = override_dir != nullptr ? override_dir : "results";
+  try {
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/batch_pipeline_" + tag + "_metrics.json";
+    index.metrics().write_json(path);
+    std::printf("metrics: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metrics dump failed for %s: %s\n", tag.c_str(),
+                 e.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,6 +121,7 @@ int main(int argc, char** argv) {
   {
     core::FastIndex index(core::FastConfig{}, pca);
     add("minhash + flat-cuckoo", run(index, dataset, queries, pool));
+    dump_metrics(index, "flat_cuckoo");
   }
 
   // 2. Backends picked from config alone — no code changes.
@@ -109,6 +130,7 @@ int main(int argc, char** argv) {
     cfg.chs_backend = core::FastConfig::ChsBackend::kChained;
     core::FastIndex index(cfg, pca);
     add("minhash + chained", run(index, dataset, queries, pool));
+    dump_metrics(index, "chained");
   }
 
   // 3. Explicit stage injection: swap in one custom stage (a chained

@@ -8,7 +8,6 @@
 // once for all placements.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -16,6 +15,7 @@
 #include <vector>
 
 #include "core/fast_index.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fast::core {
@@ -27,65 +27,85 @@ class ConcurrentFastIndex {
   ConcurrentFastIndex(FastConfig config, vision::PcaModel pca,
                       std::size_t batch_threads = 0)
       : index_(std::move(config), std::move(pca)),
-        batch_threads_(batch_threads) {}
+        batch_threads_(batch_threads) {
+    util::MetricsRegistry& r = index_.metrics();
+    writer_locks_ = &r.counter("concurrent.writer_locks");
+    reader_locks_ = &r.counter("concurrent.reader_locks");
+    insert_batch_size_ = &r.count_histogram("concurrent.insert_batch_size");
+    query_batch_size_ = &r.count_histogram("concurrent.query_batch_size");
+  }
 
   std::size_t size() const {
     std::shared_lock lock(mutex_);
+    reader_locks_->add();
     return index_.size();
   }
 
   /// Extraction + summarization without the lock, placement under it.
+  /// Charges the same frontend cost as FastIndex::insert (the original
+  /// concurrent path silently dropped the FE + Bloom-hash charge).
   InsertResult insert(std::uint64_t id, const img::Image& image) {
     const hash::SparseSignature sig = index_.summarize(image);
+    const sim::SimClock frontend = index_.frontend_insert_cost();
     std::unique_lock lock(mutex_);
-    ++writer_locks_;
-    return index_.insert_signature(id, sig);
+    writer_locks_->add();
+    InsertResult result = index_.insert_signature(id, sig);
+    result.cost.merge(frontend);
+    return result;
   }
 
   InsertResult insert_signature(std::uint64_t id,
                                 const hash::SparseSignature& signature) {
     std::unique_lock lock(mutex_);
-    ++writer_locks_;
+    writer_locks_->add();
     return index_.insert_signature(id, signature);
   }
 
   /// Batch ingest: FE+SM for all items runs on the pool with no lock held,
   /// then every placement happens under a single writer-lock acquisition —
-  /// one lock round-trip per batch instead of per image.
+  /// one lock round-trip per batch instead of per image. Per-item costs
+  /// match insert()'s accounting.
   std::vector<InsertResult> insert_batch(std::span<const BatchImage> items) {
+    insert_batch_size_->observe(static_cast<double>(items.size()));
     std::vector<const img::Image*> images(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) images[i] = items[i].image;
     std::vector<hash::SparseSignature> sigs(items.size());
     pool().parallel_for(items.size(), [&](std::size_t i) {
       sigs[i] = index_.summarize(*images[i]);
     });
+    const sim::SimClock frontend = index_.frontend_insert_cost();
 
     std::unique_lock lock(mutex_);
-    ++writer_locks_;
+    writer_locks_->add();
     std::vector<InsertResult> results;
     results.reserve(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) {
-      results.push_back(index_.insert_signature(items[i].id, sigs[i]));
+      InsertResult result = index_.insert_signature(items[i].id, sigs[i]);
+      result.cost.merge(frontend);
+      results.push_back(std::move(result));
     }
     return results;
   }
 
   bool erase(std::uint64_t id) {
     std::unique_lock lock(mutex_);
-    ++writer_locks_;
+    writer_locks_->add();
     return index_.erase(id);
   }
 
+  /// Summarization outside the lock, probe/rank under it; identical cost
+  /// accounting to FastIndex::query (FE + Bloom hash ops + FE task chunks).
   QueryResult query(const img::Image& image, std::size_t k) const {
     const hash::SparseSignature sig = index_.summarize(image);
-    QueryResult r = query_signature(sig, k);
-    r.cost.charge(index_.config().feature_extract_s);
-    return r;
+    std::shared_lock lock(mutex_);
+    reader_locks_->add();
+    return index_.query_summarized(sig, k);
   }
 
   QueryResult query_signature(const hash::SparseSignature& signature,
                               std::size_t k) const {
     std::shared_lock lock(mutex_);
+    reader_locks_->add();
     return index_.query_signature(signature, k);
   }
 
@@ -93,33 +113,44 @@ class ConcurrentFastIndex {
   /// work under one shared (reader) lock acquisition.
   std::vector<QueryResult> query_batch(
       std::span<const img::Image* const> images, std::size_t k) const {
+    query_batch_size_->observe(static_cast<double>(images.size()));
     std::vector<hash::SparseSignature> sigs(images.size());
     pool().parallel_for(images.size(), [&](std::size_t i) {
       sigs[i] = index_.summarize(*images[i]);
     });
 
     std::shared_lock lock(mutex_);
+    reader_locks_->add();
     std::vector<QueryResult> results;
     results.reserve(images.size());
     for (const auto& sig : sigs) {
-      QueryResult r = index_.query_signature(sig, k);
-      r.cost.charge(index_.config().feature_extract_s);
-      results.push_back(std::move(r));
+      results.push_back(index_.query_summarized(sig, k));
     }
     return results;
   }
 
   /// Writer-lock acquisitions so far (batch-amortization observability).
-  std::size_t writer_lock_count() const noexcept { return writer_locks_; }
+  std::size_t writer_lock_count() const noexcept {
+    return writer_locks_->value();
+  }
+  /// Reader (shared) lock acquisitions so far.
+  std::size_t reader_lock_count() const noexcept {
+    return reader_locks_->value();
+  }
+
+  /// The shared per-stage registry (same instance as the inner index's).
+  util::MetricsRegistry& metrics() const noexcept { return index_.metrics(); }
 
   /// Snapshot accessors (consistent under the shared lock).
   std::size_t index_bytes() const {
     std::shared_lock lock(mutex_);
+    reader_locks_->add();
     return index_.index_bytes();
   }
 
   void save(const std::string& path) const {
     std::shared_lock lock(mutex_);
+    reader_locks_->add();
     index_.save(path);
   }
 
@@ -139,7 +170,10 @@ class ConcurrentFastIndex {
   std::size_t batch_threads_;
   mutable std::once_flag pool_once_;
   mutable std::unique_ptr<util::ThreadPool> pool_;
-  std::atomic<std::size_t> writer_locks_{0};
+  util::Counter* writer_locks_ = nullptr;
+  util::Counter* reader_locks_ = nullptr;
+  util::Histogram* insert_batch_size_ = nullptr;
+  util::Histogram* query_batch_size_ = nullptr;
 };
 
 }  // namespace fast::core

@@ -10,7 +10,9 @@
 
 #include "core/pipeline/factory.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace fast::core {
 
@@ -35,10 +37,70 @@ FastIndex::FastIndex(FastConfig config,
   }
   FAST_CHECK_MSG(store_->table_count() == aggregator_->table_count(),
                  "SA and CHS stages must agree on the table count");
+  init_metrics();
+}
+
+void FastIndex::init_metrics() {
+  metrics_ = std::make_shared<util::MetricsRegistry>();
+  util::MetricsRegistry& r = *metrics_;
+  m_.fe_sm_images = &r.counter("fe_sm.images");
+  m_.fe_sm_summarize_s = &r.latency_histogram("fe_sm.summarize_s");
+  m_.inserts = &r.counter("index.inserts");
+  m_.erases = &r.counter("index.erases");
+  m_.queries = &r.counter("index.queries");
+  m_.insert_sim_s = &r.latency_histogram("index.insert_sim_s");
+  m_.query_sim_s = &r.latency_histogram("index.query_sim_s");
+  m_.sa_keys_derived = &r.counter("sa.keys_derived");
+  m_.sa_insert_hash_ops = &r.counter("sa.insert_hash_ops");
+  m_.sa_probe_keys = &r.count_histogram("sa.probe_keys_per_query");
+  m_.chs_group_hits = &r.counter("chs.group_hits");
+  m_.chs_group_creates = &r.counter("chs.group_creates");
+  m_.chs_rehash_events = &r.counter("chs.rehash_events");
+  m_.chs_slot_reads = &r.counter("chs.slot_reads");
+  m_.chs_bucket_probes = &r.count_histogram("chs.bucket_probes_per_query");
+  m_.chs_candidates = &r.count_histogram("chs.candidates_per_query");
+  m_.chs_load_factor = &r.gauge("chs.load_factor");
+  m_.chs_occupied_slots = &r.gauge("chs.occupied_slots");
+  m_.chs_capacity_slots = &r.gauge("chs.capacity_slots");
+  m_.chs_insert_failures = &r.gauge("chs.insert_failures");
+  m_.chs_total_kicks = &r.gauge("chs.total_kicks");
+  m_.chs_max_kick_chain = &r.gauge("chs.max_kick_chain");
+  m_.chs_store_bytes = &r.gauge("chs.store_bytes");
+  m_.index_size = &r.gauge("index.size");
+  m_.index_groups = &r.gauge("index.groups");
+}
+
+void FastIndex::publish_storage_gauges() {
+  const hash::CuckooStats s = store_->stats();
+  m_.chs_occupied_slots->set(static_cast<double>(s.occupied_slots));
+  m_.chs_capacity_slots->set(static_cast<double>(s.capacity_slots));
+  m_.chs_load_factor->set(s.capacity_slots == 0
+                              ? 0.0
+                              : static_cast<double>(s.occupied_slots) /
+                                    static_cast<double>(s.capacity_slots));
+  m_.chs_insert_failures->set(static_cast<double>(s.failures));
+  m_.chs_total_kicks->set(static_cast<double>(s.total_kicks));
+  m_.chs_max_kick_chain->set(static_cast<double>(s.max_kick_chain));
+  m_.chs_store_bytes->set(static_cast<double>(store_->store_bytes()));
+  m_.index_size->set(static_cast<double>(signatures_.size()));
+  m_.index_groups->set(static_cast<double>(groups_.size()));
 }
 
 hash::SparseSignature FastIndex::summarize(const img::Image& image) const {
-  return summarizer_->summarize(image);
+  util::WallTimer timer;
+  hash::SparseSignature sig = summarizer_->summarize(image);
+  m_.fe_sm_images->add();
+  m_.fe_sm_summarize_s->observe(timer.elapsed_seconds());
+  return sig;
+}
+
+sim::SimClock FastIndex::frontend_insert_cost() const noexcept {
+  sim::SimClock clock;
+  clock.charge(config_.feature_extract_s);
+  // Bloom hashing cost: k hash ops per descriptor group.
+  clock.charge_hash(config_.cost.hash_op_s,
+                    config_.max_keypoints * config_.bloom_hashes);
+  return clock;
 }
 
 void FastIndex::calibrate_scale(
@@ -71,14 +133,9 @@ void FastIndex::calibrate_scale(
 }
 
 InsertResult FastIndex::insert(std::uint64_t id, const img::Image& image) {
-  InsertResult result;
-  result.cost.charge(config_.feature_extract_s);
   const hash::SparseSignature sig = summarize(image);
-  // Bloom hashing cost: k hash ops per descriptor group.
-  result.cost.charge_hash(config_.cost.hash_op_s,
-                          config_.max_keypoints * config_.bloom_hashes);
   InsertResult stored = insert_signature(id, sig);
-  stored.cost.merge(result.cost);
+  stored.cost.merge(frontend_insert_cost());
   return stored;
 }
 
@@ -86,6 +143,11 @@ InsertResult FastIndex::insert_signature(
     std::uint64_t id, const hash::SparseSignature& signature) {
   InsertResult result;
   FAST_CHECK(signature.bit_count() == config_.bloom_bits);
+
+  // Re-insert replaces (erase-then-insert): the stale signature leaves the
+  // index and the id exits its old groups first, so it never appears twice
+  // in a membership list and queries rank against the fresh signature.
+  if (signatures_.find(id) != signatures_.end()) erase(id);
 
   // SA hashing cost: p-stable projections or minwise passes, in the
   // aggregator's cost domain.
@@ -99,12 +161,16 @@ InsertResult FastIndex::insert_signature(
 
   const std::vector<std::uint64_t> keys =
       aggregator_->keys(signature, nullptr);
+  m_.sa_keys_derived->add(keys.size());
+  m_.sa_insert_hash_ops->add(sa_ops);
   for (std::size_t t = 0; t < keys.size(); ++t) {
     std::size_t lookup_probes = 0;
     const auto group = store_->find(t, keys[t], &lookup_probes);
     result.cost.charge_ram(config_.cost.ram_access_s, lookup_probes);
+    m_.chs_slot_reads->add(lookup_probes);
     if (group) {
       groups_[*group].push_back(id);
+      m_.chs_group_hits->add();
     } else {
       const std::uint64_t group_id = groups_.size();
       groups_.emplace_back(std::vector<std::uint64_t>{id});
@@ -114,9 +180,14 @@ InsertResult FastIndex::insert_signature(
       if (events > 0) result.ok = false;
       result.cost.charge_ram(config_.cost.ram_access_s,
                              store_->lookup_cost_probes(t));
+      m_.chs_group_creates->add();
+      m_.chs_rehash_events->add(events);
     }
   }
   signatures_.emplace(id, signature);
+  m_.inserts->add();
+  m_.insert_sim_s->observe(result.cost.elapsed_s());
+  publish_storage_gauges();
   return result;
 }
 
@@ -148,12 +219,8 @@ std::vector<InsertResult> FastIndex::insert_batch(
   std::vector<InsertResult> results;
   results.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
-    InsertResult fe;
-    fe.cost.charge(config_.feature_extract_s);
-    fe.cost.charge_hash(config_.cost.hash_op_s,
-                        config_.max_keypoints * config_.bloom_hashes);
     InsertResult stored = insert_signature(items[i].id, sigs[i]);
-    stored.cost.merge(fe.cost);
+    stored.cost.merge(frontend_insert_cost());
     results.push_back(std::move(stored));
   }
   return results;
@@ -162,6 +229,7 @@ std::vector<InsertResult> FastIndex::insert_batch(
 bool FastIndex::erase(std::uint64_t id) {
   const auto it = signatures_.find(id);
   if (it == signatures_.end()) return false;
+  m_.erases->add();
   const std::vector<std::uint64_t> keys =
       aggregator_->keys(it->second, nullptr);
   for (std::size_t t = 0; t < keys.size(); ++t) {
@@ -176,6 +244,7 @@ bool FastIndex::erase(std::uint64_t id) {
     }
   }
   signatures_.erase(it);
+  publish_storage_gauges();
   return true;
 }
 
@@ -237,12 +306,8 @@ QueryResult FastIndex::query(const img::Image& image, std::size_t k) const {
 
 QueryResult FastIndex::query_summarized(const hash::SparseSignature& signature,
                                         std::size_t k) const {
-  QueryResult pre;
-  pre.cost.charge(config_.feature_extract_s);
-  pre.cost.charge_hash(config_.cost.hash_op_s,
-                       config_.max_keypoints * config_.bloom_hashes);
   QueryResult result = query_signature(signature, k);
-  result.cost.merge(pre.cost);
+  result.cost.merge(frontend_insert_cost());
   // Feature extraction parallelizes across interest points: expose it as
   // max_keypoints independent task chunks for the multicore model.
   const double fe_chunk =
@@ -279,11 +344,16 @@ QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
   std::vector<std::vector<std::uint64_t>> probes;
   const std::vector<std::uint64_t> keys =
       aggregator_->keys(signature, &probes);
+  m_.sa_keys_derived->add(keys.size());
+  std::size_t probe_keys = 0;
+  for (const auto& per_table : probes) probe_keys += per_table.size();
+  m_.sa_probe_keys->observe(static_cast<double>(probe_keys));
 
   // Collect candidates from the home bucket plus the probe buckets of
   // every table. Each flat-addressed lookup is a fixed bounded slot read;
   // the per-table work items are independent (Fig. 7 parallelism).
   std::unordered_set<std::uint64_t> candidate_ids;
+  std::size_t slot_reads_total = 0;
   const std::size_t per_table_ops =
       aggregator_->query_hash_ops_per_table(signature);
   const double hash_cost =
@@ -311,7 +381,9 @@ QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
     result.cost.charge(hash_cost);
     result.cost.charge_ram(config_.cost.ram_access_s, table_slot_reads);
     result.parallel_tasks.push_back(hash_cost + probe_cost);
+    slot_reads_total += table_slot_reads;
   }
+  m_.chs_slot_reads->add(slot_reads_total);
 
   // Rank candidates by signature similarity (sparse-domain Jaccard).
   result.candidates = candidate_ids.size();
@@ -338,6 +410,10 @@ QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
                       return a.id < b.id;  // deterministic tie-break
                     });
   result.hits.resize(keep);
+  m_.queries->add();
+  m_.chs_bucket_probes->observe(static_cast<double>(result.bucket_probes));
+  m_.chs_candidates->observe(static_cast<double>(result.candidates));
+  m_.query_sim_s->observe(result.cost.elapsed_s());
   return result;
 }
 

@@ -45,6 +45,10 @@
 
 namespace fast::util {
 class ThreadPool;
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
 }
 
 namespace fast::core {
@@ -80,6 +84,12 @@ class FastIndex {
 
   /// Runs feature extraction + Bloom summarization for one image.
   hash::SparseSignature summarize(const img::Image& image) const;
+
+  /// Simulated frontend cost every image-ingest path must charge on top of
+  /// insert_signature: feature extraction plus the k Bloom hash ops per
+  /// descriptor group. Factored out so the concurrent and sharded
+  /// frontends account identically to insert() (they used to drop it).
+  sim::SimClock frontend_insert_cost() const noexcept;
 
   /// Tunes the LSH input scale from sample queries against a corpus sample
   /// (the paper's R-selection procedure, §IV-A2): the median query-to-
@@ -131,6 +141,13 @@ class FastIndex {
   QueryResult query_signature(const hash::SparseSignature& signature,
                               std::size_t k) const;
 
+  /// query() minus summarization: costs for a query whose signature was
+  /// just extracted from an image (FE charge + Bloom hash ops + parallel FE
+  /// task chunks). Public so the concurrent frontend charges queries
+  /// identically to query() after summarizing outside its lock.
+  QueryResult query_summarized(const hash::SparseSignature& signature,
+                               std::size_t k) const;
+
   /// Batch query: FE+SM and the per-query probe/rank work both fan across
   /// `pool` when provided. Results are identical to per-item query() calls.
   std::vector<QueryResult> query_batch(
@@ -139,6 +156,18 @@ class FastIndex {
 
   /// The stored signature of an image (for tests / re-ranking).
   const hash::SparseSignature* signature_of(std::uint64_t id) const;
+
+  /// Members of correlation group `g` (diagnostics/tests; erased groups
+  /// stay as empty husks).
+  std::span<const std::uint64_t> group_members(std::size_t g) const {
+    return groups_.at(g);
+  }
+
+  /// Per-stage observability: FE/SM timing, SA key derivation, CHS probe
+  /// distributions and occupancy accumulate here (metric names in
+  /// DESIGN.md §3b). Thread-safe to read and update concurrently; shared
+  /// with the concurrent/sharded frontends wrapping this index.
+  util::MetricsRegistry& metrics() const noexcept { return *metrics_; }
 
   /// Total bytes of the in-memory index: sparse signatures + storage slots +
   /// group membership lists + aggregator parameters. This is the FAST
@@ -149,10 +178,42 @@ class FastIndex {
   hash::CuckooStats cuckoo_stats() const;
 
  private:
-  /// query() minus summarization: costs for a query whose signature was
-  /// just extracted from an image (FE charge + parallel FE task chunks).
-  QueryResult query_summarized(const hash::SparseSignature& signature,
-                               std::size_t k) const;
+  /// Cached instrument pointers so hot paths (queries racing through the
+  /// concurrent facade's shared lock) update metrics with relaxed atomic
+  /// increments only — never the registry mutex.
+  struct StageMetrics {
+    util::Counter* fe_sm_images = nullptr;
+    util::Histogram* fe_sm_summarize_s = nullptr;
+    util::Counter* inserts = nullptr;
+    util::Counter* erases = nullptr;
+    util::Counter* queries = nullptr;
+    util::Histogram* insert_sim_s = nullptr;
+    util::Histogram* query_sim_s = nullptr;
+    util::Counter* sa_keys_derived = nullptr;
+    util::Counter* sa_insert_hash_ops = nullptr;
+    util::Histogram* sa_probe_keys = nullptr;
+    util::Counter* chs_group_hits = nullptr;
+    util::Counter* chs_group_creates = nullptr;
+    util::Counter* chs_rehash_events = nullptr;
+    util::Counter* chs_slot_reads = nullptr;
+    util::Histogram* chs_bucket_probes = nullptr;
+    util::Histogram* chs_candidates = nullptr;
+    util::Gauge* chs_load_factor = nullptr;
+    util::Gauge* chs_occupied_slots = nullptr;
+    util::Gauge* chs_capacity_slots = nullptr;
+    util::Gauge* chs_insert_failures = nullptr;
+    util::Gauge* chs_total_kicks = nullptr;
+    util::Gauge* chs_max_kick_chain = nullptr;
+    util::Gauge* chs_store_bytes = nullptr;
+    util::Gauge* index_size = nullptr;
+    util::Gauge* index_groups = nullptr;
+  };
+
+  /// Registers this index's instruments and caches their pointers.
+  void init_metrics();
+
+  /// Refreshes the CHS occupancy/kick gauges from the store (write paths).
+  void publish_storage_gauges();
 
   /// Runs FE+SM for `images`, fanned across `pool` when provided.
   std::vector<hash::SparseSignature> summarize_batch(
@@ -165,6 +226,10 @@ class FastIndex {
   std::vector<std::vector<std::uint64_t>> groups_;  // group id -> member ids
   std::unordered_map<std::uint64_t, hash::SparseSignature> signatures_;
   std::size_t rehashes_ = 0;
+  // shared_ptr keeps the registry (which holds mutexes/atomics and cannot
+  // move) stable across FastIndex moves, so the cached pointers stay valid.
+  std::shared_ptr<util::MetricsRegistry> metrics_;
+  StageMetrics m_;
 };
 
 }  // namespace fast::core

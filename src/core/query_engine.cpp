@@ -1,11 +1,19 @@
 #include "core/query_engine.hpp"
 
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace fast::core {
 
 QueryEngine::QueryEngine(const FastIndex& index, std::size_t threads)
-    : index_(index), pool_(threads) {}
+    : index_(index), pool_(threads) {
+  util::MetricsRegistry& r = index_.metrics();
+  batches_ = &r.counter("engine.batches");
+  batch_size_ = &r.count_histogram("engine.batch_size");
+  batch_wall_s_ = &r.latency_histogram("engine.batch_native_wall_s");
+  last_sim_mean_s_ = &r.gauge("engine.last_sim_mean_latency_s");
+  last_sim_makespan_s_ = &r.gauge("engine.last_sim_makespan_s");
+}
 
 void QueryEngine::finish_report(BatchReport& report,
                                 std::size_t sim_slots) const {
@@ -20,6 +28,12 @@ void QueryEngine::finish_report(BatchReport& report,
   }
   report.sim_mean_latency_s = sim::ClusterModel::mean_completion(costs, slots);
   report.sim_makespan_s = sim::ClusterModel::makespan(costs, slots);
+
+  batches_->add();
+  batch_size_->observe(static_cast<double>(report.results.size()));
+  batch_wall_s_->observe(report.native_wall_s);
+  last_sim_mean_s_->set(report.sim_mean_latency_s);
+  last_sim_makespan_s_->set(report.sim_makespan_s);
 }
 
 BatchReport QueryEngine::run_batch(

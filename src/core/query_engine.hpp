@@ -57,6 +57,11 @@ class QueryEngine {
 
   const FastIndex& index_;
   util::ThreadPool pool_;
+  util::Counter* batches_ = nullptr;
+  util::Histogram* batch_size_ = nullptr;
+  util::Histogram* batch_wall_s_ = nullptr;
+  util::Gauge* last_sim_mean_s_ = nullptr;
+  util::Gauge* last_sim_makespan_s_ = nullptr;
 };
 
 }  // namespace fast::core

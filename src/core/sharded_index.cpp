@@ -8,7 +8,8 @@ namespace fast::core {
 
 ShardedFastIndex::ShardedFastIndex(FastConfig config, vision::PcaModel pca,
                                    std::size_t shards, std::size_t threads)
-    : config_(config), shard_map_(shards), pool_(threads) {
+    : config_(config), shard_map_(shards), pool_(threads),
+      metrics_(std::make_shared<util::MetricsRegistry>()) {
   FAST_CHECK(shards >= 1);
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
@@ -16,6 +17,14 @@ ShardedFastIndex::ShardedFastIndex(FastConfig config, vision::PcaModel pca,
     shard_cfg.cuckoo.seed = config.cuckoo.seed + s * 0x51edULL;
     shards_.push_back(std::make_unique<FastIndex>(shard_cfg, pca));
   }
+  queries_ = &metrics_->counter("sharded.queries");
+  inserts_ = &metrics_->counter("sharded.inserts");
+  scatter_msgs_ = &metrics_->counter("sharded.scatter_msgs");
+  gather_msgs_ = &metrics_->counter("sharded.gather_msgs");
+  batch_size_ = &metrics_->count_histogram("sharded.insert_batch_size");
+  shard_batch_items_ = &metrics_->count_histogram("sharded.shard_batch_items");
+  gather_candidates_ = &metrics_->count_histogram("sharded.gather_candidates");
+  metrics_->gauge("sharded.shards").set(static_cast<double>(shards));
 }
 
 std::size_t ShardedFastIndex::size() const noexcept {
@@ -26,6 +35,8 @@ std::size_t ShardedFastIndex::size() const noexcept {
 
 InsertResult ShardedFastIndex::insert(std::uint64_t id,
                                       const img::Image& image) {
+  inserts_->add();
+  scatter_msgs_->add();
   InsertResult r = shards_[shard_map_.shard_of(id)]->insert(id, image);
   // Routing the signature to the owner node: one network hop.
   r.cost.charge(config_.cost.net_transfer_s(512));
@@ -34,6 +45,8 @@ InsertResult ShardedFastIndex::insert(std::uint64_t id,
 
 InsertResult ShardedFastIndex::insert_signature(
     std::uint64_t id, const hash::SparseSignature& signature) {
+  inserts_->add();
+  scatter_msgs_->add();
   InsertResult r =
       shards_[shard_map_.shard_of(id)]->insert_signature(id, signature);
   r.cost.charge(config_.cost.net_transfer_s(signature.storage_bytes()));
@@ -42,6 +55,9 @@ InsertResult ShardedFastIndex::insert_signature(
 
 std::vector<InsertResult> ShardedFastIndex::insert_batch(
     std::span<const BatchImage> items) {
+  batch_size_->observe(static_cast<double>(items.size()));
+  inserts_->add(items.size());
+  scatter_msgs_->add(items.size());
   // FE+SM for the whole batch, fanned across the native pool. Any shard's
   // summarizer is equivalent (shards differ only in storage seeds).
   std::vector<hash::SparseSignature> sigs(items.size());
@@ -55,15 +71,15 @@ std::vector<InsertResult> ShardedFastIndex::insert_batch(
   for (std::size_t i = 0; i < items.size(); ++i) {
     by_shard[shard_map_.shard_of(items[i].id)].push_back(i);
   }
+  for (const auto& sub : by_shard) {
+    shard_batch_items_->observe(static_cast<double>(sub.size()));
+  }
+  const sim::SimClock frontend = shards_.front()->frontend_insert_cost();
   std::vector<InsertResult> results(items.size());
   pool_.parallel_for(shards_.size(), [&](std::size_t s) {
     for (const std::size_t i : by_shard[s]) {
-      InsertResult fe;
-      fe.cost.charge(config_.feature_extract_s);
-      fe.cost.charge_hash(config_.cost.hash_op_s,
-                          config_.max_keypoints * config_.bloom_hashes);
       InsertResult stored = shards_[s]->insert_signature(items[i].id, sigs[i]);
-      stored.cost.merge(fe.cost);
+      stored.cost.merge(frontend);
       stored.cost.charge(config_.cost.net_transfer_s(512));
       results[i] = std::move(stored);
     }
@@ -101,6 +117,9 @@ std::vector<QueryResult> ShardedFastIndex::query_batch(
 
 QueryResult ShardedFastIndex::gather(std::vector<QueryResult> per_shard,
                                      std::size_t k, double fe_cost) const {
+  queries_->add();
+  scatter_msgs_->add(per_shard.size());
+  gather_msgs_->add(per_shard.size());
   QueryResult merged;
   merged.cost.charge(fe_cost);
   double slowest_shard = 0;
@@ -125,6 +144,7 @@ QueryResult ShardedFastIndex::gather(std::vector<QueryResult> per_shard,
               return a.id < b.id;
             });
   if (merged.hits.size() > k) merged.hits.resize(k);
+  gather_candidates_->observe(static_cast<double>(merged.candidates));
   return merged;
 }
 

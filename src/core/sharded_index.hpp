@@ -15,6 +15,7 @@
 
 #include "core/fast_index.hpp"
 #include "storage/shard.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fast::core {
@@ -65,6 +66,10 @@ class ShardedFastIndex {
   /// Access to a shard's local index (tests, rebalancing tooling).
   const FastIndex& shard(std::size_t i) const { return *shards_.at(i); }
 
+  /// Scatter/gather and fan-out observability for the distributed frontend
+  /// (per-shard stage metrics live in each shard's own registry).
+  util::MetricsRegistry& metrics() const noexcept { return *metrics_; }
+
  private:
   QueryResult gather(std::vector<QueryResult> per_shard, std::size_t k,
                      double fe_cost) const;
@@ -73,6 +78,14 @@ class ShardedFastIndex {
   storage::ShardMap shard_map_;
   std::vector<std::unique_ptr<FastIndex>> shards_;
   mutable util::ThreadPool pool_;
+  std::shared_ptr<util::MetricsRegistry> metrics_;
+  util::Counter* queries_ = nullptr;
+  util::Counter* inserts_ = nullptr;
+  util::Counter* scatter_msgs_ = nullptr;
+  util::Counter* gather_msgs_ = nullptr;
+  util::Histogram* batch_size_ = nullptr;
+  util::Histogram* shard_batch_items_ = nullptr;
+  util::Histogram* gather_candidates_ = nullptr;
 };
 
 }  // namespace fast::core

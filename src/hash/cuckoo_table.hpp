@@ -25,6 +25,10 @@ struct CuckooStats {
   std::size_t failures = 0;       ///< insertions that exhausted the kick budget
   std::size_t total_kicks = 0;    ///< displacements across all insertions
   std::size_t max_kick_chain = 0; ///< longest single displacement chain
+  /// Occupancy of the backing store (filled by the GroupStore aggregates;
+  /// a bare table's stats() leaves them 0 — use size()/capacity() there).
+  std::size_t occupied_slots = 0; ///< entries currently stored
+  std::size_t capacity_slots = 0; ///< total slots (chain heads for chained)
 };
 
 class CuckooTable {

@@ -113,6 +113,8 @@ CuckooStats FlatCuckooGroupStore::stats() const noexcept {
     total.failures += s.failures;
     total.total_kicks += s.total_kicks;
     total.max_kick_chain = std::max(total.max_kick_chain, s.max_kick_chain);
+    total.occupied_slots += t.cuckoo.size();
+    total.capacity_slots += t.cuckoo.capacity();
   }
   return total;
 }
@@ -161,7 +163,11 @@ std::size_t ChainedGroupStore::store_bytes() const noexcept {
 
 CuckooStats ChainedGroupStore::stats() const noexcept {
   CuckooStats total;
-  for (const LshTableChained& t : tables_) total.inserts += t.size();
+  for (const LshTableChained& t : tables_) {
+    total.inserts += t.size();
+    total.occupied_slots += t.size();
+    total.capacity_slots += t.bucket_count();
+  }
   return total;
 }
 

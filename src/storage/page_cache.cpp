@@ -28,6 +28,12 @@ bool PageCache::access(std::uint64_t page) {
 void PageCache::clear() {
   lru_.clear();
   map_.clear();
+  reset_stats();
+}
+
+void PageCache::reset_stats() noexcept {
+  hits_ = 0;
+  misses_ = 0;
 }
 
 }  // namespace fast::storage

@@ -26,7 +26,13 @@ class PageCache {
   /// evicting the least recently used page if at capacity.
   bool access(std::uint64_t page);
 
+  /// Empties the cache AND resets the hit/miss counters: a cleared cache
+  /// starts a fresh measurement (hit-rate stats used to leak across bench
+  /// runs). Use reset_stats() to zero the counters without evicting.
   void clear();
+
+  /// Zeroes hits/misses while keeping the resident pages.
+  void reset_stats() noexcept;
 
  private:
   std::size_t capacity_;

@@ -1,0 +1,207 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace fast::util {
+
+namespace {
+
+/// Relaxed compare-exchange fold of a double stored as bits.
+template <typename Better>
+void update_extreme(std::atomic<std::uint64_t>& bits, double v,
+                    Better better) noexcept {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  while (better(v, std::bit_cast<double>(cur)) &&
+         !bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(v),
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1),
+      min_bits_(
+          std::bit_cast<std::uint64_t>(std::numeric_limits<double>::max())),
+      max_bits_(
+          std::bit_cast<std::uint64_t>(std::numeric_limits<double>::lowest())) {
+  FAST_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly ascending");
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Sum as a CAS fold: atomic<double>::fetch_add is C++20 but keeping the
+  // bit-packed representation makes every field the same width and idiom.
+  std::uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + v),
+      std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+  update_extreme(min_bits_, v, std::less<double>{});
+  update_extreme(max_bits_, v, std::greater<double>{});
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0
+             ? 0.0
+             : std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0
+             ? 0.0
+             : std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<double> MetricsRegistry::latency_bounds() {
+  // Two points per decade from 100 ns to 10 s — wide enough for both native
+  // wall timings and the simulated cluster latencies.
+  return {1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4,
+          1e-3, 3e-3, 1e-2, 3e-2, 0.1,  0.3,  1.0,  3.0, 10.0};
+}
+
+std::vector<double> MetricsRegistry::count_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 65536.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Histogram& MetricsRegistry::latency_histogram(const std::string& name) {
+  return histogram(name, latency_bounds());
+}
+
+Histogram& MetricsRegistry::count_histogram(const std::string& name) {
+  return histogram(name, count_bounds());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h->bounds();
+    data.counts.reserve(data.bounds.size() + 1);
+    for (std::size_t i = 0; i <= data.bounds.size(); ++i) {
+      data.counts.push_back(h->bucket_count(i));
+    }
+    data.count = h->count();
+    data.sum = h->sum();
+    data.min = h->min();
+    data.max = h->max();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    " + quote(name) + ": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    " + quote(name) + ": " + fmt_double(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    " + quote(name) + ": {\n";
+    out += "      \"count\": " + std::to_string(h.count) + ",\n";
+    out += "      \"sum\": " + fmt_double(h.sum) + ",\n";
+    out += "      \"min\": " + fmt_double(h.min) + ",\n";
+    out += "      \"max\": " + fmt_double(h.max) + ",\n";
+    out += "      \"buckets\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "        {\"le\": " + fmt_double(h.bounds[i]) +
+             ", \"count\": " + std::to_string(h.counts[i]) + "}";
+    }
+    out += h.bounds.empty() ? "],\n" : "\n      ],\n";
+    out += "      \"overflow\": " + std::to_string(h.counts.back()) + "\n";
+    out += "    }";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry::write_json: cannot open " +
+                             path);
+  }
+  out << to_json();
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry::write_json: write failed: " +
+                             path);
+  }
+}
+
+}  // namespace fast::util

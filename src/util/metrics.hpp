@@ -1,0 +1,152 @@
+// Lightweight in-process metrics: named counters, gauges and fixed-bucket
+// histograms behind a registry with JSON export.
+//
+// The paper's headline claims are quantitative (near-real-time latency,
+// bounded probe counts, ~3-orders-lower rehash probability, multicore
+// speedup), so every pipeline stage reports what it did — FE/SM timing, SA
+// key derivations, CHS probe distributions and occupancy, lock and fan-out
+// behaviour of the concurrent/sharded frontends — into one registry that
+// benches dump next to their results (DESIGN.md §3b lists the names).
+//
+// Concurrency model: instruments are registered under a mutex (slow path,
+// once per name) and returned by stable reference; every update afterwards
+// is a relaxed atomic operation, safe from any thread and never a
+// synchronization point. Hot paths cache the returned pointers so queries
+// racing through ConcurrentFastIndex's shared lock do not touch the
+// registry mutex at all.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fast::util {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (load factors, sizes, bytes).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Fixed-bucket histogram: observations land in the first bucket whose
+/// upper bound is >= the value, or in the overflow bucket. Bounds are fixed
+/// at registration, so observe() is one binary search plus relaxed atomic
+/// increments — no allocation, no locking.
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bounds, strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Count in bucket `i` (i == bounds().size() is the overflow bucket).
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+};
+
+/// Point-in-time copy of every instrument, safe to read and serialize while
+/// the live registry keeps updating.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Pretty-printed JSON object ({"counters": .., "gauges": ..,
+  /// "histograms": ..}).
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. References stay valid for the registry's lifetime. Registering a
+  /// histogram name twice keeps the first bounds.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Histogram with the default wall/simulated-latency buckets (seconds).
+  Histogram& latency_histogram(const std::string& name);
+  /// Histogram with power-of-two count buckets (batch sizes, fan-outs,
+  /// probe and candidate counts).
+  Histogram& count_histogram(const std::string& name);
+
+  static std::vector<double> latency_bounds();
+  static std::vector<double> count_bounds();
+
+  MetricsSnapshot snapshot() const;
+  std::string to_json() const { return snapshot().to_json(); }
+  /// Writes to_json() to `path` (parent directories are not created).
+  /// Throws std::runtime_error when the file cannot be written.
+  void write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fast::util

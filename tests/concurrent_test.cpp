@@ -2,6 +2,7 @@
 // ConcurrentFastIndex facade must never crash, lose acknowledged inserts,
 // or return ids that were never inserted.
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 
@@ -94,6 +95,10 @@ TEST_F(ConcurrentTest, QueriesRaceInsertsWithoutLosses) {
           if (hit.score < 0.0 || hit.score > 1.0) ++bad_hits;
         }
         ++qi;
+        // Spend a moment off the lock: two readers re-acquiring back to
+        // back can starve the writer of the exclusive lock indefinitely
+        // under TSan's slowdown (shared_mutex makes no fairness promise).
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
     });
   }
@@ -127,6 +132,54 @@ TEST_F(ConcurrentTest, ParallelInsertersAllLand) {
   }
   for (auto& w : writers) w.join();
   EXPECT_EQ(index.size(), kThreads * sigs.size());
+}
+
+// Regression: the concurrent facade used to drop the FE + Bloom-hash
+// charges that FastIndex::insert applies, so the same upload was billed
+// less when it went through the thread-safe path. All three insert paths
+// and the query path must charge identically.
+TEST_F(ConcurrentTest, InsertCostMatchesPlainIndex) {
+  ConcurrentFastIndex concurrent(small_config(), *pca_);
+  FastIndex plain(small_config(), *pca_);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const InsertResult a = concurrent.insert(i, dataset_->photos[i].image);
+    const InsertResult b = plain.insert(i, dataset_->photos[i].image);
+    EXPECT_DOUBLE_EQ(a.cost.elapsed_s(), b.cost.elapsed_s()) << i;
+    EXPECT_EQ(a.cost.hash_ops(), b.cost.hash_ops()) << i;
+    EXPECT_EQ(a.cost.ram_accesses(), b.cost.ram_accesses()) << i;
+  }
+}
+
+TEST_F(ConcurrentTest, InsertBatchCostMatchesPlainIndex) {
+  ConcurrentFastIndex concurrent(small_config(), *pca_, 2);
+  FastIndex plain(small_config(), *pca_);
+  std::vector<BatchImage> items;
+  for (std::size_t i = 0; i < 10; ++i) {
+    items.push_back(BatchImage{i, &dataset_->photos[i].image});
+  }
+  const auto batch = concurrent.insert_batch(items);
+  ASSERT_EQ(batch.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const InsertResult b = plain.insert(items[i].id, *items[i].image);
+    EXPECT_DOUBLE_EQ(batch[i].cost.elapsed_s(), b.cost.elapsed_s()) << i;
+    EXPECT_EQ(batch[i].cost.hash_ops(), b.cost.hash_ops()) << i;
+  }
+}
+
+TEST_F(ConcurrentTest, QueryCostMatchesPlainIndex) {
+  ConcurrentFastIndex concurrent(small_config(), *pca_);
+  FastIndex plain(small_config(), *pca_);
+  for (std::size_t i = 0; i < 8; ++i) {
+    concurrent.insert(i, dataset_->photos[i].image);
+    plain.insert(i, dataset_->photos[i].image);
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    const QueryResult a = concurrent.query(dataset_->photos[i].image, 3);
+    const QueryResult b = plain.query(dataset_->photos[i].image, 3);
+    EXPECT_DOUBLE_EQ(a.cost.elapsed_s(), b.cost.elapsed_s()) << i;
+    EXPECT_EQ(a.cost.hash_ops(), b.cost.hash_ops()) << i;
+    EXPECT_EQ(a.cost.ram_accesses(), b.cost.ram_accesses()) << i;
+  }
 }
 
 TEST_F(ConcurrentTest, InsertBatchTakesWriterLockOncePerBatch) {

@@ -262,6 +262,58 @@ TEST_F(FastIndexTest, EraseThenReinsertSameIdRoundtrips) {
   EXPECT_EQ(top_sig->set_bits(), sigs[4].set_bits());
 }
 
+// Regression: re-inserting a live id used to append it to its groups'
+// membership lists again (duplicate candidates) while keeping the stale
+// signature. Re-insert is erase-then-insert: the id appears at most once
+// per group and queries rank against the fresh signature.
+TEST_F(FastIndexTest, ReinsertWithoutEraseReplacesSignature) {
+  FastIndex index(small_config(), *pca_);
+  const auto old_sig = index.summarize(dataset_->photos[0].image);
+  const auto new_sig = index.summarize(dataset_->photos[1].image);
+  index.insert_signature(7, old_sig);
+  index.insert_signature(7, new_sig);  // no erase in between
+
+  EXPECT_EQ(index.size(), 1u);
+  const auto* stored = index.signature_of(7);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->set_bits(), new_sig.set_bits());
+
+  // Queries score against the fresh signature: its own query is an exact
+  // match, the stale signature's no longer is.
+  const QueryResult fresh = index.query_signature(new_sig, 1);
+  ASSERT_FALSE(fresh.hits.empty());
+  EXPECT_EQ(fresh.hits.front().id, 7u);
+  EXPECT_DOUBLE_EQ(fresh.hits.front().score, 1.0);
+  const QueryResult stale = index.query_signature(old_sig, 1);
+  if (!stale.hits.empty()) {
+    EXPECT_LT(stale.hits.front().score, 1.0);
+  }
+}
+
+TEST_F(FastIndexTest, ReinsertDoesNotDuplicateGroupMembership) {
+  FastIndex index(small_config(), *pca_);
+  const auto sig = index.summarize(dataset_->photos[2].image);
+  index.insert_signature(3, sig);
+  index.insert_signature(3, sig);
+  index.insert_signature(3, sig);
+
+  EXPECT_EQ(index.size(), 1u);
+  for (std::size_t g = 0; g < index.group_count(); ++g) {
+    std::size_t appearances = 0;
+    for (std::uint64_t member : index.group_members(g)) {
+      if (member == 3) ++appearances;
+    }
+    EXPECT_LE(appearances, 1u) << "group " << g;
+  }
+  // The id must still be retrievable and erasable exactly once.
+  const QueryResult r = index.query_signature(sig, 1);
+  ASSERT_FALSE(r.hits.empty());
+  EXPECT_EQ(r.hits.front().id, 3u);
+  EXPECT_TRUE(index.erase(3));
+  EXPECT_FALSE(index.erase(3));
+  EXPECT_EQ(index.size(), 0u);
+}
+
 TEST_F(FastIndexTest, SaveLoadAfterErasePreservesStateAndAnswers) {
   const std::string path = "/tmp/fast_index_erase_roundtrip.bin";
   FastIndex index(small_config(), *pca_);

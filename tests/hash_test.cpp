@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <string>
 #include <unordered_set>
@@ -529,6 +530,46 @@ TEST(FlatCuckoo, FailureRollsBackExactly) {
   for (std::uint64_t k : inserted) {
     ASSERT_EQ(t.find(k).value(), k * 3);
   }
+}
+
+// A failed insert must be a perfect no-op: same size, the failed key
+// absent, every resident key still mapped to its exact value and still
+// erasable, and the failure visible in stats(). Checked at the moment of
+// the first failure, not just at the end.
+TEST(FlatCuckoo, FailedInsertIsANoOp) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 16;
+  cfg.window = 1;  // minimal associativity so failures arrive quickly
+  cfg.max_kicks = 4;
+  FlatCuckooTable t(cfg);
+
+  std::map<std::uint64_t, std::uint64_t> resident;
+  std::uint64_t failed_key = 0;
+  bool failed = false;
+  for (std::uint64_t i = 0; i < 64 && !failed; ++i) {
+    const std::uint64_t key = 0x9e3779b9ULL * (i + 1);
+    if (t.insert(key, i)) {
+      resident[key] = i;
+    } else {
+      failed = true;
+      failed_key = key;
+    }
+  }
+  ASSERT_TRUE(failed) << "table absorbed 64 keys into 16 slots";
+
+  EXPECT_EQ(t.size(), resident.size());
+  EXPECT_FALSE(t.contains(failed_key));
+  EXPECT_GE(t.stats().failures, 1u);
+  for (const auto& [key, value] : resident) {
+    const auto found = t.find(key);
+    ASSERT_TRUE(found.has_value()) << key;
+    EXPECT_EQ(*found, value) << key;
+  }
+  // The rolled-back table is fully functional: every key erases cleanly.
+  for (const auto& [key, value] : resident) {
+    EXPECT_TRUE(t.erase(key)) << key;
+  }
+  EXPECT_EQ(t.size(), 0u);
 }
 
 // ---------- MinHash ----------

@@ -1,0 +1,189 @@
+// Tests for the per-stage metrics layer: counters, gauges, fixed-bucket
+// histograms, registry snapshots and the JSON export the benches dump.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.hpp"
+
+namespace fast::util {
+namespace {
+
+TEST(MetricsCounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsGaugeTest, HoldsLastWrittenDouble) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST(MetricsHistogramTest, RoutesObservationsToBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (inclusive upper bound)
+  h.observe(5.0);    // bucket 1
+  h.observe(100.0);  // bucket 2
+  h.observe(1e6);    // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(MetricsHistogramTest, TracksSumMinMaxMean) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);  // no observations yet
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(4.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(MetricsHistogramTest, ConcurrentObservationsAllLand) {
+  Histogram h(MetricsRegistry::count_bounds());
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>(i % 64));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+    bucket_sum += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_sum, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 63.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Histogram& h1 = reg.histogram("h", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("h", {5.0});  // second bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry reg;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 200; ++i) {
+        reg.counter("shared").add();
+        reg.gauge("g").set(1.0);
+        reg.latency_histogram("lat").observe(1e-4);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("shared"), kThreads * 200u);
+  EXPECT_EQ(snap.histograms.at("lat").count, kThreads * 200u);
+}
+
+TEST(MetricsRegistryTest, SnapshotCopiesEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("events").add(7);
+  reg.gauge("load").set(0.5);
+  Histogram& h = reg.count_histogram("sizes");
+  h.observe(3.0);
+  h.observe(100.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("events"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("load"), 0.5);
+  const auto& hd = snap.histograms.at("sizes");
+  EXPECT_EQ(hd.count, 2u);
+  EXPECT_DOUBLE_EQ(hd.sum, 103.0);
+  EXPECT_DOUBLE_EQ(hd.min, 3.0);
+  EXPECT_DOUBLE_EQ(hd.max, 100.0);
+  EXPECT_EQ(hd.counts.size(), hd.bounds.size() + 1);
+
+  // The snapshot is detached: later updates do not alter it.
+  reg.counter("events").add(100);
+  EXPECT_EQ(snap.counters.at("events"), 7u);
+}
+
+TEST(MetricsRegistryTest, DefaultBoundsAreStrictlyAscending) {
+  for (const auto& bounds :
+       {MetricsRegistry::latency_bounds(), MetricsRegistry::count_bounds()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, JsonExportContainsAllSections) {
+  MetricsRegistry reg;
+  reg.counter("fe_sm.images").add(12);
+  reg.gauge("chs.load_factor").set(0.25);
+  reg.latency_histogram("fe_sm.summarize_s").observe(0.002);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"fe_sm.images\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"chs.load_factor\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"fe_sm.summarize_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(json.find("\"overflow\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteJsonRoundTripsThroughDisk) {
+  MetricsRegistry reg;
+  reg.counter("index.inserts").add(5);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fast_metrics_test.json")
+          .string();
+  reg.write_json(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), reg.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistryTest, WriteJsonThrowsOnUnwritablePath) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.write_json("/nonexistent-dir/metrics.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fast::util

@@ -82,6 +82,25 @@ TEST_F(ShardedTest, QueryCostIncludesNetworkHops) {
   EXPECT_GT(r.cost.elapsed_s(), 2 * small_config().cost.net_rtt_s);
 }
 
+// The distributed insert is the local insert plus exactly one signature-
+// routing network hop — same FE + Bloom-hash + placement accounting as the
+// plain index underneath (the cost-parity contract shared with the
+// concurrent facade).
+TEST_F(ShardedTest, InsertCostIsPlainIndexPlusOneNetworkHop) {
+  // One shard so the storage seed (and thus probe counts) match `plain`
+  // exactly; the multi-shard batch path is covered by
+  // InsertBatchMatchesPerItemInserts.
+  ShardedFastIndex sharded(small_config(), *pca_, 1, 1);
+  FastIndex plain(small_config(), *pca_);
+  const double hop_s = small_config().cost.net_transfer_s(512);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const InsertResult a = sharded.insert(i, dataset_->photos[i].image);
+    const InsertResult b = plain.insert(i, dataset_->photos[i].image);
+    EXPECT_NEAR(a.cost.elapsed_s(), b.cost.elapsed_s() + hop_s, 1e-12) << i;
+    EXPECT_EQ(a.cost.hash_ops(), b.cost.hash_ops()) << i;
+  }
+}
+
 TEST_F(ShardedTest, SingleShardDegeneratesToFastIndex) {
   ShardedFastIndex sharded(small_config(), *pca_, 1, 1);
   FastIndex single(small_config(), *pca_);

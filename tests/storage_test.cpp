@@ -48,6 +48,41 @@ TEST(PageCache, ClearEmpties) {
   EXPECT_FALSE(cache.access(1));
 }
 
+// Regression: clear() used to evict the pages but keep hits_/misses_, so
+// hit-rate measurements leaked across bench runs sharing a cache.
+TEST(PageCache, ClearResetsHitMissCounters) {
+  PageCache cache(4);
+  cache.access(1);  // miss
+  cache.access(1);  // hit
+  ASSERT_EQ(cache.hits(), 1u);
+  ASSERT_EQ(cache.misses(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // The next access starts a fresh measurement.
+  cache.access(1);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PageCache, ResetStatsKeepsResidentPages) {
+  PageCache cache(4);
+  cache.access(1);
+  cache.access(2);
+  cache.access(1);
+  ASSERT_EQ(cache.hits(), 1u);
+  ASSERT_EQ(cache.misses(), 2u);
+  cache.reset_stats();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), 2u);
+  // Pages stayed resident: these are hits, not refaults.
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_TRUE(cache.access(2));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
 // ---------- SqlLikeStore ----------
 
 TEST(SqlStore, PutChargesWrite) {
