@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/scene_generator.hpp"
 
 namespace fast::bench {
@@ -92,7 +93,8 @@ std::unique_ptr<core::FastIndex> build_fast_only(const DatasetEnv& env,
   for (const auto& q : env.cal_queries) {
     query_sample.push_back(index->summarize(q.image));
   }
-  index->calibrate_scale(query_sample, corpus_sample);
+  util::ThreadPool pool;
+  index->calibrate_scale(query_sample, corpus_sample, &pool);
   return index;
 }
 

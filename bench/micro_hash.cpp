@@ -3,6 +3,8 @@
 // the cuckoo tables (standard vs flat).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "hash/bloom_filter.hpp"
 #include "hash/cuckoo_table.hpp"
 #include "hash/flat_cuckoo_table.hpp"
@@ -12,6 +14,7 @@
 #include "hash/pstable_lsh.hpp"
 #include "hash/sparse_signature.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -104,6 +107,57 @@ void BM_PStableAllKeys(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PStableAllKeys)->Arg(256)->Arg(4096)->Arg(16384);
+
+// Sparse-gather counterpart: BM_PStableAllKeysSparse/<dim>/<nnz> derives
+// all L tables' keys for a 0/1 signature with nnz set bits. The
+// speedup_vs_dense counter divides a dense all_keys reference timing
+// (measured once at setup) by this benchmark's per-iteration time; expect
+// roughly dim/nnz.
+void BM_PStableAllKeysSparse(benchmark::State& state) {
+  hash::LshConfig cfg;
+  cfg.dim = static_cast<std::size_t>(state.range(0));
+  const auto nnz = static_cast<std::size_t>(state.range(1));
+  hash::PStableLsh lsh(cfg);
+  util::Rng rng(5);
+  std::vector<std::uint32_t> bits;
+  const std::size_t stride = cfg.dim / (nnz + 1);
+  std::uint32_t cur = 0;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    cur += 1 + static_cast<std::uint32_t>(rng.uniform_u64(
+                   stride > 1 ? stride - 1 : 1));
+    bits.push_back(std::min(cur, static_cast<std::uint32_t>(cfg.dim - 1)));
+  }
+  bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+
+  // Dense reference: the same signature through the pre-sparse path.
+  std::vector<float> dense(cfg.dim, 0.0f);
+  for (const std::uint32_t b : bits) dense[b] = 1.0f;
+  double dense_s = 0.0;
+  {
+    constexpr int kReps = 16;
+    util::WallTimer timer;
+    for (int r = 0; r < kReps; ++r) {
+      benchmark::DoNotOptimize(lsh.all_keys(dense));
+    }
+    dense_s = timer.elapsed_seconds() / kReps;
+  }
+
+  hash::SparseProjectionScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lsh.all_keys_sparse(bits, 1.0f, scratch).data());
+  }
+  state.counters["nnz"] = static_cast<double>(bits.size());
+  // dense_s * iterations / elapsed == dense_s / sparse_s.
+  state.counters["speedup_vs_dense"] = benchmark::Counter(
+      dense_s * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PStableAllKeysSparse)
+    ->Args({256, 64})
+    ->Args({4096, 256})
+    ->Args({16384, 512})
+    ->Args({16384, 1024});
 
 void BM_MinHashAll(benchmark::State& state) {
   hash::MinHasher mh(hash::MinHashConfig{});

@@ -1,8 +1,31 @@
 #!/bin/bash
 # Runs every bench binary and tees each output into results/.
+#
+# Refuses to measure a non-Release tree: the committed perf trajectory must
+# not silently degrade into debug-build numbers (set FAST_BENCH_ALLOW_DEBUG=1
+# to override for local smoke runs). Note google-benchmark may still print a
+# "Library was built as DEBUG" warning when the *system benchmark library*
+# is a debug build; the guard below checks how our code was compiled.
 set -u
 cd "$(dirname "$0")"
-for b in build/bench/*; do
+
+BUILD_DIR="${FAST_BENCH_BUILD_DIR:-build}"
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${BUILD_DIR}/CMakeCache.txt" 2>/dev/null)
+case "$build_type" in
+  Release) ;;
+  *)
+    echo "ERROR: ${BUILD_DIR} is built as '${build_type:-unknown}', not Release." >&2
+    echo "Benchmark results from non-Release builds are not comparable;" >&2
+    echo "configure with -DCMAKE_BUILD_TYPE=Release (or point FAST_BENCH_BUILD_DIR" >&2
+    echo "at a Release tree). Set FAST_BENCH_ALLOW_DEBUG=1 to run anyway." >&2
+    if [ "${FAST_BENCH_ALLOW_DEBUG:-0}" != "1" ]; then
+      exit 1
+    fi
+    echo "FAST_BENCH_ALLOW_DEBUG=1 set - continuing on a ${build_type:-unknown} build." >&2
+    ;;
+esac
+
+for b in "${BUILD_DIR}"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name=$(basename "$b")
   echo "=== running $name ==="

@@ -52,6 +52,7 @@ void FastIndex::init_metrics() {
   m_.query_sim_s = &r.latency_histogram("index.query_sim_s");
   m_.sa_keys_derived = &r.counter("sa.keys_derived");
   m_.sa_insert_hash_ops = &r.counter("sa.insert_hash_ops");
+  m_.sa_keys_wall_s = &r.latency_histogram("sa.keys_wall_s");
   m_.sa_probe_keys = &r.count_histogram("sa.probe_keys_per_query");
   m_.chs_group_hits = &r.counter("chs.group_hits");
   m_.chs_group_creates = &r.counter("chs.group_creates");
@@ -105,24 +106,36 @@ sim::SimClock FastIndex::frontend_insert_cost() const noexcept {
 
 void FastIndex::calibrate_scale(
     std::span<const hash::SparseSignature> sample_queries,
-    std::span<const hash::SparseSignature> corpus_sample) {
+    std::span<const hash::SparseSignature> corpus_sample,
+    util::ThreadPool* pool) {
   FAST_CHECK_MSG(size() == 0, "calibrate before inserting");
   if (sample_queries.empty() || corpus_sample.empty()) return;
   // The paper tunes R to the typical distance between a queried point and
   // its nearest neighbor (§IV-A2, the sampling method of the original LSH
   // study). We measure exactly that — each sample query's NN distance in
   // the corpus sample — and choose the LSH input scale that places the
-  // median of those distances at calibrate_target * omega.
-  std::vector<double> nn;
-  nn.reserve(sample_queries.size());
-  for (const auto& q : sample_queries) {
-    double best = std::numeric_limits<double>::infinity();
+  // median of those distances at calibrate_target * omega. The per-query
+  // scans share no state, so the O(Q*C) sweep fans across the pool.
+  std::vector<double> best(sample_queries.size());
+  const auto nn_of = [&](std::size_t i) {
+    double b = std::numeric_limits<double>::infinity();
     for (const auto& c : corpus_sample) {
-      const double d =
-          static_cast<double>(hash::SparseSignature::hamming(q, c));
-      best = std::min(best, d);
+      const double d = static_cast<double>(
+          hash::SparseSignature::hamming(sample_queries[i], c));
+      b = std::min(b, d);
     }
-    if (std::isfinite(best)) nn.push_back(std::sqrt(best));
+    best[i] = b;
+  };
+  if (pool != nullptr && sample_queries.size() > 1) {
+    pool->parallel_for(sample_queries.size(), nn_of);
+  } else {
+    for (std::size_t i = 0; i < sample_queries.size(); ++i) nn_of(i);
+  }
+  // Collect in query order so the median is identical either way.
+  std::vector<double> nn;
+  nn.reserve(best.size());
+  for (const double b : best) {
+    if (std::isfinite(b)) nn.push_back(std::sqrt(b));
   }
   FAST_CHECK(!nn.empty());
   std::nth_element(nn.begin(), nn.begin() + nn.size() / 2, nn.end());
@@ -159,8 +172,10 @@ InsertResult FastIndex::insert_signature(
     result.cost.charge_hash(config_.cost.mix_op_s, sa_ops);
   }
 
+  util::WallTimer keys_timer;
   const std::vector<std::uint64_t> keys =
       aggregator_->keys(signature, nullptr);
+  m_.sa_keys_wall_s->observe(keys_timer.elapsed_seconds());
   m_.sa_keys_derived->add(keys.size());
   m_.sa_insert_hash_ops->add(sa_ops);
   for (std::size_t t = 0; t < keys.size(); ++t) {
@@ -230,8 +245,10 @@ bool FastIndex::erase(std::uint64_t id) {
   const auto it = signatures_.find(id);
   if (it == signatures_.end()) return false;
   m_.erases->add();
+  util::WallTimer keys_timer;
   const std::vector<std::uint64_t> keys =
       aggregator_->keys(it->second, nullptr);
+  m_.sa_keys_wall_s->observe(keys_timer.elapsed_seconds());
   for (std::size_t t = 0; t < keys.size(); ++t) {
     if (const auto group = store_->find(t, keys[t])) {
       auto& members = groups_[*group];
@@ -342,8 +359,10 @@ QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
   FAST_CHECK(signature.bit_count() == config_.bloom_bits);
 
   std::vector<std::vector<std::uint64_t>> probes;
+  util::WallTimer keys_timer;
   const std::vector<std::uint64_t> keys =
       aggregator_->keys(signature, &probes);
+  m_.sa_keys_wall_s->observe(keys_timer.elapsed_seconds());
   m_.sa_keys_derived->add(keys.size());
   std::size_t probe_keys = 0;
   for (const auto& per_table : probes) probe_keys += per_table.size();

@@ -95,8 +95,12 @@ class FastIndex {
   /// (the paper's R-selection procedure, §IV-A2): the median query-to-
   /// nearest-neighbor distance is mapped to calibrate_target * omega. Must
   /// be called before the first insert; a no-op when either sample is empty.
+  /// The O(queries * corpus) brute-force NN sweep fans across `pool` when
+  /// provided (per-query scans are independent); results are identical to
+  /// the sequential path.
   void calibrate_scale(std::span<const hash::SparseSignature> sample_queries,
-                       std::span<const hash::SparseSignature> corpus_sample);
+                       std::span<const hash::SparseSignature> corpus_sample,
+                       util::ThreadPool* pool = nullptr);
 
   // --- Insert path ---
 
@@ -191,6 +195,11 @@ class FastIndex {
     util::Histogram* query_sim_s = nullptr;
     util::Counter* sa_keys_derived = nullptr;
     util::Counter* sa_insert_hash_ops = nullptr;
+    // Native wall time of one aggregator_->keys() call. Deliberately
+    // separate from sa.insert_hash_ops: the ops counter charges the paper's
+    // dense L*M*dim flop model to the simulated platform, while this
+    // histogram tracks what the real (sparse) kernel actually costs.
+    util::Histogram* sa_keys_wall_s = nullptr;
     util::Histogram* sa_probe_keys = nullptr;
     util::Counter* chs_group_hits = nullptr;
     util::Counter* chs_group_creates = nullptr;

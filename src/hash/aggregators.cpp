@@ -16,18 +16,25 @@ std::vector<std::uint64_t> PStableAggregator::keys(
     const SparseSignature& signature,
     std::vector<std::vector<std::uint64_t>>* probes) const {
   const std::size_t n = table_count();
+  const std::size_t m = lsh_.config().hashes_per_table;
   std::vector<std::uint64_t> keys(n);
   if (probes != nullptr) probes->assign(n, {});
 
-  std::vector<float> dense = signature.to_float_vector();
-  const auto scale = static_cast<float>(input_scale_);
-  for (float& x : dense) x *= scale;
+  // Sparse-gather projection: a signature is 0/1 by construction, so its
+  // dense form is fully described by (set_bits, input_scale) and all L*M
+  // coordinates come out of one O(nnz * L * M) pass — bit-exact with the
+  // dense path (see PStableLsh::bucket_coords_sparse). keys() is const and
+  // raced by batch queries, so the scratch is per-thread, not per-instance.
+  static thread_local SparseProjectionScratch scratch;
+  const std::span<const std::int32_t> coords = lsh_.bucket_coords_sparse(
+      signature.set_bits(), static_cast<float>(input_scale_), scratch);
   for (std::size_t t = 0; t < n; ++t) {
-    const BucketCoords home = lsh_.bucket_coords(t, dense);
+    const std::span<const std::int32_t> home = coords.subspan(t * m, m);
     keys[t] = lsh_.bucket_key(t, home);
     if (probes != nullptr && probe_depth_ > 0) {
       auto& probe_keys = (*probes)[t];
-      for (const BucketCoords& p : probe_sequence(home, probe_depth_)) {
+      const BucketCoords home_vec(home.begin(), home.end());
+      for (const BucketCoords& p : probe_sequence(home_vec, probe_depth_)) {
         probe_keys.push_back(lsh_.bucket_key(t, p));
       }
     }
@@ -37,21 +44,30 @@ std::vector<std::uint64_t> PStableAggregator::keys(
 
 std::size_t PStableAggregator::insert_hash_ops(
     const SparseSignature& /*signature*/) const noexcept {
+  // Paper-faithful simulated cost: the paper's SA stage performs dense
+  // L*M*dim-flop projections (Definition 1), and the simulated platform is
+  // still charged exactly that, even though the native kernel now runs the
+  // O(nnz*L*M) sparse path. Real kernel time is tracked separately by the
+  // sa.keys_wall_s histogram (DESIGN.md §3b/§3c).
   const LshConfig& c = lsh_.config();
   return c.tables * c.hashes_per_table * c.dim;
 }
 
 std::size_t PStableAggregator::query_hash_ops_per_table(
     const SparseSignature& /*signature*/) const noexcept {
+  // Dense per-table flops, same paper-faithful accounting as
+  // insert_hash_ops.
   const LshConfig& c = lsh_.config();
   return c.hashes_per_table * c.dim;
 }
 
 std::size_t PStableAggregator::param_bytes() const noexcept {
-  // L*M a-vectors of dim floats plus one offset each.
+  // L*M a-vectors of dim floats plus one offset each, twice: the sparse
+  // kernel keeps a transposed copy of the coefficient matrix (a_t_), which
+  // is real resident memory and is reported as such (Table IV accounting).
   const LshConfig& c = lsh_.config();
   return c.tables * c.hashes_per_table *
-         (c.dim * sizeof(float) + sizeof(float));
+         (2 * c.dim * sizeof(float) + sizeof(float));
 }
 
 MinHashAggregator::MinHashAggregator(const MinHashConfig& config,

@@ -1,8 +1,12 @@
 // SemanticAggregator adapters: the two SA backends of the pipeline, both
 // producing per-table bucket keys for the same group store.
 //
-//  - PStableAggregator: the paper's p-stable (L2) LSH over the dense Bloom
+//  - PStableAggregator: the paper's p-stable (L2) LSH over the Bloom
 //    bit-vector, with adjacent-bucket multi-probe (§III-C2, Definition 1).
+//    Key derivation runs the sparse-gather kernel
+//    (PStableLsh::bucket_coords_sparse): O(nnz*L*M) over set bits only,
+//    bit-exact with the dense projection it replaces. Simulated costs stay
+//    paper-faithful (dense L*M*dim flops).
 //  - MinHashAggregator: MinHash banding over the sparse set-bit list, whose
 //    collision probability is the signatures' Jaccard similarity (the
 //    default on this repo's synthetic features; DESIGN.md §2).

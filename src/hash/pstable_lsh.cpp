@@ -20,6 +20,14 @@ PStableLsh::PStableLsh(const LshConfig& config) : config_(config) {
     }
     b_[i] = static_cast<float>(rng.uniform(0.0, config.omega));
   }
+  // Transposed layout for the sparse-gather path (same coefficients, so
+  // both paths hash identically).
+  a_t_.resize(total * config.dim);
+  for (std::size_t i = 0; i < total; ++i) {
+    for (std::size_t d = 0; d < config.dim; ++d) {
+      a_t_[d * total + i] = a_[i * config.dim + d];
+    }
+  }
 }
 
 std::int32_t PStableLsh::hash_one(std::size_t t, std::size_t j,
@@ -44,8 +52,40 @@ BucketCoords PStableLsh::bucket_coords(std::size_t t,
   return coords;
 }
 
+std::span<const std::int32_t> PStableLsh::bucket_coords_sparse(
+    std::span<const std::uint32_t> bits, float scale,
+    SparseProjectionScratch& scratch) const {
+  const std::size_t total = config_.tables * config_.hashes_per_table;
+  // Accumulators start at the b offsets, exactly like the dense loop.
+  scratch.acc.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    scratch.acc[i] = static_cast<double>(b_[i]);
+  }
+  const double s = static_cast<double>(scale);
+  double* const acc = scratch.acc.data();
+  for (const std::uint32_t d : bits) {
+    FAST_CHECK(static_cast<std::size_t>(d) < config_.dim);
+    const float* const row = &a_t_[static_cast<std::size_t>(d) * total];
+    // Unit-stride AXPY across all L*M accumulators; auto-vectorizable.
+    for (std::size_t i = 0; i < total; ++i) {
+      acc[i] += static_cast<double>(row[i]) * s;
+    }
+  }
+  scratch.coords.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    scratch.coords[i] =
+        static_cast<std::int32_t>(std::floor(acc[i] / config_.omega));
+  }
+  return std::span<const std::int32_t>(scratch.coords);
+}
+
 std::uint64_t PStableLsh::bucket_key(std::size_t t,
                                      const BucketCoords& coords) const {
+  return bucket_key(t, std::span<const std::int32_t>(coords));
+}
+
+std::uint64_t PStableLsh::bucket_key(
+    std::size_t t, std::span<const std::int32_t> coords) const {
   const Hash128 h =
       murmur3_128(coords.data(), coords.size() * sizeof(coords[0]),
                   0x9e3779b9ULL + t);
@@ -59,6 +99,19 @@ std::vector<std::uint64_t> PStableLsh::all_keys(
     keys[t] = bucket_key(t, bucket_coords(t, v));
   }
   return keys;
+}
+
+std::span<const std::uint64_t> PStableLsh::all_keys_sparse(
+    std::span<const std::uint32_t> bits, float scale,
+    SparseProjectionScratch& scratch) const {
+  const std::size_t m = config_.hashes_per_table;
+  const std::span<const std::int32_t> coords =
+      bucket_coords_sparse(bits, scale, scratch);
+  scratch.keys.resize(config_.tables);
+  for (std::size_t t = 0; t < config_.tables; ++t) {
+    scratch.keys[t] = bucket_key(t, coords.subspan(t * m, m));
+  }
+  return std::span<const std::uint64_t>(scratch.keys);
 }
 
 double PStableLsh::collision_probability(double c, double omega) {

@@ -27,6 +27,16 @@ struct LshConfig {
 /// The M-dimensional integer bucket coordinates of a vector in one table.
 using BucketCoords = std::vector<std::int32_t>;
 
+/// Reusable scratch for the sparse projection path: accumulators and the
+/// coordinate block for all L*M elementary hashes. Hold one per thread and
+/// pass it to bucket_coords_sparse / all_keys_sparse so batch inserts and
+/// queries allocate nothing per signature after warm-up.
+struct SparseProjectionScratch {
+  std::vector<double> acc;          // L*M running dot products
+  std::vector<std::int32_t> coords; // L*M coordinates, laid out [t][j]
+  std::vector<std::uint64_t> keys;  // L keys (all_keys_sparse only)
+};
+
 class PStableLsh {
  public:
   explicit PStableLsh(const LshConfig& config);
@@ -40,13 +50,43 @@ class PStableLsh {
   /// Bucket coordinates of `v` in table `t` (length M).
   BucketCoords bucket_coords(std::size_t t, std::span<const float> v) const;
 
+  /// Bucket coordinates of a sparse 0/1 input across ALL tables in one
+  /// pass, exploiting that the dense vector is fully described by its set
+  /// bit positions and one uniform value `scale`. Each set bit `d`
+  /// contributes one unit-stride AXPY over the transposed coefficient row
+  /// a_t_[d], so the cost is O(nnz * L * M) instead of the dense path's
+  /// O(dim * L * M) — with SIMD-friendly contiguous access.
+  ///
+  /// Bit-exact with the dense path: terms are accumulated in double in the
+  /// same ascending-d order, and the skipped zero terms of the dense loop
+  /// add exactly +/-0.0, which never changes a double accumulation.
+  ///
+  /// `bits` must be sorted ascending with every position < dim (the
+  /// SparseSignature invariant). The returned span (length L*M, laid out
+  /// [t][j]) aliases `scratch.coords` and is valid until the next call
+  /// using the same scratch.
+  std::span<const std::int32_t> bucket_coords_sparse(
+      std::span<const std::uint32_t> bits, float scale,
+      SparseProjectionScratch& scratch) const;
+
   /// Collapses coordinates into a 64-bit bucket key for table `t`.
   /// Distinct coordinates map to distinct keys with overwhelming
   /// probability (Murmur over the coordinate bytes, table-salted).
   std::uint64_t bucket_key(std::size_t t, const BucketCoords& coords) const;
 
+  /// Span overload of bucket_key (same bytes, same key): accepts one
+  /// table's M-coordinate block of bucket_coords_sparse output.
+  std::uint64_t bucket_key(std::size_t t,
+                           std::span<const std::int32_t> coords) const;
+
   /// Convenience: keys of `v` across all L tables.
   std::vector<std::uint64_t> all_keys(std::span<const float> v) const;
+
+  /// Sparse counterpart of all_keys: identical keys for the 0/1 vector with
+  /// `bits` set and value `scale`. The returned span aliases `scratch.keys`.
+  std::span<const std::uint64_t> all_keys_sparse(
+      std::span<const std::uint32_t> bits, float scale,
+      SparseProjectionScratch& scratch) const;
 
   /// Theoretical collision probability of a single elementary hash for two
   /// points at L2 distance `c` (Datar et al., eq. for the Gaussian family).
@@ -57,6 +97,11 @@ class PStableLsh {
   // a-vectors laid out as [t][j][dim], flattened; b offsets as [t][j].
   std::vector<float> a_;
   std::vector<float> b_;
+  // Transposed copy of a_, laid out as [d][t*M + j]: one contiguous row of
+  // all L*M coefficients per bit position, so the sparse path gathers each
+  // set bit's contribution with unit stride. Costs one extra L*M*dim float
+  // array (same size as a_; see DESIGN.md §3c).
+  std::vector<float> a_t_;
 };
 
 }  // namespace fast::hash

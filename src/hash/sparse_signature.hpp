@@ -53,7 +53,9 @@ class SparseSignature {
   static double jaccard(const SparseSignature& a,
                         const SparseSignature& b) noexcept;
 
-  /// Reconstructs the dense {0,1} float vector (LSH input).
+  /// Reconstructs the dense {0,1} float vector. The p-stable SA path no
+  /// longer needs this (PStableLsh::bucket_coords_sparse projects straight
+  /// off set_bits()); kept for baselines, tests, and non-0/1 dense inputs.
   std::vector<float> to_float_vector() const;
 
  private:

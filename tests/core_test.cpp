@@ -7,6 +7,8 @@
 #include "core/fast_index.hpp"
 #include "core/query_engine.hpp"
 #include "test_helpers.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/query_gen.hpp"
 
 namespace fast::core {
@@ -193,6 +195,45 @@ TEST_F(FastIndexTest, PStableBackendAlsoRetrieves) {
   const auto* top_sig = index.signature_of(r.hits.front().id);
   ASSERT_NE(top_sig, nullptr);
   EXPECT_EQ(top_sig->set_bits(), sigs[7].set_bits());
+}
+
+TEST_F(FastIndexTest, CalibrateScaleParallelMatchesSequential) {
+  // The pooled O(queries * corpus) NN sweep must land on the exact same
+  // input scale as the sequential path.
+  FastConfig cfg = small_config();
+  cfg.sa_backend = FastConfig::SaBackend::kPStable;
+  FastIndex seq(cfg, *pca_);
+  FastIndex par(cfg, *pca_);
+  std::vector<hash::SparseSignature> sigs;
+  for (std::size_t i = 0; i < 25; ++i) {
+    sigs.push_back(seq.summarize(dataset_->photos[i].image));
+  }
+  const auto queries = workload::make_dup_queries(*dataset_, 6, 0xca1);
+  std::vector<hash::SparseSignature> qsigs;
+  for (const auto& q : queries) qsigs.push_back(seq.summarize(q.image));
+  seq.calibrate_scale(qsigs, sigs);
+  util::ThreadPool pool(4);
+  par.calibrate_scale(qsigs, sigs, &pool);
+  EXPECT_NE(seq.config().lsh_input_scale, 1.0);
+  EXPECT_DOUBLE_EQ(par.config().lsh_input_scale,
+                   seq.config().lsh_input_scale);
+}
+
+TEST_F(FastIndexTest, SaKeysWallHistogramTracksRealKernelTime) {
+  // sa.keys_wall_s measures the native sparse-kernel latency — one sample
+  // per key derivation (insert, query, erase) — while sa.insert_hash_ops
+  // keeps charging the paper's dense flop model to the simulated platform.
+  FastIndex index(small_config(), *pca_);
+  const auto sig_a = index.summarize(dataset_->photos[0].image);
+  const auto sig_b = index.summarize(dataset_->photos[1].image);
+  index.insert_signature(0, sig_a);
+  index.insert_signature(1, sig_b);
+  index.query_signature(sig_a, 1);
+  index.erase(1);
+  const util::MetricsSnapshot snap = index.metrics().snapshot();
+  EXPECT_EQ(snap.histograms.at("sa.keys_wall_s").count, 4u);
+  EXPECT_GE(snap.histograms.at("sa.keys_wall_s").sum, 0.0);
+  EXPECT_GT(snap.counters.at("sa.insert_hash_ops"), 0u);
 }
 
 TEST_F(FastIndexTest, IndexBytesGrowWithCorpus) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "hash/aggregators.hpp"
 #include "hash/bloom_filter.hpp"
 #include "hash/counting_bloom.hpp"
 #include "hash/cuckoo_table.hpp"
@@ -336,6 +337,139 @@ TEST(PStableLsh, BucketKeySaltsByTable) {
   PStableLsh lsh(cfg);
   const BucketCoords coords{1, 2, 3};
   EXPECT_NE(lsh.bucket_key(0, coords), lsh.bucket_key(1, coords));
+}
+
+// ---------- sparse-gather projection parity ----------
+
+std::vector<std::uint32_t> random_sorted_bits(std::size_t dim, std::size_t nnz,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::set<std::uint32_t> bits;
+  while (bits.size() < nnz) {
+    bits.insert(static_cast<std::uint32_t>(rng.uniform_u64(dim)));
+  }
+  return {bits.begin(), bits.end()};
+}
+
+// The sparse kernel must reproduce the dense projection bit for bit:
+// identical coordinates and identical bucket keys, across dims, seeds,
+// scales, and sparsity levels from empty through dense-ish (half the bits).
+TEST(PStableLshSparse, BitExactParityWithDensePath) {
+  SparseProjectionScratch scratch;
+  for (const std::size_t dim : {std::size_t{256}, std::size_t{4096},
+                                std::size_t{16384}}) {
+    for (const std::uint64_t seed : {std::uint64_t{0x15b},
+                                     std::uint64_t{7}}) {
+      LshConfig cfg;
+      cfg.dim = dim;
+      cfg.seed = seed;
+      const PStableLsh lsh(cfg);
+      const std::size_t m = cfg.hashes_per_table;
+      for (const std::size_t nnz :
+           {std::size_t{0}, std::size_t{1}, std::size_t{64}, dim / 2}) {
+        for (const float scale : {1.0f, 0.0371f}) {
+          const auto bits = random_sorted_bits(dim, nnz, seed ^ nnz);
+          // Dense reference input, exactly as the pre-sparse aggregator
+          // built it: densify to {0,1} floats, then scale.
+          std::vector<float> dense(dim, 0.0f);
+          for (const std::uint32_t b : bits) dense[b] = 1.0f;
+          for (float& x : dense) x *= scale;
+
+          const std::span<const std::int32_t> coords =
+              lsh.bucket_coords_sparse(bits, scale, scratch);
+          ASSERT_EQ(coords.size(), cfg.tables * m);
+          const std::span<const std::uint64_t> keys =
+              lsh.all_keys_sparse(bits, scale, scratch);
+          const std::vector<std::uint64_t> dense_keys = lsh.all_keys(dense);
+          for (std::size_t t = 0; t < cfg.tables; ++t) {
+            const BucketCoords expected = lsh.bucket_coords(t, dense);
+            for (std::size_t j = 0; j < m; ++j) {
+              ASSERT_EQ(coords[t * m + j], expected[j])
+                  << "dim " << dim << " seed " << seed << " nnz " << nnz
+                  << " scale " << scale << " table " << t << " hash " << j;
+            }
+            ASSERT_EQ(lsh.bucket_key(t, coords.subspan(t * m, m)),
+                      lsh.bucket_key(t, expected));
+            ASSERT_EQ(keys[t], dense_keys[t]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PStableLshSparse, EmptySignatureUsesOffsetsOnly) {
+  LshConfig cfg;
+  cfg.dim = 256;
+  const PStableLsh lsh(cfg);
+  SparseProjectionScratch scratch;
+  const std::vector<float> zeros(cfg.dim, 0.0f);
+  const std::span<const std::uint64_t> keys =
+      lsh.all_keys_sparse({}, 1.0f, scratch);
+  const std::vector<std::uint64_t> dense_keys = lsh.all_keys(zeros);
+  ASSERT_EQ(keys.size(), dense_keys.size());
+  for (std::size_t t = 0; t < dense_keys.size(); ++t) {
+    EXPECT_EQ(keys[t], dense_keys[t]);
+  }
+}
+
+// Adapter-level parity: PStableAggregator::keys (home + multi-probe keys)
+// must equal a dense reference computed the way the pre-sparse adapter did
+// (densify, scale as float, project per table).
+TEST(PStableAggregator, KeysAndProbesMatchDenseReference) {
+  LshConfig cfg;
+  cfg.dim = 4096;
+  const double input_scale = 0.42;
+  const int probe_depth = 1;
+  const PStableAggregator agg(cfg, probe_depth, input_scale);
+  const PStableLsh ref(cfg);
+  for (const std::size_t nnz : {std::size_t{0}, std::size_t{307}}) {
+    const SparseSignature sig(random_sorted_bits(cfg.dim, nnz, 0x99 + nnz),
+                              static_cast<std::uint32_t>(cfg.dim));
+    std::vector<std::vector<std::uint64_t>> probes;
+    const std::vector<std::uint64_t> keys = agg.keys(sig, &probes);
+
+    std::vector<float> dense = sig.to_float_vector();
+    for (float& x : dense) x *= static_cast<float>(input_scale);
+    ASSERT_EQ(keys.size(), cfg.tables);
+    ASSERT_EQ(probes.size(), cfg.tables);
+    for (std::size_t t = 0; t < cfg.tables; ++t) {
+      const BucketCoords home = ref.bucket_coords(t, dense);
+      EXPECT_EQ(keys[t], ref.bucket_key(t, home));
+      const auto seq = probe_sequence(home, probe_depth);
+      ASSERT_EQ(probes[t].size(), seq.size());
+      for (std::size_t p = 0; p < seq.size(); ++p) {
+        EXPECT_EQ(probes[t][p], ref.bucket_key(t, seq[p]));
+      }
+    }
+  }
+}
+
+TEST(PStableLshSparse, ScratchReuseAcrossConfigsIsSafe) {
+  // One thread-local scratch serves aggregators of different geometry; a
+  // call must fully re-initialize whatever a previous config left behind.
+  SparseProjectionScratch scratch;
+  LshConfig big;
+  big.dim = 4096;
+  const PStableLsh big_lsh(big);
+  const auto big_bits = random_sorted_bits(big.dim, 128, 3);
+  (void)big_lsh.all_keys_sparse(big_bits, 1.0f, scratch);
+
+  LshConfig small;
+  small.dim = 256;
+  small.tables = 3;
+  small.hashes_per_table = 4;
+  const PStableLsh small_lsh(small);
+  const auto small_bits = random_sorted_bits(small.dim, 32, 4);
+  std::vector<float> dense(small.dim, 0.0f);
+  for (const std::uint32_t b : small_bits) dense[b] = 1.0f;
+  const std::span<const std::uint64_t> keys =
+      small_lsh.all_keys_sparse(small_bits, 1.0f, scratch);
+  const std::vector<std::uint64_t> dense_keys = small_lsh.all_keys(dense);
+  ASSERT_EQ(keys.size(), dense_keys.size());
+  for (std::size_t t = 0; t < dense_keys.size(); ++t) {
+    EXPECT_EQ(keys[t], dense_keys[t]);
+  }
 }
 
 // ---------- multi-probe ----------
