@@ -1,0 +1,204 @@
+// Recovery bench — durable ingest and crash-recovery timing for the
+// snapshot+WAL persistence layer (DESIGN.md §3d). Two experiments:
+//
+//  1. Durable ingest throughput vs. the group-commit knob
+//     (DurabilityOptions::wal_sync_every): every record is WAL-logged, but
+//     fsync frequency sets how much of the disk barrier each record pays.
+//
+//  2. Recovery cost vs. index size: snapshot write time and size, restart
+//     from snapshot + a short WAL tail, and worst-case restart from a full
+//     WAL replay (no snapshot), with the replay rate in records/s.
+//
+// Signatures are synthetic (no image pipeline) so the numbers isolate the
+// persistence layer itself. argv[1] scales the record counts, argv[2] sets
+// the ingest-experiment record count.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/fast_index.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace fast::bench {
+namespace {
+
+core::FastConfig bench_config() {
+  core::FastConfig cfg;
+  cfg.cuckoo.capacity = 4096;  // tables still double proactively past 80%
+  return cfg;
+}
+
+/// Random ~100-set-bit signature, the shape the SM stage produces.
+hash::SparseSignature synthetic_signature(std::uint64_t id,
+                                          std::size_t bloom_bits) {
+  util::Rng rng(id * 0x9e3779b97f4a7c15ULL + 0xf16);
+  std::vector<std::uint32_t> bits;
+  std::uint32_t cur = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    cur += 1 + static_cast<std::uint32_t>(rng.uniform_u64(bloom_bits / 101));
+    if (cur >= bloom_bits) break;
+    bits.push_back(cur);
+  }
+  return hash::SparseSignature(bits, bloom_bits);
+}
+
+/// Bench-local stand-in eigenspace: recovery never projects descriptors, so
+/// the model only has to exist (and round-trip through the snapshot).
+vision::PcaModel synthetic_pca() {
+  vision::PcaModel model;
+  const std::size_t d_in = 578, d_out = 36;
+  model.mean.assign(d_in, 0.0f);
+  model.eigenvalues.assign(d_out, 1.0f / static_cast<float>(d_in));
+  util::Rng rng(0xbe9c);
+  model.components.resize(d_out);
+  for (auto& row : model.components) {
+    row.resize(d_in);
+    for (auto& v : row) v = static_cast<float>(rng.gaussian());
+  }
+  return model;
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("fast_fig_recovery_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+core::FastIndex open_durable(const std::string& dir, std::size_t sync_every,
+                             core::RecoveryStats* stats = nullptr) {
+  core::DurabilityOptions opts;
+  opts.dir = dir;
+  opts.wal_sync_every = sync_every;
+  auto opened = core::FastIndex::open_or_recover(bench_config(),
+                                                 synthetic_pca(), opts, stats);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open_or_recover(%s) failed: %s\n", dir.c_str(),
+                 opened.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(opened).value();
+}
+
+void insert_range(core::FastIndex& index, std::uint64_t begin,
+                  std::uint64_t end) {
+  const std::size_t bits = index.config().bloom_bits;
+  for (std::uint64_t id = begin; id < end; ++id) {
+    index.insert_signature(id, synthetic_signature(id, bits));
+  }
+}
+
+std::uintmax_t snapshot_bytes(const std::string& dir) {
+  std::uintmax_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snapshot-", 0) == 0) total += entry.file_size();
+  }
+  return total;
+}
+
+/// Experiment 1: WAL-logged ingest throughput vs. fsync cadence.
+void run_ingest(std::size_t records) {
+  util::Table table({"sync every", "records", "wall", "records/s"});
+  for (const std::size_t sync_every : {std::size_t{1}, std::size_t{8},
+                                       std::size_t{64}, std::size_t{512}}) {
+    const std::string dir = fresh_dir("ingest_" + std::to_string(sync_every));
+    core::FastIndex index = open_durable(dir, sync_every);
+    util::WallTimer timer;
+    insert_range(index, 0, records);
+    const double secs = timer.elapsed_seconds();
+    table.add_row({std::to_string(sync_every), std::to_string(records),
+                   util::fmt_duration(secs),
+                   util::fmt_double(static_cast<double>(records) / secs, 0)});
+    std::filesystem::remove_all(dir);
+  }
+  table.print("Recovery bench — durable ingest vs. wal_sync_every");
+}
+
+/// Experiment 2: snapshot + restart cost as the index grows.
+void run_recovery(const std::vector<std::size_t>& sizes) {
+  constexpr std::size_t kIngestSyncEvery = 512;  // ingest is not under test
+  util::Table table({"records", "snapshot", "snap write", "recover snap+tail",
+                     "tail replayed", "recover full WAL", "replay rec/s"});
+  for (const std::size_t n : sizes) {
+    const std::size_t tail = n / 8;
+
+    // Snapshot path: N records, snapshot, then a WAL tail of N/8. The
+    // writer is closed (scope exit) before reopening so its buffered tail
+    // reaches the filesystem — recovery reads what a restart would see.
+    const std::string snap_dir = fresh_dir("snap_" + std::to_string(n));
+    double snap_secs = 0;
+    {
+      core::FastIndex index = open_durable(snap_dir, kIngestSyncEvery);
+      insert_range(index, 0, n);
+      util::WallTimer timer;
+      const storage::Status status = index.save_snapshot();
+      if (!status.ok()) {
+        std::fprintf(stderr, "save_snapshot failed: %s\n",
+                     status.to_string().c_str());
+        std::exit(1);
+      }
+      snap_secs = timer.elapsed_seconds();
+      insert_range(index, n, n + tail);
+    }
+    core::RecoveryStats stats;
+    util::WallTimer reopen_timer;
+    const core::FastIndex reopened =
+        open_durable(snap_dir, kIngestSyncEvery, &stats);
+    const double reopen_secs = reopen_timer.elapsed_seconds();
+    if (!stats.loaded_snapshot || stats.replayed_records != tail ||
+        reopened.size() != n + tail) {
+      std::fprintf(stderr, "unexpected recovery shape at n=%zu\n", n);
+      std::exit(1);
+    }
+
+    // Worst case: the same record count with no snapshot at all.
+    const std::string wal_dir = fresh_dir("wal_" + std::to_string(n));
+    {
+      core::FastIndex wal_only = open_durable(wal_dir, kIngestSyncEvery);
+      insert_range(wal_only, 0, n + tail);
+    }
+    core::RecoveryStats wal_stats;
+    util::WallTimer replay_timer;
+    const core::FastIndex replayed =
+        open_durable(wal_dir, kIngestSyncEvery, &wal_stats);
+    const double replay_secs = replay_timer.elapsed_seconds();
+    if (wal_stats.loaded_snapshot || wal_stats.replayed_records != n + tail ||
+        replayed.size() != n + tail) {
+      std::fprintf(stderr, "unexpected full-replay shape at n=%zu\n", n);
+      std::exit(1);
+    }
+
+    table.add_row(
+        {std::to_string(n),
+         util::fmt_bytes(static_cast<double>(snapshot_bytes(snap_dir))),
+         util::fmt_duration(snap_secs), util::fmt_duration(reopen_secs),
+         std::to_string(stats.replayed_records),
+         util::fmt_duration(replay_secs),
+         util::fmt_double(static_cast<double>(n + tail) / replay_secs, 0)});
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::remove_all(snap_dir);
+  }
+  table.print(
+      "Recovery bench — snapshot size/write and restart cost vs. records");
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  std::printf("== bench fig_recovery: snapshot + WAL restart cost ==\n");
+  std::size_t scale = 1;
+  std::size_t ingest_records = 2000;
+  if (argc > 1) scale = static_cast<std::size_t>(std::atoi(argv[1]));
+  if (argc > 2) ingest_records = static_cast<std::size_t>(std::atoi(argv[2]));
+  fast::bench::run_ingest(ingest_records);
+  fast::bench::run_recovery(
+      {1000 * scale, 4000 * scale, 16000 * scale});
+  return 0;
+}

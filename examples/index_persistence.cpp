@@ -1,10 +1,14 @@
-// Index lifecycle as a deployed middleware would drive it: build an index
-// over today's uploads, persist it, restart (load), serve queries from the
-// restored instance, and expire old photos with erase().
+// Index lifecycle as a deployed middleware would drive it: open a durable
+// index, ingest today's uploads (each acked insert is WAL-logged before it
+// is applied), checkpoint with save_snapshot(), keep ingesting, then
+// "crash" — just drop the process state — and restart. open_or_recover()
+// rebuilds the exact pre-crash index from the newest snapshot plus the WAL
+// tail, serves queries, and expires old photos durably.
 //
 // Run: ./build/examples/index_persistence [num_photos]
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "core/fast_index.hpp"
 #include "util/table.hpp"
@@ -13,11 +17,31 @@
 #include "workload/query_gen.hpp"
 #include "workload/scene_generator.hpp"
 
+namespace {
+
+fast::core::FastIndex open_index(const std::string& dir,
+                                 const fast::vision::PcaModel& pca,
+                                 fast::core::RecoveryStats* stats = nullptr) {
+  fast::core::DurabilityOptions opts;
+  opts.dir = dir;  // wal_sync_every stays 1: every acked insert is durable
+  auto opened = fast::core::FastIndex::open_or_recover(fast::core::FastConfig{},
+                                                       pca, opts, stats);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open_or_recover failed: %s\n",
+                 opened.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(opened).value();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace fast;
   const std::size_t num_photos =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 120;
-  const std::string path = "fast_index_snapshot.bin";
+  const std::string dir = "fast_index_state";
+  std::filesystem::remove_all(dir);
 
   workload::DatasetSpec spec = workload::DatasetSpec::wuhan(num_photos);
   const workload::Dataset feed = workload::SceneGenerator(spec).generate();
@@ -27,26 +51,37 @@ int main(int argc, char** argv) {
   }
   const vision::PcaModel pca = vision::train_pca_sift(training);
 
-  // Day 1: build and persist.
+  // Day 1: ingest, checkpoint mid-stream, keep ingesting, then crash. The
+  // post-snapshot inserts live only in the WAL tail when the process dies.
+  const std::size_t checkpoint_at = feed.photos.size() * 3 / 4;
   {
-    core::FastIndex index(core::FastConfig{}, pca);
-    for (const auto& photo : feed.photos) {
-      index.insert(photo.id, photo.image);
+    core::FastIndex index = open_index(dir, pca);
+    for (std::size_t i = 0; i < checkpoint_at; ++i) {
+      index.insert(feed.photos[i].id, feed.photos[i].image);
     }
     util::WallTimer save_timer;
-    index.save(path);
-    std::printf("built index over %zu photos; snapshot %s written in %s\n",
-                index.size(), path.c_str(),
+    if (!index.save_snapshot().ok()) return 1;
+    std::printf("checkpointed %zu photos to %s/ in %s\n", index.size(),
+                dir.c_str(),
                 util::fmt_duration(save_timer.elapsed_seconds()).c_str());
-  }
+    for (std::size_t i = checkpoint_at; i < feed.photos.size(); ++i) {
+      index.insert(feed.photos[i].id, feed.photos[i].image);
+    }
+    std::printf("ingested %zu more after the checkpoint... crash!\n",
+                index.size() - checkpoint_at);
+  }  // no clean shutdown: the instance is simply gone
 
-  // Day 2: restart — restore and serve.
+  // Day 2: restart — recover and serve.
+  core::RecoveryStats stats;
   util::WallTimer load_timer;
-  core::FastIndex index = core::FastIndex::load(path, core::FastConfig{}, pca);
-  std::printf("restored %zu photos in %s (%s in memory)\n", index.size(),
-              util::fmt_duration(load_timer.elapsed_seconds()).c_str(),
-              util::fmt_bytes(static_cast<double>(index.index_bytes()))
-                  .c_str());
+  core::FastIndex index = open_index(dir, pca, &stats);
+  std::printf(
+      "recovered %zu photos in %s: snapshot seq %llu + %zu WAL records "
+      "replayed (%s in memory)\n",
+      index.size(), util::fmt_duration(load_timer.elapsed_seconds()).c_str(),
+      static_cast<unsigned long long>(stats.snapshot_seq),
+      stats.replayed_records,
+      util::fmt_bytes(static_cast<double>(index.index_bytes())).c_str());
 
   const auto queries = workload::make_dup_queries(feed, 10, 0x9e5);
   std::size_t found = 0;
@@ -59,10 +94,11 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::printf("post-restore retrieval: %zu/%zu query sources in the top-5\n",
+  std::printf("post-recovery retrieval: %zu/%zu query sources in the top-5\n",
               found, queries.size());
 
-  // Retention expiry: drop the first quarter of the feed.
+  // Retention expiry: drop the first quarter of the feed. Erases are
+  // WAL-logged too, so they survive the next restart.
   const std::size_t expire = feed.photos.size() / 4;
   for (std::size_t i = 0; i < expire; ++i) {
     index.erase(feed.photos[i].id);
@@ -71,6 +107,13 @@ int main(int argc, char** argv) {
               index.size(),
               util::fmt_bytes(static_cast<double>(index.index_bytes()))
                   .c_str());
-  std::remove(path.c_str());
-  return found * 2 >= queries.size() ? 0 : 1;
+
+  // Day 3: one more restart proves the erases were durable.
+  const std::size_t expected = index.size();
+  core::FastIndex reopened = open_index(dir, pca);
+  std::printf("reopened with %zu photos (expected %zu)\n", reopened.size(),
+              expected);
+
+  std::filesystem::remove_all(dir);
+  return (reopened.size() == expected && found * 2 >= queries.size()) ? 0 : 1;
 }

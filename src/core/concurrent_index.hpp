@@ -26,13 +26,31 @@ class ConcurrentFastIndex {
   /// concurrency); the pool is created lazily on the first batch call.
   ConcurrentFastIndex(FastConfig config, vision::PcaModel pca,
                       std::size_t batch_threads = 0)
-      : index_(std::move(config), std::move(pca)),
-        batch_threads_(batch_threads) {
+      : ConcurrentFastIndex(FastIndex(std::move(config), std::move(pca)),
+                            batch_threads) {}
+
+  /// Wraps an already-built index (e.g., one recovered from disk).
+  explicit ConcurrentFastIndex(FastIndex index, std::size_t batch_threads = 0)
+      : index_(std::move(index)), batch_threads_(batch_threads) {
     util::MetricsRegistry& r = index_.metrics();
     writer_locks_ = &r.counter("concurrent.writer_locks");
     reader_locks_ = &r.counter("concurrent.reader_locks");
     insert_batch_size_ = &r.count_histogram("concurrent.insert_batch_size");
     query_batch_size_ = &r.count_histogram("concurrent.query_batch_size");
+  }
+
+  /// Durable concurrent index: recovers (or initializes) FastIndex state in
+  /// opts.dir and wraps it. Returns a pointer because the facade holds a
+  /// mutex and cannot move. See FastIndex::open_or_recover for semantics.
+  static storage::StatusOr<std::unique_ptr<ConcurrentFastIndex>>
+  open_or_recover(FastConfig config, vision::PcaModel pca,
+                  const DurabilityOptions& opts, RecoveryStats* stats = nullptr,
+                  std::size_t batch_threads = 0) {
+    auto index = FastIndex::open_or_recover(std::move(config), std::move(pca),
+                                            opts, stats);
+    if (!index.ok()) return index.status();
+    return std::make_unique<ConcurrentFastIndex>(std::move(index).value(),
+                                                 batch_threads);
   }
 
   std::size_t size() const {
@@ -152,6 +170,14 @@ class ConcurrentFastIndex {
     std::shared_lock lock(mutex_);
     reader_locks_->add();
     index_.save(path);
+  }
+
+  /// Snapshot + WAL rotation under the writer lock: the image captures a
+  /// point between mutations, and no append can race the rotation.
+  storage::Status save_snapshot() {
+    std::unique_lock lock(mutex_);
+    writer_locks_->add();
+    return index_.save_snapshot();
   }
 
   /// The wrapped index; callers must not mutate it concurrently.

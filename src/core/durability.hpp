@@ -1,0 +1,55 @@
+// Durability contract of FastIndex: snapshot + write-ahead log.
+//
+// An index opened with open_or_recover logs every mutation to the WAL
+// BEFORE applying it, fsyncing on a configurable cadence; save_snapshot
+// writes a full checksummed image of the index and rotates the log. After a
+// crash, open_or_recover loads the newest intact snapshot, replays the WAL
+// tail on top, and truncates the torn record of an in-flight append — so
+// with wal_sync_every == 1 every acknowledged mutation survives, and the
+// recovered index answers queries bit-identically to the pre-crash one
+// (DESIGN.md §3d states the invariants; tests/recovery_test.cpp sweeps
+// every failure point).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/io.hpp"
+
+namespace fast::core {
+
+struct FastConfig;
+
+struct DurabilityOptions {
+  /// Directory holding snapshot-*.fast and wal-*.log; created when absent.
+  std::string dir;
+
+  /// fsync the WAL after every N appended records. 1 (default) makes every
+  /// returned mutation durable; larger values trade the crash window for
+  /// ingest throughput, exactly the group-commit knob of a database.
+  std::size_t wal_sync_every = 1;
+
+  /// Filesystem to operate through; nullptr = the real one. Tests pass a
+  /// storage::FaultInjectingEnv here to crash at a chosen operation.
+  storage::Env* env = nullptr;
+};
+
+/// What open_or_recover found and did; for observability and tests.
+struct RecoveryStats {
+  bool loaded_snapshot = false;
+  std::uint64_t snapshot_seq = 0;     ///< last_seq of the loaded snapshot
+  std::size_t snapshots_skipped = 0;  ///< corrupt snapshots passed over
+  std::size_t segments_scanned = 0;   ///< WAL segments read
+  std::size_t replayed_records = 0;   ///< WAL records applied on top
+  bool wal_torn = false;              ///< truncated a torn tail / header
+};
+
+/// FNV-1a over the SM/SA/CHS geometry of a config — every field that
+/// changes how persisted index state must be interpreted (Bloom width,
+/// aggregator seeds and table counts, storage backend and shape). Frontend
+/// and cost-model settings are excluded: they affect future summaries, not
+/// the meaning of stored ones. lsh_input_scale is excluded too — it is
+/// persisted in the snapshot's params section and restored on load.
+std::uint64_t config_fingerprint(const FastConfig& config) noexcept;
+
+}  // namespace fast::core

@@ -10,6 +10,7 @@
 
 #include "core/pipeline/factory.hpp"
 #include "util/check.hpp"
+#include "util/codec.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -69,6 +70,13 @@ void FastIndex::init_metrics() {
   m_.chs_store_bytes = &r.gauge("chs.store_bytes");
   m_.index_size = &r.gauge("index.size");
   m_.index_groups = &r.gauge("index.groups");
+  m_.wal_appends = &r.counter("wal.appends");
+  m_.wal_bytes = &r.counter("wal.bytes");
+  m_.wal_syncs = &r.counter("wal.syncs");
+  m_.snapshot_write_s = &r.latency_histogram("snapshot.write_s");
+  m_.snapshot_bytes = &r.gauge("snapshot.bytes");
+  m_.recovery_replayed_records = &r.counter("recovery.replayed_records");
+  m_.recovery_snapshots_skipped = &r.counter("recovery.snapshots_skipped");
 }
 
 void FastIndex::publish_storage_gauges() {
@@ -154,13 +162,24 @@ InsertResult FastIndex::insert(std::uint64_t id, const img::Image& image) {
 
 InsertResult FastIndex::insert_signature(
     std::uint64_t id, const hash::SparseSignature& signature) {
+  // Log before apply: if the record cannot be made durable (wal_log
+  // throws), the in-memory state is untouched and recovery sees a
+  // consistent prefix of acknowledged mutations.
+  if (durable()) wal_log(storage::kWalRecordInsert, id, signature.encode());
+  return apply_insert(id, signature);
+}
+
+InsertResult FastIndex::apply_insert(
+    std::uint64_t id, const hash::SparseSignature& signature) {
   InsertResult result;
   FAST_CHECK(signature.bit_count() == config_.bloom_bits);
 
   // Re-insert replaces (erase-then-insert): the stale signature leaves the
   // index and the id exits its old groups first, so it never appears twice
   // in a membership list and queries rank against the fresh signature.
-  if (signatures_.find(id) != signatures_.end()) erase(id);
+  // (apply_erase, not erase: replay of this insert record redoes the
+  // eviction, so it must not be logged separately.)
+  if (signatures_.find(id) != signatures_.end()) apply_erase(id);
 
   // SA hashing cost: p-stable projections or minwise passes, in the
   // aggregator's cost domain.
@@ -242,6 +261,13 @@ std::vector<InsertResult> FastIndex::insert_batch(
 }
 
 bool FastIndex::erase(std::uint64_t id) {
+  // An unknown id is a no-op; logging it would bloat the WAL for nothing.
+  if (signatures_.find(id) == signatures_.end()) return false;
+  if (durable()) wal_log(storage::kWalRecordErase, id, {});
+  return apply_erase(id);
+}
+
+bool FastIndex::apply_erase(std::uint64_t id) {
   const auto it = signatures_.find(id);
   if (it == signatures_.end()) return false;
   m_.erases->add();
@@ -315,6 +341,344 @@ FastIndex FastIndex::load(const std::string& path, FastConfig config,
     index.insert_signature(id, hash::SparseSignature::decode(buffer));
   }
   return index;
+}
+
+// --- Durability: snapshot + WAL ------------------------------------------
+
+namespace {
+
+void fp_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;  // FNV-1a 64-bit prime
+  }
+}
+
+void fp_mix_f64(std::uint64_t& h, double v) {
+  fp_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const FastConfig& c) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+  fp_mix(h, c.bloom_bits);
+  fp_mix(h, c.bloom_hashes);
+  fp_mix(h, c.quantize_group_dims);
+  fp_mix_f64(h, static_cast<double>(c.quantize_cell));
+  fp_mix_f64(h, c.spatial_cell_px);
+  fp_mix(h, static_cast<std::uint64_t>(c.sa_backend));
+  fp_mix(h, c.lsh.dim);
+  fp_mix(h, c.lsh.tables);
+  fp_mix(h, c.lsh.hashes_per_table);
+  fp_mix_f64(h, c.lsh.omega);
+  fp_mix(h, c.lsh.seed);
+  fp_mix(h, c.minhash.bands);
+  fp_mix(h, c.minhash.band_size);
+  fp_mix(h, c.minhash.seed);
+  fp_mix(h, c.minhash_multiprobe ? 1 : 0);
+  fp_mix(h, static_cast<std::uint64_t>(c.probe_depth));
+  fp_mix(h, static_cast<std::uint64_t>(c.chs_backend));
+  fp_mix(h, c.cuckoo.capacity);
+  fp_mix(h, c.cuckoo.window);
+  fp_mix(h, c.cuckoo.max_kicks);
+  fp_mix(h, c.cuckoo.seed);
+  fp_mix(h, c.chained_buckets);
+  return h;
+}
+
+void FastIndex::wal_log(std::uint8_t type, std::uint64_t id,
+                        std::span<const std::uint8_t> payload) {
+  const std::uint64_t seq = wal_->next_seq();
+  storage::Status s = wal_->append(type, id, payload);
+  if (s.ok() && ++appends_since_sync_ >= wal_sync_every_) {
+    s = wal_->sync();
+    if (s.ok()) {
+      appends_since_sync_ = 0;
+      m_.wal_syncs->add();
+    }
+  }
+  if (!s.ok()) throw storage::IoError(std::move(s));
+  m_.wal_appends->add();
+  // Frame overhead (crc + len) plus the fixed body prefix (seq, type, id).
+  m_.wal_bytes->add(4 + 4 + 8 + 1 + 8 + payload.size());
+  last_seq_ = seq;
+}
+
+storage::SnapshotFile FastIndex::build_snapshot() const {
+  storage::SnapshotFile snapshot;
+  snapshot.config_fingerprint = config_fingerprint(config_);
+  snapshot.last_seq = last_seq_;
+
+  util::ByteWriter params;
+  params.f64(config_.lsh_input_scale);
+  params.u64(rehashes_);
+  snapshot.sections.push_back({storage::kSectionParams, params.take()});
+
+  // Signatures in id order: the image is a pure function of index content,
+  // never of unordered_map iteration order.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(signatures_.size());
+  for (const auto& entry : signatures_) ids.push_back(entry.first);
+  std::sort(ids.begin(), ids.end());
+  util::ByteWriter sigs;
+  sigs.u64(ids.size());
+  for (const std::uint64_t id : ids) {
+    sigs.u64(id);
+    sigs.blob(signatures_.at(id).encode());
+  }
+  snapshot.sections.push_back({storage::kSectionSignatures, sigs.take()});
+
+  util::ByteWriter groups;
+  groups.u64(groups_.size());
+  for (const auto& members : groups_) {
+    groups.u64(members.size());
+    for (const std::uint64_t id : members) groups.u64(id);
+  }
+  snapshot.sections.push_back({storage::kSectionGroups, groups.take()});
+
+  util::ByteWriter store;
+  store_->serialize(store);
+  snapshot.sections.push_back({storage::kSectionStore, store.take()});
+  return snapshot;
+}
+
+bool FastIndex::restore_snapshot(const storage::SnapshotFile& snapshot) {
+  const auto* params = snapshot.find(storage::kSectionParams);
+  const auto* sigs = snapshot.find(storage::kSectionSignatures);
+  const auto* groups = snapshot.find(storage::kSectionGroups);
+  const auto* store = snapshot.find(storage::kSectionStore);
+  if (params == nullptr || sigs == nullptr || groups == nullptr ||
+      store == nullptr) {
+    return false;
+  }
+
+  util::ByteReader pr{std::span(params->payload)};
+  const double input_scale = pr.f64();
+  const std::uint64_t rehashes = pr.u64();
+  if (!pr.ok()) return false;
+
+  util::ByteReader sr{std::span(sigs->payload)};
+  const std::uint64_t count = sr.u64();
+  std::unordered_map<std::uint64_t, hash::SparseSignature> restored_sigs;
+  restored_sigs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id = sr.u64();
+    const auto encoded = sr.blob();
+    if (!sr.ok()) return false;
+    try {
+      hash::SparseSignature sig = hash::SparseSignature::decode(encoded);
+      if (sig.bit_count() != config_.bloom_bits) return false;
+      restored_sigs.emplace(id, std::move(sig));
+    } catch (const std::runtime_error&) {
+      return false;
+    }
+  }
+
+  util::ByteReader gr{std::span(groups->payload)};
+  const std::uint64_t group_count = gr.u64();
+  if (!gr.ok() || group_count > gr.remaining() / 8) return false;
+  std::vector<std::vector<std::uint64_t>> restored_groups;
+  restored_groups.reserve(group_count);
+  for (std::uint64_t g = 0; g < group_count; ++g) {
+    const std::uint64_t members = gr.u64();
+    if (!gr.ok() || members > gr.remaining() / 8) return false;
+    std::vector<std::uint64_t> list;
+    list.reserve(members);
+    for (std::uint64_t i = 0; i < members; ++i) list.push_back(gr.u64());
+    restored_groups.push_back(std::move(list));
+  }
+  if (!gr.ok()) return false;
+
+  util::ByteReader str{std::span(store->payload)};
+  if (!store_->deserialize(str)) return false;
+
+  signatures_ = std::move(restored_sigs);
+  groups_ = std::move(restored_groups);
+  rehashes_ = rehashes;
+  config_.lsh_input_scale = input_scale;
+  aggregator_->set_input_scale(input_scale);
+  publish_storage_gauges();
+  return true;
+}
+
+storage::Status FastIndex::save_snapshot() {
+  if (!durable()) {
+    return storage::Status::error(storage::StatusCode::kIoError,
+                                  "save_snapshot on a non-durable index");
+  }
+  util::WallTimer timer;
+  const storage::SnapshotFile snapshot = build_snapshot();
+  auto published = storage::write_snapshot(*env_, dir_, snapshot);
+  if (!published.ok()) return published.status();
+
+  std::size_t image_bytes = 32;  // header
+  for (const auto& section : snapshot.sections) {
+    image_bytes += 12 + section.payload.size();
+  }
+  m_.snapshot_bytes->set(static_cast<double>(image_bytes + 12));
+  m_.snapshot_write_s->observe(timer.elapsed_seconds());
+
+  // Rotate the log. If the new segment cannot be created, wal_ stays closed
+  // and every further mutation fails loudly instead of silently going
+  // unlogged.
+  (void)wal_->close();
+  auto rotated = storage::WalWriter::create(*env_, dir_, last_seq_ + 1);
+  if (!rotated.ok()) return rotated.status();
+  wal_ = std::move(rotated).value();
+  appends_since_sync_ = 0;
+
+  // Retention: keep ONE previous snapshot generation and the WAL segments
+  // it does not cover, so a latent-corrupt newest image (bit rot, torn
+  // sector) still recovers exactly — previous snapshot + surviving segments
+  // replay to the same state. Only files the RETAINED generation covers are
+  // dead: snapshots older than it, and segments whose records it contains
+  // (rotation happens at every snapshot, so a segment starting at or before
+  // the previous snapshot's seq ends there too). Before the first snapshot
+  // the fallback generation is the empty index, which needs every segment.
+  auto names = env_->list_dir(dir_);
+  if (names.ok()) {
+    std::uint64_t prev_snapshot = 0;
+    for (const std::string& name : names.value()) {
+      std::uint64_t seq = 0;
+      if (storage::parse_snapshot_file_name(name, &seq) && seq < last_seq_) {
+        prev_snapshot = std::max(prev_snapshot, seq);
+      }
+    }
+    for (const std::string& name : names.value()) {
+      std::uint64_t seq = 0;
+      const bool dead_snapshot =
+          storage::parse_snapshot_file_name(name, &seq) && seq < prev_snapshot;
+      const bool dead_segment =
+          storage::parse_wal_segment_name(name, &seq) && seq <= prev_snapshot;
+      if (dead_snapshot || dead_segment) {
+        (void)env_->remove_file(dir_ + "/" + name);  // best-effort cleanup
+      }
+    }
+  }
+  return storage::Status{};
+}
+
+storage::StatusOr<FastIndex> FastIndex::open_or_recover(
+    FastConfig config, vision::PcaModel pca, const DurabilityOptions& opts,
+    RecoveryStats* stats_out) {
+  RecoveryStats stats;
+  storage::Env& env =
+      opts.env != nullptr ? *opts.env : storage::Env::posix();
+  storage::Status s = env.make_dirs(opts.dir);
+  if (!s.ok()) return s;
+  auto names = env.list_dir(opts.dir);
+  if (!names.ok()) return names.status();
+
+  std::vector<std::uint64_t> snapshot_seqs;
+  std::vector<std::uint64_t> wal_seqs;
+  for (const std::string& name : names.value()) {
+    std::uint64_t seq = 0;
+    if (storage::parse_snapshot_file_name(name, &seq)) {
+      snapshot_seqs.push_back(seq);
+    } else if (storage::parse_wal_segment_name(name, &seq)) {
+      wal_seqs.push_back(seq);
+    }
+    // Anything else (.tmp images from interrupted writes, stray files) is
+    // ignored; a crashed snapshot write must not affect recovery.
+  }
+  std::sort(snapshot_seqs.rbegin(), snapshot_seqs.rend());  // newest first
+  std::sort(wal_seqs.begin(), wal_seqs.end());
+
+  const std::uint64_t want_fingerprint = config_fingerprint(config);
+  std::optional<FastIndex> index;
+  for (const std::uint64_t seq : snapshot_seqs) {
+    const std::string path = opts.dir + "/" + storage::snapshot_file_name(seq);
+    auto snapshot = storage::read_snapshot(env, path);
+    if (!snapshot.ok()) {
+      switch (snapshot.status().code()) {
+        case storage::StatusCode::kCorrupt:
+        case storage::StatusCode::kBadMagic:
+          // Damaged image: fall back to the previous snapshot (its WAL
+          // segments were only deleted after THIS one was fully published,
+          // so an older snapshot plus surviving segments is still exact).
+          ++stats.snapshots_skipped;
+          continue;
+        default:
+          return snapshot.status();  // kBadVersion / filesystem trouble
+      }
+    }
+    if (snapshot.value().config_fingerprint != want_fingerprint) {
+      return storage::Status::error(
+          storage::StatusCode::kConfigMismatch,
+          "snapshot " + path +
+              " was written under a different pipeline geometry");
+    }
+    FastIndex candidate(config, pca);
+    if (!candidate.restore_snapshot(snapshot.value())) {
+      ++stats.snapshots_skipped;
+      continue;
+    }
+    candidate.last_seq_ = snapshot.value().last_seq;
+    stats.loaded_snapshot = true;
+    stats.snapshot_seq = snapshot.value().last_seq;
+    index.emplace(std::move(candidate));
+    break;
+  }
+  if (!index.has_value()) index.emplace(FastIndex(config, pca));
+
+  for (const std::uint64_t seq : wal_seqs) {
+    const std::string path = opts.dir + "/" + storage::wal_segment_name(seq);
+    auto segment = storage::read_wal_segment(env, path);
+    if (!segment.ok()) return segment.status();
+    ++stats.segments_scanned;
+    if (segment.value().torn) stats.wal_torn = true;
+    for (const storage::WalRecord& record : segment.value().records) {
+      if (record.seq <= index->last_seq_) continue;  // inside the snapshot
+      if (record.seq != index->last_seq_ + 1) {
+        return storage::Status::error(
+            storage::StatusCode::kCorrupt,
+            "WAL gap: expected seq " + std::to_string(index->last_seq_ + 1) +
+                ", segment " + path + " continues at " +
+                std::to_string(record.seq));
+      }
+      switch (record.type) {
+        case storage::kWalRecordInsert: {
+          try {
+            hash::SparseSignature sig =
+                hash::SparseSignature::decode(record.payload);
+            if (sig.bit_count() != index->config_.bloom_bits) {
+              return storage::Status::error(
+                  storage::StatusCode::kCorrupt,
+                  "WAL insert payload has the wrong signature width");
+            }
+            index->apply_insert(record.id, sig);
+          } catch (const std::runtime_error& e) {
+            return storage::Status::error(
+                storage::StatusCode::kCorrupt,
+                std::string("undecodable WAL insert payload: ") + e.what());
+          }
+          break;
+        }
+        case storage::kWalRecordErase:
+          index->apply_erase(record.id);
+          break;
+        default:
+          return storage::Status::error(
+              storage::StatusCode::kCorrupt,
+              "unknown WAL record type " + std::to_string(record.type));
+      }
+      index->last_seq_ = record.seq;
+      ++stats.replayed_records;
+    }
+  }
+  index->m_.recovery_replayed_records->add(stats.replayed_records);
+  index->m_.recovery_snapshots_skipped->add(stats.snapshots_skipped);
+
+  auto writer = storage::WalWriter::create(env, opts.dir,
+                                           index->last_seq_ + 1);
+  if (!writer.ok()) return writer.status();
+  index->env_ = &env;
+  index->dir_ = opts.dir;
+  index->wal_sync_every_ = std::max<std::size_t>(opts.wal_sync_every, 1);
+  index->wal_ = std::move(writer).value();
+  if (stats_out != nullptr) *stats_out = stats;
+  return std::move(*index);
 }
 
 QueryResult FastIndex::query(const img::Image& image, std::size_t k) const {

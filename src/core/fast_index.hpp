@@ -35,12 +35,15 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/durability.hpp"
 #include "core/pipeline/group_store.hpp"
 #include "core/pipeline/semantic_aggregator.hpp"
 #include "core/pipeline/summarizer.hpp"
 #include "core/result.hpp"
 #include "hash/sparse_signature.hpp"
 #include "img/image.hpp"
+#include "storage/snapshot.hpp"
+#include "storage/wal.hpp"
 #include "vision/pca.hpp"
 
 namespace fast::util {
@@ -136,6 +139,33 @@ class FastIndex {
   static FastIndex load(const std::string& path, FastConfig config,
                         vision::PcaModel pca);
 
+  // --- Durability (snapshot + WAL; see core/durability.hpp) ---
+
+  /// Opens a durable index in opts.dir: loads the newest intact snapshot,
+  /// replays the WAL tail (truncating a torn in-flight record), and starts
+  /// a fresh WAL segment. An empty or absent directory yields an empty
+  /// durable index. Hard errors: a snapshot written by a future format
+  /// version (kBadVersion), a snapshot whose geometry fingerprint does not
+  /// match `config` (kConfigMismatch), or filesystem failure; a corrupt
+  /// newest snapshot is NOT a hard error — recovery falls back to the
+  /// previous one (stats->snapshots_skipped).
+  static storage::StatusOr<FastIndex> open_or_recover(
+      FastConfig config, vision::PcaModel pca, const DurabilityOptions& opts,
+      RecoveryStats* stats = nullptr);
+
+  /// Writes a full snapshot of the index at the current sequence number and
+  /// rotates the WAL. One previous snapshot generation (and the WAL
+  /// segments it does not cover) is retained so recovery can fall back past
+  /// a latent-corrupt newest image without losing records; anything older
+  /// is deleted. Requires a durable index.
+  storage::Status save_snapshot();
+
+  /// True when mutations are WAL-logged (index came from open_or_recover).
+  bool durable() const noexcept { return wal_ != nullptr; }
+
+  /// Sequence number of the last applied mutation (0 before any).
+  std::uint64_t last_seq() const noexcept { return last_seq_; }
+
   // --- Query path ---
 
   /// Full pipeline query: returns the top-k most similar images.
@@ -216,6 +246,13 @@ class FastIndex {
     util::Gauge* chs_store_bytes = nullptr;
     util::Gauge* index_size = nullptr;
     util::Gauge* index_groups = nullptr;
+    util::Counter* wal_appends = nullptr;
+    util::Counter* wal_bytes = nullptr;
+    util::Counter* wal_syncs = nullptr;
+    util::Histogram* snapshot_write_s = nullptr;
+    util::Gauge* snapshot_bytes = nullptr;
+    util::Counter* recovery_replayed_records = nullptr;
+    util::Counter* recovery_snapshots_skipped = nullptr;
   };
 
   /// Registers this index's instruments and caches their pointers.
@@ -228,6 +265,26 @@ class FastIndex {
   std::vector<hash::SparseSignature> summarize_batch(
       std::span<const img::Image* const> images, util::ThreadPool* pool) const;
 
+  /// Mutation bodies, shared by the public (WAL-logging) wrappers and WAL
+  /// replay. They touch only in-memory state — never the log — so replay
+  /// reproduces exactly the state the original calls built.
+  InsertResult apply_insert(std::uint64_t id,
+                            const hash::SparseSignature& signature);
+  bool apply_erase(std::uint64_t id);
+
+  /// Logs one record ahead of its application; fsyncs on the configured
+  /// cadence. Throws storage::IoError when the append or sync fails — the
+  /// mutation was NOT applied and the index must be reopened via
+  /// open_or_recover. No-op for non-durable indexes.
+  void wal_log(std::uint8_t type, std::uint64_t id,
+               std::span<const std::uint8_t> payload);
+
+  /// Serializes the full index state at last_seq_.
+  storage::SnapshotFile build_snapshot() const;
+  /// Restores state from a validated snapshot; false = undecodable content
+  /// (caller falls back to an older snapshot).
+  bool restore_snapshot(const storage::SnapshotFile& snapshot);
+
   FastConfig config_;
   std::unique_ptr<pipeline::Summarizer> summarizer_;
   std::unique_ptr<pipeline::SemanticAggregator> aggregator_;
@@ -239,6 +296,14 @@ class FastIndex {
   // move) stable across FastIndex moves, so the cached pointers stay valid.
   std::shared_ptr<util::MetricsRegistry> metrics_;
   StageMetrics m_;
+
+  // Durability state; all null/zero for a purely in-memory index.
+  storage::Env* env_ = nullptr;
+  std::string dir_;
+  std::size_t wal_sync_every_ = 1;
+  std::unique_ptr<storage::WalWriter> wal_;
+  std::uint64_t last_seq_ = 0;
+  std::size_t appends_since_sync_ = 0;
 };
 
 }  // namespace fast::core

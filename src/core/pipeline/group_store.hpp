@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "hash/cuckoo_table.hpp"  // CuckooStats
+#include "util/codec.hpp"
 
 namespace fast::core::pipeline {
 
@@ -47,6 +48,17 @@ class GroupStore {
 
   /// Aggregate insertion/displacement statistics across tables.
   virtual hash::CuckooStats stats() const noexcept = 0;
+
+  /// Verbatim dump of every table into `out` (snapshot section payload).
+  /// A store restored from these bytes answers every find() bit-identically
+  /// and charges the same probe costs.
+  virtual void serialize(util::ByteWriter& out) const = 0;
+
+  /// Restores state serialized by a store of the same backend and table
+  /// count into this instance. Returns false (leaving this store in an
+  /// unspecified state the caller must discard) on malformed bytes or a
+  /// table-count mismatch.
+  virtual bool deserialize(util::ByteReader& in) = 0;
 };
 
 }  // namespace fast::core::pipeline

@@ -15,6 +15,21 @@ QueryEngine::QueryEngine(const FastIndex& index, std::size_t threads)
   last_sim_makespan_s_ = &r.gauge("engine.last_sim_makespan_s");
 }
 
+QueryEngine::QueryEngine(std::unique_ptr<FastIndex> owned, std::size_t threads)
+    : QueryEngine(*owned, threads) {
+  owned_ = std::move(owned);
+}
+
+storage::StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::open(
+    FastConfig config, vision::PcaModel pca, const DurabilityOptions& opts,
+    RecoveryStats* stats, std::size_t threads) {
+  auto index = FastIndex::open_or_recover(std::move(config), std::move(pca),
+                                          opts, stats);
+  if (!index.ok()) return index.status();
+  return std::unique_ptr<QueryEngine>(new QueryEngine(
+      std::make_unique<FastIndex>(std::move(index).value()), threads));
+}
+
 void QueryEngine::finish_report(BatchReport& report,
                                 std::size_t sim_slots) const {
   std::size_t slots = sim_slots;

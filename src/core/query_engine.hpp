@@ -7,6 +7,7 @@
 // Fig. 7 (per-query latency vs. core count).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -36,6 +37,16 @@ class QueryEngine {
   /// `threads` native worker threads (0 = hardware concurrency).
   explicit QueryEngine(const FastIndex& index, std::size_t threads = 0);
 
+  /// Serves queries over an index recovered from opts.dir: a read-only
+  /// deployment (figure regeneration, a query-tier replica) pointed at a
+  /// persisted corpus. The engine owns the recovered index.
+  static storage::StatusOr<std::unique_ptr<QueryEngine>> open(
+      FastConfig config, vision::PcaModel pca, const DurabilityOptions& opts,
+      RecoveryStats* stats = nullptr, std::size_t threads = 0);
+
+  /// The index this engine queries (the recovered one for open()).
+  const FastIndex& index() const noexcept { return index_; }
+
   /// Runs a batch of signature queries in parallel and computes the
   /// simulated batch latency under `options.sim_slots` parallel servers.
   BatchReport run_batch(std::span<const hash::SparseSignature> queries,
@@ -52,9 +63,14 @@ class QueryEngine {
                                         std::size_t cores);
 
  private:
+  QueryEngine(std::unique_ptr<FastIndex> owned, std::size_t threads);
+
   /// Fills the simulated-latency fields from the executed results.
   void finish_report(BatchReport& report, std::size_t sim_slots) const;
 
+  /// Set only by open(); declared before index_ so the reference always
+  /// outlives its binding.
+  std::unique_ptr<FastIndex> owned_;
   const FastIndex& index_;
   util::ThreadPool pool_;
   util::Counter* batches_ = nullptr;

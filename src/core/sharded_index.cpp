@@ -6,17 +6,40 @@
 
 namespace fast::core {
 
+namespace {
+
+/// Per-shard storage seed derivation — shared by the in-memory and durable
+/// construction paths so both produce identical shard pipelines.
+FastConfig shard_config(const FastConfig& config, std::size_t s) {
+  FastConfig shard_cfg = config;
+  shard_cfg.cuckoo.seed = config.cuckoo.seed + s * 0x51edULL;
+  return shard_cfg;
+}
+
+std::vector<std::unique_ptr<FastIndex>> build_shards(
+    const FastConfig& config, const vision::PcaModel& pca,
+    std::size_t shards) {
+  std::vector<std::unique_ptr<FastIndex>> built;
+  built.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    built.push_back(std::make_unique<FastIndex>(shard_config(config, s), pca));
+  }
+  return built;
+}
+
+}  // namespace
+
 ShardedFastIndex::ShardedFastIndex(FastConfig config, vision::PcaModel pca,
                                    std::size_t shards, std::size_t threads)
-    : config_(config), shard_map_(shards), pool_(threads),
+    : ShardedFastIndex(config, build_shards(config, pca, shards), threads) {}
+
+ShardedFastIndex::ShardedFastIndex(
+    FastConfig config, std::vector<std::unique_ptr<FastIndex>> shards,
+    std::size_t threads)
+    : config_(std::move(config)), shard_map_(shards.size()),
+      shards_(std::move(shards)), pool_(threads),
       metrics_(std::make_shared<util::MetricsRegistry>()) {
-  FAST_CHECK(shards >= 1);
-  shards_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    FastConfig shard_cfg = config;
-    shard_cfg.cuckoo.seed = config.cuckoo.seed + s * 0x51edULL;
-    shards_.push_back(std::make_unique<FastIndex>(shard_cfg, pca));
-  }
+  FAST_CHECK(!shards_.empty());
   queries_ = &metrics_->counter("sharded.queries");
   inserts_ = &metrics_->counter("sharded.inserts");
   scatter_msgs_ = &metrics_->counter("sharded.scatter_msgs");
@@ -24,7 +47,47 @@ ShardedFastIndex::ShardedFastIndex(FastConfig config, vision::PcaModel pca,
   batch_size_ = &metrics_->count_histogram("sharded.insert_batch_size");
   shard_batch_items_ = &metrics_->count_histogram("sharded.shard_batch_items");
   gather_candidates_ = &metrics_->count_histogram("sharded.gather_candidates");
-  metrics_->gauge("sharded.shards").set(static_cast<double>(shards));
+  metrics_->gauge("sharded.shards").set(static_cast<double>(shards_.size()));
+}
+
+storage::StatusOr<std::unique_ptr<ShardedFastIndex>>
+ShardedFastIndex::open_or_recover(FastConfig config, vision::PcaModel pca,
+                                  std::size_t shards,
+                                  const DurabilityOptions& opts,
+                                  RecoveryStats* stats, std::size_t threads) {
+  FAST_CHECK(shards >= 1);
+  RecoveryStats total;
+  std::vector<std::unique_ptr<FastIndex>> built;
+  built.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    DurabilityOptions shard_opts = opts;
+    shard_opts.dir = opts.dir + "/shard-" + std::to_string(s);
+    RecoveryStats shard_stats;
+    auto index = FastIndex::open_or_recover(shard_config(config, s), pca,
+                                            shard_opts, &shard_stats);
+    if (!index.ok()) return index.status();
+    total.loaded_snapshot |= shard_stats.loaded_snapshot;
+    total.snapshot_seq = std::max(total.snapshot_seq,
+                                  shard_stats.snapshot_seq);
+    total.snapshots_skipped += shard_stats.snapshots_skipped;
+    total.segments_scanned += shard_stats.segments_scanned;
+    total.replayed_records += shard_stats.replayed_records;
+    total.wal_torn |= shard_stats.wal_torn;
+    built.push_back(std::make_unique<FastIndex>(std::move(index).value()));
+  }
+  std::unique_ptr<ShardedFastIndex> sharded(
+      new ShardedFastIndex(std::move(config), std::move(built), threads));
+  if (stats != nullptr) *stats = total;
+  return sharded;
+}
+
+storage::Status ShardedFastIndex::save_snapshot() {
+  storage::Status first;
+  for (const auto& shard : shards_) {
+    storage::Status s = shard->save_snapshot();
+    if (!s.ok() && first.ok()) first = std::move(s);
+  }
+  return first;
 }
 
 std::size_t ShardedFastIndex::size() const noexcept {

@@ -27,6 +27,21 @@ class ShardedFastIndex {
   ShardedFastIndex(FastConfig config, vision::PcaModel pca,
                    std::size_t shards, std::size_t threads = 0);
 
+  /// Durable sharded index: each shard recovers independently from its own
+  /// snapshot + WAL directory (opts.dir/shard-<i>), with the same per-shard
+  /// seed derivation as the in-memory constructor, so a recovered deployment
+  /// is bit-identical to the pre-crash one. When `stats` is non-null it
+  /// receives the aggregate across shards (counts summed, snapshot_seq the
+  /// max, flags OR-ed).
+  static storage::StatusOr<std::unique_ptr<ShardedFastIndex>> open_or_recover(
+      FastConfig config, vision::PcaModel pca, std::size_t shards,
+      const DurabilityOptions& opts, RecoveryStats* stats = nullptr,
+      std::size_t threads = 0);
+
+  /// Snapshots every shard (each rotates its own WAL). All shards are
+  /// attempted; the first error is returned.
+  storage::Status save_snapshot();
+
   std::size_t shard_count() const noexcept { return shards_.size(); }
   std::size_t size() const noexcept;
   const FastConfig& config() const noexcept { return config_; }
@@ -71,6 +86,12 @@ class ShardedFastIndex {
   util::MetricsRegistry& metrics() const noexcept { return *metrics_; }
 
  private:
+  /// Assembles the facade around pre-built shard indexes (the durable path
+  /// recovers each shard before construction).
+  ShardedFastIndex(FastConfig config,
+                   std::vector<std::unique_ptr<FastIndex>> shards,
+                   std::size_t threads);
+
   QueryResult gather(std::vector<QueryResult> per_shard, std::size_t k,
                      double fe_cost) const;
 

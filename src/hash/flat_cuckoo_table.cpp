@@ -109,6 +109,55 @@ std::optional<std::uint64_t> FlatCuckooTable::find(
   return std::nullopt;
 }
 
+void FlatCuckooTable::serialize(util::ByteWriter& out) const {
+  out.u64(slots_.size());
+  out.u64(window_);
+  out.u64(max_kicks_);
+  out.u64(salt1_);
+  out.u64(salt2_);
+  out.u64(size_);
+  out.u64(stats_.inserts);
+  out.u64(stats_.failures);
+  out.u64(stats_.total_kicks);
+  out.u64(stats_.max_kick_chain);
+  for (const Slot& slot : slots_) {
+    out.u64(slot.key);
+    out.u64(slot.value);
+    out.u8(slot.occupied ? 1 : 0);
+  }
+}
+
+std::optional<FlatCuckooTable> FlatCuckooTable::deserialize(
+    util::ByteReader& in) {
+  FlatCuckooTable table;
+  const std::uint64_t capacity = in.u64();
+  table.window_ = in.u64();
+  table.max_kicks_ = in.u64();
+  table.salt1_ = in.u64();
+  table.salt2_ = in.u64();
+  table.size_ = in.u64();
+  table.stats_.inserts = in.u64();
+  table.stats_.failures = in.u64();
+  table.stats_.total_kicks = in.u64();
+  table.stats_.max_kick_chain = in.u64();
+  if (!in.ok() || capacity == 0 || table.window_ == 0 ||
+      capacity > in.remaining() / 17) {  // 17 bytes per serialized slot
+    return std::nullopt;
+  }
+  table.slots_.resize(capacity);
+  std::size_t occupied = 0;
+  for (Slot& slot : table.slots_) {
+    slot.key = in.u64();
+    slot.value = in.u64();
+    slot.occupied = in.u8() != 0;
+    if (slot.occupied) ++occupied;
+  }
+  if (!in.ok() || occupied != table.size_) return std::nullopt;
+  // Fresh deterministic kick RNG; see serialize() for why this is sound.
+  table.rng_.reseed(table.salt1_ ^ 0xf1a7ULL);
+  return table;
+}
+
 bool FlatCuckooTable::erase(std::uint64_t key) noexcept {
   const std::size_t b1 = base1(key);
   for (std::size_t w = 0; w < window_; ++w) {

@@ -17,6 +17,7 @@
 
 #include "hash/hashes.hpp"
 #include "hash/cuckoo_table.hpp"  // CuckooStats
+#include "util/codec.hpp"
 #include "util/rng.hpp"
 
 namespace fast::hash {
@@ -57,7 +58,21 @@ class FlatCuckooTable {
   /// Fixed probe count per lookup: 2 * W independent slot reads.
   std::size_t probes_per_lookup() const noexcept { return 2 * window_; }
 
+  /// Verbatim dump of the table — salts, stats, and every slot — so a
+  /// deserialized table answers every find() bit-identically. The kick RNG's
+  /// position is NOT persisted (it only influences future victim choices,
+  /// never lookup results); deserialize reseeds it deterministically.
+  void serialize(util::ByteWriter& out) const;
+
+  /// Inverse of serialize(). Returns nullopt on truncated or internally
+  /// inconsistent input (occupancy count mismatch, zero capacity).
+  static std::optional<FlatCuckooTable> deserialize(util::ByteReader& in);
+
  private:
+  /// Uninitialized shell for deserialize() to fill.
+  FlatCuckooTable() : window_(1), max_kicks_(0), salt1_(0), salt2_(0),
+                      rng_(0) {}
+
   struct Slot {
     std::uint64_t key = 0;
     std::uint64_t value = 0;

@@ -119,6 +119,41 @@ CuckooStats FlatCuckooGroupStore::stats() const noexcept {
   return total;
 }
 
+void FlatCuckooGroupStore::serialize(util::ByteWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(tables_.size()));
+  for (const Table& table : tables_) {
+    out.u64(table.seed);
+    // The rebuild log must survive: a post-recovery rehash replays it.
+    out.u64(table.entries.size());
+    for (const auto& [key, group] : table.entries) {
+      out.u64(key);
+      out.u64(group);
+    }
+    table.cuckoo.serialize(out);
+  }
+}
+
+bool FlatCuckooGroupStore::deserialize(util::ByteReader& in) {
+  const std::uint32_t tables = in.u32();
+  if (!in.ok() || tables != tables_.size()) return false;
+  for (Table& table : tables_) {
+    table.seed = in.u64();
+    const std::uint64_t entries = in.u64();
+    if (!in.ok() || entries > in.remaining() / 16) return false;
+    table.entries.clear();
+    table.entries.reserve(entries);
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      const std::uint64_t key = in.u64();
+      const std::uint64_t group = in.u64();
+      table.entries.emplace_back(key, group);
+    }
+    auto cuckoo = FlatCuckooTable::deserialize(in);
+    if (!cuckoo.has_value()) return false;
+    table.cuckoo = std::move(*cuckoo);
+  }
+  return in.ok();
+}
+
 ChainedGroupStore::ChainedGroupStore(std::size_t buckets, std::uint64_t seed,
                                      std::size_t tables) {
   tables_.reserve(tables);
@@ -159,6 +194,22 @@ std::size_t ChainedGroupStore::store_bytes() const noexcept {
              t.size() * (2 * sizeof(std::uint64_t) + sizeof(std::int64_t));
   }
   return bytes;
+}
+
+void ChainedGroupStore::serialize(util::ByteWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(tables_.size()));
+  for (const LshTableChained& table : tables_) table.serialize(out);
+}
+
+bool ChainedGroupStore::deserialize(util::ByteReader& in) {
+  const std::uint32_t tables = in.u32();
+  if (!in.ok() || tables != tables_.size()) return false;
+  for (LshTableChained& table : tables_) {
+    auto restored = LshTableChained::deserialize(in);
+    if (!restored.has_value()) return false;
+    table = std::move(*restored);
+  }
+  return in.ok();
 }
 
 CuckooStats ChainedGroupStore::stats() const noexcept {

@@ -36,6 +36,8 @@ class FlatCuckooGroupStore final : public core::pipeline::GroupStore {
   std::size_t lookup_cost_probes(std::size_t t) const noexcept override;
   std::size_t store_bytes() const noexcept override;
   CuckooStats stats() const noexcept override;
+  void serialize(util::ByteWriter& out) const override;
+  bool deserialize(util::ByteReader& in) override;
 
  private:
   struct Table {
@@ -70,6 +72,8 @@ class ChainedGroupStore final : public core::pipeline::GroupStore {
   std::size_t lookup_cost_probes(std::size_t t) const noexcept override;
   std::size_t store_bytes() const noexcept override;
   CuckooStats stats() const noexcept override;
+  void serialize(util::ByteWriter& out) const override;
+  bool deserialize(util::ByteReader& in) override;
 
  private:
   std::vector<LshTableChained> tables_;

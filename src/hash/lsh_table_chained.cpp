@@ -70,4 +70,50 @@ std::size_t LshTableChained::max_chain_length() const noexcept {
   return best;
 }
 
+void LshTableChained::serialize(util::ByteWriter& out) const {
+  out.u64(heads_.size());
+  out.u64(nodes_.size());
+  out.u64(salt_);
+  out.u64(size_);
+  for (const std::int64_t head : heads_) {
+    out.u64(static_cast<std::uint64_t>(head));
+  }
+  for (const Node& node : nodes_) {
+    out.u64(node.key);
+    out.u64(node.value);
+    out.u64(static_cast<std::uint64_t>(node.next));
+  }
+}
+
+std::optional<LshTableChained> LshTableChained::deserialize(
+    util::ByteReader& in) {
+  LshTableChained table;
+  const std::uint64_t buckets = in.u64();
+  const std::uint64_t nodes = in.u64();
+  table.salt_ = in.u64();
+  table.size_ = in.u64();
+  if (!in.ok() || buckets == 0 ||
+      buckets > in.remaining() / 8 ||
+      nodes > (in.remaining() - buckets * 8) / 24) {
+    return std::nullopt;
+  }
+  const auto valid_link = [&](std::int64_t link) {
+    return link >= -1 && link < static_cast<std::int64_t>(nodes);
+  };
+  table.heads_.resize(buckets);
+  for (std::int64_t& head : table.heads_) {
+    head = static_cast<std::int64_t>(in.u64());
+    if (!valid_link(head)) return std::nullopt;
+  }
+  table.nodes_.resize(nodes);
+  for (Node& node : table.nodes_) {
+    node.key = in.u64();
+    node.value = in.u64();
+    node.next = static_cast<std::int64_t>(in.u64());
+    if (!valid_link(node.next)) return std::nullopt;
+  }
+  if (!in.ok() || table.size_ > nodes) return std::nullopt;
+  return table;
+}
+
 }  // namespace fast::hash

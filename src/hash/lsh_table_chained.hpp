@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "hash/hashes.hpp"
+#include "util/codec.hpp"
 
 namespace fast::hash {
 
@@ -44,7 +46,17 @@ class LshTableChained {
   /// Longest chain in the table (load-imbalance diagnostic).
   std::size_t max_chain_length() const noexcept;
 
+  /// Verbatim dump — chain heads, node arena (including abandoned nodes),
+  /// salt — so a deserialized table is bit-identical, probe costs included.
+  void serialize(util::ByteWriter& out) const;
+
+  /// Inverse of serialize(). Returns nullopt on truncated input or node
+  /// links pointing outside the arena.
+  static std::optional<LshTableChained> deserialize(util::ByteReader& in);
+
  private:
+  LshTableChained() : salt_(0) {}  ///< shell for deserialize() to fill
+
   struct Node {
     std::uint64_t key;
     std::uint64_t value;

@@ -9,14 +9,31 @@ SqlLikeStore::SqlLikeStore(sim::CostModel cost, std::size_t cache_pages)
 
 void SqlLikeStore::put(std::uint64_t id, std::size_t bytes,
                        sim::SimClock& clock) {
+  FAST_CHECK_MSG(!closed_, "put on a closed store");
   FAST_CHECK_MSG(extents_.count(id) == 0, "duplicate record id");
   extents_[id] = Extent{tail_, bytes};
   tail_ += bytes;
+  pending_bytes_ += bytes;
   clock.charge_disk_write(cost_.disk_write_s(bytes));
+}
+
+void SqlLikeStore::flush(sim::SimClock& clock) {
+  if (pending_bytes_ == 0) return;
+  // The tail was already transferred page-by-page in put(); the barrier
+  // costs one seek (the fsync of the simulated log's metadata).
+  clock.charge_disk_write(cost_.disk_seek_s);
+  pending_bytes_ = 0;
+}
+
+void SqlLikeStore::close(sim::SimClock& clock) {
+  if (closed_) return;
+  flush(clock);
+  closed_ = true;
 }
 
 std::optional<std::size_t> SqlLikeStore::read(std::uint64_t id,
                                               sim::SimClock& clock) {
+  FAST_CHECK_MSG(!closed_, "read on a closed store");
   const auto it = extents_.find(id);
   if (it == extents_.end()) return std::nullopt;
   const Extent& e = it->second;

@@ -35,6 +35,19 @@ class SqlLikeStore {
   /// that misses the cache. Returns the record size, or nullopt if absent.
   std::optional<std::size_t> read(std::uint64_t id, sim::SimClock& clock);
 
+  /// Durability barrier for the appended tail: charges one seek when
+  /// records were appended since the last flush (the fsync of the simulated
+  /// log). No-op otherwise.
+  void flush(sim::SimClock& clock);
+
+  /// Flushes and seals the store. Idempotent; the store previously had no
+  /// explicit lifecycle end, so callers leaked the final unflushed tail from
+  /// the cost accounting and could keep writing to a "closed" baseline
+  /// store unnoticed. put/read after close abort.
+  void close(sim::SimClock& clock);
+
+  bool closed() const noexcept { return closed_; }
+
   bool contains(std::uint64_t id) const noexcept {
     return extents_.count(id) != 0;
   }
@@ -56,6 +69,8 @@ class SqlLikeStore {
   PageCache cache_;
   std::unordered_map<std::uint64_t, Extent> extents_;
   std::uint64_t tail_ = 0;  ///< append position (== total bytes)
+  std::size_t pending_bytes_ = 0;  ///< appended since the last flush
+  bool closed_ = false;
 };
 
 }  // namespace fast::storage

@@ -1,0 +1,121 @@
+// Little-endian byte encoding helpers for the persistence formats.
+//
+// Every on-disk structure (snapshot sections, WAL record bodies, serialized
+// hash tables) is built from these primitives so the byte layout is explicit
+// and host-endianness-independent. The reader is fail-soft: reads past the
+// end set a sticky failure flag and return zeros instead of invoking UB, so
+// deserializers validate once with ok() instead of checking every field —
+// exactly what parsing possibly-corrupt crash artifacts requires.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace fast::util {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed (u32) byte blob.
+  void blob(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    bytes(data);
+  }
+
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  std::uint8_t u8() noexcept {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() noexcept {
+    if (!ensure(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() noexcept {
+    if (!ensure(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() noexcept { return std::bit_cast<double>(u64()); }
+
+  /// Borrows `n` bytes from the stream (valid while the source buffer
+  /// lives). Returns an empty span and fails when fewer remain.
+  std::span<const std::uint8_t> bytes(std::size_t n) noexcept {
+    if (!ensure(n)) return {};
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Reads a u32-length-prefixed blob written by ByteWriter::blob.
+  std::span<const std::uint8_t> blob() noexcept {
+    const std::uint32_t n = u32();
+    return bytes(n);
+  }
+
+  bool ok() const noexcept { return !failed_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  /// True when the stream was fully consumed without a failed read.
+  bool exhausted() const noexcept { return ok() && remaining() == 0; }
+
+ private:
+  bool ensure(std::size_t n) noexcept {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace fast::util

@@ -1,0 +1,35 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace fast::util {
+
+namespace {
+
+/// Reflected CRC-32 table for the IEEE polynomial 0xEDB88320, built once at
+/// static-init time (constexpr, so it lands in .rodata).
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data) noexcept {
+  for (const std::uint8_t byte : data) {
+    state = kTable[(state ^ byte) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace fast::util

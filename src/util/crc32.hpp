@@ -1,0 +1,33 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for framing persisted records.
+//
+// Every snapshot section and WAL record carries a CRC so that recovery can
+// distinguish "cleanly written" from "torn by a crash" without trusting file
+// lengths: a record is accepted only when its checksum matches, and the
+// first mismatch marks the truncation point of a torn tail.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fast::util {
+
+/// Incrementally extends a CRC-32 over `data`. Start from `kCrc32Init` and
+/// finish with crc32_finish(); chaining update calls over consecutive chunks
+/// yields the same value as one call over the concatenation.
+inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data) noexcept;
+
+inline std::uint32_t crc32_finish(std::uint32_t state) noexcept {
+  return state ^ 0xffffffffu;
+}
+
+/// One-shot CRC-32 of `data` (the standard "CRC-32" value, e.g.
+/// crc32("123456789") == 0xcbf43926).
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  return crc32_finish(crc32_update(kCrc32Init, data));
+}
+
+}  // namespace fast::util

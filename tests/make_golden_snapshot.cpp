@@ -1,0 +1,38 @@
+// Regenerates the golden-v1 persistence fixture (tests/data/golden_v1).
+//
+//   make_golden_snapshot <output-dir>
+//
+// Run this ONLY for a deliberate snapshot/WAL format-version bump, and
+// update the golden assertions in recovery_test.cpp alongside it.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "golden_fixture.hpp"
+#include "test_helpers.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  std::filesystem::remove_all(dir);
+
+  fast::core::DurabilityOptions opts;
+  opts.dir = dir;
+  auto opened = fast::core::FastIndex::open_or_recover(
+      fast::test::golden_config(), fast::test::fake_pca(), opts);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().to_string().c_str());
+    return 1;
+  }
+  fast::core::FastIndex index = std::move(opened).value();
+  fast::test::apply_golden_workload(index);
+  std::printf("golden fixture written to %s (last_seq=%llu, size=%zu)\n",
+              dir.c_str(),
+              static_cast<unsigned long long>(index.last_seq()),
+              index.size());
+  return 0;
+}

@@ -1,10 +1,14 @@
 // Parameterized property sweeps across the hashing and storage invariants
 // (TEST_P): these complement the per-module unit tests with broader
 // configuration coverage.
+#include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "core/fast_index.hpp"
 #include "hash/cuckoo_table.hpp"
 #include "hash/flat_cuckoo_table.hpp"
 #include "hash/minhash.hpp"
@@ -12,6 +16,7 @@
 #include "hash/sparse_signature.hpp"
 #include "mobile/chunker.hpp"
 #include "sim/cluster_model.hpp"
+#include "test_helpers.hpp"
 #include "util/rng.hpp"
 
 namespace fast {
@@ -219,6 +224,127 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ChunkerSweepTest,
                                            ChunkParams{2048, 8192, 65536},
                                            ChunkParams{4096, 16384, 32768},
                                            ChunkParams{1024, 4096, 4096}));
+
+// ---------- Durable index: snapshot/recover round-trip property --------
+//
+// For any mutation history (random inserts and erases) and either CHS
+// backend, snapshot + recover must reproduce the index BIT-EXACTLY: the
+// same signatures, the same correlation groups, and identical ranked
+// results for arbitrary queries.
+
+struct RecoveryRoundTripParams {
+  std::uint64_t seed;
+  core::FastConfig::ChsBackend backend;
+};
+
+class RecoveryRoundTripTest
+    : public ::testing::TestWithParam<RecoveryRoundTripParams> {};
+
+hash::SparseSignature random_signature(util::Rng& rng,
+                                       std::size_t bloom_bits) {
+  std::vector<std::uint32_t> bits;
+  std::uint32_t cur = 0;
+  const std::size_t popcount = 48 + rng.uniform_u64(96);
+  for (std::size_t i = 0; i < popcount; ++i) {
+    cur += 1 + static_cast<std::uint32_t>(
+                   rng.uniform_u64(bloom_bits / (popcount + 1)));
+    if (cur >= bloom_bits) break;
+    bits.push_back(cur);
+  }
+  return hash::SparseSignature(bits, bloom_bits);
+}
+
+TEST_P(RecoveryRoundTripTest, SnapshotRecoverIsBitExact) {
+  const auto [seed, backend] = GetParam();
+  core::FastConfig cfg;
+  cfg.cuckoo.capacity = 256;
+  cfg.chs_backend = backend;
+  const vision::PcaModel pca = test::fake_pca();
+
+  const std::string dir = ::testing::TempDir() + "fast_property_rt_" +
+                          std::to_string(seed) + "_" +
+                          std::to_string(static_cast<int>(backend));
+  std::filesystem::remove_all(dir);
+
+  core::DurabilityOptions opts;
+  opts.dir = dir;
+  auto opened = core::FastIndex::open_or_recover(cfg, pca, opts);
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  core::FastIndex live = std::move(opened).value();
+
+  // Random mutation history: mostly inserts, with erases (and occasional
+  // re-inserts of erased ids) mixed in. A mid-history snapshot exercises
+  // the snapshot-plus-tail recovery path.
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> present;
+  const std::size_t mutations = 60;
+  for (std::size_t i = 0; i < mutations; ++i) {
+    if (!present.empty() && rng.uniform_u64(100) < 25) {
+      const std::size_t victim = rng.uniform_u64(present.size());
+      ASSERT_TRUE(live.erase(present[victim]));
+      present.erase(present.begin() +
+                    static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const std::uint64_t id = rng.uniform_u64(80);
+      if (live.signature_of(id) != nullptr) {
+        ASSERT_TRUE(live.erase(id));
+        present.erase(std::find(present.begin(), present.end(), id));
+      }
+      live.insert_signature(id, random_signature(rng, cfg.bloom_bits));
+      present.push_back(id);
+    }
+    if (i == mutations / 2) {
+      ASSERT_TRUE(live.save_snapshot().ok());
+    }
+  }
+
+  core::RecoveryStats stats;
+  auto recovered = core::FastIndex::open_or_recover(cfg, pca, opts, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  EXPECT_TRUE(stats.loaded_snapshot);
+  EXPECT_EQ(recovered.value().last_seq(), live.last_seq());
+
+  ASSERT_EQ(recovered.value().size(), live.size());
+  ASSERT_EQ(recovered.value().group_count(), live.group_count());
+  for (std::uint64_t id = 0; id < 80; ++id) {
+    const hash::SparseSignature* a = live.signature_of(id);
+    const hash::SparseSignature* b = recovered.value().signature_of(id);
+    ASSERT_EQ(a == nullptr, b == nullptr) << "id " << id;
+    if (a != nullptr) {
+      EXPECT_EQ(a->set_bits(), b->set_bits()) << "id " << id;
+    }
+  }
+  for (std::size_t g = 0; g < live.group_count(); ++g) {
+    const auto ga = live.group_members(g);
+    const auto gb = recovered.value().group_members(g);
+    ASSERT_EQ(ga.size(), gb.size()) << "group " << g;
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      EXPECT_EQ(ga[i], gb[i]) << "group " << g << " member " << i;
+    }
+  }
+  for (std::uint64_t q = 0; q < 8; ++q) {
+    const auto sig = random_signature(rng, cfg.bloom_bits);
+    const core::QueryResult ra = live.query_signature(sig, 10);
+    const core::QueryResult rb = recovered.value().query_signature(sig, 10);
+    ASSERT_EQ(ra.hits.size(), rb.hits.size()) << "query " << q;
+    for (std::size_t i = 0; i < ra.hits.size(); ++i) {
+      EXPECT_EQ(ra.hits[i].id, rb.hits[i].id) << "query " << q;
+      EXPECT_EQ(ra.hits[i].score, rb.hits[i].score) << "query " << q;
+    }
+    EXPECT_EQ(ra.candidates, rb.candidates) << "query " << q;
+    EXPECT_EQ(ra.bucket_probes, rb.bucket_probes) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecoveryRoundTripTest,
+    ::testing::Values(
+        RecoveryRoundTripParams{1, core::FastConfig::ChsBackend::kFlatCuckoo},
+        RecoveryRoundTripParams{2, core::FastConfig::ChsBackend::kFlatCuckoo},
+        RecoveryRoundTripParams{3, core::FastConfig::ChsBackend::kFlatCuckoo},
+        RecoveryRoundTripParams{4, core::FastConfig::ChsBackend::kChained},
+        RecoveryRoundTripParams{5, core::FastConfig::ChsBackend::kChained},
+        RecoveryRoundTripParams{6, core::FastConfig::ChsBackend::kChained}));
 
 // ---------- Cluster model: LPT bound property --------------------------
 

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/codec.hpp"
+#include "util/crc32.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -374,6 +376,90 @@ TEST(ThreadPool, ManyTasksComplete) {
   }
   for (auto& f : futures) f.get();
   EXPECT_EQ(sum.load(), 200);
+}
+
+// ---------- CRC-32 ----------
+
+std::vector<std::uint8_t> ascii(const char* s) {
+  std::vector<std::uint8_t> out;
+  for (; *s != '\0'; ++s) out.push_back(static_cast<std::uint8_t>(*s));
+  return out;
+}
+
+TEST(Crc32, KnownAnswers) {
+  // The standard check value, plus vectors cross-checked against zlib.
+  EXPECT_EQ(crc32(ascii("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32(ascii("")), 0x00000000u);
+  EXPECT_EQ(crc32(ascii("a")), 0xe8b7be43u);
+  EXPECT_EQ(crc32(ascii("The quick brown fox jumps over the lazy dog")),
+            0x414fa339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = ascii("FAST snapshot + WAL framing");
+  std::uint32_t state = kCrc32Init;
+  for (std::size_t i = 0; i < data.size(); i += 5) {
+    const std::size_t n = std::min<std::size_t>(5, data.size() - i);
+    state = crc32_update(state, std::span(data).subspan(i, n));
+  }
+  EXPECT_EQ(crc32_finish(state), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  auto data = ascii("payload payload payload");
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t byte : {std::size_t{0}, data.size() / 2, data.size() - 1}) {
+    data[byte] ^= 0x01;
+    EXPECT_NE(crc32(data), clean) << "flip at byte " << byte;
+    data[byte] ^= 0x01;
+  }
+}
+
+// ---------- Byte codec ----------
+
+TEST(Codec, RoundTripAllPrimitives) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-1234.5625);
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  w.blob(payload);
+  const std::vector<std::uint8_t> bytes = std::move(w).take();
+
+  ByteReader r{std::span(bytes)};
+  EXPECT_EQ(r.u8(), 0xabu);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.f64(), -1234.5625);
+  const auto blob = r.blob();
+  EXPECT_TRUE(std::equal(blob.begin(), blob.end(), payload.begin(),
+                         payload.end()));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304u);
+  EXPECT_EQ(w.data(), (std::vector<std::uint8_t>{4, 3, 2, 1}));
+}
+
+TEST(Codec, ShortReadSetsStickyFailure) {
+  const std::vector<std::uint8_t> bytes = {1, 2};
+  ByteReader r{std::span(bytes)};
+  EXPECT_EQ(r.u64(), 0u);  // fails: only 2 bytes remain
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // sticky: later reads keep failing
+  EXPECT_FALSE(r.exhausted());
+}
+
+TEST(Codec, TruncatedBlobFails) {
+  ByteWriter w;
+  w.u32(100);  // claims a 100-byte blob that is not there
+  const std::vector<std::uint8_t> bytes = std::move(w).take();
+  ByteReader r{std::span(bytes)};
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_FALSE(r.ok());
 }
 
 }  // namespace
