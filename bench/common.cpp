@@ -4,26 +4,43 @@
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <string_view>
 
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 #include "workload/scene_generator.hpp"
 
 namespace fast::bench {
 
 BenchScale BenchScale::from_args(int argc, char** argv) {
   BenchScale scale;
-  if (argc > 1 && std::atoi(argv[1]) > 0) {
-    scale.wuhan_images = static_cast<std::size_t>(std::atoi(argv[1]));
+  // Environment first (FAST_TRACE et al.), then explicit flags on top, so
+  // `--trace` wins over an exported FAST_TRACE=0.01.
+  util::configure_global_tracer_from_env();
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      util::TraceOptions opts = util::Tracer::global().options();
+      opts.sample_rate =
+          arg == "--trace" ? 1.0 : std::atof(arg.data() + sizeof("--trace=") - 1);
+      util::Tracer::global().configure(opts);
+    } else {
+      positional.push_back(argv[i]);
+    }
   }
-  if (argc > 2 && std::atoi(argv[2]) > 0) {
-    scale.shanghai_images = static_cast<std::size_t>(std::atoi(argv[2]));
+  if (positional.size() > 0 && std::atoi(positional[0]) > 0) {
+    scale.wuhan_images = static_cast<std::size_t>(std::atoi(positional[0]));
+  }
+  if (positional.size() > 1 && std::atoi(positional[1]) > 0) {
+    scale.shanghai_images = static_cast<std::size_t>(std::atoi(positional[1]));
   } else {
     // Preserve Table II's 21:39 ratio when only Wuhan is overridden.
     scale.shanghai_images = scale.wuhan_images * 39 / 21;
   }
-  if (argc > 3 && std::atoi(argv[3]) > 0) {
-    scale.queries = static_cast<std::size_t>(std::atoi(argv[3]));
+  if (positional.size() > 2 && std::atoi(positional[2]) > 0) {
+    scale.queries = static_cast<std::size_t>(std::atoi(positional[2]));
   }
   return scale;
 }
@@ -120,6 +137,40 @@ void dump_metrics(const util::MetricsRegistry& registry,
     std::fprintf(stderr, "metrics dump failed for %s: %s\n", name.c_str(),
                  e.what());
   }
+}
+
+void dump_trace(const std::string& name) {
+  util::Tracer& tracer = util::Tracer::global();
+  const util::Tracer::Stats stats = tracer.stats();
+  if (!tracer.enabled() && stats.spans_recorded == 0) return;
+  const char* trace_dir = std::getenv("FAST_TRACE_DIR");
+  const char* metrics_dir = std::getenv("FAST_METRICS_DIR");
+  const std::string dir = trace_dir != nullptr     ? trace_dir
+                          : metrics_dir != nullptr ? metrics_dir
+                                                   : "results";
+  try {
+    std::filesystem::create_directories(dir);
+    const std::string trace_path = dir + "/" + name + ".trace.json";
+    const std::string profiles_path = dir + "/" + name + ".query_profiles.json";
+    tracer.write_chrome_trace(trace_path);
+    tracer.write_profiles(profiles_path);
+    std::printf(
+        "trace: %s (%llu spans, %llu/%llu requests sampled, %llu slow, "
+        "%llu dropped)\n",
+        trace_path.c_str(),
+        static_cast<unsigned long long>(stats.spans_recorded),
+        static_cast<unsigned long long>(stats.requests_sampled),
+        static_cast<unsigned long long>(stats.requests_seen),
+        static_cast<unsigned long long>(stats.slow_queries),
+        static_cast<unsigned long long>(stats.spans_dropped));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace dump failed for %s: %s\n", name.c_str(),
+                 e.what());
+  }
+  // Per-configuration scoping: the tracer is process-global, so without this
+  // reset a bench's second configuration would re-export (and mis-attribute)
+  // every span the first one recorded.
+  tracer.reset();
 }
 
 bool contains_id(const std::vector<core::ScoredId>& hits,

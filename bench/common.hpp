@@ -24,6 +24,12 @@ namespace fast::bench {
 /// Scaling knobs, overridable from the command line: argv[1] = wuhan image
 /// count, argv[2] = shanghai image count (keeping Table II's 21:39 ratio by
 /// default), argv[3] = queries per experiment point.
+///
+/// from_args also consumes tracing flags before positional parsing:
+/// `--trace` (sample every request) or `--trace=RATE` (e.g. --trace=0.01)
+/// configure the global tracer, as do the FAST_TRACE* environment variables
+/// (see util/trace.hpp); benches then emit results/<name>.trace.json via
+/// dump_trace().
 struct BenchScale {
   std::size_t wuhan_images = 160;
   std::size_t shanghai_images = 300;
@@ -80,6 +86,14 @@ void print_dataset_banner(const workload::Dataset& dataset);
 /// next to its tables. Failures are reported, not fatal.
 void dump_metrics(const util::MetricsRegistry& registry,
                   const std::string& name);
+
+/// Exports the global tracer's spans and query profiles for one bench
+/// configuration — results/<name>.trace.json (Chrome trace_event format)
+/// and results/<name>.query_profiles.json (FAST_TRACE_DIR, then
+/// FAST_METRICS_DIR, override the directory) — then reset()s the tracer so
+/// the next configuration in the same process starts from a clean buffer.
+/// No-op (and no output) when tracing never recorded anything.
+void dump_trace(const std::string& name);
 
 /// True if `hits` contains `wanted` among its ids.
 bool contains_id(const std::vector<core::ScoredId>& hits, std::uint64_t wanted);

@@ -106,6 +106,9 @@ void run_dataset(const workload::DatasetSpec& spec, std::size_t queries,
 
   // Per-stage counters/histograms behind the FAST column (FE/SM, SA, CHS).
   dump_metrics(schemes.fast->metrics(), "fig4_" + env.dataset.spec.name);
+  // Per-request spans for the same runs (--trace / FAST_TRACE); exported and
+  // reset per dataset so the two trace artifacts do not mix.
+  dump_trace("fig4_" + env.dataset.spec.name);
 }
 
 }  // namespace

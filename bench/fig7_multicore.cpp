@@ -69,6 +69,7 @@ void run_dataset(const workload::DatasetSpec& spec, std::size_t queries) {
                env.dataset.spec.name + ")");
 
   dump_metrics(index->metrics(), "fig7_" + env.dataset.spec.name);
+  dump_trace("fig7_" + env.dataset.spec.name);
 }
 
 }  // namespace

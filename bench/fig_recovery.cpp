@@ -23,6 +23,7 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace fast::bench {
 namespace {
@@ -116,6 +117,9 @@ void run_ingest(std::size_t records) {
                    util::fmt_duration(secs),
                    util::fmt_double(static_cast<double>(records) / secs, 0)});
     std::filesystem::remove_all(dir);
+    // One artifact per fsync cadence: wal.append/wal.sync spans from one
+    // configuration must not leak into the next one's trace.
+    dump_trace("fig_recovery_ingest_sync" + std::to_string(sync_every));
   }
   table.print("Recovery bench — durable ingest vs. wal_sync_every");
 }
@@ -183,6 +187,7 @@ void run_recovery(const std::vector<std::size_t>& sizes) {
          util::fmt_double(static_cast<double>(n + tail) / replay_secs, 0)});
     std::filesystem::remove_all(wal_dir);
     std::filesystem::remove_all(snap_dir);
+    dump_trace("fig_recovery_n" + std::to_string(n));
   }
   table.print(
       "Recovery bench — snapshot size/write and restart cost vs. records");
@@ -193,10 +198,27 @@ void run_recovery(const std::vector<std::size_t>& sizes) {
 
 int main(int argc, char** argv) {
   std::printf("== bench fig_recovery: snapshot + WAL restart cost ==\n");
+  fast::util::configure_global_tracer_from_env();
   std::size_t scale = 1;
   std::size_t ingest_records = 2000;
-  if (argc > 1) scale = static_cast<std::size_t>(std::atoi(argv[1]));
-  if (argc > 2) ingest_records = static_cast<std::size_t>(std::atoi(argv[2]));
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      fast::util::TraceOptions opts = fast::util::Tracer::global().options();
+      opts.sample_rate =
+          arg == "--trace" ? 1.0 : std::atof(arg.c_str() + sizeof("--trace=") - 1);
+      fast::util::Tracer::global().configure(opts);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() > 0) {
+    scale = static_cast<std::size_t>(std::atoi(positional[0]));
+  }
+  if (positional.size() > 1) {
+    ingest_records = static_cast<std::size_t>(std::atoi(positional[1]));
+  }
   fast::bench::run_ingest(ingest_records);
   fast::bench::run_recovery(
       {1000 * scale, 4000 * scale, 16000 * scale});

@@ -25,6 +25,7 @@
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 #include "vision/pca_sift.hpp"
 #include "workload/query_gen.hpp"
 #include "workload/scene_generator.hpp"
@@ -92,12 +93,50 @@ void dump_metrics(const fast::core::FastIndex& index, const std::string& tag) {
   }
 }
 
+// Per-variant trace export: the tracer is process-global, so each variant
+// writes its spans and then reset()s — otherwise variant 2's trace would
+// contain every span variant 1 recorded.
+void dump_trace(const std::string& tag) {
+  fast::util::Tracer& tracer = fast::util::Tracer::global();
+  const auto stats = tracer.stats();
+  if (!tracer.enabled() && stats.spans_recorded == 0) return;
+  const char* trace_dir = std::getenv("FAST_TRACE_DIR");
+  const char* metrics_dir = std::getenv("FAST_METRICS_DIR");
+  const std::string dir = trace_dir != nullptr     ? trace_dir
+                          : metrics_dir != nullptr ? metrics_dir
+                                                   : "results";
+  try {
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/batch_pipeline_" + tag + ".trace.json";
+    tracer.write_chrome_trace(path);
+    tracer.write_profiles(dir + "/batch_pipeline_" + tag +
+                          ".query_profiles.json");
+    std::printf("trace: %s (%llu spans)\n", path.c_str(),
+                static_cast<unsigned long long>(stats.spans_recorded));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace dump failed for %s: %s\n", tag.c_str(),
+                 e.what());
+  }
+  tracer.reset();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace fast;
-  const std::size_t num_images =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 120;
+  util::configure_global_tracer_from_env();
+  std::size_t num_images = 120;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      util::TraceOptions opts = util::Tracer::global().options();
+      opts.sample_rate =
+          arg == "--trace" ? 1.0 : std::atof(arg.c_str() + sizeof("--trace=") - 1);
+      util::Tracer::global().configure(opts);
+    } else if (std::atoi(argv[i]) > 0) {
+      num_images = static_cast<std::size_t>(std::atoi(argv[i]));
+    }
+  }
 
   workload::DatasetSpec spec = workload::DatasetSpec::wuhan(num_images);
   const workload::Dataset dataset = workload::SceneGenerator(spec).generate();
@@ -122,6 +161,7 @@ int main(int argc, char** argv) {
     core::FastIndex index(core::FastConfig{}, pca);
     add("minhash + flat-cuckoo", run(index, dataset, queries, pool));
     dump_metrics(index, "flat_cuckoo");
+    dump_trace("flat_cuckoo");
   }
 
   // 2. Backends picked from config alone — no code changes.
@@ -131,6 +171,7 @@ int main(int argc, char** argv) {
     core::FastIndex index(cfg, pca);
     add("minhash + chained", run(index, dataset, queries, pool));
     dump_metrics(index, "chained");
+    dump_trace("chained");
   }
 
   // 3. Explicit stage injection: swap in one custom stage (a chained
@@ -143,6 +184,7 @@ int main(int argc, char** argv) {
     core::FastIndex index(cfg, core::pipeline::make_summarizer(cfg, pca),
                           std::move(aggregator), std::move(store));
     add("minhash + injected chained", run(index, dataset, queries, pool));
+    dump_trace("injected_chained");
   }
 
   table.print("batch pipeline variants over " +

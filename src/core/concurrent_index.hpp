@@ -17,6 +17,7 @@
 #include "core/fast_index.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace fast::core {
 
@@ -63,10 +64,10 @@ class ConcurrentFastIndex {
   /// Charges the same frontend cost as FastIndex::insert (the original
   /// concurrent path silently dropped the FE + Bloom-hash charge).
   InsertResult insert(std::uint64_t id, const img::Image& image) {
+    util::TraceSpan span("concurrent.insert");
     const hash::SparseSignature sig = index_.summarize(image);
     const sim::SimClock frontend = index_.frontend_insert_cost();
-    std::unique_lock lock(mutex_);
-    writer_locks_->add();
+    std::unique_lock lock = writer_lock();
     InsertResult result = index_.insert_signature(id, sig);
     result.cost.merge(frontend);
     return result;
@@ -74,8 +75,8 @@ class ConcurrentFastIndex {
 
   InsertResult insert_signature(std::uint64_t id,
                                 const hash::SparseSignature& signature) {
-    std::unique_lock lock(mutex_);
-    writer_locks_->add();
+    util::TraceSpan span("concurrent.insert");
+    std::unique_lock lock = writer_lock();
     return index_.insert_signature(id, signature);
   }
 
@@ -84,6 +85,8 @@ class ConcurrentFastIndex {
   /// one lock round-trip per batch instead of per image. Per-item costs
   /// match insert()'s accounting.
   std::vector<InsertResult> insert_batch(std::span<const BatchImage> items) {
+    util::TraceSpan span("concurrent.insert_batch");
+    span.attr("items", static_cast<double>(items.size()));
     insert_batch_size_->observe(static_cast<double>(items.size()));
     std::vector<const img::Image*> images(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) images[i] = items[i].image;
@@ -93,8 +96,7 @@ class ConcurrentFastIndex {
     });
     const sim::SimClock frontend = index_.frontend_insert_cost();
 
-    std::unique_lock lock(mutex_);
-    writer_locks_->add();
+    std::unique_lock lock = writer_lock();
     std::vector<InsertResult> results;
     results.reserve(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) {
@@ -106,24 +108,24 @@ class ConcurrentFastIndex {
   }
 
   bool erase(std::uint64_t id) {
-    std::unique_lock lock(mutex_);
-    writer_locks_->add();
+    util::TraceSpan span("concurrent.erase");
+    std::unique_lock lock = writer_lock();
     return index_.erase(id);
   }
 
   /// Summarization outside the lock, probe/rank under it; identical cost
   /// accounting to FastIndex::query (FE + Bloom hash ops + FE task chunks).
   QueryResult query(const img::Image& image, std::size_t k) const {
+    util::TraceSpan span("concurrent.query");
     const hash::SparseSignature sig = index_.summarize(image);
-    std::shared_lock lock(mutex_);
-    reader_locks_->add();
+    std::shared_lock lock = reader_lock();
     return index_.query_summarized(sig, k);
   }
 
   QueryResult query_signature(const hash::SparseSignature& signature,
                               std::size_t k) const {
-    std::shared_lock lock(mutex_);
-    reader_locks_->add();
+    util::TraceSpan span("concurrent.query");
+    std::shared_lock lock = reader_lock();
     return index_.query_signature(signature, k);
   }
 
@@ -131,14 +133,15 @@ class ConcurrentFastIndex {
   /// work under one shared (reader) lock acquisition.
   std::vector<QueryResult> query_batch(
       std::span<const img::Image* const> images, std::size_t k) const {
+    util::TraceSpan span("concurrent.query_batch");
+    span.attr("items", static_cast<double>(images.size()));
     query_batch_size_->observe(static_cast<double>(images.size()));
     std::vector<hash::SparseSignature> sigs(images.size());
     pool().parallel_for(images.size(), [&](std::size_t i) {
       sigs[i] = index_.summarize(*images[i]);
     });
 
-    std::shared_lock lock(mutex_);
-    reader_locks_->add();
+    std::shared_lock lock = reader_lock();
     std::vector<QueryResult> results;
     results.reserve(images.size());
     for (const auto& sig : sigs) {
@@ -175,8 +178,7 @@ class ConcurrentFastIndex {
   /// Snapshot + WAL rotation under the writer lock: the image captures a
   /// point between mutations, and no append can race the rotation.
   storage::Status save_snapshot() {
-    std::unique_lock lock(mutex_);
-    writer_locks_->add();
+    std::unique_lock lock = writer_lock();
     return index_.save_snapshot();
   }
 
@@ -184,6 +186,30 @@ class ConcurrentFastIndex {
   const FastIndex& unsafe_inner() const { return index_; }
 
  private:
+  /// Exclusive acquisition with the wait itself traced: under writer/reader
+  /// contention the "lock.writer_wait" span is exactly the time this thread
+  /// spent blocked, which is what the trace viewer needs to show convoy
+  /// effects.
+  std::unique_lock<std::shared_mutex> writer_lock() const {
+    std::unique_lock lock(mutex_, std::defer_lock);
+    {
+      util::TraceSpan wait("lock.writer_wait");
+      lock.lock();
+    }
+    writer_locks_->add();
+    return lock;
+  }
+
+  std::shared_lock<std::shared_mutex> reader_lock() const {
+    std::shared_lock lock(mutex_, std::defer_lock);
+    {
+      util::TraceSpan wait("lock.reader_wait");
+      lock.lock();
+    }
+    reader_locks_->add();
+    return lock;
+  }
+
   util::ThreadPool& pool() const {
     std::call_once(pool_once_, [this] {
       pool_ = std::make_unique<util::ThreadPool>(batch_threads_);

@@ -14,6 +14,7 @@
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace fast::core {
 
@@ -96,6 +97,7 @@ void FastIndex::publish_storage_gauges() {
 }
 
 hash::SparseSignature FastIndex::summarize(const img::Image& image) const {
+  util::TraceSpan span("fe_sm.summarize");
   util::WallTimer timer;
   hash::SparseSignature sig = summarizer_->summarize(image);
   m_.fe_sm_images->add();
@@ -154,6 +156,7 @@ void FastIndex::calibrate_scale(
 }
 
 InsertResult FastIndex::insert(std::uint64_t id, const img::Image& image) {
+  util::TraceSpan span("insert.image");
   const hash::SparseSignature sig = summarize(image);
   InsertResult stored = insert_signature(id, sig);
   stored.cost.merge(frontend_insert_cost());
@@ -162,11 +165,14 @@ InsertResult FastIndex::insert(std::uint64_t id, const img::Image& image) {
 
 InsertResult FastIndex::insert_signature(
     std::uint64_t id, const hash::SparseSignature& signature) {
+  util::TraceSpan span("insert");
   // Log before apply: if the record cannot be made durable (wal_log
   // throws), the in-memory state is untouched and recovery sees a
   // consistent prefix of acknowledged mutations.
   if (durable()) wal_log(storage::kWalRecordInsert, id, signature.encode());
-  return apply_insert(id, signature);
+  InsertResult result = apply_insert(id, signature);
+  span.attr("rehash_events", static_cast<double>(result.rehashes));
+  return result;
 }
 
 InsertResult FastIndex::apply_insert(
@@ -192,31 +198,43 @@ InsertResult FastIndex::apply_insert(
   }
 
   util::WallTimer keys_timer;
-  const std::vector<std::uint64_t> keys =
-      aggregator_->keys(signature, nullptr);
+  std::vector<std::uint64_t> keys;
+  {
+    util::TraceSpan keys_span("sa.keys");
+    keys = aggregator_->keys(signature, nullptr);
+    keys_span.attr("keys", static_cast<double>(keys.size()));
+  }
   m_.sa_keys_wall_s->observe(keys_timer.elapsed_seconds());
   m_.sa_keys_derived->add(keys.size());
   m_.sa_insert_hash_ops->add(sa_ops);
-  for (std::size_t t = 0; t < keys.size(); ++t) {
-    std::size_t lookup_probes = 0;
-    const auto group = store_->find(t, keys[t], &lookup_probes);
-    result.cost.charge_ram(config_.cost.ram_access_s, lookup_probes);
-    m_.chs_slot_reads->add(lookup_probes);
-    if (group) {
-      groups_[*group].push_back(id);
-      m_.chs_group_hits->add();
-    } else {
-      const std::uint64_t group_id = groups_.size();
-      groups_.emplace_back(std::vector<std::uint64_t>{id});
-      const std::size_t events = store_->place(t, keys[t], group_id);
-      result.rehashes += events;
-      rehashes_ += events;
-      if (events > 0) result.ok = false;
-      result.cost.charge_ram(config_.cost.ram_access_s,
-                             store_->lookup_cost_probes(t));
-      m_.chs_group_creates->add();
-      m_.chs_rehash_events->add(events);
+  {
+    util::TraceSpan place_span("chs.place");
+    std::size_t slot_reads = 0;
+    for (std::size_t t = 0; t < keys.size(); ++t) {
+      std::size_t lookup_probes = 0;
+      const auto group = store_->find(t, keys[t], &lookup_probes);
+      result.cost.charge_ram(config_.cost.ram_access_s, lookup_probes);
+      slot_reads += lookup_probes;
+      m_.chs_slot_reads->add(lookup_probes);
+      if (group) {
+        groups_[*group].push_back(id);
+        m_.chs_group_hits->add();
+      } else {
+        const std::uint64_t group_id = groups_.size();
+        groups_.emplace_back(std::vector<std::uint64_t>{id});
+        const std::size_t events = store_->place(t, keys[t], group_id);
+        result.rehashes += events;
+        rehashes_ += events;
+        if (events > 0) result.ok = false;
+        result.cost.charge_ram(config_.cost.ram_access_s,
+                               store_->lookup_cost_probes(t));
+        m_.chs_group_creates->add();
+        m_.chs_rehash_events->add(events);
+      }
     }
+    place_span.attr("tables", static_cast<double>(keys.size()));
+    place_span.attr("slot_reads", static_cast<double>(slot_reads));
+    place_span.attr("rehash_events", static_cast<double>(result.rehashes));
   }
   signatures_.emplace(id, signature);
   m_.inserts->add();
@@ -250,6 +268,8 @@ std::vector<InsertResult> FastIndex::insert_batch(
   const std::vector<hash::SparseSignature> sigs =
       summarize_batch(images, pool);
 
+  util::TraceSpan span("insert_batch.place");
+  span.attr("items", static_cast<double>(items.size()));
   std::vector<InsertResult> results;
   results.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -261,6 +281,7 @@ std::vector<InsertResult> FastIndex::insert_batch(
 }
 
 bool FastIndex::erase(std::uint64_t id) {
+  util::TraceSpan span("erase");
   // An unknown id is a no-op; logging it would bloat the WAL for nothing.
   if (signatures_.find(id) == signatures_.end()) return false;
   if (durable()) wal_log(storage::kWalRecordErase, id, {});
@@ -272,8 +293,12 @@ bool FastIndex::apply_erase(std::uint64_t id) {
   if (it == signatures_.end()) return false;
   m_.erases->add();
   util::WallTimer keys_timer;
-  const std::vector<std::uint64_t> keys =
-      aggregator_->keys(it->second, nullptr);
+  std::vector<std::uint64_t> keys;
+  {
+    util::TraceSpan keys_span("sa.keys");
+    keys = aggregator_->keys(it->second, nullptr);
+    keys_span.attr("keys", static_cast<double>(keys.size()));
+  }
   m_.sa_keys_wall_s->observe(keys_timer.elapsed_seconds());
   for (std::size_t t = 0; t < keys.size(); ++t) {
     if (const auto group = store_->find(t, keys[t])) {
@@ -507,6 +532,7 @@ storage::Status FastIndex::save_snapshot() {
     return storage::Status::error(storage::StatusCode::kIoError,
                                   "save_snapshot on a non-durable index");
   }
+  util::TraceSpan span("snapshot.save");
   util::WallTimer timer;
   const storage::SnapshotFile snapshot = build_snapshot();
   auto published = storage::write_snapshot(*env_, dir_, snapshot);
@@ -516,6 +542,7 @@ storage::Status FastIndex::save_snapshot() {
   for (const auto& section : snapshot.sections) {
     image_bytes += 12 + section.payload.size();
   }
+  span.attr("bytes", static_cast<double>(image_bytes + 12));
   m_.snapshot_bytes->set(static_cast<double>(image_bytes + 12));
   m_.snapshot_write_s->observe(timer.elapsed_seconds());
 
@@ -562,6 +589,7 @@ storage::Status FastIndex::save_snapshot() {
 storage::StatusOr<FastIndex> FastIndex::open_or_recover(
     FastConfig config, vision::PcaModel pca, const DurabilityOptions& opts,
     RecoveryStats* stats_out) {
+  util::TraceSpan span("recovery.open");
   RecoveryStats stats;
   storage::Env& env =
       opts.env != nullptr ? *opts.env : storage::Env::posix();
@@ -669,6 +697,9 @@ storage::StatusOr<FastIndex> FastIndex::open_or_recover(
   }
   index->m_.recovery_replayed_records->add(stats.replayed_records);
   index->m_.recovery_snapshots_skipped->add(stats.snapshots_skipped);
+  span.attr("replayed_records", static_cast<double>(stats.replayed_records));
+  span.attr("snapshots_skipped", static_cast<double>(stats.snapshots_skipped));
+  span.attr("segments_scanned", static_cast<double>(stats.segments_scanned));
 
   auto writer = storage::WalWriter::create(env, opts.dir,
                                            index->last_seq_ + 1);
@@ -682,6 +713,7 @@ storage::StatusOr<FastIndex> FastIndex::open_or_recover(
 }
 
 QueryResult FastIndex::query(const img::Image& image, std::size_t k) const {
+  util::TraceSpan span("query.image");
   return query_summarized(summarize(image), k);
 }
 
@@ -719,17 +751,31 @@ std::vector<QueryResult> FastIndex::query_batch(
 
 QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
                                        std::size_t k) const {
+  util::TraceSpan qspan("query");
+  util::Tracer& tracer = util::Tracer::global();
+  // Profiles are built whenever the tracer is enabled (not just when this
+  // request was sampled) so slow queries reach the ring at any sample rate.
+  const bool profiling = tracer.enabled();
+  const double profile_start_s = profiling ? tracer.now_s() : 0.0;
+  util::WallTimer wall_timer;
+
   QueryResult result;
   FAST_CHECK(signature.bit_count() == config_.bloom_bits);
 
   std::vector<std::vector<std::uint64_t>> probes;
-  util::WallTimer keys_timer;
-  const std::vector<std::uint64_t> keys =
-      aggregator_->keys(signature, &probes);
-  m_.sa_keys_wall_s->observe(keys_timer.elapsed_seconds());
-  m_.sa_keys_derived->add(keys.size());
+  std::vector<std::uint64_t> keys;
   std::size_t probe_keys = 0;
-  for (const auto& per_table : probes) probe_keys += per_table.size();
+  util::WallTimer keys_timer;
+  {
+    util::TraceSpan keys_span("sa.keys");
+    keys = aggregator_->keys(signature, &probes);
+    for (const auto& per_table : probes) probe_keys += per_table.size();
+    keys_span.attr("keys", static_cast<double>(keys.size()));
+    keys_span.attr("probe_keys", static_cast<double>(probe_keys));
+  }
+  const double keys_s = keys_timer.elapsed_seconds();
+  m_.sa_keys_wall_s->observe(keys_s);
+  m_.sa_keys_derived->add(keys.size());
   m_.sa_probe_keys->observe(static_cast<double>(probe_keys));
 
   // Collect candidates from the home bucket plus the probe buckets of
@@ -737,66 +783,98 @@ QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
   // the per-table work items are independent (Fig. 7 parallelism).
   std::unordered_set<std::uint64_t> candidate_ids;
   std::size_t slot_reads_total = 0;
-  const std::size_t per_table_ops =
-      aggregator_->query_hash_ops_per_table(signature);
-  const double hash_cost =
-      aggregator_->cost_domain() ==
-              pipeline::SemanticAggregator::CostDomain::kFlops
-          ? config_.cost.flop_s * static_cast<double>(per_table_ops)
-          : config_.cost.mix_op_s * static_cast<double>(per_table_ops);
-  for (std::size_t t = 0; t < keys.size(); ++t) {
-    std::size_t table_slot_reads = 0;
-    auto probe_bucket = [&](std::uint64_t key) {
-      ++result.bucket_probes;
-      std::size_t lookup_probes = 0;
-      if (const auto group = store_->find(t, key, &lookup_probes)) {
-        for (const std::uint64_t id : groups_[*group]) {
-          candidate_ids.insert(id);
+  {
+    util::TraceSpan probe_span("chs.probe");
+    const std::size_t per_table_ops =
+        aggregator_->query_hash_ops_per_table(signature);
+    const double hash_cost =
+        aggregator_->cost_domain() ==
+                pipeline::SemanticAggregator::CostDomain::kFlops
+            ? config_.cost.flop_s * static_cast<double>(per_table_ops)
+            : config_.cost.mix_op_s * static_cast<double>(per_table_ops);
+    for (std::size_t t = 0; t < keys.size(); ++t) {
+      std::size_t table_slot_reads = 0;
+      auto probe_bucket = [&](std::uint64_t key) {
+        ++result.bucket_probes;
+        std::size_t lookup_probes = 0;
+        if (const auto group = store_->find(t, key, &lookup_probes)) {
+          for (const std::uint64_t id : groups_[*group]) {
+            candidate_ids.insert(id);
+          }
         }
-      }
-      table_slot_reads += lookup_probes;
-    };
-    probe_bucket(keys[t]);
-    for (const std::uint64_t pk : probes[t]) probe_bucket(pk);
+        table_slot_reads += lookup_probes;
+      };
+      probe_bucket(keys[t]);
+      for (const std::uint64_t pk : probes[t]) probe_bucket(pk);
 
-    const double probe_cost =
-        config_.cost.ram_access_s * static_cast<double>(table_slot_reads);
-    result.cost.charge(hash_cost);
-    result.cost.charge_ram(config_.cost.ram_access_s, table_slot_reads);
-    result.parallel_tasks.push_back(hash_cost + probe_cost);
-    slot_reads_total += table_slot_reads;
+      const double probe_cost =
+          config_.cost.ram_access_s * static_cast<double>(table_slot_reads);
+      result.cost.charge(hash_cost);
+      result.cost.charge_ram(config_.cost.ram_access_s, table_slot_reads);
+      result.parallel_tasks.push_back(hash_cost + probe_cost);
+      slot_reads_total += table_slot_reads;
+    }
+    probe_span.attr("bucket_probes", static_cast<double>(result.bucket_probes));
+    probe_span.attr("slot_reads", static_cast<double>(slot_reads_total));
+    probe_span.attr("candidates", static_cast<double>(candidate_ids.size()));
   }
   m_.chs_slot_reads->add(slot_reads_total);
 
   // Rank candidates by signature similarity (sparse-domain Jaccard).
   result.candidates = candidate_ids.size();
-  result.hits.reserve(candidate_ids.size());
-  for (const std::uint64_t id : candidate_ids) {
-    const auto it = signatures_.find(id);
-    FAST_CHECK(it != signatures_.end());
-    result.hits.push_back(
-        ScoredId{id, hash::SparseSignature::jaccard(signature, it->second)});
-  }
-  // Ranking cost: one sparse-overlap merge per candidate. Each merge is an
-  // independent unit of parallel work (Fig. 7).
-  result.cost.charge_ram(config_.cost.ram_access_s, candidate_ids.size());
-  for (std::size_t c = 0; c < candidate_ids.size(); ++c) {
-    result.parallel_tasks.push_back(config_.cost.ram_access_s);
-  }
+  {
+    util::TraceSpan rank_span("rank");
+    result.hits.reserve(candidate_ids.size());
+    for (const std::uint64_t id : candidate_ids) {
+      const auto it = signatures_.find(id);
+      FAST_CHECK(it != signatures_.end());
+      result.hits.push_back(
+          ScoredId{id, hash::SparseSignature::jaccard(signature, it->second)});
+    }
+    // Ranking cost: one sparse-overlap merge per candidate. Each merge is an
+    // independent unit of parallel work (Fig. 7).
+    result.cost.charge_ram(config_.cost.ram_access_s, candidate_ids.size());
+    for (std::size_t c = 0; c < candidate_ids.size(); ++c) {
+      result.parallel_tasks.push_back(config_.cost.ram_access_s);
+    }
 
-  const std::size_t keep = std::min(k, result.hits.size());
-  std::partial_sort(result.hits.begin(),
-                    result.hits.begin() + static_cast<std::ptrdiff_t>(keep),
-                    result.hits.end(),
-                    [](const ScoredId& a, const ScoredId& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.id < b.id;  // deterministic tie-break
-                    });
-  result.hits.resize(keep);
+    const std::size_t keep = std::min(k, result.hits.size());
+    std::partial_sort(result.hits.begin(),
+                      result.hits.begin() + static_cast<std::ptrdiff_t>(keep),
+                      result.hits.end(),
+                      [](const ScoredId& a, const ScoredId& b) {
+                        if (a.score != b.score) return a.score > b.score;
+                        return a.id < b.id;  // deterministic tie-break
+                      });
+    result.hits.resize(keep);
+    rank_span.attr("candidates", static_cast<double>(result.candidates));
+    rank_span.attr("hits", static_cast<double>(result.hits.size()));
+  }
   m_.queries->add();
   m_.chs_bucket_probes->observe(static_cast<double>(result.bucket_probes));
   m_.chs_candidates->observe(static_cast<double>(result.candidates));
   m_.query_sim_s->observe(result.cost.elapsed_s());
+
+  qspan.attr("k", static_cast<double>(k));
+  qspan.attr("hits", static_cast<double>(result.hits.size()));
+  qspan.attr("candidates", static_cast<double>(result.candidates));
+  qspan.attr("bucket_probes", static_cast<double>(result.bucket_probes));
+  if (profiling) {
+    util::QueryProfile profile;
+    profile.request_id = qspan.request_id();
+    profile.sampled = qspan.active();
+    profile.start_s = profile_start_s;
+    profile.wall_s = wall_timer.elapsed_seconds();
+    profile.sa_keys_s = keys_s;
+    profile.probe_rank_s = profile.wall_s - keys_s;
+    profile.k = k;
+    profile.hits = result.hits.size();
+    profile.candidates = result.candidates;
+    profile.bucket_probes = result.bucket_probes;
+    profile.probe_keys = probe_keys;
+    profile.slot_reads = slot_reads_total;
+    tracer.record_query(profile);
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace fast::core {
 
@@ -54,6 +55,8 @@ void QueryEngine::finish_report(BatchReport& report,
 BatchReport QueryEngine::run_batch(
     std::span<const hash::SparseSignature> queries,
     const BatchOptions& options) {
+  util::TraceSpan span("engine.batch");
+  span.attr("queries", static_cast<double>(queries.size()));
   BatchReport report;
   report.results.resize(queries.size());
 
@@ -69,6 +72,8 @@ BatchReport QueryEngine::run_batch(
 
 BatchReport QueryEngine::run_image_batch(
     std::span<const img::Image* const> images, const BatchOptions& options) {
+  util::TraceSpan span("engine.batch");
+  span.attr("queries", static_cast<double>(images.size()));
   BatchReport report;
 
   util::WallTimer timer;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/trace.hpp"
 
 namespace fast::core {
 
@@ -118,6 +119,8 @@ InsertResult ShardedFastIndex::insert_signature(
 
 std::vector<InsertResult> ShardedFastIndex::insert_batch(
     std::span<const BatchImage> items) {
+  util::TraceSpan span("sharded.insert_batch");
+  span.attr("items", static_cast<double>(items.size()));
   batch_size_->observe(static_cast<double>(items.size()));
   inserts_->add(items.size());
   scatter_msgs_->add(items.size());
@@ -140,6 +143,9 @@ std::vector<InsertResult> ShardedFastIndex::insert_batch(
   const sim::SimClock frontend = shards_.front()->frontend_insert_cost();
   std::vector<InsertResult> results(items.size());
   pool_.parallel_for(shards_.size(), [&](std::size_t s) {
+    util::TraceSpan shard_span("shard.place");
+    shard_span.attr("shard", static_cast<double>(s));
+    shard_span.attr("items", static_cast<double>(by_shard[s].size()));
     for (const std::size_t i : by_shard[s]) {
       InsertResult stored = shards_[s]->insert_signature(items[i].id, sigs[i]);
       stored.cost.merge(frontend);
@@ -166,6 +172,9 @@ std::vector<QueryResult> ShardedFastIndex::query_batch(
   pool_.parallel_for(images.size() * ns, [&](std::size_t cell) {
     const std::size_t q = cell / ns;
     const std::size_t s = cell % ns;
+    util::TraceSpan shard_span("shard.probe");
+    shard_span.attr("shard", static_cast<double>(s));
+    shard_span.attr("query", static_cast<double>(q));
     per_query[q][s] = shards_[s]->query_signature(sigs[q], k);
   });
 
@@ -180,6 +189,8 @@ std::vector<QueryResult> ShardedFastIndex::query_batch(
 
 QueryResult ShardedFastIndex::gather(std::vector<QueryResult> per_shard,
                                      std::size_t k, double fe_cost) const {
+  util::TraceSpan span("sharded.gather");
+  span.attr("shards", static_cast<double>(per_shard.size()));
   queries_->add();
   scatter_msgs_->add(per_shard.size());
   gather_msgs_->add(per_shard.size());
@@ -224,8 +235,12 @@ QueryResult ShardedFastIndex::query(const img::Image& image,
 
 QueryResult ShardedFastIndex::query_signature(
     const hash::SparseSignature& signature, std::size_t k) const {
+  util::TraceSpan span("sharded.query");
+  span.attr("shards", static_cast<double>(shards_.size()));
   std::vector<QueryResult> per_shard(shards_.size());
   pool_.parallel_for(shards_.size(), [&](std::size_t s) {
+    util::TraceSpan shard_span("shard.probe");
+    shard_span.attr("shard", static_cast<double>(s));
     per_shard[s] = shards_[s]->query_signature(signature, k);
   });
   return gather(std::move(per_shard), k, 0.0);

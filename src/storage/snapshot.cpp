@@ -5,6 +5,7 @@
 
 #include "util/codec.hpp"
 #include "util/crc32.hpp"
+#include "util/trace.hpp"
 
 namespace fast::storage {
 
@@ -58,6 +59,7 @@ bool parse_snapshot_file_name(const std::string& name, std::uint64_t* seq) {
 
 StatusOr<std::string> write_snapshot(Env& env, const std::string& dir,
                                      const SnapshotFile& snapshot) {
+  util::TraceSpan span("snapshot.write");
   util::ByteWriter image;
   image.bytes(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(kSnapshotMagic),
@@ -73,6 +75,7 @@ StatusOr<std::string> write_snapshot(Env& env, const std::string& dir,
   }
   append_section(image, kSectionEnd, {});
 
+  span.attr("bytes", static_cast<double>(image.data().size()));
   const std::string name = snapshot_file_name(snapshot.last_seq);
   const std::string tmp_path = dir + "/" + name + ".tmp";
   auto file = env.new_writable(tmp_path, /*truncate=*/true);
@@ -86,9 +89,11 @@ StatusOr<std::string> write_snapshot(Env& env, const std::string& dir,
 }
 
 StatusOr<SnapshotFile> read_snapshot(Env& env, const std::string& path) {
+  util::TraceSpan span("snapshot.read");
   auto bytes = read_file(env, path);
   if (!bytes.ok()) return bytes.status();
   const std::vector<std::uint8_t>& raw = bytes.value();
+  span.attr("bytes", static_cast<double>(raw.size()));
 
   if (raw.size() < kHeaderBytes ||
       std::memcmp(raw.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {

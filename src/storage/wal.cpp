@@ -6,6 +6,7 @@
 
 #include "util/codec.hpp"
 #include "util/crc32.hpp"
+#include "util/trace.hpp"
 
 namespace fast::storage {
 
@@ -68,6 +69,7 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::create(
 
 Status WalWriter::append(std::uint8_t type, std::uint64_t id,
                          std::span<const std::uint8_t> payload) {
+  util::TraceSpan span("wal.append");
   if (closed_) {
     return Status::error(StatusCode::kIoError, "append on closed WAL");
   }
@@ -86,14 +88,20 @@ Status WalWriter::append(std::uint8_t type, std::uint64_t id,
   if (!s.ok()) return s;
   ++next_seq_;
   bytes_ += frame.size();
+  bytes_since_sync_ += frame.size();
+  span.attr("bytes", static_cast<double>(frame.size()));
   return Status{};
 }
 
 Status WalWriter::sync() {
+  util::TraceSpan span("wal.sync");
+  span.attr("bytes", static_cast<double>(bytes_since_sync_));
   if (closed_) {
     return Status::error(StatusCode::kIoError, "sync on closed WAL");
   }
-  return file_->sync();
+  const Status s = file_->sync();
+  if (s.ok()) bytes_since_sync_ = 0;
+  return s;
 }
 
 Status WalWriter::close() {

@@ -62,6 +62,9 @@ class WalWriter {
   std::uint64_t start_seq() const noexcept { return start_seq_; }
   /// Total frame bytes appended (headers excluded) — feeds wal.bytes.
   std::uint64_t bytes_appended() const noexcept { return bytes_; }
+  /// Frame bytes appended since the last successful sync() — the amount a
+  /// crash right now could lose; exported on "wal.sync" trace spans.
+  std::uint64_t bytes_since_sync() const noexcept { return bytes_since_sync_; }
 
  private:
   WalWriter(std::unique_ptr<WritableFile> file, std::uint64_t start_seq)
@@ -71,6 +74,7 @@ class WalWriter {
   std::uint64_t start_seq_;
   std::uint64_t next_seq_;
   std::uint64_t bytes_ = 0;
+  std::uint64_t bytes_since_sync_ = 0;
   bool closed_ = false;
 };
 

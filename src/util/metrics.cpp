@@ -149,6 +149,28 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+double MetricsSnapshot::HistogramData::percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t prev = cumulative;
+    cumulative += counts[i];
+    if (counts[i] == 0 || static_cast<double>(cumulative) < rank) continue;
+    // Interpolate linearly inside bucket i. Its nominal range is
+    // (bounds[i-1], bounds[i]]; the first bucket starts at the observed min
+    // and the overflow bucket ends at the observed max. Clamping keeps the
+    // estimate inside what was actually seen even for wide buckets.
+    const double lo = i == 0 ? min : std::max(bounds[i - 1], min);
+    const double hi = i < bounds.size() ? std::min(bounds[i], max) : max;
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
@@ -168,13 +190,11 @@ std::string MetricsSnapshot::to_json() const {
   out += first ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";
   first = true;
+  // Histogram fields in sorted (alphabetical) order, matching the sorted
+  // metric names above, so dumps from different runs diff cleanly.
   for (const auto& [name, h] : histograms) {
     out += first ? "\n" : ",\n";
     out += "    " + quote(name) + ": {\n";
-    out += "      \"count\": " + std::to_string(h.count) + ",\n";
-    out += "      \"sum\": " + fmt_double(h.sum) + ",\n";
-    out += "      \"min\": " + fmt_double(h.min) + ",\n";
-    out += "      \"max\": " + fmt_double(h.max) + ",\n";
     out += "      \"buckets\": [";
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       out += i == 0 ? "\n" : ",\n";
@@ -182,12 +202,66 @@ std::string MetricsSnapshot::to_json() const {
              ", \"count\": " + std::to_string(h.counts[i]) + "}";
     }
     out += h.bounds.empty() ? "],\n" : "\n      ],\n";
-    out += "      \"overflow\": " + std::to_string(h.counts.back()) + "\n";
+    out += "      \"count\": " + std::to_string(h.count) + ",\n";
+    out += "      \"max\": " + fmt_double(h.max) + ",\n";
+    out += "      \"min\": " + fmt_double(h.min) + ",\n";
+    out += "      \"overflow\": " + std::to_string(h.counts.back()) + ",\n";
+    out += "      \"p50\": " + fmt_double(h.percentile(50.0)) + ",\n";
+    out += "      \"p90\": " + fmt_double(h.percentile(90.0)) + ",\n";
+    out += "      \"p99\": " + fmt_double(h.percentile(99.0)) + ",\n";
+    out += "      \"sum\": " + fmt_double(h.sum) + "\n";
     out += "    }";
     first = false;
   }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] with a non-digit first
+/// character; our dotted stage names ("fe_sm.summarize_s") become
+/// underscored ("fe_sm_summarize_s").
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + fmt_double(v) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += pname + "_bucket{le=\"" + fmt_double(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += pname + "_sum " + fmt_double(h.sum) + "\n";
+    out += pname + "_count " + std::to_string(h.count) + "\n";
+  }
   return out;
 }
 

@@ -104,15 +104,29 @@ struct MetricsSnapshot {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+
+    /// Estimated value at percentile `p` in [0, 100]: linear interpolation
+    /// inside the bucket holding that rank, clamped to the observed
+    /// [min, max] (the overflow bucket interpolates toward max). 0 with no
+    /// observations.
+    double percentile(double p) const;
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramData> histograms;
 
   /// Pretty-printed JSON object ({"counters": .., "gauges": ..,
-  /// "histograms": ..}).
+  /// "histograms": ..}). Metric names and the fields inside each histogram
+  /// object are emitted in sorted order, so dumps from different runs diff
+  /// cleanly line by line. Histograms include derived p50/p90/p99.
   std::string to_json() const;
 };
+
+/// Prometheus text exposition (version 0.0.4) of a snapshot: counters and
+/// gauges as single samples, histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum`/`_count`. Metric names are sanitized for Prometheus
+/// ([a-zA-Z0-9_:] only — `.` becomes `_`, a leading digit is prefixed).
+std::string metrics_to_prometheus(const MetricsSnapshot& snapshot);
 
 class MetricsRegistry {
  public:
@@ -138,6 +152,9 @@ class MetricsRegistry {
 
   MetricsSnapshot snapshot() const;
   std::string to_json() const { return snapshot().to_json(); }
+  std::string to_prometheus() const {
+    return metrics_to_prometheus(snapshot());
+  }
   /// Writes to_json() to `path` (parent directories are not created).
   /// Throws std::runtime_error when the file cannot be written.
   void write_json(const std::string& path) const;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "hash/bloom_filter.hpp"
+#include "util/trace.hpp"
 #include "vision/dog_detector.hpp"
 
 namespace fast::vision {
@@ -15,8 +16,15 @@ BloomSummarizer::BloomSummarizer(BloomSummarizerConfig config, PcaModel pca)
 
 hash::SparseSignature BloomSummarizer::summarize(
     const img::Image& image) const {
-  const auto keypoints = detect_keypoints(image, config_.dog);
+  std::vector<Keypoint> keypoints;
+  {
+    util::TraceSpan fe_span("fe.detect");
+    keypoints = detect_keypoints(image, config_.dog);
+    fe_span.attr("keypoints", static_cast<double>(keypoints.size()));
+  }
 
+  util::TraceSpan sm_span("sm.fold");
+  sm_span.attr("keypoints", static_cast<double>(keypoints.size()));
   hash::BloomFilter bloom(config_.bloom_bits, config_.bloom_hashes);
   // Group buffer: [group index, coarse x, coarse y, cell_0, ..., cell_{G-1}].
   std::vector<std::int16_t> cells(3 + config_.quantize_group_dims);

@@ -185,5 +185,91 @@ TEST(MetricsRegistryTest, WriteJsonThrowsOnUnwritablePath) {
                std::runtime_error);
 }
 
+TEST(MetricsPercentileTest, InterpolatesInsideTheOwningBucket) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 2.0, 4.0});
+  // 100 observations spread over (1, 2]: ranks map linearly into the
+  // bucket, clamped to the observed extremes.
+  for (int i = 1; i <= 100; ++i) {
+    h.observe(1.0 + static_cast<double>(i) / 100.0);
+  }
+  const auto hd = reg.snapshot().histograms.at("lat");
+  EXPECT_NEAR(hd.percentile(50.0), 1.5, 0.02);
+  EXPECT_NEAR(hd.percentile(90.0), 1.9, 0.02);
+  EXPECT_NEAR(hd.percentile(99.0), 1.99, 0.02);
+  // Percentiles never leave [min, max], even with coarse buckets.
+  EXPECT_GE(hd.percentile(0.0), hd.min);
+  EXPECT_LE(hd.percentile(100.0), hd.max);
+}
+
+TEST(MetricsPercentileTest, HandlesEmptyOverflowAndSingleObservation) {
+  MetricsRegistry reg;
+  const auto empty = reg.snapshot();
+  Histogram& h = reg.histogram("h", {1.0});
+  EXPECT_DOUBLE_EQ(reg.snapshot().histograms.at("h").percentile(50.0), 0.0);
+  h.observe(5.0);  // lands in the overflow bucket
+  auto hd = reg.snapshot().histograms.at("h");
+  EXPECT_DOUBLE_EQ(hd.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(hd.percentile(99.0), 5.0);
+  (void)empty;
+}
+
+TEST(MetricsRegistryTest, JsonExportDerivesPercentilesInSortedKeyOrder) {
+  MetricsRegistry reg;
+  Histogram& h = reg.latency_histogram("query_s");
+  for (int i = 0; i < 64; ++i) h.observe(1e-3);
+  const std::string json = reg.to_json();
+  for (const char* key : {"\"p50\"", "\"p90\"", "\"p99\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Stable (alphabetical) field order inside the histogram object, so dumps
+  // from different runs diff cleanly.
+  const std::vector<const char*> order = {
+      "\"buckets\"", "\"count\"", "\"max\"", "\"min\"",
+      "\"overflow\"", "\"p50\"", "\"p90\"", "\"p99\"", "\"sum\""};
+  std::size_t prev = 0;
+  for (const char* key : order) {
+    const std::size_t pos = json.find(key);
+    ASSERT_NE(pos, std::string::npos) << key;
+    EXPECT_GT(pos, prev) << key << " out of order";
+    prev = pos;
+  }
+}
+
+TEST(MetricsPrometheusTest, ExposesCountersGaugesAndCumulativeHistograms) {
+  MetricsRegistry reg;
+  reg.counter("index.inserts").add(7);
+  reg.gauge("chs.load_factor").set(0.5);
+  Histogram& h = reg.histogram("probe_s", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);  // overflow
+
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# TYPE index_inserts counter"), std::string::npos);
+  EXPECT_NE(text.find("index_inserts 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE chs_load_factor gauge"), std::string::npos);
+  EXPECT_NE(text.find("chs_load_factor 0.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE probe_s histogram"), std::string::npos);
+  // Buckets are cumulative and +Inf equals the total count.
+  EXPECT_NE(text.find("probe_s_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("probe_s_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("probe_s_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("probe_s_sum 11"), std::string::npos);
+  EXPECT_NE(text.find("probe_s_count 3"), std::string::npos);
+}
+
+TEST(MetricsPrometheusTest, SanitizesMetricNames) {
+  MetricsRegistry reg;
+  reg.counter("fe_sm.summarize-ops").add(1);
+  reg.counter("9lives").add(2);
+  const std::string text = reg.to_prometheus();
+  // '.' and '-' are outside [a-zA-Z0-9_:] and become '_'; a leading digit
+  // gets a '_' prefix.
+  EXPECT_NE(text.find("fe_sm_summarize_ops 1"), std::string::npos);
+  EXPECT_NE(text.find("_9lives 2"), std::string::npos);
+  EXPECT_EQ(text.find("fe_sm.summarize-ops"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fast::util
