@@ -15,6 +15,33 @@
 
 namespace fast::core {
 
+/// LSM-style tiering of the index (DESIGN.md §3f). When enabled, inserts
+/// land in small per-lane mutable memtables that are sealed into immutable
+/// read-only segments once they reach `seal_threshold` entries; a
+/// background thread merges segment runs under a size-tiered policy.
+/// Queries fan across memtable + segments and merge by distance, honoring
+/// tombstones, so results are identical to a single flat index holding the
+/// same live set.
+struct TierConfig {
+  bool enabled = false;
+  /// Memtable entries (signatures + tombstones) that trigger a seal.
+  std::size_t seal_threshold = 4096;
+  /// Independent memtable lanes; ids are hash-partitioned across lanes so
+  /// concurrent writers contend only 1/lanes of the time.
+  std::size_t lanes = 4;
+  /// Adjacent segments merged per compaction run.
+  std::size_t compact_fanin = 4;
+  /// Per-lane segment count that makes the lane eligible for compaction.
+  std::size_t compact_trigger = 8;
+  /// Per-segment bloom summary sizing over (table, bucket-key) pairs; the
+  /// filter lets queries skip segments that cannot contain any probe key.
+  double bloom_bits_per_key = 10.0;
+  /// Run seal finalization + compaction on a background thread. Tests and
+  /// crash-matrix workloads set false to make merges deterministic and
+  /// inline (compaction runs at seal time on the calling thread).
+  bool background = true;
+};
+
 struct FastConfig {
   // FE: DoG detection + PCA-SIFT description.
   vision::DogConfig dog;
@@ -70,6 +97,13 @@ struct FastConfig {
   /// Chain heads per table for the kChained baseline (fixed; chains absorb
   /// overflow, which is exactly the unbounded-probe behavior under study).
   std::size_t chained_buckets = 4096;
+
+  /// Tiered (memtable + sealed segments) layout; off = one flat mutable
+  /// index. Thresholds/lanes are operational knobs and do not change how
+  /// persisted state is interpreted, so only `enabled` enters the config
+  /// fingerprint (a tiered directory is not openable as flat or vice versa
+  /// — the on-disk manifest shapes differ).
+  TierConfig tier;
 
   // Simulated platform for the cost accounting.
   sim::CostModel cost;

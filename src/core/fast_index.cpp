@@ -409,6 +409,11 @@ std::uint64_t config_fingerprint(const FastConfig& c) noexcept {
   fp_mix(h, c.cuckoo.max_kicks);
   fp_mix(h, c.cuckoo.seed);
   fp_mix(h, c.chained_buckets);
+  // Tiered directories carry a manifest + per-segment sections that a flat
+  // open cannot interpret (and vice versa), so the layout flavor is part of
+  // the fingerprint. Mixed only when enabled to keep every pre-tier
+  // fingerprint (golden fixtures, existing directories) unchanged.
+  if (c.tier.enabled) fp_mix(h, 0x7157);
   return h;
 }
 
@@ -546,43 +551,12 @@ storage::Status FastIndex::save_snapshot() {
   m_.snapshot_bytes->set(static_cast<double>(image_bytes + 12));
   m_.snapshot_write_s->observe(timer.elapsed_seconds());
 
-  // Rotate the log. If the new segment cannot be created, wal_ stays closed
-  // and every further mutation fails loudly instead of silently going
-  // unlogged.
-  (void)wal_->close();
-  auto rotated = storage::WalWriter::create(*env_, dir_, last_seq_ + 1);
-  if (!rotated.ok()) return rotated.status();
-  wal_ = std::move(rotated).value();
+  // Rotate the log and retire files covered by the retained previous
+  // generation (shared with the tiered index; see rotate_wal_and_retire).
+  storage::Status rotated =
+      storage::rotate_wal_and_retire(*env_, dir_, last_seq_, &wal_);
+  if (!rotated.ok()) return rotated;
   appends_since_sync_ = 0;
-
-  // Retention: keep ONE previous snapshot generation and the WAL segments
-  // it does not cover, so a latent-corrupt newest image (bit rot, torn
-  // sector) still recovers exactly — previous snapshot + surviving segments
-  // replay to the same state. Only files the RETAINED generation covers are
-  // dead: snapshots older than it, and segments whose records it contains
-  // (rotation happens at every snapshot, so a segment starting at or before
-  // the previous snapshot's seq ends there too). Before the first snapshot
-  // the fallback generation is the empty index, which needs every segment.
-  auto names = env_->list_dir(dir_);
-  if (names.ok()) {
-    std::uint64_t prev_snapshot = 0;
-    for (const std::string& name : names.value()) {
-      std::uint64_t seq = 0;
-      if (storage::parse_snapshot_file_name(name, &seq) && seq < last_seq_) {
-        prev_snapshot = std::max(prev_snapshot, seq);
-      }
-    }
-    for (const std::string& name : names.value()) {
-      std::uint64_t seq = 0;
-      const bool dead_snapshot =
-          storage::parse_snapshot_file_name(name, &seq) && seq < prev_snapshot;
-      const bool dead_segment =
-          storage::parse_wal_segment_name(name, &seq) && seq <= prev_snapshot;
-      if (dead_snapshot || dead_segment) {
-        (void)env_->remove_file(dir_ + "/" + name);  // best-effort cleanup
-      }
-    }
-  }
   return storage::Status{};
 }
 

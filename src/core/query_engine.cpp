@@ -6,14 +6,34 @@
 
 namespace fast::core {
 
+namespace {
+
+void register_engine_metrics(util::MetricsRegistry& r, util::Counter** batches,
+                             util::Histogram** batch_size,
+                             util::Histogram** batch_wall_s,
+                             util::Gauge** last_sim_mean_s,
+                             util::Gauge** last_sim_makespan_s) {
+  *batches = &r.counter("engine.batches");
+  *batch_size = &r.count_histogram("engine.batch_size");
+  *batch_wall_s = &r.latency_histogram("engine.batch_native_wall_s");
+  *last_sim_mean_s = &r.gauge("engine.last_sim_mean_latency_s");
+  *last_sim_makespan_s = &r.gauge("engine.last_sim_makespan_s");
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(const FastIndex& index, std::size_t threads)
-    : index_(index), pool_(threads) {
-  util::MetricsRegistry& r = index_.metrics();
-  batches_ = &r.counter("engine.batches");
-  batch_size_ = &r.count_histogram("engine.batch_size");
-  batch_wall_s_ = &r.latency_histogram("engine.batch_native_wall_s");
-  last_sim_mean_s_ = &r.gauge("engine.last_sim_mean_latency_s");
-  last_sim_makespan_s_ = &r.gauge("engine.last_sim_makespan_s");
+    : flat_(&index), pool_(threads) {
+  register_engine_metrics(index.metrics(), &batches_, &batch_size_,
+                          &batch_wall_s_, &last_sim_mean_s_,
+                          &last_sim_makespan_s_);
+}
+
+QueryEngine::QueryEngine(const TieredIndex& index, std::size_t threads)
+    : tiered_(&index), pool_(threads) {
+  register_engine_metrics(index.metrics(), &batches_, &batch_size_,
+                          &batch_wall_s_, &last_sim_mean_s_,
+                          &last_sim_makespan_s_);
 }
 
 QueryEngine::QueryEngine(std::unique_ptr<FastIndex> owned, std::size_t threads)
@@ -21,9 +41,22 @@ QueryEngine::QueryEngine(std::unique_ptr<FastIndex> owned, std::size_t threads)
   owned_ = std::move(owned);
 }
 
+QueryEngine::QueryEngine(std::unique_ptr<TieredIndex> owned,
+                         std::size_t threads)
+    : QueryEngine(*owned, threads) {
+  owned_tiered_ = std::move(owned);
+}
+
 storage::StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::open(
     FastConfig config, vision::PcaModel pca, const DurabilityOptions& opts,
     RecoveryStats* stats, std::size_t threads) {
+  if (config.tier.enabled) {
+    auto index = TieredIndex::open_or_recover(std::move(config),
+                                              std::move(pca), opts, stats);
+    if (!index.ok()) return index.status();
+    return std::unique_ptr<QueryEngine>(
+        new QueryEngine(std::move(index).value(), threads));
+  }
   auto index = FastIndex::open_or_recover(std::move(config), std::move(pca),
                                           opts, stats);
   if (!index.ok()) return index.status();
@@ -35,7 +68,8 @@ void QueryEngine::finish_report(BatchReport& report,
                                 std::size_t sim_slots) const {
   std::size_t slots = sim_slots;
   if (slots == 0) {
-    slots = index_.config().cost.nodes * index_.config().cost.cores_per_node;
+    const FastConfig& c = backend_config();
+    slots = c.cost.nodes * c.cost.cores_per_node;
   }
   std::vector<double> costs;
   costs.reserve(report.results.size());
@@ -62,7 +96,10 @@ BatchReport QueryEngine::run_batch(
 
   util::WallTimer timer;
   pool_.parallel_for(queries.size(), [&](std::size_t i) {
-    report.results[i] = index_.query_signature(queries[i], options.top_k);
+    report.results[i] =
+        tiered_ != nullptr
+            ? tiered_->query_signature(queries[i], options.top_k)
+            : flat_->query_signature(queries[i], options.top_k);
   });
   report.native_wall_s = timer.elapsed_seconds();
 
@@ -77,7 +114,9 @@ BatchReport QueryEngine::run_image_batch(
   BatchReport report;
 
   util::WallTimer timer;
-  report.results = index_.query_batch(images, options.top_k, &pool_);
+  report.results = tiered_ != nullptr
+                       ? tiered_->query_batch(images, options.top_k, &pool_)
+                       : flat_->query_batch(images, options.top_k, &pool_);
   report.native_wall_s = timer.elapsed_seconds();
 
   finish_report(report, options.sim_slots);

@@ -1,10 +1,12 @@
-// Parallel query execution over a FastIndex.
+// Parallel query execution over a FastIndex or TieredIndex.
 //
 // Native side: a thread pool fans independent queries (and their probe
 // work) across host cores. Simulated side: per-query probe tasks are
 // scheduled onto the modeled cluster/multicore (sim::ClusterModel) to
 // produce the latency series of Fig. 4 (concurrent request batches) and
-// Fig. 7 (per-query latency vs. core count).
+// Fig. 7 (per-query latency vs. core count). The engine is read-only, so
+// it serves either backend through the same interface — against a tiered
+// index the batch runs concurrently with ingest and compaction.
 #pragma once
 
 #include <memory>
@@ -12,7 +14,9 @@
 #include <vector>
 
 #include "core/fast_index.hpp"
+#include "core/tiered_index.hpp"
 #include "sim/cluster_model.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fast::core {
@@ -36,16 +40,29 @@ class QueryEngine {
  public:
   /// `threads` native worker threads (0 = hardware concurrency).
   explicit QueryEngine(const FastIndex& index, std::size_t threads = 0);
+  explicit QueryEngine(const TieredIndex& index, std::size_t threads = 0);
 
   /// Serves queries over an index recovered from opts.dir: a read-only
   /// deployment (figure regeneration, a query-tier replica) pointed at a
-  /// persisted corpus. The engine owns the recovered index.
+  /// persisted corpus. The engine owns the recovered index — flat or
+  /// tiered per config.tier.enabled.
   static storage::StatusOr<std::unique_ptr<QueryEngine>> open(
       FastConfig config, vision::PcaModel pca, const DurabilityOptions& opts,
       RecoveryStats* stats = nullptr, std::size_t threads = 0);
 
-  /// The index this engine queries (the recovered one for open()).
-  const FastIndex& index() const noexcept { return index_; }
+  bool is_tiered() const noexcept { return tiered_ != nullptr; }
+
+  /// The flat index this engine queries (the recovered one for open()).
+  /// Only valid when !is_tiered().
+  const FastIndex& index() const {
+    FAST_CHECK_MSG(flat_ != nullptr, "index() on a tiered engine");
+    return *flat_;
+  }
+  /// The tiered index this engine queries. Only valid when is_tiered().
+  const TieredIndex& tiered() const {
+    FAST_CHECK_MSG(tiered_ != nullptr, "tiered() on a flat engine");
+    return *tiered_;
+  }
 
   /// Runs a batch of signature queries in parallel and computes the
   /// simulated batch latency under `options.sim_slots` parallel servers.
@@ -53,7 +70,7 @@ class QueryEngine {
                         const BatchOptions& options = {});
 
   /// Full-pipeline variant: raw images enter the batch path, so FE+SM fans
-  /// across the pool alongside the probe/rank work (FastIndex::query_batch).
+  /// across the pool alongside the probe/rank work (query_batch).
   BatchReport run_image_batch(std::span<const img::Image* const> images,
                               const BatchOptions& options = {});
 
@@ -64,14 +81,21 @@ class QueryEngine {
 
  private:
   QueryEngine(std::unique_ptr<FastIndex> owned, std::size_t threads);
+  QueryEngine(std::unique_ptr<TieredIndex> owned, std::size_t threads);
+
+  const FastConfig& backend_config() const noexcept {
+    return tiered_ != nullptr ? tiered_->config() : flat_->config();
+  }
 
   /// Fills the simulated-latency fields from the executed results.
   void finish_report(BatchReport& report, std::size_t sim_slots) const;
 
-  /// Set only by open(); declared before index_ so the reference always
-  /// outlives its binding.
+  /// Set only by open(); declared before the backend pointers so the
+  /// references always outlive their bindings.
   std::unique_ptr<FastIndex> owned_;
-  const FastIndex& index_;
+  std::unique_ptr<TieredIndex> owned_tiered_;
+  const FastIndex* flat_ = nullptr;
+  const TieredIndex* tiered_ = nullptr;
   util::ThreadPool pool_;
   util::Counter* batches_ = nullptr;
   util::Histogram* batch_size_ = nullptr;

@@ -17,13 +17,27 @@ FastConfig shard_config(const FastConfig& config, std::size_t s) {
   return shard_cfg;
 }
 
-std::vector<std::unique_ptr<FastIndex>> build_shards(
+std::vector<std::unique_ptr<FastIndex>> build_flat_shards(
     const FastConfig& config, const vision::PcaModel& pca,
     std::size_t shards) {
   std::vector<std::unique_ptr<FastIndex>> built;
+  if (config.tier.enabled) return built;
   built.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     built.push_back(std::make_unique<FastIndex>(shard_config(config, s), pca));
+  }
+  return built;
+}
+
+std::vector<std::unique_ptr<TieredIndex>> build_tiered_shards(
+    const FastConfig& config, const vision::PcaModel& pca,
+    std::size_t shards) {
+  std::vector<std::unique_ptr<TieredIndex>> built;
+  if (!config.tier.enabled) return built;
+  built.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    built.push_back(
+        std::make_unique<TieredIndex>(shard_config(config, s), pca));
   }
   return built;
 }
@@ -32,23 +46,28 @@ std::vector<std::unique_ptr<FastIndex>> build_shards(
 
 ShardedFastIndex::ShardedFastIndex(FastConfig config, vision::PcaModel pca,
                                    std::size_t shards, std::size_t threads)
-    : ShardedFastIndex(config, build_shards(config, pca, shards), threads) {}
+    : ShardedFastIndex(config, build_flat_shards(config, pca, shards),
+                       build_tiered_shards(config, pca, shards), threads) {}
 
 ShardedFastIndex::ShardedFastIndex(
     FastConfig config, std::vector<std::unique_ptr<FastIndex>> shards,
+    std::vector<std::unique_ptr<TieredIndex>> tiered_shards,
     std::size_t threads)
-    : config_(std::move(config)), shard_map_(shards.size()),
-      shards_(std::move(shards)), pool_(threads),
-      metrics_(std::make_shared<util::MetricsRegistry>()) {
-  FAST_CHECK(!shards_.empty());
+    : config_(std::move(config)),
+      shard_map_(shards.empty() ? tiered_shards.size() : shards.size()),
+      shards_(std::move(shards)), tiered_shards_(std::move(tiered_shards)),
+      pool_(threads), metrics_(std::make_shared<util::MetricsRegistry>()) {
+  FAST_CHECK(shards_.empty() != tiered_shards_.empty());
   queries_ = &metrics_->counter("sharded.queries");
   inserts_ = &metrics_->counter("sharded.inserts");
+  erases_ = &metrics_->counter("sharded.erases");
   scatter_msgs_ = &metrics_->counter("sharded.scatter_msgs");
   gather_msgs_ = &metrics_->counter("sharded.gather_msgs");
   batch_size_ = &metrics_->count_histogram("sharded.insert_batch_size");
   shard_batch_items_ = &metrics_->count_histogram("sharded.shard_batch_items");
   gather_candidates_ = &metrics_->count_histogram("sharded.gather_candidates");
-  metrics_->gauge("sharded.shards").set(static_cast<double>(shards_.size()));
+  metrics_->gauge("sharded.shards")
+      .set(static_cast<double>(shard_map_.shard_count()));
 }
 
 storage::StatusOr<std::unique_ptr<ShardedFastIndex>>
@@ -58,15 +77,24 @@ ShardedFastIndex::open_or_recover(FastConfig config, vision::PcaModel pca,
                                   RecoveryStats* stats, std::size_t threads) {
   FAST_CHECK(shards >= 1);
   RecoveryStats total;
-  std::vector<std::unique_ptr<FastIndex>> built;
-  built.reserve(shards);
+  std::vector<std::unique_ptr<FastIndex>> flat_built;
+  std::vector<std::unique_ptr<TieredIndex>> tiered_built;
   for (std::size_t s = 0; s < shards; ++s) {
     DurabilityOptions shard_opts = opts;
     shard_opts.dir = opts.dir + "/shard-" + std::to_string(s);
     RecoveryStats shard_stats;
-    auto index = FastIndex::open_or_recover(shard_config(config, s), pca,
-                                            shard_opts, &shard_stats);
-    if (!index.ok()) return index.status();
+    if (config.tier.enabled) {
+      auto index = TieredIndex::open_or_recover(shard_config(config, s), pca,
+                                                shard_opts, &shard_stats);
+      if (!index.ok()) return index.status();
+      tiered_built.push_back(std::move(index).value());
+    } else {
+      auto index = FastIndex::open_or_recover(shard_config(config, s), pca,
+                                              shard_opts, &shard_stats);
+      if (!index.ok()) return index.status();
+      flat_built.push_back(
+          std::make_unique<FastIndex>(std::move(index).value()));
+    }
     total.loaded_snapshot |= shard_stats.loaded_snapshot;
     total.snapshot_seq = std::max(total.snapshot_seq,
                                   shard_stats.snapshot_seq);
@@ -74,10 +102,10 @@ ShardedFastIndex::open_or_recover(FastConfig config, vision::PcaModel pca,
     total.segments_scanned += shard_stats.segments_scanned;
     total.replayed_records += shard_stats.replayed_records;
     total.wal_torn |= shard_stats.wal_torn;
-    built.push_back(std::make_unique<FastIndex>(std::move(index).value()));
   }
   std::unique_ptr<ShardedFastIndex> sharded(
-      new ShardedFastIndex(std::move(config), std::move(built), threads));
+      new ShardedFastIndex(std::move(config), std::move(flat_built),
+                           std::move(tiered_built), threads));
   if (stats != nullptr) *stats = total;
   return sharded;
 }
@@ -88,20 +116,53 @@ storage::Status ShardedFastIndex::save_snapshot() {
     storage::Status s = shard->save_snapshot();
     if (!s.ok() && first.ok()) first = std::move(s);
   }
+  for (const auto& shard : tiered_shards_) {
+    storage::Status s = shard->save_snapshot();
+    if (!s.ok() && first.ok()) first = std::move(s);
+  }
   return first;
 }
 
 std::size_t ShardedFastIndex::size() const noexcept {
   std::size_t n = 0;
   for (const auto& s : shards_) n += s->size();
+  for (const auto& s : tiered_shards_) n += s->size();
   return n;
+}
+
+hash::SparseSignature ShardedFastIndex::summarize_front(
+    const img::Image& image) const {
+  // Any shard's summarizer is equivalent (shards differ only in storage
+  // seeds).
+  return is_tiered() ? tiered_shards_.front()->summarize(image)
+                     : shards_.front()->summarize(image);
+}
+
+sim::SimClock ShardedFastIndex::frontend_cost() const {
+  return is_tiered() ? tiered_shards_.front()->frontend_insert_cost()
+                     : shards_.front()->frontend_insert_cost();
+}
+
+InsertResult ShardedFastIndex::shard_insert_signature(
+    std::size_t s, std::uint64_t id, const hash::SparseSignature& signature) {
+  return is_tiered() ? tiered_shards_[s]->insert_signature(id, signature)
+                     : shards_[s]->insert_signature(id, signature);
+}
+
+QueryResult ShardedFastIndex::shard_query_signature(
+    std::size_t s, const hash::SparseSignature& signature,
+    std::size_t k) const {
+  return is_tiered() ? tiered_shards_[s]->query_signature(signature, k)
+                     : shards_[s]->query_signature(signature, k);
 }
 
 InsertResult ShardedFastIndex::insert(std::uint64_t id,
                                       const img::Image& image) {
   inserts_->add();
   scatter_msgs_->add();
-  InsertResult r = shards_[shard_map_.shard_of(id)]->insert(id, image);
+  const std::size_t s = shard_map_.shard_of(id);
+  InsertResult r = is_tiered() ? tiered_shards_[s]->insert(id, image)
+                               : shards_[s]->insert(id, image);
   // Routing the signature to the owner node: one network hop.
   r.cost.charge(config_.cost.net_transfer_s(512));
   return r;
@@ -112,9 +173,18 @@ InsertResult ShardedFastIndex::insert_signature(
   inserts_->add();
   scatter_msgs_->add();
   InsertResult r =
-      shards_[shard_map_.shard_of(id)]->insert_signature(id, signature);
+      shard_insert_signature(shard_map_.shard_of(id), id, signature);
   r.cost.charge(config_.cost.net_transfer_s(signature.storage_bytes()));
   return r;
+}
+
+bool ShardedFastIndex::erase(std::uint64_t id) {
+  scatter_msgs_->add();
+  const std::size_t s = shard_map_.shard_of(id);
+  const bool erased = is_tiered() ? tiered_shards_[s]->erase(id)
+                                  : shards_[s]->erase(id);
+  if (erased) erases_->add();
+  return erased;
 }
 
 std::vector<InsertResult> ShardedFastIndex::insert_batch(
@@ -124,30 +194,30 @@ std::vector<InsertResult> ShardedFastIndex::insert_batch(
   batch_size_->observe(static_cast<double>(items.size()));
   inserts_->add(items.size());
   scatter_msgs_->add(items.size());
-  // FE+SM for the whole batch, fanned across the native pool. Any shard's
-  // summarizer is equivalent (shards differ only in storage seeds).
+  // FE+SM for the whole batch, fanned across the native pool.
   std::vector<hash::SparseSignature> sigs(items.size());
   pool_.parallel_for(items.size(), [&](std::size_t i) {
-    sigs[i] = shards_.front()->summarize(*items[i].image);
+    sigs[i] = summarize_front(*items[i].image);
   });
 
   // Partition item indices into per-shard sub-batches, then let every
   // shard place its own sub-batch in parallel (shards are independent).
-  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  const std::size_t ns = shard_map_.shard_count();
+  std::vector<std::vector<std::size_t>> by_shard(ns);
   for (std::size_t i = 0; i < items.size(); ++i) {
     by_shard[shard_map_.shard_of(items[i].id)].push_back(i);
   }
   for (const auto& sub : by_shard) {
     shard_batch_items_->observe(static_cast<double>(sub.size()));
   }
-  const sim::SimClock frontend = shards_.front()->frontend_insert_cost();
+  const sim::SimClock frontend = frontend_cost();
   std::vector<InsertResult> results(items.size());
-  pool_.parallel_for(shards_.size(), [&](std::size_t s) {
+  pool_.parallel_for(ns, [&](std::size_t s) {
     util::TraceSpan shard_span("shard.place");
     shard_span.attr("shard", static_cast<double>(s));
     shard_span.attr("items", static_cast<double>(by_shard[s].size()));
     for (const std::size_t i : by_shard[s]) {
-      InsertResult stored = shards_[s]->insert_signature(items[i].id, sigs[i]);
+      InsertResult stored = shard_insert_signature(s, items[i].id, sigs[i]);
       stored.cost.merge(frontend);
       stored.cost.charge(config_.cost.net_transfer_s(512));
       results[i] = std::move(stored);
@@ -160,13 +230,13 @@ std::vector<QueryResult> ShardedFastIndex::query_batch(
     std::span<const img::Image* const> images, std::size_t k) const {
   std::vector<hash::SparseSignature> sigs(images.size());
   pool_.parallel_for(images.size(), [&](std::size_t i) {
-    sigs[i] = shards_.front()->summarize(*images[i]);
+    sigs[i] = summarize_front(*images[i]);
   });
 
   // Flat (query x shard) probe matrix: every cell is independent, so the
   // pool schedules across both dimensions at once instead of serializing
   // queries behind each other's scatter-gather.
-  const std::size_t ns = shards_.size();
+  const std::size_t ns = shard_map_.shard_count();
   std::vector<std::vector<QueryResult>> per_query(
       images.size(), std::vector<QueryResult>(ns));
   pool_.parallel_for(images.size() * ns, [&](std::size_t cell) {
@@ -175,7 +245,7 @@ std::vector<QueryResult> ShardedFastIndex::query_batch(
     util::TraceSpan shard_span("shard.probe");
     shard_span.attr("shard", static_cast<double>(s));
     shard_span.attr("query", static_cast<double>(q));
-    per_query[q][s] = shards_[s]->query_signature(sigs[q], k);
+    per_query[q][s] = shard_query_signature(s, sigs[q], k);
   });
 
   std::vector<QueryResult> results;
@@ -225,7 +295,7 @@ QueryResult ShardedFastIndex::gather(std::vector<QueryResult> per_shard,
 QueryResult ShardedFastIndex::query(const img::Image& image,
                                     std::size_t k) const {
   // Summarize once at the front end; only the signature travels.
-  const hash::SparseSignature sig = shards_.front()->summarize(image);
+  const hash::SparseSignature sig = summarize_front(image);
   QueryResult r = query_signature(sig, k);
   // Account the front-end extraction in the merged cost.
   QueryResult with_fe = std::move(r);
@@ -236,12 +306,12 @@ QueryResult ShardedFastIndex::query(const img::Image& image,
 QueryResult ShardedFastIndex::query_signature(
     const hash::SparseSignature& signature, std::size_t k) const {
   util::TraceSpan span("sharded.query");
-  span.attr("shards", static_cast<double>(shards_.size()));
-  std::vector<QueryResult> per_shard(shards_.size());
-  pool_.parallel_for(shards_.size(), [&](std::size_t s) {
+  span.attr("shards", static_cast<double>(shard_map_.shard_count()));
+  std::vector<QueryResult> per_shard(shard_map_.shard_count());
+  pool_.parallel_for(per_shard.size(), [&](std::size_t s) {
     util::TraceSpan shard_span("shard.probe");
     shard_span.attr("shard", static_cast<double>(s));
-    per_shard[s] = shards_[s]->query_signature(signature, k);
+    per_shard[s] = shard_query_signature(s, signature, k);
   });
   return gather(std::move(per_shard), k, 0.0);
 }
@@ -249,6 +319,7 @@ QueryResult ShardedFastIndex::query_signature(
 std::size_t ShardedFastIndex::index_bytes() const {
   std::size_t bytes = 0;
   for (const auto& s : shards_) bytes += s->index_bytes();
+  for (const auto& s : tiered_shards_) bytes += s->index_bytes();
   return bytes;
 }
 

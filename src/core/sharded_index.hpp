@@ -1,12 +1,15 @@
 // Distributed FAST: the paper's 256-node deployment shape.
 //
 // Photos are hash-partitioned across shards (one per cluster node in the
-// paper); each shard runs an independent FastIndex over its partition.
-// Queries scatter the ~hundreds-of-bytes signature to all shards — not the
-// image — gather the per-shard top-k and merge. Per-query simulated cost
-// models the scatter/gather network hops plus the slowest shard's local
-// probe (shards work in parallel), which is what keeps the distributed
-// query latency flat as nodes are added.
+// paper); each shard runs an independent local index over its partition —
+// a flat FastIndex by default, or a TieredIndex (memtable + sealed
+// segments + background compaction) when config.tier.enabled is set, so a
+// churn-heavy deployment keeps per-node ingest off the query path. Queries
+// scatter the ~hundreds-of-bytes signature to all shards — not the image —
+// gather the per-shard top-k and merge. Per-query simulated cost models the
+// scatter/gather network hops plus the slowest shard's local probe (shards
+// work in parallel), which is what keeps the distributed query latency flat
+// as nodes are added.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "core/fast_index.hpp"
+#include "core/tiered_index.hpp"
 #include "storage/shard.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -22,8 +26,9 @@ namespace fast::core {
 
 class ShardedFastIndex {
  public:
-  /// `shards` independent FastIndex partitions; `threads` native workers
-  /// for parallel shard probing (0 = hardware concurrency).
+  /// `shards` independent partitions (flat or tiered per
+  /// config.tier.enabled); `threads` native workers for parallel shard
+  /// probing (0 = hardware concurrency).
   ShardedFastIndex(FastConfig config, vision::PcaModel pca,
                    std::size_t shards, std::size_t threads = 0);
 
@@ -42,9 +47,10 @@ class ShardedFastIndex {
   /// attempted; the first error is returned.
   storage::Status save_snapshot();
 
-  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t shard_count() const noexcept { return shard_map_.shard_count(); }
   std::size_t size() const noexcept;
   const FastConfig& config() const noexcept { return config_; }
+  bool is_tiered() const noexcept { return !tiered_shards_.empty(); }
 
   /// Shard that owns an image id.
   std::size_t shard_of(std::uint64_t id) const noexcept {
@@ -62,6 +68,9 @@ class ShardedFastIndex {
   /// insert()'s accounting; results[i] corresponds to items[i].
   std::vector<InsertResult> insert_batch(std::span<const BatchImage> items);
 
+  /// Erases from the owning shard; false when no shard held the id.
+  bool erase(std::uint64_t id);
+
   /// Scatter-gather query across all shards; shards probe in parallel
   /// (native threads) and the merged top-k is returned. The simulated cost
   /// is scatter + max over shards + gather.
@@ -78,8 +87,17 @@ class ShardedFastIndex {
   /// Sum of all shards' in-memory index bytes.
   std::size_t index_bytes() const;
 
-  /// Access to a shard's local index (tests, rebalancing tooling).
-  const FastIndex& shard(std::size_t i) const { return *shards_.at(i); }
+  /// Access to a flat shard's local index (tests, rebalancing tooling).
+  /// Only valid when !is_tiered().
+  const FastIndex& shard(std::size_t i) const {
+    FAST_CHECK_MSG(!is_tiered(), "shard() on a tiered deployment");
+    return *shards_.at(i);
+  }
+  /// Access to a tiered shard's local index. Only valid when is_tiered().
+  const TieredIndex& tiered_shard(std::size_t i) const {
+    FAST_CHECK_MSG(is_tiered(), "tiered_shard() on a flat deployment");
+    return *tiered_shards_.at(i);
+  }
 
   /// Scatter/gather and fan-out observability for the distributed frontend
   /// (per-shard stage metrics live in each shard's own registry).
@@ -87,21 +105,34 @@ class ShardedFastIndex {
 
  private:
   /// Assembles the facade around pre-built shard indexes (the durable path
-  /// recovers each shard before construction).
+  /// recovers each shard before construction). Exactly one of the two
+  /// vectors is non-empty.
   ShardedFastIndex(FastConfig config,
                    std::vector<std::unique_ptr<FastIndex>> shards,
+                   std::vector<std::unique_ptr<TieredIndex>> tiered_shards,
                    std::size_t threads);
 
   QueryResult gather(std::vector<QueryResult> per_shard, std::size_t k,
                      double fe_cost) const;
 
+  // Shard-local dispatch (flat vs tiered) for the scatter/gather plumbing.
+  hash::SparseSignature summarize_front(const img::Image& image) const;
+  sim::SimClock frontend_cost() const;
+  InsertResult shard_insert_signature(std::size_t s, std::uint64_t id,
+                                      const hash::SparseSignature& signature);
+  QueryResult shard_query_signature(std::size_t s,
+                                    const hash::SparseSignature& signature,
+                                    std::size_t k) const;
+
   FastConfig config_;
   storage::ShardMap shard_map_;
   std::vector<std::unique_ptr<FastIndex>> shards_;
+  std::vector<std::unique_ptr<TieredIndex>> tiered_shards_;
   mutable util::ThreadPool pool_;
   std::shared_ptr<util::MetricsRegistry> metrics_;
   util::Counter* queries_ = nullptr;
   util::Counter* inserts_ = nullptr;
+  util::Counter* erases_ = nullptr;
   util::Counter* scatter_msgs_ = nullptr;
   util::Counter* gather_msgs_ = nullptr;
   util::Histogram* batch_size_ = nullptr;

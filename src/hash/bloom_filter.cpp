@@ -14,6 +14,17 @@ BloomFilter::BloomFilter(std::size_t bits, std::size_t k, std::uint64_t seed)
   FAST_CHECK(bits > 0 && k > 0);
 }
 
+BloomFilter BloomFilter::from_state(std::size_t bits, std::size_t k,
+                                    std::uint64_t seed,
+                                    std::vector<std::uint64_t> words,
+                                    std::size_t inserted) {
+  FAST_CHECK(bits % 64 == 0 && words.size() == bits / 64);
+  BloomFilter filter(bits, k, seed);
+  filter.words_ = std::move(words);
+  filter.inserted_ = inserted;
+  return filter;
+}
+
 void BloomFilter::insert(const void* data, std::size_t len) {
   const Hash128 h = murmur3_128(data, len, seed_);
   for (std::size_t i = 0; i < k_; ++i) {

@@ -22,8 +22,18 @@ class BloomFilter {
   /// 64) and `k` probe hashes per item.
   BloomFilter(std::size_t bits, std::size_t k, std::uint64_t seed = 0x5107);
 
+  /// Rebuilds a filter from state captured via bit_count()/hash_count()/
+  /// hash_seed()/words()/inserted_count() — the segment-snapshot codec path.
+  /// `bits` must already be the rounded (multiple-of-64) width and `words`
+  /// sized to bits / 64.
+  static BloomFilter from_state(std::size_t bits, std::size_t k,
+                                std::uint64_t seed,
+                                std::vector<std::uint64_t> words,
+                                std::size_t inserted);
+
   std::size_t bit_count() const noexcept { return bits_; }
   std::size_t hash_count() const noexcept { return k_; }
+  std::uint64_t hash_seed() const noexcept { return seed_; }
 
   /// Inserts an arbitrary byte key.
   void insert(const void* data, std::size_t len);

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,6 +37,12 @@ inline constexpr std::uint32_t kSectionParams = 1;
 inline constexpr std::uint32_t kSectionSignatures = 2;
 inline constexpr std::uint32_t kSectionGroups = 3;
 inline constexpr std::uint32_t kSectionStore = 4;
+// Tiered-index sections (core::TieredIndex): the manifest lists every live
+// segment per lane; each memtable and each sealed segment is one section so
+// a damaged section fails the whole image's CRC and recovery falls back.
+inline constexpr std::uint32_t kSectionTierManifest = 5;
+inline constexpr std::uint32_t kSectionTierMemtable = 6;
+inline constexpr std::uint32_t kSectionTierSegment = 7;
 
 struct SnapshotSection {
   std::uint32_t id = 0;
@@ -65,5 +72,18 @@ StatusOr<SnapshotFile> read_snapshot(Env& env, const std::string& path);
 /// "snapshot-<20-digit seq>.fast"
 std::string snapshot_file_name(std::uint64_t seq);
 bool parse_snapshot_file_name(const std::string& name, std::uint64_t* seq);
+
+class WalWriter;
+
+/// Post-snapshot WAL rotation + retention, shared by every durable index
+/// flavor. Closes *wal, starts a fresh segment at last_seq + 1, and deletes
+/// files covered by the RETAINED previous snapshot generation: snapshots
+/// older than it, and WAL segments whose records it contains. One previous
+/// generation always survives so a latent-corrupt newest image still
+/// recovers exactly. On error the closed writer stays in *wal so further
+/// mutations fail loudly instead of going unlogged.
+Status rotate_wal_and_retire(Env& env, const std::string& dir,
+                             std::uint64_t last_seq,
+                             std::unique_ptr<WalWriter>* wal);
 
 }  // namespace fast::storage

@@ -202,6 +202,43 @@ TEST_F(ConcurrentTest, InsertBatchTakesWriterLockOncePerBatch) {
   EXPECT_EQ(index.writer_lock_count(), locks_mid + 4);
 }
 
+// erase_batch is the write-side twin of insert_batch: one writer-lock
+// acquisition for the whole batch, and the same net effect as a loop of
+// single erases.
+TEST_F(ConcurrentTest, EraseBatchTakesWriterLockOncePerBatch) {
+  ConcurrentFastIndex batched(small_config(), *pca_, 2);
+  ConcurrentFastIndex looped(small_config(), *pca_, 2);
+  std::vector<BatchImage> items;
+  for (std::size_t i = 0; i < 16; ++i) {
+    items.push_back(BatchImage{i, &dataset_->photos[i].image});
+  }
+  batched.insert_batch(items);
+  looped.insert_batch(items);
+
+  std::vector<std::uint64_t> victims = {0, 2, 4, 6, 99, 4};
+  const std::size_t locks_before = batched.writer_lock_count();
+  const std::size_t erased = batched.erase_batch(victims);
+  EXPECT_EQ(batched.writer_lock_count(), locks_before + 1);
+  // 99 was never inserted and 4 repeats: four distinct ids went away.
+  EXPECT_EQ(erased, 4u);
+
+  // The looped path pays one lock per call but lands on the same state.
+  const std::size_t looped_before = looped.writer_lock_count();
+  std::size_t looped_erased = 0;
+  for (const std::uint64_t id : victims) {
+    if (looped.erase(id)) ++looped_erased;
+  }
+  EXPECT_EQ(looped.writer_lock_count(), looped_before + victims.size());
+  EXPECT_EQ(erased, looped_erased);
+  EXPECT_EQ(batched.size(), looped.size());
+
+  // Both facades exported the batch size to the shared registry.
+  const auto snapshot = batched.metrics().snapshot();
+  const auto it = snapshot.histograms.find("concurrent.erase_batch_size");
+  ASSERT_NE(it, snapshot.histograms.end());
+  EXPECT_EQ(it->second.count, 1u);
+}
+
 TEST_F(ConcurrentTest, BatchMatchesPerImagePath) {
   ConcurrentFastIndex batched(small_config(), *pca_, 2);
   ConcurrentFastIndex sequential(small_config(), *pca_, 2);

@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "core/fast_index.hpp"
+#include "core/tiered_index.hpp"
 #include "storage/io.hpp"
 #include "storage/snapshot.hpp"
 #include "storage/wal.hpp"
@@ -566,6 +567,306 @@ TEST_P(CrashMatrixTest, NoAckedRecordLostAtAnyFailurePoint) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, CrashMatrixTest,
+    ::testing::Values(storage::FaultPlan::Kind::kFail,
+                      storage::FaultPlan::Kind::kShortWrite,
+                      storage::FaultPlan::Kind::kTornWrite));
+
+// ---------------------------------------------------------------------------
+// Tiered recovery (memtable lanes + sealed segments + tombstones)
+// ---------------------------------------------------------------------------
+
+/// Tiny tier thresholds so the crash scripts cross seal and compaction
+/// boundaries; background off keeps replay-time merges deterministic.
+FastConfig tiered_config() {
+  FastConfig cfg = small_config();
+  cfg.tier.enabled = true;
+  cfg.tier.seal_threshold = 4;
+  cfg.tier.lanes = 2;
+  cfg.tier.compact_fanin = 2;
+  cfg.tier.compact_trigger = 2;
+  cfg.tier.background = false;
+  return cfg;
+}
+
+/// Layout-independent state equality for tiered indexes: recovery may land
+/// ids in different segments than the pre-crash process (replay re-seals,
+/// compaction re-runs), so we compare the LIVE SET and query behavior, not
+/// the physical layout.
+void expect_same_tier_state(const TieredIndex& got, const TieredIndex& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const auto a = got.find_signature(id);
+    const auto b = want.find_signature(id);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "id " << id;
+    if (a.has_value()) {
+      EXPECT_EQ(a->set_bits(), b->set_bits()) << "id " << id;
+    }
+  }
+  for (std::uint64_t q = 0; q < 5; ++q) {
+    const auto sig = make_signature(1000 + q, want.config().bloom_bits);
+    const QueryResult ra = got.query_signature(sig, 10);
+    const QueryResult rb = want.query_signature(sig, 10);
+    ASSERT_EQ(ra.hits.size(), rb.hits.size()) << "query " << q;
+    for (std::size_t i = 0; i < ra.hits.size(); ++i) {
+      EXPECT_EQ(ra.hits[i].id, rb.hits[i].id) << "query " << q << " hit " << i;
+      EXPECT_EQ(ra.hits[i].score, rb.hits[i].score)
+          << "query " << q << " hit " << i;
+    }
+  }
+}
+
+void apply_tiered_op(TieredIndex& index, const ScriptOp& op) {
+  if (op.is_erase) {
+    index.erase(op.id);
+  } else {
+    index.insert_signature(
+        op.id, make_signature(op.sig_seed, index.config().bloom_bits));
+  }
+}
+
+/// Interleaved insert/erase churn sized to cross several seal thresholds
+/// (4 mentions per lane): erases of sealed ids become tombstones, a sealed
+/// tombstone later compacts away, and an erased id is re-inserted. Every
+/// erase targets a live id so each op is logged (op index == WAL seq).
+std::vector<ScriptOp> tiered_crash_script() {
+  std::vector<ScriptOp> ops;
+  for (std::uint64_t id = 0; id < 12; ++id) ops.push_back({false, id, id});
+  ops.push_back({true, 1, 0});   // likely sealed by now -> tombstone
+  ops.push_back({true, 6, 0});
+  // (snapshot happens after op 14; see run_tiered_workload)
+  for (std::uint64_t id = 12; id < 18; ++id) ops.push_back({false, id, id});
+  ops.push_back({true, 14, 0});  // memtable-resident erase
+  ops.push_back({true, 3, 0});
+  ops.push_back({false, 6, 906});   // re-insert over a tombstone
+  // (snapshot happens after op 23)
+  for (std::uint64_t id = 18; id < 24; ++id) ops.push_back({false, id, id});
+  ops.push_back({true, 0, 0});
+  ops.push_back({false, 1, 901});   // resurrect the first erase, new content
+  return ops;
+}
+
+constexpr std::size_t kTieredSnapshotAfter[] = {14, 23};
+
+std::size_t run_tiered_workload(storage::Env& env, const std::string& dir,
+                                const FastConfig& cfg,
+                                const vision::PcaModel& pca) {
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.env = &env;
+  auto opened = TieredIndex::open_or_recover(cfg, pca, opts);
+  if (!opened.ok()) return 0;
+  std::unique_ptr<TieredIndex> index = std::move(opened).value();
+
+  const std::vector<ScriptOp> script = tiered_crash_script();
+  std::size_t acked = 0;
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    try {
+      apply_tiered_op(*index, script[i]);
+    } catch (const storage::IoError&) {
+      return acked;
+    }
+    ++acked;
+    for (const std::size_t at : kTieredSnapshotAfter) {
+      if (acked == at && !index->save_snapshot().ok()) {
+        return acked;
+      }
+    }
+  }
+  return acked;
+}
+
+void check_tiered_recovery(const std::string& dir, const FastConfig& cfg,
+                           const vision::PcaModel& pca, std::size_t acked,
+                           const std::string& label) {
+  DurabilityOptions opts;
+  opts.dir = dir;
+  RecoveryStats stats;
+  auto recovered = TieredIndex::open_or_recover(cfg, pca, opts, &stats);
+  ASSERT_TRUE(recovered.ok())
+      << label << ": recovery failed: " << recovered.status().to_string();
+
+  const std::vector<ScriptOp> script = tiered_crash_script();
+  const std::uint64_t got_seq = recovered.value()->last_seq();
+  ASSERT_GE(got_seq, acked) << label << ": acknowledged records lost";
+  ASSERT_LE(got_seq, acked + 1) << label << ": phantom records appeared";
+  ASSERT_LE(got_seq, script.size()) << label;
+
+  TieredIndex reference(cfg, pca);
+  for (std::size_t i = 0; i < got_seq; ++i) {
+    apply_tiered_op(reference, script[i]);
+  }
+  expect_same_tier_state(*recovered.value(), reference);
+}
+
+TEST(TieredRecoveryTest, WalReplayRestoresTierExactly) {
+  const FastConfig cfg = tiered_config();
+  const vision::PcaModel pca = test::fake_pca();
+  DurabilityOptions opts;
+  opts.dir = fresh_dir("tier_wal_replay");
+
+  TieredIndex reference(cfg, pca);
+  {
+    auto opened = TieredIndex::open_or_recover(cfg, pca, opts);
+    ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+    auto durable = std::move(opened).value();
+    for (std::uint64_t id = 0; id < 20; ++id) {
+      const auto sig = make_signature(id, cfg.bloom_bits);
+      durable->insert_signature(id, sig);
+      reference.insert_signature(id, sig);
+    }
+    EXPECT_TRUE(durable->erase(2));
+    EXPECT_TRUE(reference.erase(2));
+    EXPECT_TRUE(durable->erase(17));
+    EXPECT_TRUE(reference.erase(17));
+    EXPECT_FALSE(durable->erase(99));  // unknown: not logged
+    EXPECT_EQ(durable->last_seq(), 22u);
+    EXPECT_GE(durable->segment_count(), 1u);
+  }
+
+  RecoveryStats stats;
+  auto recovered = TieredIndex::open_or_recover(cfg, pca, opts, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  EXPECT_FALSE(stats.loaded_snapshot);
+  EXPECT_EQ(stats.replayed_records, 22u);
+  EXPECT_EQ(recovered.value()->last_seq(), 22u);
+  // Replay re-fires the same seals, so even the layout matches a fresh run.
+  EXPECT_EQ(recovered.value()->segment_count(), reference.segment_count());
+  expect_same_tier_state(*recovered.value(), reference);
+}
+
+TEST(TieredRecoveryTest, SnapshotRoundTripPreservesSegmentsAndTombstones) {
+  const FastConfig cfg = tiered_config();
+  const vision::PcaModel pca = test::fake_pca();
+  DurabilityOptions opts;
+  opts.dir = fresh_dir("tier_snapshot");
+
+  TieredIndex reference(cfg, pca);
+  std::size_t segments_before = 0;
+  std::size_t tombstones_before = 0;
+  {
+    auto opened = TieredIndex::open_or_recover(cfg, pca, opts);
+    ASSERT_TRUE(opened.ok());
+    auto durable = std::move(opened).value();
+    for (std::uint64_t id = 0; id < 16; ++id) {
+      const auto sig = make_signature(id, cfg.bloom_bits);
+      durable->insert_signature(id, sig);
+      reference.insert_signature(id, sig);
+    }
+    EXPECT_TRUE(durable->erase(1));
+    EXPECT_TRUE(reference.erase(1));
+    segments_before = durable->segment_count();
+    tombstones_before = durable->tombstone_count();
+    ASSERT_GE(segments_before, 1u);
+    ASSERT_TRUE(durable->save_snapshot().ok());
+  }
+
+  RecoveryStats stats;
+  auto recovered = TieredIndex::open_or_recover(cfg, pca, opts, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  EXPECT_TRUE(stats.loaded_snapshot);
+  EXPECT_EQ(stats.replayed_records, 0u);
+  // The manifest restores the exact tier layout, not just the live set.
+  EXPECT_EQ(recovered.value()->segment_count(), segments_before);
+  EXPECT_EQ(recovered.value()->tombstone_count(), tombstones_before);
+  expect_same_tier_state(*recovered.value(), reference);
+
+  // And the restored tier keeps working: mutations and seals continue.
+  recovered.value()->insert_signature(40, make_signature(40, cfg.bloom_bits));
+  EXPECT_TRUE(recovered.value()->find_signature(40).has_value());
+}
+
+TEST(TieredRecoveryTest, SnapshotPlusChurnTailReplay) {
+  const FastConfig cfg = tiered_config();
+  const vision::PcaModel pca = test::fake_pca();
+  DurabilityOptions opts;
+  opts.dir = fresh_dir("tier_snap_tail");
+
+  TieredIndex reference(cfg, pca);
+  {
+    auto opened = TieredIndex::open_or_recover(cfg, pca, opts);
+    ASSERT_TRUE(opened.ok());
+    auto durable = std::move(opened).value();
+    for (std::uint64_t id = 0; id < 10; ++id) {
+      const auto sig = make_signature(id, cfg.bloom_bits);
+      durable->insert_signature(id, sig);
+      reference.insert_signature(id, sig);
+    }
+    ASSERT_TRUE(durable->save_snapshot().ok());
+    // Churn tail: erase sealed ids, re-insert one with new content.
+    EXPECT_TRUE(durable->erase(4));
+    EXPECT_TRUE(reference.erase(4));
+    EXPECT_TRUE(durable->erase(7));
+    EXPECT_TRUE(reference.erase(7));
+    const auto fresh = make_signature(704, cfg.bloom_bits);
+    durable->insert_signature(7, fresh);
+    reference.insert_signature(7, fresh);
+  }
+
+  RecoveryStats stats;
+  auto recovered = TieredIndex::open_or_recover(cfg, pca, opts, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  EXPECT_TRUE(stats.loaded_snapshot);
+  EXPECT_EQ(stats.snapshot_seq, 10u);
+  EXPECT_EQ(stats.replayed_records, 3u);
+  EXPECT_FALSE(recovered.value()->find_signature(4).has_value());
+  ASSERT_TRUE(recovered.value()->find_signature(7).has_value());
+  expect_same_tier_state(*recovered.value(), reference);
+}
+
+TEST(TieredRecoveryTest, FlatDirectoryRejectedByTieredConfig) {
+  const vision::PcaModel pca = test::fake_pca();
+  DurabilityOptions opts;
+  opts.dir = fresh_dir("tier_mismatch");
+  {
+    auto opened = FastIndex::open_or_recover(small_config(), pca, opts);
+    ASSERT_TRUE(opened.ok());
+    FastIndex durable = std::move(opened).value();
+    durable.insert_signature(1, make_signature(1, durable.config().bloom_bits));
+    ASSERT_TRUE(durable.save_snapshot().ok());
+  }
+  // tier.enabled feeds the config fingerprint: a flat directory must not
+  // be silently reinterpreted as a tiered one.
+  auto recovered = TieredIndex::open_or_recover(tiered_config(), pca, opts);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), storage::StatusCode::kConfigMismatch);
+}
+
+class TieredCrashMatrixTest
+    : public ::testing::TestWithParam<storage::FaultPlan::Kind> {};
+
+TEST_P(TieredCrashMatrixTest, ChurnSurvivesAnyFailurePoint) {
+  const FastConfig cfg = tiered_config();
+  const vision::PcaModel pca = test::fake_pca();
+
+  const std::string dry = fresh_dir("tier_matrix_dry");
+  storage::FaultInjectingEnv counter(storage::Env::posix(), {});
+  const std::size_t clean_acked = run_tiered_workload(counter, dry, cfg, pca);
+  const std::size_t total_ops = counter.ops_attempted();
+  ASSERT_EQ(clean_acked, tiered_crash_script().size());
+  ASSERT_GE(total_ops, 50u);
+
+  const storage::FaultPlan::Kind kind = GetParam();
+  for (std::size_t fail_at = 0; fail_at < total_ops; ++fail_at) {
+    const std::string label =
+        "tiered kind=" + std::to_string(static_cast<int>(kind)) +
+        " fail_at=" + std::to_string(fail_at);
+    const std::string dir =
+        fresh_dir("tier_matrix_" + std::to_string(static_cast<int>(kind)) +
+                  "_" + std::to_string(fail_at));
+    storage::FaultPlan plan;
+    plan.kind = kind;
+    plan.fail_at_op = fail_at;
+    plan.seed = 0xbeef ^ fail_at;
+    storage::FaultInjectingEnv env(storage::Env::posix(), plan);
+    const std::size_t acked = run_tiered_workload(env, dir, cfg, pca);
+    EXPECT_TRUE(env.crashed()) << label;
+    ASSERT_NO_FATAL_FAILURE(
+        check_tiered_recovery(dir, cfg, pca, acked, label));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TieredCrashMatrixTest,
     ::testing::Values(storage::FaultPlan::Kind::kFail,
                       storage::FaultPlan::Kind::kShortWrite,
                       storage::FaultPlan::Kind::kTornWrite));

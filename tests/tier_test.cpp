@@ -1,0 +1,384 @@
+// Tiered index tests: the LSM-style assembly (memtable lanes + sealed
+// segments + compaction) must be indistinguishable from a flat FastIndex
+// holding the same live set — same hits, same scores — across seals,
+// erases, re-inserts and compaction, while the tier-specific machinery
+// (blooms, tombstone GC, background merges) does its job underneath.
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_index.hpp"
+#include "core/query_engine.hpp"
+#include "core/sharded_index.hpp"
+#include "core/tiered_index.hpp"
+#include "test_helpers.hpp"
+
+namespace fast::core {
+namespace {
+
+class TierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new workload::Dataset(test::small_dataset(40));
+    pca_ = new vision::PcaModel(test::fake_pca());
+    FastIndex helper(flat_config(), *pca_);
+    sigs_ = new std::vector<hash::SparseSignature>();
+    for (const auto& photo : dataset_->photos) {
+      sigs_->push_back(helper.summarize(photo.image));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete pca_;
+    delete sigs_;
+    dataset_ = nullptr;
+    pca_ = nullptr;
+    sigs_ = nullptr;
+  }
+
+  static FastConfig flat_config() {
+    FastConfig cfg;
+    cfg.cuckoo.capacity = 256;
+    return cfg;
+  }
+  /// Tiny thresholds so a 40-image dataset exercises every tier
+  /// transition; background off so seals and merges run inline and the
+  /// tests are deterministic.
+  static FastConfig tiered_config() {
+    FastConfig cfg = flat_config();
+    cfg.tier.enabled = true;
+    cfg.tier.seal_threshold = 8;
+    cfg.tier.lanes = 2;
+    cfg.tier.compact_fanin = 2;
+    cfg.tier.compact_trigger = 2;
+    cfg.tier.background = false;
+    return cfg;
+  }
+
+  static void expect_same_hits(const QueryResult& a, const QueryResult& b) {
+    ASSERT_EQ(a.hits.size(), b.hits.size());
+    for (std::size_t h = 0; h < a.hits.size(); ++h) {
+      EXPECT_EQ(a.hits[h].id, b.hits[h].id) << "hit " << h;
+      EXPECT_DOUBLE_EQ(a.hits[h].score, b.hits[h].score) << "hit " << h;
+    }
+  }
+
+  static workload::Dataset* dataset_;
+  static vision::PcaModel* pca_;
+  static std::vector<hash::SparseSignature>* sigs_;
+};
+
+workload::Dataset* TierTest::dataset_ = nullptr;
+vision::PcaModel* TierTest::pca_ = nullptr;
+std::vector<hash::SparseSignature>* TierTest::sigs_ = nullptr;
+
+TEST_F(TierTest, SealsAtThresholdAndQueriesSpanLayers) {
+  TieredIndex index(tiered_config(), *pca_);
+  for (std::size_t i = 0; i < 24; ++i) {
+    index.insert_signature(i, (*sigs_)[i]);
+  }
+  EXPECT_EQ(index.size(), 24u);
+  // 24 mentions over 2 lanes at threshold 8 must have sealed something.
+  EXPECT_GE(index.segment_count(), 1u);
+  // Every id is still retrievable, wherever its layer ended up.
+  for (std::size_t i = 0; i < 24; ++i) {
+    const QueryResult res = index.query_signature((*sigs_)[i], 1);
+    ASSERT_FALSE(res.hits.empty()) << i;
+    EXPECT_EQ(res.hits.front().id, i);
+    EXPECT_DOUBLE_EQ(res.hits.front().score, 1.0);
+  }
+}
+
+TEST_F(TierTest, MatchesFlatIndexExactly) {
+  TieredIndex tiered(tiered_config(), *pca_);
+  FastIndex flat(flat_config(), *pca_);
+  // Insert, erase a slice, re-insert part of it: the live sets stay equal
+  // while the tiered side accumulates tombstones and sealed segments.
+  for (std::size_t i = 0; i < 32; ++i) {
+    tiered.insert_signature(i, (*sigs_)[i]);
+    flat.insert_signature(i, (*sigs_)[i]);
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(tiered.erase(i));
+    EXPECT_TRUE(flat.erase(i));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    tiered.insert_signature(i, (*sigs_)[i]);
+    flat.insert_signature(i, (*sigs_)[i]);
+  }
+  ASSERT_EQ(tiered.size(), flat.size());
+
+  // Probe with every dataset signature (present and absent alike) and a
+  // deep k: hit lists and scores must agree exactly.
+  for (std::size_t q = 0; q < sigs_->size(); ++q) {
+    const QueryResult a = tiered.query_signature((*sigs_)[q], 10);
+    const QueryResult b = flat.query_signature((*sigs_)[q], 10);
+    expect_same_hits(a, b);
+  }
+}
+
+TEST_F(TierTest, EraseAcrossSealLeavesTombstone) {
+  TieredIndex index(tiered_config(), *pca_);
+  for (std::size_t i = 0; i < 8; ++i) {
+    index.insert_signature(i, (*sigs_)[i]);
+  }
+  index.seal_active();
+  ASSERT_GE(index.segment_count(), 1u);
+
+  // The victim now lives in a sealed (immutable) segment; erasing it must
+  // go through a tombstone, not an in-place delete.
+  EXPECT_TRUE(index.erase(3));
+  EXPECT_FALSE(index.erase(3));  // already gone
+  EXPECT_EQ(index.size(), 7u);
+  EXPECT_GE(index.tombstone_count(), 1u);
+  EXPECT_FALSE(index.find_signature(3).has_value());
+  const QueryResult res = index.query_signature((*sigs_)[3], 8);
+  for (const auto& hit : res.hits) {
+    EXPECT_NE(hit.id, 3u);
+  }
+}
+
+TEST_F(TierTest, ReinsertShadowsSealedVersion) {
+  TieredIndex index(tiered_config(), *pca_);
+  index.insert_signature(7, (*sigs_)[7]);
+  index.seal_active();
+  // Same id, new content, no intervening erase: the memtable version must
+  // shadow the sealed one.
+  index.insert_signature(7, (*sigs_)[8]);
+  EXPECT_EQ(index.size(), 1u);
+  const QueryResult fresh = index.query_signature((*sigs_)[8], 1);
+  ASSERT_FALSE(fresh.hits.empty());
+  EXPECT_EQ(fresh.hits.front().id, 7u);
+  EXPECT_DOUBLE_EQ(fresh.hits.front().score, 1.0);
+  // The old signature no longer scores 1.0 anywhere.
+  const QueryResult stale = index.query_signature((*sigs_)[7], 1);
+  if (!stale.hits.empty()) {
+    EXPECT_LT(stale.hits.front().score, 1.0);
+  }
+}
+
+TEST_F(TierTest, CompactionPreservesContentAndDropsTombstones) {
+  TieredIndex tiered(tiered_config(), *pca_);
+  FastIndex flat(flat_config(), *pca_);
+  for (std::size_t i = 0; i < 32; ++i) {
+    tiered.insert_signature(i, (*sigs_)[i]);
+    flat.insert_signature(i, (*sigs_)[i]);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    tiered.erase(i);
+    flat.erase(i);
+  }
+  // Freeze the tombstones into segments, then merge until nothing is
+  // eligible: bottom-level merges must GC them.
+  tiered.seal_active();
+  while (tiered.compact_once()) {
+  }
+  const auto metrics = tiered.metrics().snapshot();
+  EXPECT_GE(metrics.counters.at("compaction.runs"), 1u);
+  EXPECT_GE(metrics.counters.at("compaction.dropped_tombstones"), 1u);
+  EXPECT_GE(metrics.counters.at("tier.seals"), 1u);
+
+  ASSERT_EQ(tiered.size(), flat.size());
+  for (std::size_t q = 0; q < sigs_->size(); ++q) {
+    const QueryResult a = tiered.query_signature((*sigs_)[q], 10);
+    const QueryResult b = flat.query_signature((*sigs_)[q], 10);
+    expect_same_hits(a, b);
+  }
+}
+
+TEST_F(TierTest, EraseBatchMatchesLoop) {
+  TieredIndex index(tiered_config(), *pca_);
+  for (std::size_t i = 0; i < 20; ++i) {
+    index.insert_signature(i, (*sigs_)[i]);
+  }
+  const std::vector<std::uint64_t> victims = {1, 3, 5, 99, 3};
+  // 99 is unknown and 3 repeats: only three distinct live ids go away.
+  EXPECT_EQ(index.erase_batch(victims), 3u);
+  EXPECT_EQ(index.size(), 17u);
+  EXPECT_FALSE(index.find_signature(3).has_value());
+  EXPECT_TRUE(index.find_signature(2).has_value());
+}
+
+TEST_F(TierTest, BloomSkipsColdSegments) {
+  FastConfig cfg = tiered_config();
+  cfg.tier.compact_trigger = 64;  // keep many small segments around
+  TieredIndex index(cfg, *pca_);
+  for (std::size_t i = 0; i < sigs_->size(); ++i) {
+    index.insert_signature(i, (*sigs_)[i]);
+  }
+  index.seal_active();
+  index.compact_once();  // finalizes blooms even when nothing merges
+  ASSERT_GE(index.segment_count(), 3u);
+
+  for (std::size_t q = 0; q < sigs_->size(); ++q) {
+    const QueryResult res = index.query_signature((*sigs_)[q], 1);
+    ASSERT_FALSE(res.hits.empty());
+    EXPECT_EQ(res.hits.front().id, q);
+  }
+  // Each probe's keys live in one segment; the blooms must have pruned
+  // most of the others.
+  const auto metrics = index.metrics().snapshot();
+  EXPECT_GT(metrics.counters.at("tier.segment_skips"), 0u);
+}
+
+TEST_F(TierTest, ExpositionCarriesTierMetrics) {
+  TieredIndex index(tiered_config(), *pca_);
+  for (std::size_t i = 0; i < 24; ++i) {
+    index.insert_signature(i, (*sigs_)[i]);
+  }
+  index.seal_active();
+  index.compact_once();
+
+  const std::string prom = index.metrics().to_prometheus();
+  EXPECT_NE(prom.find("segment_count"), std::string::npos);
+  EXPECT_NE(prom.find("compaction_runs"), std::string::npos);
+  EXPECT_NE(prom.find("compaction_merge_s"), std::string::npos);
+  EXPECT_NE(prom.find("tier_memtable_entries"), std::string::npos);
+
+  const std::string json = index.metrics().to_json();
+  EXPECT_NE(json.find("segment.count"), std::string::npos);
+  EXPECT_NE(json.find("compaction.merge_entries"), std::string::npos);
+}
+
+TEST_F(TierTest, ConcurrentFacadeDispatchesToTier) {
+  FastConfig cfg = tiered_config();
+  ConcurrentFastIndex tiered(cfg, *pca_, 2);
+  ConcurrentFastIndex flat(flat_config(), *pca_, 2);
+  ASSERT_TRUE(tiered.is_tiered());
+  ASSERT_FALSE(flat.is_tiered());
+
+  std::vector<BatchImage> items;
+  for (std::size_t i = 0; i < 24; ++i) {
+    items.push_back(BatchImage{i, &dataset_->photos[i].image});
+  }
+  tiered.insert_batch(items);
+  flat.insert_batch(items);
+  EXPECT_EQ(tiered.size(), flat.size());
+  // The tiered facade adds no global writer lock — that is the point.
+  EXPECT_EQ(tiered.writer_lock_count(), 0u);
+
+  const std::vector<std::uint64_t> victims = {0, 2, 4, 6};
+  EXPECT_EQ(tiered.erase_batch(victims), flat.erase_batch(victims));
+  EXPECT_EQ(tiered.size(), flat.size());
+
+  std::vector<const img::Image*> queries;
+  for (std::size_t i = 0; i < 8; ++i) {
+    queries.push_back(&dataset_->photos[i].image);
+  }
+  const auto a = tiered.query_batch(queries, 5);
+  const auto b = flat.query_batch(queries, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_same_hits(a[i], b[i]);
+  }
+}
+
+TEST_F(TierTest, ShardedDeploymentRunsTieredShards) {
+  ShardedFastIndex tiered(tiered_config(), *pca_, 2, 2);
+  ShardedFastIndex flat(flat_config(), *pca_, 2, 2);
+  ASSERT_TRUE(tiered.is_tiered());
+  EXPECT_EQ(tiered.shard_count(), 2u);
+  for (std::size_t i = 0; i < 24; ++i) {
+    tiered.insert_signature(i, (*sigs_)[i]);
+    flat.insert_signature(i, (*sigs_)[i]);
+  }
+  EXPECT_TRUE(tiered.erase(5));
+  EXPECT_TRUE(flat.erase(5));
+  EXPECT_FALSE(tiered.erase(5));
+  EXPECT_EQ(tiered.size(), flat.size());
+
+  for (std::size_t q = 0; q < 24; ++q) {
+    const QueryResult a = tiered.query_signature((*sigs_)[q], 5);
+    const QueryResult b = flat.query_signature((*sigs_)[q], 5);
+    expect_same_hits(a, b);
+  }
+  // The per-shard accessor reaches the tiered shard directly.
+  EXPECT_GT(tiered.tiered_shard(0).size() + tiered.tiered_shard(1).size(), 0u);
+}
+
+TEST_F(TierTest, QueryEngineServesTieredBackend) {
+  TieredIndex tiered(tiered_config(), *pca_);
+  FastIndex flat(flat_config(), *pca_);
+  for (std::size_t i = 0; i < 24; ++i) {
+    tiered.insert_signature(i, (*sigs_)[i]);
+    flat.insert_signature(i, (*sigs_)[i]);
+  }
+  QueryEngine tiered_engine(tiered, 2);
+  QueryEngine flat_engine(flat, 2);
+  ASSERT_TRUE(tiered_engine.is_tiered());
+
+  const BatchReport a = tiered_engine.run_batch(*sigs_);
+  const BatchReport b = flat_engine.run_batch(*sigs_);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    expect_same_hits(a.results[i], b.results[i]);
+  }
+  EXPECT_GE(tiered.metrics().snapshot().counters.at("engine.batches"), 1u);
+}
+
+// Matches the TSan CI regex: readers and writers race real background
+// seals and compactions.
+class TierStressTest : public TierTest {};
+
+TEST_F(TierStressTest, ChurnWithBackgroundCompaction) {
+  FastConfig cfg = tiered_config();
+  cfg.tier.background = true;
+  cfg.tier.seal_threshold = 16;
+  cfg.tier.lanes = 4;
+  TieredIndex index(cfg, *pca_);
+
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kPerWriter = 150;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad_hits{0};
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const std::uint64_t base = w * 100000;
+      for (std::size_t i = 0; i < kPerWriter; ++i) {
+        index.insert_signature(base + i, (*sigs_)[i % sigs_->size()]);
+        // Churn: every third insert retires an earlier id of this writer.
+        if (i % 3 == 2) {
+          index.erase(base + i - 2);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t qi = static_cast<std::size_t>(r);
+      while (!stop) {
+        const QueryResult res =
+            index.query_signature((*sigs_)[qi % sigs_->size()], 5);
+        for (const auto& hit : res.hits) {
+          if (hit.score < 0.0 || hit.score > 1.0) ++bad_hits;
+        }
+        ++qi;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop = true;
+  for (auto& t : readers) t.join();
+  index.wait_idle();
+  EXPECT_EQ(bad_hits.load(), 0u);
+
+  // Each writer erased floor(kPerWriter / 3) of its own ids.
+  const std::size_t erased_per_writer = kPerWriter / 3;
+  EXPECT_EQ(index.size(), kWriters * (kPerWriter - erased_per_writer));
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    const std::uint64_t base = w * 100000;
+    EXPECT_FALSE(index.find_signature(base + 0).has_value());
+    EXPECT_TRUE(index.find_signature(base + 1).has_value());
+    EXPECT_TRUE(index.find_signature(base + kPerWriter - 1).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace fast::core

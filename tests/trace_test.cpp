@@ -12,6 +12,7 @@
 
 #include "core/concurrent_index.hpp"
 #include "core/fast_index.hpp"
+#include "core/tiered_index.hpp"
 #include "test_helpers.hpp"
 #include "util/trace.hpp"
 
@@ -296,6 +297,55 @@ TEST_F(TraceTest, UnsampledQueriesStillFeedTheSlowRing) {
   EXPECT_TRUE(Tracer::global().sampled_profiles().empty());
   ASSERT_EQ(Tracer::global().slow_queries().size(), 1u);
   EXPECT_FALSE(Tracer::global().slow_queries().front().sampled);
+}
+
+// Churn-aware slow-ring behavior: a tiered index whose seals, tombstones
+// and inline compactions run BETWEEN traced queries must still feed every
+// query into the threshold-0 ring, cap it at capacity, keep the newest
+// entries in order and count the evictions — layer churn must not drop or
+// duplicate ring entries.
+TEST_F(TraceTest, TieredChurnFeedsSlowRingWithBoundedCapacity) {
+  constexpr std::size_t kRing = 8;
+  configure(1.0, /*slow_s=*/0.0, /*ring=*/kRing, /*max_profiles=*/1 << 16);
+  core::FastConfig cfg = small_config();
+  cfg.tier.enabled = true;
+  cfg.tier.seal_threshold = 8;
+  cfg.tier.lanes = 2;
+  cfg.tier.compact_fanin = 2;
+  cfg.tier.compact_trigger = 2;
+  cfg.tier.background = false;  // seals + merges run inline during churn
+  core::TieredIndex index(cfg, test::fake_pca());
+  const std::size_t bits = cfg.bloom_bits;
+
+  Tracer::global().reset();
+  constexpr std::uint64_t kQueries = 24;
+  std::uint64_t id = 0;
+  for (std::uint64_t q = 0; q < kQueries; ++q) {
+    // Churn between queries: inserts cross seal thresholds, erases leave
+    // tombstones, and compaction merges segments mid-stream.
+    for (int i = 0; i < 4; ++i) {
+      index.insert_signature(id, synthetic_signature(id, bits));
+      ++id;
+    }
+    if (q % 2 == 1) index.erase(id - 3);
+    (void)index.query_signature(synthetic_signature(q, bits), 5);
+  }
+  ASSERT_GT(index.segment_count() + index.tombstone_count(), 0u);
+
+  const Tracer::Stats stats = Tracer::global().stats();
+  EXPECT_EQ(stats.slow_queries, kQueries);
+  EXPECT_EQ(stats.slow_evicted, kQueries - kRing);
+  std::vector<QueryProfile> slow = Tracer::global().slow_queries();
+  ASSERT_EQ(slow.size(), kRing);
+  // Oldest surviving entry first, strictly newer toward the tail: only the
+  // LAST kRing queries of the churn stream survive.
+  for (std::size_t i = 1; i < slow.size(); ++i) {
+    EXPECT_GT(slow[i].request_id, slow[i - 1].request_id);
+  }
+  for (const auto& p : slow) {
+    EXPECT_EQ(p.k, 5u);
+    EXPECT_GE(p.wall_s, 0.0);
+  }
 }
 
 // Concurrent traced traffic (runs under TSan in CI): readers and writers
