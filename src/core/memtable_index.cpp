@@ -109,6 +109,11 @@ void MemtableIndex::serialize(util::ByteWriter& out) const {
 
 bool MemtableIndex::deserialize(util::ByteReader& in, std::size_t bloom_bits) {
   const std::uint64_t count = in.u64();
+  // Each entry spends at least 8 (id) + 4 (blob length prefix) +
+  // table_count*8 (home keys) bytes, so bound the reserve against the
+  // bytes actually left instead of trusting a CRC-valid-but-bogus count.
+  const std::size_t min_entry_bytes = 8 + 4 + store_->table_count() * 8;
+  if (!in.ok() || count > in.remaining() / min_entry_bytes) return false;
   std::unordered_map<std::uint64_t, hash::SparseSignature> sigs;
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> keys;
   sigs.reserve(count);

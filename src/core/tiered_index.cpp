@@ -699,47 +699,56 @@ QueryResult TieredIndex::query_signature(const hash::SparseSignature& signature,
     util::TraceSpan probe_span("chs.probe");
     for (const auto& lane_ptr : lanes_) {
       const Lane& lane = *lane_ptr;
-      const std::shared_ptr<const SegmentList> list = lane.segments.load();
-
-      // 1) Segments: no lock, the list pointer pins every layer. A
-      //    finalized bloom that rejects every probe key skips the segment.
-      std::vector<std::unordered_set<std::uint64_t>> per_seg(list->size());
-      for (std::size_t si = 0; si < list->size(); ++si) {
-        const ImmutableSegment& seg = *(*list)[si];
-        bool touch = false;
-        for (std::size_t t = 0; t < keys.size() && !touch; ++t) {
-          if (seg.may_contain(t, keys[t])) {
-            touch = true;
-            break;
-          }
-          for (const std::uint64_t pk : probes[t]) {
-            if (seg.may_contain(t, pk)) {
-              touch = true;
-              break;
-            }
-          }
-        }
-        if (!touch) {
-          ++segments_skipped;
-          continue;
-        }
-        ++segments_probed;
-        for (std::size_t t = 0; t < keys.size(); ++t) {
-          ++result.bucket_probes;
-          seg.state().collect(t, keys[t], per_seg[si], &table_slot_reads[t]);
-          for (const std::uint64_t pk : probes[t]) {
-            ++result.bucket_probes;
-            seg.state().collect(t, pk, per_seg[si], &table_slot_reads[t]);
-          }
-        }
-      }
-
-      // 2) Memtable under the shared lock: probe, score (the signature map
-      //    can rehash under writers, so scoring stays inside the lock), and
-      //    take the shadow decisions segment candidates need.
+      std::shared_ptr<const SegmentList> list;
+      std::vector<std::unordered_set<std::uint64_t>> per_seg;
       std::unordered_map<std::uint64_t, bool> mem_shadowed;
       {
         std::shared_lock<std::shared_mutex> lk(lane.mem_mutex);
+        // Pin the segment list under the memtable lock: seal publishes its
+        // segment before dropping the exclusive lock, so this list and the
+        // memtable form a consistent cut. Loading the list outside would
+        // let a concurrent seal move memtable entries into a segment this
+        // query never sees (missed hits, resurrected erases).
+        list = lane.segments.load();
+
+        // 1) Segments: candidate collection stays in the critical section
+        //    because the shadow decisions below must come from the
+        //    memtable of the same cut. A finalized bloom that rejects
+        //    every probe key skips the segment.
+        per_seg.resize(list->size());
+        for (std::size_t si = 0; si < list->size(); ++si) {
+          const ImmutableSegment& seg = *(*list)[si];
+          bool touch = false;
+          for (std::size_t t = 0; t < keys.size() && !touch; ++t) {
+            if (seg.may_contain(t, keys[t])) {
+              touch = true;
+              break;
+            }
+            for (const std::uint64_t pk : probes[t]) {
+              if (seg.may_contain(t, pk)) {
+                touch = true;
+                break;
+              }
+            }
+          }
+          if (!touch) {
+            ++segments_skipped;
+            continue;
+          }
+          ++segments_probed;
+          for (std::size_t t = 0; t < keys.size(); ++t) {
+            ++result.bucket_probes;
+            seg.state().collect(t, keys[t], per_seg[si], &table_slot_reads[t]);
+            for (const std::uint64_t pk : probes[t]) {
+              ++result.bucket_probes;
+              seg.state().collect(t, pk, per_seg[si], &table_slot_reads[t]);
+            }
+          }
+        }
+
+        // 2) Memtable: probe, score (the signature map can rehash under
+        //    writers, so scoring stays inside the lock), and take the
+        //    shadow decisions segment candidates need.
         std::unordered_set<std::uint64_t> mem_ids;
         for (std::size_t t = 0; t < keys.size(); ++t) {
           ++result.bucket_probes;
@@ -763,8 +772,9 @@ QueryResult TieredIndex::query_signature(const hash::SparseSignature& signature,
         }
       }
 
-      // 3) Segment candidates: the newest unshadowed mention owns the id
-      //    (drops tombstoned ids and stale duplicates in one rule).
+      // 3) Segment candidates, scored lock-free off the pinned immutable
+      //    list: the newest unshadowed mention owns the id (drops
+      //    tombstoned ids and stale duplicates in one rule).
       for (std::size_t si = 0; si < per_seg.size(); ++si) {
         for (const std::uint64_t id : per_seg[si]) {
           if (mem_shadowed[id]) continue;
@@ -995,7 +1005,9 @@ bool TieredIndex::restore_snapshot(const storage::SnapshotFile& snapshot) {
       util::ByteReader in{std::span(section.payload)};
       const std::uint64_t l = in.u64();
       if (!in.ok() || l >= lane_count || mems[l] != nullptr) return false;
-      auto mem = std::make_unique<MemtableIndex>(config_, tables_);
+      // mem_config_, not config_: restored memtables should start at the
+      // same pre-expanded capacity the seal path hands out.
+      auto mem = std::make_unique<MemtableIndex>(mem_config_, tables_);
       if (!mem->deserialize(in, config_.bloom_bits)) return false;
       mems[l] = std::move(mem);
     } else if (section.id == storage::kSectionTierSegment) {
