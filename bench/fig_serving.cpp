@@ -1,0 +1,174 @@
+// fig_serving — sustained serving throughput and tail latency of the
+// network front door (DESIGN.md §3g).
+//
+// Starts an in-process fast::server over a tiered, writable engine,
+// preloads a zipf key space, then measures:
+//   1. closed-loop sweep: connections 1..N, 90/10 read/write zipf mix —
+//      sustained QPS and p50/p99/p999 per concurrency level;
+//   2. open-loop sweep: offered arrival rates around the closed-loop peak
+//      — where latency degrades and admission control starts shedding
+//      (kRetryAfter) instead of queueing without bound.
+// Finishes with a Prometheus scrape through the wire (kMetrics) proving
+// the serving counters export alongside the pipeline metrics.
+//
+//   fig_serving [duration_s_per_point] [preload_keys]   (default 2 10000)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query_engine.hpp"
+#include "core/tiered_index.hpp"
+#include "load_driver.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/vecmath.hpp"
+
+namespace fast::bench {
+namespace {
+
+vision::PcaModel placeholder_pca() {
+  vision::PcaModel model;
+  const std::size_t input_dim = 578, output_dim = 36;
+  model.mean.assign(input_dim, 0.0f);
+  model.eigenvalues.assign(output_dim, 1.0f / static_cast<float>(input_dim));
+  util::Rng rng(0xfa57);
+  model.components.resize(output_dim);
+  for (auto& row : model.components) {
+    row.resize(input_dim);
+    for (auto& v : row) v = static_cast<float>(rng.gaussian());
+    util::normalize_l2(row);
+  }
+  return model;
+}
+
+std::string fmt(double v, int digits) { return util::fmt_double(v, digits); }
+
+void add_report_row(util::Table& table, const std::string& label,
+                    const LoadReport& r) {
+  table.add_row({label, std::to_string(r.ops), fmt(r.qps(), 0),
+                 fmt(r.p50_ms, 3), fmt(r.p99_ms, 3), fmt(r.p999_ms, 3),
+                 std::to_string(r.retries), std::to_string(r.errors)});
+}
+
+int run(double duration_s, std::size_t preload) {
+  core::FastConfig config;
+  config.tier.enabled = true;
+  core::TieredIndex index(config, placeholder_pca());
+  core::QueryEngine engine(index);
+
+  server::ServerOptions options;
+  options.port = 0;  // ephemeral
+  server::Server srv(engine, options);
+  const storage::Status st = srv.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "fig_serving: start failed: %s\n",
+                 st.message().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (workers=%zu queue=%zu)\n", srv.port(),
+              options.workers, options.queue_depth);
+
+  LoadOptions base;
+  base.port = srv.port();
+  base.duration_s = duration_s;
+  base.key_space = preload;
+  base.bloom_bits = config.bloom_bits;
+
+  // Preload through the wire so the sweep queries a populated index.
+  {
+    server::Client client;
+    if (!client.connect(base.host, base.port).ok()) {
+      std::fprintf(stderr, "fig_serving: connect failed\n");
+      return 1;
+    }
+    const std::size_t kBatch = 256;
+    for (std::size_t id = 1; id <= preload; id += kBatch) {
+      std::vector<std::uint64_t> ids;
+      std::vector<hash::SparseSignature> sigs;
+      for (std::size_t j = id; j <= preload && j < id + kBatch; ++j) {
+        ids.push_back(j);
+        sigs.push_back(
+            synth_signature(j, base.bloom_bits, base.sig_bits_set));
+      }
+      const auto r = client.insert_batch(ids, sigs);
+      if (!r.ok() || r.value().status != server::Status::kOk) {
+        std::fprintf(stderr, "fig_serving: preload failed\n");
+        return 1;
+      }
+    }
+    std::printf("preloaded %zu keys\n", preload);
+  }
+
+  // 1. Closed-loop concurrency sweep.
+  util::Table closed({"conns", "ops", "qps", "p50 ms", "p99 ms", "p999 ms",
+                      "retry", "err"});
+  double peak_qps = 0.0;
+  for (const std::size_t conns : {1, 2, 4, 8, 16}) {
+    LoadOptions opt = base;
+    opt.connections = conns;
+    const LoadReport r = run_load(opt);
+    peak_qps = std::max(peak_qps, r.qps());
+    add_report_row(closed, std::to_string(conns), r);
+    if (r.errors != 0) {
+      std::fprintf(stderr, "fig_serving: closed-loop errors\n");
+      return 1;
+    }
+  }
+  closed.print("Serving — closed loop, zipf(0.99) 90/10 read/write");
+
+  // 2. Open-loop arrival sweep around the closed-loop peak: tail latency
+  // and shed rate as offered load crosses capacity.
+  util::Table open({"offered", "ops", "qps", "p50 ms", "p99 ms", "p999 ms",
+                    "retry", "err"});
+  for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
+    LoadOptions opt = base;
+    opt.connections = 8;
+    opt.arrival_rate = std::max(100.0, peak_qps * frac);
+    const LoadReport r = run_load(opt);
+    add_report_row(open, fmt(opt.arrival_rate, 0), r);
+  }
+  open.print("Serving — open loop, offered rate vs. tail latency");
+
+  // 3. Prometheus scrape through the wire.
+  {
+    server::Client client;
+    if (!client.connect(base.host, base.port).ok()) {
+      std::fprintf(stderr, "fig_serving: scrape connect failed\n");
+      return 1;
+    }
+    const auto r = client.metrics();
+    if (!r.ok() || r.value().status != server::Status::kOk) {
+      std::fprintf(stderr, "fig_serving: metrics scrape failed\n");
+      return 1;
+    }
+    const std::string& text = r.value().text;
+    std::printf("prometheus scrape: %zu bytes, server_* series %s\n",
+                text.size(),
+                text.find("server_requests") != std::string::npos
+                    ? "present"
+                    : "MISSING");
+    if (text.find("server_requests") == std::string::npos) return 1;
+  }
+
+  srv.stop();
+  std::printf("graceful stop: connections=%zu running=%d\n",
+              srv.connection_count(), srv.running() ? 1 : 0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fast::bench
+
+int main(int argc, char** argv) {
+  double duration_s = 2.0;
+  std::size_t preload = 10000;
+  if (argc > 1) duration_s = std::atof(argv[1]);
+  if (argc > 2) preload = static_cast<std::size_t>(std::atoll(argv[2]));
+  if (duration_s <= 0 || duration_s > 600) duration_s = 2.0;
+  std::printf("== bench fig_serving: network front door ==\n");
+  return fast::bench::run(duration_s, preload);
+}

@@ -1,0 +1,292 @@
+#include "load_driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "server/client.hpp"
+#include "util/rng.hpp"
+
+namespace fast::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double to_ms(Clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Shared accumulator the per-connection threads merge into.
+struct Accum {
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  std::size_t ops = 0;
+  std::size_t retries = 0;
+  std::size_t errors = 0;
+
+  void merge(std::vector<double>&& lat, std::size_t ok, std::size_t retry,
+             std::size_t err) {
+    std::lock_guard<std::mutex> lk(mu);
+    latencies_ms.insert(latencies_ms.end(), lat.begin(), lat.end());
+    ops += ok;
+    retries += retry;
+    errors += err;
+  }
+};
+
+struct OpChoice {
+  enum Kind { kQuery, kInsert, kErase } kind = kQuery;
+  std::uint64_t key = 0;
+};
+
+OpChoice choose_op(util::Rng& rng, const util::ZipfDistribution& zipf,
+                   const LoadOptions& opt) {
+  OpChoice choice;
+  choice.key = static_cast<std::uint64_t>(zipf(rng));
+  if (rng.bernoulli(opt.read_fraction)) {
+    choice.kind = OpChoice::kQuery;
+  } else {
+    // Writes split 9:1 insert:erase, so the key space keeps churning
+    // without emptying out.
+    choice.kind = rng.bernoulli(0.1) ? OpChoice::kErase : OpChoice::kInsert;
+  }
+  return choice;
+}
+
+std::vector<std::uint8_t> encode_op(const OpChoice& choice,
+                                    std::uint64_t seq,
+                                    const LoadOptions& opt) {
+  switch (choice.kind) {
+    case OpChoice::kQuery:
+      return server::encode_query(
+          seq, static_cast<std::uint32_t>(opt.top_k),
+          synth_signature(choice.key, opt.bloom_bits, opt.sig_bits_set));
+    case OpChoice::kInsert:
+      return server::encode_insert(
+          seq, choice.key,
+          synth_signature(choice.key, opt.bloom_bits, opt.sig_bits_set));
+    case OpChoice::kErase:
+      return server::encode_erase(seq, choice.key);
+  }
+  return server::encode_ping(seq);
+}
+
+/// Closed loop: one outstanding request per connection; the response gates
+/// the next send.
+void closed_loop_conn(const LoadOptions& opt,
+                      const util::ZipfDistribution& zipf, std::size_t conn_id,
+                      Accum* accum) {
+  server::Client client;
+  if (!client.connect(opt.host, opt.port).ok()) {
+    accum->merge({}, 0, 0, 1);
+    return;
+  }
+  util::Rng rng(opt.seed * 0x9e3779b9ULL + conn_id);
+  std::vector<double> lat;
+  std::size_t ok = 0, retry = 0, err = 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(opt.duration_s));
+  while (Clock::now() < deadline) {
+    const OpChoice choice = choose_op(rng, zipf, opt);
+    const std::uint64_t seq = client.next_seq();
+    const std::vector<std::uint8_t> body = encode_op(choice, seq, opt);
+    const Clock::time_point t0 = Clock::now();
+    if (!client.send(body).ok()) {
+      ++err;
+      break;
+    }
+    server::Response response;
+    if (!client.recv(&response).ok()) {
+      ++err;
+      break;
+    }
+    switch (response.status) {
+      case server::Status::kOk:
+        ++ok;
+        lat.push_back(to_ms(Clock::now() - t0));
+        break;
+      case server::Status::kRetryAfter:
+        ++retry;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<std::uint32_t>(response.retry_after_ms, 100)));
+        break;
+      default:
+        ++err;
+        break;
+    }
+  }
+  accum->merge(std::move(lat), ok, retry, err);
+}
+
+/// Open loop: a sender paces exponential arrivals at the per-connection
+/// rate and pipelines; a receiver matches responses by seq. The generator
+/// never slows down with the server — overload surfaces as latency and
+/// kRetryAfter, not as a reduced offered rate.
+void open_loop_conn(const LoadOptions& opt, const util::ZipfDistribution& zipf,
+                    std::size_t conn_id, double rate_per_conn, Accum* accum) {
+  server::Client client;
+  if (!client.connect(opt.host, opt.port).ok()) {
+    accum->merge({}, 0, 0, 1);
+    return;
+  }
+
+  std::mutex pending_mu;
+  std::unordered_map<std::uint64_t, Clock::time_point> pending;
+  std::atomic<bool> sender_done{false};
+
+  std::thread sender([&] {
+    util::Rng rng(opt.seed * 0x517cc1b7ULL + conn_id);
+    const Clock::time_point start = Clock::now();
+    const Clock::time_point deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(opt.duration_s));
+    Clock::time_point next = start;
+    while (true) {
+      const Clock::time_point now = Clock::now();
+      if (now >= deadline) break;
+      if (now < next) {
+        std::this_thread::sleep_for(
+            std::min<Clock::duration>(next - now,
+                                      std::chrono::milliseconds(5)));
+        continue;
+      }
+      const OpChoice choice = choose_op(rng, zipf, opt);
+      const std::uint64_t seq = client.next_seq();
+      const std::vector<std::uint8_t> body = encode_op(choice, seq, opt);
+      {
+        std::lock_guard<std::mutex> lk(pending_mu);
+        pending.emplace(seq, Clock::now());
+      }
+      if (!client.send(body).ok()) {
+        std::lock_guard<std::mutex> lk(pending_mu);
+        pending.erase(seq);
+        break;
+      }
+      next += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(rng.exponential(rate_per_conn)));
+    }
+    sender_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<double> lat;
+  std::size_t ok = 0, retry = 0, err = 0;
+  // Receive until every sent request is answered: the server answers every
+  // admitted or rejected frame, so once the sender stops, the pending set
+  // drains to zero (or the connection errors out). recv() only blocks while
+  // something is actually in flight.
+  while (true) {
+    bool empty;
+    {
+      std::lock_guard<std::mutex> lk(pending_mu);
+      empty = pending.empty();
+    }
+    if (empty) {
+      if (sender_done.load(std::memory_order_acquire)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    server::Response response;
+    if (!client.recv(&response).ok()) {
+      ++err;
+      break;
+    }
+    Clock::time_point t0{};
+    bool known = false;
+    {
+      std::lock_guard<std::mutex> lk(pending_mu);
+      const auto it = pending.find(response.seq);
+      if (it != pending.end()) {
+        t0 = it->second;
+        known = true;
+        pending.erase(it);
+      }
+    }
+    switch (response.status) {
+      case server::Status::kOk:
+        ++ok;
+        if (known) lat.push_back(to_ms(Clock::now() - t0));
+        break;
+      case server::Status::kRetryAfter:
+        ++retry;
+        break;
+      default:
+        ++err;
+        break;
+    }
+  }
+  sender.join();
+  accum->merge(std::move(lat), ok, retry, err);
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<double>(std::max(0.0, std::ceil(rank) - 1.0),
+                       static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+}  // namespace
+
+hash::SparseSignature synth_signature(std::uint64_t key,
+                                      std::size_t bloom_bits,
+                                      std::size_t bits_set) {
+  util::SplitMix64 sm(key * 0x2545f4914f6cdd1dULL + 0xfa57);
+  std::vector<std::uint32_t> bits;
+  bits.reserve(bits_set);
+  for (std::size_t i = 0; i < bits_set; ++i) {
+    bits.push_back(static_cast<std::uint32_t>(sm.next() % bloom_bits));
+  }
+  std::sort(bits.begin(), bits.end());
+  bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+  return hash::SparseSignature(std::move(bits),
+                               static_cast<std::uint32_t>(bloom_bits));
+}
+
+LoadReport run_load(const LoadOptions& options) {
+  const util::ZipfDistribution zipf(std::max<std::size_t>(1,
+                                                          options.key_space),
+                                    options.zipf_skew);
+  Accum accum;
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  const double rate_per_conn =
+      options.arrival_rate > 0
+          ? options.arrival_rate /
+                static_cast<double>(std::max<std::size_t>(1,
+                                                          options.connections))
+          : 0.0;
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    if (options.arrival_rate > 0) {
+      threads.emplace_back([&, i] {
+        open_loop_conn(options, zipf, i, rate_per_conn, &accum);
+      });
+    } else {
+      threads.emplace_back([&, i] { closed_loop_conn(options, zipf, i,
+                                                     &accum); });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  LoadReport report;
+  report.wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.ops = accum.ops;
+  report.retries = accum.retries;
+  report.errors = accum.errors;
+  std::sort(accum.latencies_ms.begin(), accum.latencies_ms.end());
+  report.p50_ms = percentile(accum.latencies_ms, 50.0);
+  report.p99_ms = percentile(accum.latencies_ms, 99.0);
+  report.p999_ms = percentile(accum.latencies_ms, 99.9);
+  return report;
+}
+
+}  // namespace fast::bench

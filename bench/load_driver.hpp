@@ -1,0 +1,74 @@
+// Closed- and open-loop load driver over the fast::server wire protocol
+// (DESIGN.md §3g) — the traffic source behind `loadgen` and fig_serving.
+//
+// Closed loop: `connections` threads, each with one TCP connection, issue
+// the next request the moment the previous response lands — throughput is
+// admission-limited and latency reflects queueing inside the server only.
+// Open loop: requests are paced at a fixed aggregate arrival rate
+// (exponential inter-arrivals, split evenly across connections) and
+// pipelined — a sender thread keeps pacing regardless of response
+// latency while a receiver thread matches responses by seq, so overload
+// shows up as rising latency and kRetryAfter rejections, not as a slowed
+// generator.
+//
+// The workload is the paper's serving mix: zipf-skewed keys over a fixed
+// key space, a configurable read fraction (queries) with the remainder
+// writes (inserts, plus occasional erases of previously written keys).
+// Signatures are synthesized deterministically per key, so the same key
+// always queries/inserts the same signature — which is also what makes
+// exact ground-truth comparison possible in the server tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hash/sparse_signature.hpp"
+
+namespace fast::bench {
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 8;
+  double duration_s = 5.0;
+  /// Fraction of requests that are queries; the rest are writes (9:1
+  /// insert:erase).
+  double read_fraction = 0.9;
+  double zipf_skew = 0.99;
+  std::size_t key_space = 10000;
+  std::size_t top_k = 10;
+  /// 0 = closed loop. > 0 = open loop at this aggregate requests/second.
+  double arrival_rate = 0.0;
+  std::uint64_t seed = 42;
+  /// Signature geometry — must match the server's bloom_bits.
+  std::size_t bloom_bits = 16384;
+  /// Set bits per synthetic signature (~ the paper's per-image popcount).
+  std::size_t sig_bits_set = 64;
+};
+
+struct LoadReport {
+  std::size_t ops = 0;       ///< kOk responses
+  std::size_t retries = 0;   ///< kRetryAfter rejections
+  std::size_t errors = 0;    ///< transport errors / kError / kBadRequest
+  double wall_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+
+  double qps() const noexcept {
+    return wall_s > 0 ? static_cast<double>(ops) / wall_s : 0.0;
+  }
+};
+
+/// Deterministic synthetic signature for `key`: the same key always maps
+/// to the same signature, at the given geometry.
+hash::SparseSignature synth_signature(std::uint64_t key,
+                                      std::size_t bloom_bits,
+                                      std::size_t bits_set);
+
+/// Runs the configured load against a listening server and reports
+/// sustained throughput and full-distribution latency percentiles.
+LoadReport run_load(const LoadOptions& options);
+
+}  // namespace fast::bench

@@ -1,0 +1,172 @@
+// loadgen — standalone traffic generator against a running fast_server
+// (README "Serving quick-start", CI serving-smoke).
+//
+//   loadgen --port=N [--host=A] [--conns=N] [--duration=S] [--reads=F]
+//           [--skew=S] [--keys=N] [--k=N] [--rate=QPS] [--preload=N]
+//           [--bloom-bits=N] [--seed=N]
+//
+// --rate=0 (default) runs closed-loop: each connection issues the next
+// request when the previous response lands. --rate>0 runs open-loop at
+// that aggregate arrival rate with pipelined connections. --preload
+// inserts N zipf-keyed signatures first so queries hit real data.
+//
+// Prints one machine-parsable result line:
+//   loadgen: mode=closed conns=8 duration_s=5.00 reads=0.90 ops=12345
+//     qps=2469.0 p50_ms=0.81 p99_ms=2.40 p999_ms=4.10 retry=0 errors=0
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "load_driver.hpp"
+#include "server/client.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port=N [--host=A] [--conns=N] [--duration=S] [--reads=F]\n"
+      "          [--skew=S] [--keys=N] [--k=N] [--rate=QPS] [--preload=N]\n"
+      "          [--bloom-bits=N] [--seed=N] [--scrape=0|1]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fast;
+
+  bench::LoadOptions opt;
+  std::size_t preload = 0;
+  bool scrape = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) return usage(argv[0]);
+    const std::string name = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    const auto count = [&](unsigned long min, unsigned long max) {
+      return util::parse_checked_count(name.c_str(), value.c_str(), min, max);
+    };
+    const auto number = [&](double min, double max) {
+      return util::parse_checked_number(name.c_str(), value.c_str(), min,
+                                        max);
+    };
+    if (name == "--port") {
+      const auto v = count(1, 65535);
+      if (!v) return usage(argv[0]);
+      opt.port = static_cast<std::uint16_t>(*v);
+    } else if (name == "--host") {
+      opt.host = value;
+    } else if (name == "--conns") {
+      const auto v = count(1, 4096);
+      if (!v) return usage(argv[0]);
+      opt.connections = *v;
+    } else if (name == "--duration") {
+      const auto v = number(0.01, 3600.0);
+      if (!v) return usage(argv[0]);
+      opt.duration_s = *v;
+    } else if (name == "--reads") {
+      const auto v = number(0.0, 1.0);
+      if (!v) return usage(argv[0]);
+      opt.read_fraction = *v;
+    } else if (name == "--skew") {
+      const auto v = number(0.0, 10.0);
+      if (!v) return usage(argv[0]);
+      opt.zipf_skew = *v;
+    } else if (name == "--keys") {
+      const auto v = count(1, 100000000);
+      if (!v) return usage(argv[0]);
+      opt.key_space = *v;
+    } else if (name == "--k") {
+      const auto v = count(1, 1000);
+      if (!v) return usage(argv[0]);
+      opt.top_k = *v;
+    } else if (name == "--rate") {
+      const auto v = number(0.0, 1e9);
+      if (!v) return usage(argv[0]);
+      opt.arrival_rate = *v;
+    } else if (name == "--preload") {
+      const auto v = count(0, 100000000);
+      if (!v) return usage(argv[0]);
+      preload = *v;
+    } else if (name == "--bloom-bits") {
+      const auto v = count(64, 1u << 24);
+      if (!v) return usage(argv[0]);
+      opt.bloom_bits = *v;
+    } else if (name == "--seed") {
+      const auto v = count(0, ~0UL);
+      if (!v) return usage(argv[0]);
+      opt.seed = *v;
+    } else if (name == "--scrape") {
+      const auto v = count(0, 1);
+      if (!v) return usage(argv[0]);
+      scrape = *v != 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.port == 0) return usage(argv[0]);
+
+  if (preload > 0) {
+    server::Client client;
+    const storage::Status st = client.connect(opt.host, opt.port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "loadgen: connect failed: %s\n",
+                   st.message().c_str());
+      return 1;
+    }
+    const std::size_t kBatch = 256;
+    std::size_t loaded = 0;
+    for (std::size_t base = 1; base <= preload; base += kBatch) {
+      std::vector<std::uint64_t> ids;
+      std::vector<hash::SparseSignature> sigs;
+      for (std::size_t id = base; id <= preload && id < base + kBatch; ++id) {
+        ids.push_back(id);
+        sigs.push_back(
+            bench::synth_signature(id, opt.bloom_bits, opt.sig_bits_set));
+      }
+      const auto r = client.insert_batch(ids, sigs);
+      if (!r.ok() || r.value().status != server::Status::kOk) {
+        std::fprintf(stderr, "loadgen: preload failed at id %zu\n", base);
+        return 1;
+      }
+      loaded += ids.size();
+    }
+    std::printf("loadgen: preloaded %zu keys\n", loaded);
+  }
+
+  if (scrape) {
+    // Standalone Prometheus scrape through the wire (kMetrics op); dumps
+    // the exposition text so CI can assert the serving series export.
+    server::Client client;
+    const storage::Status st = client.connect(opt.host, opt.port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "loadgen: scrape connect failed: %s\n",
+                   st.message().c_str());
+      return 1;
+    }
+    const auto r = client.metrics();
+    if (!r.ok() || r.value().status != server::Status::kOk) {
+      std::fprintf(stderr, "loadgen: metrics scrape failed\n");
+      return 1;
+    }
+    std::fwrite(r.value().text.data(), 1, r.value().text.size(), stdout);
+    return 0;
+  }
+
+  const bench::LoadReport report = bench::run_load(opt);
+  std::printf(
+      "loadgen: mode=%s conns=%zu duration_s=%.2f reads=%.2f rate=%.1f "
+      "ops=%zu qps=%.1f p50_ms=%.3f p99_ms=%.3f p999_ms=%.3f retry=%zu "
+      "errors=%zu\n",
+      opt.arrival_rate > 0 ? "open" : "closed", opt.connections,
+      report.wall_s, opt.read_fraction, opt.arrival_rate, report.ops,
+      report.qps(), report.p50_ms, report.p99_ms, report.p999_ms,
+      report.retries, report.errors);
+  return report.errors == 0 ? 0 : 1;
+}

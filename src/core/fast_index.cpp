@@ -417,6 +417,16 @@ std::uint64_t config_fingerprint(const FastConfig& c) noexcept {
   return h;
 }
 
+storage::Status FastIndex::sync_wal() {
+  if (!durable() || appends_since_sync_ == 0) return storage::Status{};
+  storage::Status s = wal_->sync();
+  if (s.ok()) {
+    appends_since_sync_ = 0;
+    m_.wal_syncs->add();
+  }
+  return s;
+}
+
 void FastIndex::wal_log(std::uint8_t type, std::uint64_t id,
                         std::span<const std::uint8_t> payload) {
   const std::uint64_t seq = wal_->next_seq();

@@ -163,6 +163,12 @@ class FastIndex {
   /// True when mutations are WAL-logged (index came from open_or_recover).
   bool durable() const noexcept { return wal_ != nullptr; }
 
+  /// Forces an fsync of any WAL records buffered by a wal_sync_every > 1
+  /// group-commit cadence, so every acknowledged mutation is durable (the
+  /// server drains through this on graceful shutdown). No-op when already
+  /// synced or non-durable.
+  storage::Status sync_wal();
+
   /// Sequence number of the last applied mutation (0 before any).
   std::uint64_t last_seq() const noexcept { return last_seq_; }
 

@@ -485,11 +485,20 @@ void TieredIndex::stop_worker() {
   }
   work_cv_.notify_all();
   worker_.join();
+  // A request that arrived after the worker decided to exit stays pending
+  // forever; release any wait_idle() caller instead of hanging it.
+  {
+    std::lock_guard<std::mutex> lk(work_mutex_);
+    work_pending_ = false;
+  }
+  idle_cv_.notify_all();
 }
 
 void TieredIndex::wait_idle() const {
   std::unique_lock<std::mutex> lk(work_mutex_);
-  idle_cv_.wait(lk, [this] { return !work_pending_ && !worker_busy_; });
+  idle_cv_.wait(lk, [this] {
+    return (!work_pending_ && !worker_busy_) || stop_;
+  });
 }
 
 bool TieredIndex::compact_once() {
@@ -879,6 +888,17 @@ std::optional<hash::SparseSignature> TieredIndex::find_signature(
 
 // --- Durability -----------------------------------------------------------
 
+storage::Status TieredIndex::sync_wal() {
+  std::lock_guard<std::mutex> lk(wal_mutex_);
+  if (!durable() || appends_since_sync_ == 0) return storage::Status{};
+  storage::Status s = wal_->sync();
+  if (s.ok()) {
+    appends_since_sync_ = 0;
+    m_.wal_syncs->add();
+  }
+  return s;
+}
+
 void TieredIndex::wal_log(std::uint8_t type, std::uint64_t id,
                           std::span<const std::uint8_t> payload) {
   std::lock_guard<std::mutex> lk(wal_mutex_);
@@ -948,6 +968,17 @@ storage::Status TieredIndex::save_snapshot() {
   }
   util::TraceSpan span("snapshot.save");
   util::WallTimer timer;
+  // Quiesce maintenance first: the background worker splices segment lists
+  // and allocates segment ids without ever taking a lane lock, so without
+  // this a snapshot could pin a lane list containing a freshly merged
+  // segment whose id is >= the params section's next_segment_id (written
+  // above the lists in build_snapshot_locked) — after recovery that
+  // duplicate id would make splice_segments target the wrong window. Lock
+  // order is compaction_mutex_ -> lane.mem_mutex; maintenance passes hold
+  // compaction_mutex_ -> publish_mutex and are never entered with a lane
+  // lock held (schedule_maintenance runs outside the seal's critical
+  // section), so the orders cannot cycle.
+  std::lock_guard<std::mutex> maintenance(compaction_mutex_);
   // Quiesce writers: every lane lock, in index order. The WAL cannot
   // advance without a lane lock held, so last_seq_ is stable below.
   std::vector<std::unique_lock<std::shared_mutex>> locks;
@@ -1043,7 +1074,15 @@ bool TieredIndex::restore_snapshot(const storage::SnapshotFile& snapshot) {
   lanes_ = std::move(lanes);
   config_.tier.lanes = lanes_.size();
   m_.tier_lanes->set(static_cast<double>(lanes_.size()));
-  next_segment_id_.store(next_segment, std::memory_order_relaxed);
+  // Never hand out an id a restored segment already carries: a snapshot
+  // written while compaction was splicing could contain a segment numbered
+  // at (or past) the params section's next_segment_id, and a duplicate id
+  // would make a later splice replace the wrong window.
+  std::uint64_t next_id = next_segment;
+  for (const auto& [seg_id, seg] : segs) {
+    next_id = std::max(next_id, seg_id + 1);
+  }
+  next_segment_id_.store(next_id, std::memory_order_relaxed);
   config_.lsh_input_scale = input_scale;
   aggregator_->set_input_scale(input_scale);
 

@@ -135,6 +135,9 @@ class TieredIndex {
 
   // --- Durability ---
   storage::Status save_snapshot();
+  /// Forces an fsync of WAL records buffered by wal_sync_every > 1 (see
+  /// FastIndex::sync_wal). No-op when already synced or non-durable.
+  storage::Status sync_wal();
 
   // --- Maintenance (tests / benches) ---
   /// Seals every non-empty memtable regardless of threshold.

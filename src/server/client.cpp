@@ -1,0 +1,188 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace fast::server {
+
+namespace {
+
+storage::Status posix_error(const char* what) {
+  return storage::Status::error(storage::StatusCode::kIoError,
+                                std::string(what) + ": " +
+                                    std::strerror(errno));
+}
+
+storage::Status closed_error() {
+  return storage::Status::error(storage::StatusCode::kIoError,
+                                "client not connected");
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      seq_(other.seq_),
+      assembler_(std::move(other.assembler_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    seq_ = other.seq_;
+    assembler_ = std::move(other.assembler_);
+  }
+  return *this;
+}
+
+storage::Status Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return posix_error("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return storage::Status::error(storage::StatusCode::kIoError,
+                                  "bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const storage::Status s = posix_error("connect");
+    close();
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return {};
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  assembler_ = FrameAssembler{};
+}
+
+storage::Status Client::send(std::span<const std::uint8_t> body) {
+  if (fd_ < 0) return closed_error();
+  const std::vector<std::uint8_t> framed = frame(body);
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return posix_error("send");
+  }
+  return {};
+}
+
+storage::Status Client::recv(Response* out) {
+  if (fd_ < 0) return closed_error();
+  std::array<std::uint8_t, 65536> buf;
+  std::vector<std::uint8_t> body;
+  while (true) {
+    if (assembler_.next(&body)) {
+      std::string error;
+      if (!decode_response(body, out, &error)) {
+        return storage::Status::error(storage::StatusCode::kCorrupt,
+                                      "bad response: " + error);
+      }
+      return {};
+    }
+    if (assembler_.error()) {
+      return storage::Status::error(storage::StatusCode::kCorrupt,
+                                    "oversized response frame");
+    }
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n > 0) {
+      assembler_.feed({buf.data(), static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n == 0) {
+      return storage::Status::error(storage::StatusCode::kIoError,
+                                    "connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    return posix_error("recv");
+  }
+}
+
+storage::StatusOr<Response> Client::call(std::uint64_t seq,
+                                         std::span<const std::uint8_t> body) {
+  storage::Status st = send(body);
+  if (!st.ok()) return st;
+  Response response;
+  st = recv(&response);
+  if (!st.ok()) return st;
+  if (response.seq != seq) {
+    return storage::Status::error(
+        storage::StatusCode::kCorrupt,
+        "response seq mismatch (pipelined use requires send/recv)");
+  }
+  return response;
+}
+
+storage::StatusOr<Response> Client::ping() {
+  const std::uint64_t seq = next_seq();
+  return call(seq, encode_ping(seq));
+}
+
+storage::StatusOr<Response> Client::insert(std::uint64_t id,
+                                           const hash::SparseSignature& sig) {
+  const std::uint64_t seq = next_seq();
+  return call(seq, encode_insert(seq, id, sig));
+}
+
+storage::StatusOr<Response> Client::insert_batch(
+    std::span<const std::uint64_t> ids,
+    std::span<const hash::SparseSignature> sigs) {
+  const std::uint64_t seq = next_seq();
+  return call(seq, encode_insert_batch(seq, ids, sigs));
+}
+
+storage::StatusOr<Response> Client::query(const hash::SparseSignature& sig,
+                                          std::uint32_t k) {
+  const std::uint64_t seq = next_seq();
+  return call(seq, encode_query(seq, k, sig));
+}
+
+storage::StatusOr<Response> Client::query_batch(
+    std::span<const hash::SparseSignature> sigs, std::uint32_t k) {
+  const std::uint64_t seq = next_seq();
+  return call(seq, encode_query_batch(seq, k, sigs));
+}
+
+storage::StatusOr<Response> Client::erase(std::uint64_t id) {
+  const std::uint64_t seq = next_seq();
+  return call(seq, encode_erase(seq, id));
+}
+
+storage::StatusOr<Response> Client::erase_batch(
+    std::span<const std::uint64_t> ids) {
+  const std::uint64_t seq = next_seq();
+  return call(seq, encode_erase_batch(seq, ids));
+}
+
+storage::StatusOr<Response> Client::metrics() {
+  const std::uint64_t seq = next_seq();
+  return call(seq, encode_metrics(seq));
+}
+
+}  // namespace fast::server

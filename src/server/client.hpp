@@ -1,0 +1,72 @@
+// Blocking client for the fast::server wire protocol.
+//
+// One Client is one TCP connection. The low-level interface is explicitly
+// pipelined: send() frames and writes a request body, recv() blocks for
+// the next response frame — callers keep any number of requests in flight
+// and match responses by seq (the server may answer rejections out of
+// order). The convenience RPCs (insert/query/erase/metrics) are the
+// one-outstanding-request special case: send, then block for the matching
+// response. Not thread-safe; the load harness gives each connection its
+// own thread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "storage/io.hpp"
+
+namespace fast::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  storage::Status connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Fresh per-connection sequence number for hand-built request bodies.
+  std::uint64_t next_seq() noexcept { return seq_++; }
+
+  // --- Pipelined interface ---
+
+  /// Frames `body` and writes it fully (blocking).
+  storage::Status send(std::span<const std::uint8_t> body);
+  /// Blocks for the next response frame and decodes it into *out.
+  storage::Status recv(Response* out);
+
+  // --- One-shot RPCs (send + blocking recv of the matching response) ---
+
+  storage::StatusOr<Response> ping();
+  storage::StatusOr<Response> insert(std::uint64_t id,
+                                     const hash::SparseSignature& sig);
+  storage::StatusOr<Response> insert_batch(
+      std::span<const std::uint64_t> ids,
+      std::span<const hash::SparseSignature> sigs);
+  storage::StatusOr<Response> query(const hash::SparseSignature& sig,
+                                    std::uint32_t k);
+  storage::StatusOr<Response> query_batch(
+      std::span<const hash::SparseSignature> sigs, std::uint32_t k);
+  storage::StatusOr<Response> erase(std::uint64_t id);
+  storage::StatusOr<Response> erase_batch(std::span<const std::uint64_t> ids);
+  storage::StatusOr<Response> metrics();
+
+ private:
+  storage::StatusOr<Response> call(std::uint64_t seq,
+                                   std::span<const std::uint8_t> body);
+
+  int fd_ = -1;
+  std::uint64_t seq_ = 1;
+  FrameAssembler assembler_;
+};
+
+}  // namespace fast::server

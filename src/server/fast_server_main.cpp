@@ -1,0 +1,199 @@
+// fast_server — standalone serving front door (README "Serving
+// quick-start").
+//
+//   fast_server [--port=N] [--workers=N] [--queue=N] [--tiered]
+//               [--dir=PATH] [--wal-sync-every=N] [--bloom-bits=N]
+//
+// Serves the wire protocol of server/protocol.hpp over TCP on loopback.
+// With --dir the engine opens (or recovers) a durable index there and every
+// acked write is WAL-logged; without it the index is in-memory. SIGINT /
+// SIGTERM trigger the graceful shutdown sequence: drain in-flight
+// requests, flush response buffers, fsync the WAL, snapshot (durable
+// runs), exit 0.
+//
+// Environment knobs (checked parsing, util/env.hpp): FAST_SERVER_PORT,
+// FAST_SERVER_WORKERS, FAST_SERVER_QUEUE — flags win over environment.
+#include <sys/signalfd.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/query_engine.hpp"
+#include "server/server.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+#include "util/vecmath.hpp"
+#include "vision/pca.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_signal(int) {
+  const unsigned char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// The serving path only moves precomputed signatures (the paper's mobile
+/// clients summarize on-device), so the engine's PCA model is never
+/// exercised by wire requests; a deterministic random eigenspace keeps the
+/// index constructible without a training corpus.
+fast::vision::PcaModel placeholder_pca() {
+  fast::vision::PcaModel model;
+  const std::size_t input_dim = 578, output_dim = 36;
+  model.mean.assign(input_dim, 0.0f);
+  model.eigenvalues.assign(output_dim, 1.0f / static_cast<float>(input_dim));
+  fast::util::Rng rng(0xfa57);
+  model.components.resize(output_dim);
+  for (auto& row : model.components) {
+    row.resize(input_dim);
+    for (auto& v : row) v = static_cast<float>(rng.gaussian());
+    fast::util::normalize_l2(row);
+  }
+  return model;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port=N] [--workers=N] [--queue=N] [--tiered]\n"
+               "          [--dir=PATH] [--wal-sync-every=N] [--bloom-bits=N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fast;
+
+  server::ServerOptions options = server::ServerOptions::from_env();
+  bool tiered = false;
+  std::string dir;
+  std::size_t wal_sync_every = 1;
+  std::size_t bloom_bits = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg]() {
+      const std::size_t eq = arg.find('=');
+      return eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    }();
+    const auto count_flag = [&](const char* name, unsigned long min,
+                                unsigned long max) {
+      return util::parse_checked_count(name, value.c_str(), min, max);
+    };
+    if (arg == "--tiered") {
+      tiered = true;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      const auto v = count_flag("--port", 0, 65535);
+      if (!v) return usage(argv[0]);
+      options.port = static_cast<std::uint16_t>(*v);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      const auto v = count_flag("--workers", 1, 1024);
+      if (!v) return usage(argv[0]);
+      options.workers = *v;
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      const auto v = count_flag("--queue", 1, 1u << 20);
+      if (!v) return usage(argv[0]);
+      options.queue_depth = *v;
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir = value;
+    } else if (arg.rfind("--wal-sync-every=", 0) == 0) {
+      const auto v = count_flag("--wal-sync-every", 1, 1u << 20);
+      if (!v) return usage(argv[0]);
+      wal_sync_every = *v;
+    } else if (arg.rfind("--bloom-bits=", 0) == 0) {
+      const auto v = count_flag("--bloom-bits", 64, 1u << 24);
+      if (!v) return usage(argv[0]);
+      bloom_bits = *v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  util::configure_global_tracer_from_env();
+
+  core::FastConfig config;
+  config.tier.enabled = tiered;
+  if (bloom_bits != 0) {
+    config.bloom_bits = bloom_bits;
+    config.lsh.dim = bloom_bits;
+  }
+
+  // Build the engine: durable (open/recover in --dir) or in-memory.
+  std::unique_ptr<core::FastIndex> flat;
+  std::unique_ptr<core::TieredIndex> tiered_index;
+  std::unique_ptr<core::QueryEngine> engine;
+  if (!dir.empty()) {
+    core::DurabilityOptions opts;
+    opts.dir = dir;
+    opts.wal_sync_every = wal_sync_every;
+    core::RecoveryStats stats;
+    auto opened = core::QueryEngine::open(config, placeholder_pca(), opts,
+                                          &stats);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "fast_server: open %s failed: %s\n", dir.c_str(),
+                   opened.status().message().c_str());
+      return 1;
+    }
+    engine = std::move(opened).value();
+    std::printf("fast_server: recovered %zu images from %s (replayed %zu)\n",
+                engine->size(), dir.c_str(), stats.replayed_records);
+  } else if (tiered) {
+    tiered_index =
+        std::make_unique<core::TieredIndex>(config, placeholder_pca());
+    engine = std::make_unique<core::QueryEngine>(*tiered_index);
+  } else {
+    flat = std::make_unique<core::FastIndex>(config, placeholder_pca());
+    engine = std::make_unique<core::QueryEngine>(*flat);
+  }
+
+  // Graceful-shutdown plumbing: signals write one byte to a self-pipe; the
+  // main thread blocks on the read end.
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("fast_server: pipe");
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  server::Server srv(*engine, options);
+  const storage::Status st = srv.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "fast_server: start failed: %s\n",
+                 st.message().c_str());
+    return 1;
+  }
+  std::printf("fast_server: listening on %s:%u (workers=%zu queue=%zu "
+              "tiered=%d durable=%d)\n",
+              options.bind_addr.c_str(), srv.port(), options.workers,
+              options.queue_depth, tiered ? 1 : 0, engine->durable() ? 1 : 0);
+  std::fflush(stdout);
+
+  unsigned char byte = 0;
+  while (true) {
+    const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n == 1 || (n < 0 && errno != EINTR)) break;
+  }
+
+  std::printf("fast_server: shutting down\n");
+  std::fflush(stdout);
+  srv.stop();
+  if (engine->durable()) {
+    const storage::Status snap = engine->save_snapshot();
+    if (!snap.ok()) {
+      std::fprintf(stderr, "fast_server: final snapshot failed: %s\n",
+                   snap.message().c_str());
+    }
+  }
+  std::printf("fast_server: bye\n");
+  return 0;
+}

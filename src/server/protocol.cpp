@@ -1,0 +1,335 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fast::server {
+
+namespace {
+
+util::ByteWriter request_header(Op op, std::uint64_t seq) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u64(seq);
+  return w;
+}
+
+void write_signature(util::ByteWriter& w, const hash::SparseSignature& sig) {
+  w.blob(sig.encode());
+}
+
+/// SparseSignature::decode throws on malformed input; the wire path wants
+/// fail-soft parsing instead.
+bool read_signature(util::ByteReader& r, hash::SparseSignature* out) {
+  const auto bytes = r.blob();
+  if (!r.ok()) return false;
+  try {
+    *out = hash::SparseSignature::decode(bytes);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> frame(std::span<const std::uint8_t> body) {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.bytes(body);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_ping(std::uint64_t seq) {
+  return request_header(Op::kPing, seq).take();
+}
+
+std::vector<std::uint8_t> encode_insert(std::uint64_t seq, std::uint64_t id,
+                                        const hash::SparseSignature& sig) {
+  util::ByteWriter w = request_header(Op::kInsert, seq);
+  w.u64(id);
+  write_signature(w, sig);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_insert_batch(
+    std::uint64_t seq, std::span<const std::uint64_t> ids,
+    std::span<const hash::SparseSignature> sigs) {
+  util::ByteWriter w = request_header(Op::kInsertBatch, seq);
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    w.u64(ids[i]);
+    write_signature(w, sigs[i]);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_query(std::uint64_t seq, std::uint32_t k,
+                                       const hash::SparseSignature& sig) {
+  util::ByteWriter w = request_header(Op::kQuery, seq);
+  w.u32(k);
+  write_signature(w, sig);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_query_batch(
+    std::uint64_t seq, std::uint32_t k,
+    std::span<const hash::SparseSignature> sigs) {
+  util::ByteWriter w = request_header(Op::kQueryBatch, seq);
+  w.u32(k);
+  w.u32(static_cast<std::uint32_t>(sigs.size()));
+  for (const auto& sig : sigs) write_signature(w, sig);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_erase(std::uint64_t seq, std::uint64_t id) {
+  util::ByteWriter w = request_header(Op::kErase, seq);
+  w.u64(id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_erase_batch(
+    std::uint64_t seq, std::span<const std::uint64_t> ids) {
+  util::ByteWriter w = request_header(Op::kEraseBatch, seq);
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const std::uint64_t id : ids) w.u64(id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_metrics(std::uint64_t seq) {
+  return request_header(Op::kMetrics, seq).take();
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(response.op));
+  w.u64(response.seq);
+  w.u8(static_cast<std::uint8_t>(response.status));
+  switch (response.status) {
+    case Status::kRetryAfter:
+      w.u32(response.retry_after_ms);
+      return w.take();
+    case Status::kBadRequest:
+    case Status::kShuttingDown:
+    case Status::kError: {
+      const auto* text =
+          reinterpret_cast<const std::uint8_t*>(response.text.data());
+      w.blob({text, response.text.size()});
+      return w.take();
+    }
+    case Status::kOk:
+      break;
+  }
+  switch (response.op) {
+    case Op::kPing:
+      break;
+    case Op::kInsert:
+    case Op::kInsertBatch:
+    case Op::kErase:
+    case Op::kEraseBatch:
+      w.u32(response.count);
+      break;
+    case Op::kQuery:
+    case Op::kQueryBatch:
+      w.u32(static_cast<std::uint32_t>(response.results.size()));
+      for (const auto& hits : response.results) {
+        w.u32(static_cast<std::uint32_t>(hits.size()));
+        for (const auto& hit : hits) {
+          w.u64(hit.id);
+          w.f64(hit.score);
+        }
+      }
+      break;
+    case Op::kMetrics: {
+      const auto* text =
+          reinterpret_cast<const std::uint8_t*>(response.text.data());
+      w.blob({text, response.text.size()});
+      break;
+    }
+  }
+  return w.take();
+}
+
+bool decode_request(std::span<const std::uint8_t> body, Request* out,
+                    std::string* error) {
+  *out = Request{};
+  util::ByteReader r{body};
+  const std::uint8_t op_byte = r.u8();
+  out->seq = r.u64();
+  if (!r.ok()) {
+    if (error != nullptr) *error = "truncated header";
+    return false;
+  }
+  if (op_byte > static_cast<std::uint8_t>(Op::kMetrics)) {
+    if (error != nullptr) *error = "unknown op";
+    return false;
+  }
+  out->op = static_cast<Op>(op_byte);
+  const auto fail = [&](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  switch (out->op) {
+    case Op::kPing:
+    case Op::kMetrics:
+      break;
+    case Op::kInsert: {
+      out->insert_ids.push_back(r.u64());
+      hash::SparseSignature sig;
+      if (!r.ok() || !read_signature(r, &sig)) return fail("bad insert");
+      out->sigs.push_back(std::move(sig));
+      break;
+    }
+    case Op::kInsertBatch: {
+      const std::uint32_t n = r.u32();
+      if (!r.ok() || n > r.remaining() / 9) return fail("bad batch count");
+      out->insert_ids.reserve(n);
+      out->sigs.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        out->insert_ids.push_back(r.u64());
+        hash::SparseSignature sig;
+        if (!r.ok() || !read_signature(r, &sig)) return fail("bad insert");
+        out->sigs.push_back(std::move(sig));
+      }
+      break;
+    }
+    case Op::kQuery: {
+      out->k = r.u32();
+      hash::SparseSignature sig;
+      if (!r.ok() || !read_signature(r, &sig)) return fail("bad query");
+      out->sigs.push_back(std::move(sig));
+      break;
+    }
+    case Op::kQueryBatch: {
+      out->k = r.u32();
+      const std::uint32_t n = r.u32();
+      if (!r.ok() || n > r.remaining() / 2) return fail("bad batch count");
+      out->sigs.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        hash::SparseSignature sig;
+        if (!read_signature(r, &sig)) return fail("bad query");
+        out->sigs.push_back(std::move(sig));
+      }
+      break;
+    }
+    case Op::kErase:
+      out->ids.push_back(r.u64());
+      break;
+    case Op::kEraseBatch: {
+      const std::uint32_t n = r.u32();
+      if (!r.ok() || n > r.remaining() / 8) return fail("bad batch count");
+      out->ids.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) out->ids.push_back(r.u64());
+      break;
+    }
+  }
+  if (!r.exhausted()) return fail("trailing bytes");
+  return true;
+}
+
+bool decode_response(std::span<const std::uint8_t> body, Response* out,
+                     std::string* error) {
+  *out = Response{};
+  util::ByteReader r{body};
+  const std::uint8_t op_byte = r.u8();
+  out->seq = r.u64();
+  const std::uint8_t status_byte = r.u8();
+  const auto fail = [&](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!r.ok()) return fail("truncated header");
+  if (op_byte > static_cast<std::uint8_t>(Op::kMetrics) ||
+      status_byte > static_cast<std::uint8_t>(Status::kError)) {
+    return fail("unknown op/status");
+  }
+  out->op = static_cast<Op>(op_byte);
+  out->status = static_cast<Status>(status_byte);
+  switch (out->status) {
+    case Status::kRetryAfter:
+      out->retry_after_ms = r.u32();
+      if (!r.exhausted()) return fail("bad retry payload");
+      return true;
+    case Status::kBadRequest:
+    case Status::kShuttingDown:
+    case Status::kError: {
+      const auto text = r.blob();
+      if (!r.exhausted()) return fail("bad error payload");
+      out->text.assign(reinterpret_cast<const char*>(text.data()),
+                       text.size());
+      return true;
+    }
+    case Status::kOk:
+      break;
+  }
+  switch (out->op) {
+    case Op::kPing:
+      break;
+    case Op::kInsert:
+    case Op::kInsertBatch:
+    case Op::kErase:
+    case Op::kEraseBatch:
+      out->count = r.u32();
+      break;
+    case Op::kQuery:
+    case Op::kQueryBatch: {
+      const std::uint32_t queries = r.u32();
+      if (!r.ok() || queries > r.remaining() / 4 + 1) {
+        return fail("bad result count");
+      }
+      out->results.resize(queries);
+      for (std::uint32_t q = 0; q < queries; ++q) {
+        const std::uint32_t hits = r.u32();
+        if (!r.ok() || hits > r.remaining() / 16) return fail("bad hit count");
+        out->results[q].reserve(hits);
+        for (std::uint32_t h = 0; h < hits; ++h) {
+          core::ScoredId hit;
+          hit.id = r.u64();
+          hit.score = r.f64();
+          out->results[q].push_back(hit);
+        }
+      }
+      break;
+    }
+    case Op::kMetrics: {
+      const auto text = r.blob();
+      out->text.assign(reinterpret_cast<const char*>(text.data()),
+                       text.size());
+      break;
+    }
+  }
+  if (!r.exhausted()) return fail("trailing bytes");
+  return true;
+}
+
+void FrameAssembler::feed(std::span<const std::uint8_t> chunk) {
+  if (error_) return;
+  // Compact once consumed bytes dominate, so the buffer does not grow
+  // without bound across a long-lived pipelined connection.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+}
+
+bool FrameAssembler::next(std::vector<std::uint8_t>* body) {
+  if (error_ || buf_.size() - pos_ < 4) return false;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + pos_, 4);  // wire format is little-endian
+  if constexpr (std::endian::native == std::endian::big) {
+    len = ((len & 0xff000000u) >> 24) | ((len & 0x00ff0000u) >> 8) |
+          ((len & 0x0000ff00u) << 8) | ((len & 0x000000ffu) << 24);
+  }
+  if (len > kMaxFrameBytes) {
+    error_ = true;
+    return false;
+  }
+  if (buf_.size() - pos_ - 4 < len) return false;
+  body->assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + len;
+  return true;
+}
+
+}  // namespace fast::server

@@ -1,0 +1,141 @@
+// Wire protocol of the fast::server front door (DESIGN.md §3g).
+//
+// Framing: every message — request or response — is one length-prefixed
+// frame: a little-endian u32 body length followed by the body. Bodies are
+// built with util::ByteWriter and parsed fail-soft with util::ByteReader,
+// the same primitives as the persistence formats, so the byte layout is
+// explicit and endianness-independent.
+//
+// Request body:   u8 op | u64 seq | op-specific payload
+// Response body:  u8 op | u64 seq | u8 status | status/op-specific payload
+//
+// `seq` is chosen by the client and echoed verbatim, so clients may
+// pipeline arbitrarily many requests per connection and match responses
+// out of order (the server preserves per-connection execution order, but a
+// rejected request is answered immediately, ahead of admitted ones).
+// Signatures travel in their sparse varint encoding
+// (hash::SparseSignature::encode — the paper's ~40 B/image summary), so a
+// query request is typically a few hundred bytes.
+//
+// Admission control surfaces in-band: a request arriving at a connection
+// whose admitted-but-unanswered window is full is answered with
+// kRetryAfter and a retry hint in milliseconds instead of being queued —
+// the bounded queue is the overload-shedding contract, not a TCP stall.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "hash/sparse_signature.hpp"
+#include "util/codec.hpp"
+
+namespace fast::server {
+
+enum class Op : std::uint8_t {
+  kPing = 0,
+  kInsert = 1,
+  kInsertBatch = 2,
+  kQuery = 3,
+  kQueryBatch = 4,
+  kErase = 5,
+  kEraseBatch = 6,
+  kMetrics = 7,  ///< Prometheus text exposition of the engine registry
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kRetryAfter = 1,    ///< connection window full; payload = u32 retry ms
+  kBadRequest = 2,    ///< unparsable or geometry-mismatched payload
+  kShuttingDown = 3,  ///< server is draining; retry against a replica
+  kError = 4,         ///< execution failed (e.g. WAL I/O error)
+};
+
+/// Frames grow a 4-byte length prefix; bodies above this are rejected and
+/// the connection dropped (garbage or a hostile length).
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+/// Byte offset of `seq` in every body (after the u8 op).
+inline constexpr std::size_t kSeqOffset = 1;
+/// Minimum parsable body: op + seq.
+inline constexpr std::size_t kMinBodyBytes = 9;
+
+/// A fully decoded request, whichever op it carries.
+struct Request {
+  Op op = Op::kPing;
+  std::uint64_t seq = 0;
+  std::uint32_t k = 0;                        ///< kQuery / kQueryBatch
+  std::vector<std::uint64_t> ids;             ///< kErase(Batch): targets
+  std::vector<std::uint64_t> insert_ids;      ///< kInsert(Batch)
+  std::vector<hash::SparseSignature> sigs;    ///< kInsert(Batch)/kQuery(Batch)
+};
+
+/// A fully decoded response.
+struct Response {
+  Op op = Op::kPing;
+  std::uint64_t seq = 0;
+  Status status = Status::kOk;
+  std::uint32_t count = 0;            ///< inserted / erased
+  std::uint32_t retry_after_ms = 0;   ///< kRetryAfter
+  std::vector<std::vector<core::ScoredId>> results;  ///< per query
+  std::string text;                   ///< kMetrics payload / error message
+};
+
+// --- Encoding (either side) ------------------------------------------------
+
+/// Wraps `body` in a length-prefixed frame ready for the wire.
+std::vector<std::uint8_t> frame(std::span<const std::uint8_t> body);
+
+std::vector<std::uint8_t> encode_ping(std::uint64_t seq);
+std::vector<std::uint8_t> encode_insert(std::uint64_t seq, std::uint64_t id,
+                                        const hash::SparseSignature& sig);
+std::vector<std::uint8_t> encode_insert_batch(
+    std::uint64_t seq, std::span<const std::uint64_t> ids,
+    std::span<const hash::SparseSignature> sigs);
+std::vector<std::uint8_t> encode_query(std::uint64_t seq, std::uint32_t k,
+                                       const hash::SparseSignature& sig);
+std::vector<std::uint8_t> encode_query_batch(
+    std::uint64_t seq, std::uint32_t k,
+    std::span<const hash::SparseSignature> sigs);
+std::vector<std::uint8_t> encode_erase(std::uint64_t seq, std::uint64_t id);
+std::vector<std::uint8_t> encode_erase_batch(
+    std::uint64_t seq, std::span<const std::uint64_t> ids);
+std::vector<std::uint8_t> encode_metrics(std::uint64_t seq);
+
+/// Serializes a response body (server side).
+std::vector<std::uint8_t> encode_response(const Response& response);
+
+// --- Decoding --------------------------------------------------------------
+
+/// Parses a request body. On failure returns false and sets *error; *out
+/// still carries the op/seq when the 9-byte prefix was readable (so the
+/// server can answer kBadRequest with the right seq).
+bool decode_request(std::span<const std::uint8_t> body, Request* out,
+                    std::string* error);
+
+/// Parses a response body (client side).
+bool decode_response(std::span<const std::uint8_t> body, Response* out,
+                     std::string* error);
+
+// --- Incremental framing ---------------------------------------------------
+
+/// Accumulates arbitrary byte chunks from a socket and yields complete
+/// frame bodies. Rejects frames above kMaxFrameBytes via error().
+class FrameAssembler {
+ public:
+  void feed(std::span<const std::uint8_t> chunk);
+  /// Pops the next complete body into *body; false when none is buffered.
+  bool next(std::vector<std::uint8_t>* body);
+  /// Sticky: a hostile/corrupt length was seen; drop the connection.
+  bool error() const noexcept { return error_; }
+  /// Bytes buffered but not yet consumed (diagnostics).
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace fast::server

@@ -1,0 +1,584 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "util/env.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+namespace fast::server {
+
+namespace {
+
+storage::Status posix_error(const char* what) {
+  return storage::Status::error(storage::StatusCode::kIoError,
+                                std::string(what) + ": " +
+                                    std::strerror(errno));
+}
+
+bool is_mutation(Op op) {
+  switch (op) {
+    case Op::kInsert:
+    case Op::kInsertBatch:
+    case Op::kErase:
+    case Op::kEraseBatch:
+      return true;
+    case Op::kPing:
+    case Op::kQuery:
+    case Op::kQueryBatch:
+    case Op::kMetrics:
+      return false;
+  }
+  return false;
+}
+
+/// Best-effort op/seq peek from the fixed 9-byte body prefix, so the I/O
+/// thread can answer rejections with the client's seq without paying for a
+/// full parse. An out-of-range op byte is clamped to kPing — the client
+/// matches responses by seq, not op.
+void peek_header(const std::vector<std::uint8_t>& body, Op* op,
+                 std::uint64_t* seq) {
+  util::ByteReader r{body};
+  const std::uint8_t op_byte = r.u8();
+  *seq = r.u64();
+  *op = op_byte <= static_cast<std::uint8_t>(Op::kMetrics)
+            ? static_cast<Op>(op_byte)
+            : Op::kPing;
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::from_env(ServerOptions defaults) {
+  if (const auto port = util::env_count("FAST_SERVER_PORT", 0, 65535)) {
+    defaults.port = static_cast<std::uint16_t>(*port);
+  }
+  if (const auto workers = util::env_count("FAST_SERVER_WORKERS", 1, 1024)) {
+    defaults.workers = static_cast<std::size_t>(*workers);
+  }
+  if (const auto depth = util::env_count("FAST_SERVER_QUEUE", 1, 1u << 20)) {
+    defaults.queue_depth = static_cast<std::size_t>(*depth);
+  }
+  return defaults;
+}
+
+Server::Server(core::QueryEngine& engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  util::MetricsRegistry& r = engine_.metrics();
+  m_accepted_ = &r.counter("server.accepted");
+  m_requests_ = &r.counter("server.requests");
+  m_rejected_retry_ = &r.counter("server.rejected_retry_after");
+  m_rejected_shutdown_ = &r.counter("server.rejected_shutdown");
+  m_bad_requests_ = &r.counter("server.bad_requests");
+  m_bytes_in_ = &r.counter("server.bytes_in");
+  m_bytes_out_ = &r.counter("server.bytes_out");
+  m_connections_ = &r.gauge("server.connections");
+  m_inflight_ = &r.gauge("server.inflight");
+  m_request_wall_s_ = &r.latency_histogram("server.request_wall_s");
+}
+
+Server::~Server() { stop(); }
+
+storage::Status Server::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return storage::Status::error(storage::StatusCode::kIoError,
+                                  "server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return posix_error("socket");
+  const auto fail = [this](const char* what) {
+    storage::Status s = posix_error(what);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return s;
+  };
+
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return storage::Status::error(storage::StatusCode::kIoError,
+                                  "bad bind address: " + options_.bind_addr);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) return fail("listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return fail("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return fail("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return fail("epoll_ctl(listen)");
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return fail("epoll_ctl(wake)");
+  }
+
+  draining_.store(false, std::memory_order_release);
+  io_stop_.store(false, std::memory_order_release);
+  workers_stop_ = false;
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+  const std::size_t n = std::max<std::size_t>(1, options_.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return {};
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  const auto kick = [this] {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_fd_, &one, sizeof(one));
+  };
+  // 1. Stop admitting: new frames answer kShuttingDown, and the I/O thread
+  //    closes the listen socket at its next wakeup.
+  draining_.store(true, std::memory_order_release);
+  kick();
+  // 2. Drain: every admitted request executes and queues its response.
+  {
+    std::unique_lock<std::mutex> lk(drain_mutex_);
+    while (admitted_.load(std::memory_order_acquire) != 0) {
+      drain_cv_.wait_for(lk, std::chrono::milliseconds(50));
+    }
+  }
+  // 3. Join the workers — the work queue is empty and stays empty.
+  {
+    std::lock_guard<std::mutex> lk(work_mutex_);
+    workers_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  // 4. The I/O thread flushes every response buffer (bounded wait for
+  //    clients that stopped reading), closes the sockets, and exits.
+  io_stop_.store(true, std::memory_order_release);
+  kick();
+  io_thread_.join();
+  // 5. Acked writes hit disk before we return: fsync the WAL group-commit
+  //    tail through the facade.
+  if (engine_.writable() && engine_.durable()) {
+    const storage::Status st = engine_.sync_wal();
+    if (!st.ok()) {
+      std::fprintf(stderr, "fast_server: final wal sync failed: %s\n",
+                   st.message().c_str());
+    }
+  }
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+  // The I/O thread normally closed the listen socket when it saw
+  // draining_; cover the path where it exited before noticing.
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::io_loop() {
+  std::array<epoll_event, 64> events;
+  bool flush_deadline_set = false;
+  std::chrono::steady_clock::time_point flush_deadline{};
+  while (true) {
+    if (draining_.load(std::memory_order_acquire) && listen_fd_ >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (io_stop_.load(std::memory_order_acquire)) {
+      if (!flush_deadline_set) {
+        flush_deadline_set = true;
+        flush_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      }
+      if (all_flushed() ||
+          std::chrono::steady_clock::now() >= flush_deadline) {
+        break;
+      }
+    }
+    const int timeout_ms = flush_deadline_set ? 20 : 200;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_ && fd >= 0) {
+        accept_ready();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) ==
+               static_cast<ssize_t>(sizeof(drained))) {
+        }
+        std::vector<std::weak_ptr<Conn>> pending;
+        {
+          std::lock_guard<std::mutex> lk(wake_mutex_);
+          pending.swap(pending_flush_);
+        }
+        for (const auto& weak : pending) {
+          if (auto conn = weak.lock()) flush_conn(conn);
+        }
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      // Copy: close_conn erases the map entry mid-handling.
+      const std::shared_ptr<Conn> conn = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) conn_readable(conn);
+      if ((events[i].events & EPOLLOUT) != 0 &&
+          conns_.find(fd) != conns_.end()) {
+        conn_writable(conn);
+      }
+    }
+  }
+  // Exit: drop whatever connections remain (drained or past the deadline).
+  std::vector<std::shared_ptr<Conn>> remaining;
+  remaining.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) remaining.push_back(conn);
+  for (const auto& conn : remaining) close_conn(conn);
+}
+
+void Server::accept_ready() {
+  while (listen_fd_ >= 0) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept error; epoll retriggers
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    m_accepted_->add();
+    m_connections_->set(static_cast<double>(conns_.size()));
+  }
+}
+
+void Server::conn_readable(const std::shared_ptr<Conn>& conn) {
+  std::array<std::uint8_t, 65536> buf;
+  std::vector<std::uint8_t> body;
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+    if (n > 0) {
+      m_bytes_in_->add(static_cast<std::uint64_t>(n));
+      conn->assembler.feed({buf.data(), static_cast<std::size_t>(n)});
+      while (conn->assembler.next(&body)) {
+        handle_frame(conn, std::move(body));
+        body.clear();
+      }
+      if (conn->assembler.error()) {
+        close_conn(conn);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      close_conn(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_conn(conn);
+    return;
+  }
+}
+
+void Server::conn_writable(const std::shared_ptr<Conn>& conn) {
+  flush_conn(conn);
+}
+
+void Server::handle_frame(const std::shared_ptr<Conn>& conn,
+                          std::vector<std::uint8_t> body) {
+  if (body.size() < kMinBodyBytes) {
+    Response resp;
+    resp.status = Status::kBadRequest;
+    resp.text = "truncated header";
+    m_bad_requests_->add();
+    send_response(conn, resp);
+    return;
+  }
+  Response reject;
+  peek_header(body, &reject.op, &reject.seq);
+  if (draining_.load(std::memory_order_acquire)) {
+    reject.status = Status::kShuttingDown;
+    reject.text = "shutting down";
+    m_rejected_shutdown_->add();
+    send_response(conn, reject);
+    return;
+  }
+  if (conn->inflight.load(std::memory_order_relaxed) >= options_.queue_depth) {
+    reject.status = Status::kRetryAfter;
+    reject.retry_after_ms = options_.retry_after_ms;
+    m_rejected_retry_->add();
+    send_response(conn, reject);
+    return;
+  }
+  conn->inflight.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t inflight =
+      admitted_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  m_inflight_->set(static_cast<double>(inflight));
+  {
+    std::lock_guard<std::mutex> lk(work_mutex_);
+    work_.push_back(WorkItem{conn, std::move(body)});
+  }
+  work_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lk(work_mutex_);
+      work_cv_.wait(lk, [this] { return workers_stop_ || !work_.empty(); });
+      if (work_.empty()) return;  // workers_stop_ with an empty queue
+      item = std::move(work_.front());
+      work_.pop_front();
+    }
+    util::WallTimer timer;
+    Request request;
+    std::string error;
+    Response response;
+    if (decode_request(item.body, &request, &error)) {
+      response = execute(request);
+    } else {
+      response.op = request.op;  // decode fills op/seq when readable
+      response.seq = request.seq;
+      response.status = Status::kBadRequest;
+      response.text = error;
+      m_bad_requests_->add();
+    }
+    m_requests_->add();
+    m_request_wall_s_->observe(timer.elapsed_seconds());
+    // Queue the response bytes BEFORE dropping the inflight/drain counts:
+    // once stop() observes a drained server, every admitted request's
+    // response is already in an output buffer.
+    send_response(item.conn, response);
+    item.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    const std::size_t left =
+        admitted_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    m_inflight_->set(static_cast<double>(left));
+    if (left == 0 && draining_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lk(drain_mutex_);
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+Response Server::execute(const Request& request) {
+  Response response;
+  response.op = request.op;
+  response.seq = request.seq;
+  util::TraceSpan span("server.request");
+  span.attr("op", static_cast<double>(static_cast<std::uint8_t>(request.op)));
+  if (options_.debug_request_delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.debug_request_delay_us));
+  }
+  if (is_mutation(request.op) && !engine_.writable()) {
+    response.status = Status::kError;
+    response.text = "read-only engine";
+    return response;
+  }
+  // Reject geometry mismatches before the backend FAST_CHECKs them: a
+  // client built against different bloom_bits is a bad request, not a
+  // server crash.
+  const auto want_bits =
+      static_cast<std::uint32_t>(engine_.config().bloom_bits);
+  for (const hash::SparseSignature& sig : request.sigs) {
+    if (sig.bit_count() != want_bits) {
+      response.status = Status::kBadRequest;
+      response.text = "signature geometry mismatch";
+      m_bad_requests_->add();
+      return response;
+    }
+  }
+  try {
+    switch (request.op) {
+      case Op::kPing:
+        break;
+      case Op::kInsert:
+      case Op::kInsertBatch: {
+        std::vector<core::EngineWrite> items(request.sigs.size());
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          items[i].id = request.insert_ids[i];
+          items[i].signature = request.sigs[i];
+        }
+        const auto results = engine_.insert_batch(items);
+        response.count = static_cast<std::uint32_t>(results.size());
+        break;
+      }
+      case Op::kQuery:
+      case Op::kQueryBatch: {
+        const std::size_t k =
+            std::min<std::uint32_t>(request.k == 0 ? 10 : request.k, 1u << 16);
+        response.results.reserve(request.sigs.size());
+        for (const hash::SparseSignature& sig : request.sigs) {
+          response.results.push_back(engine_.query_signature(sig, k).hits);
+        }
+        break;
+      }
+      case Op::kErase:
+      case Op::kEraseBatch:
+        response.count =
+            static_cast<std::uint32_t>(engine_.erase_batch(request.ids));
+        break;
+      case Op::kMetrics:
+        response.text = engine_.metrics().to_prometheus();
+        break;
+    }
+  } catch (const std::exception& e) {
+    response.results.clear();
+    response.count = 0;
+    response.status = Status::kError;
+    response.text = e.what();
+  }
+  return response;
+}
+
+void Server::send_response(const std::shared_ptr<Conn>& conn,
+                           const Response& response) {
+  const std::vector<std::uint8_t> framed = frame(encode_response(response));
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed) return;  // client went away; nothing to ack
+    conn->out.insert(conn->out.end(), framed.begin(), framed.end());
+  }
+  {
+    std::lock_guard<std::mutex> lk(wake_mutex_);
+    pending_flush_.push_back(conn);
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::flush_conn(const std::shared_ptr<Conn>& conn) {
+  bool drop = false;
+  bool want_write = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed) return;
+    while (conn->out_off < conn->out.size()) {
+      const ssize_t n =
+          ::send(conn->fd, conn->out.data() + conn->out_off,
+                 conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<std::size_t>(n);
+        m_bytes_out_->add(static_cast<std::uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        want_write = true;
+        break;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      drop = true;
+      break;
+    }
+    if (conn->out_off == conn->out.size()) {
+      conn->out.clear();
+      conn->out_off = 0;
+    } else if (conn->out_off > (1u << 20) &&
+               conn->out_off > conn->out.size() / 2) {
+      conn->out.erase(conn->out.begin(),
+                      conn->out.begin() +
+                          static_cast<std::ptrdiff_t>(conn->out_off));
+      conn->out_off = 0;
+    }
+    if (!drop &&
+        conn->out.size() - conn->out_off > options_.max_outbuf_bytes) {
+      drop = true;  // client stopped reading; shed it
+    }
+  }
+  if (drop) {
+    close_conn(conn);
+    return;
+  }
+  if (want_write != conn->want_write) update_epoll(*conn, want_write);
+}
+
+void Server::close_conn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  connections_.fetch_sub(1, std::memory_order_relaxed);
+  m_connections_->set(static_cast<double>(conns_.size()));
+}
+
+void Server::update_epoll(Conn& conn, bool want_write) {
+  epoll_event ev{};
+  ev.events = static_cast<std::uint32_t>(EPOLLIN) |
+              (want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.want_write = want_write;
+}
+
+bool Server::all_flushed() {
+  for (const auto& [fd, conn] : conns_) {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->out.size() - conn->out_off != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace fast::server

@@ -1,0 +1,197 @@
+// fast::server — the network front door (DESIGN.md §3g).
+//
+// One epoll I/O thread owns every socket: it accepts connections, splits
+// the byte stream into length-prefixed frames (protocol.hpp), makes the
+// admission decision per frame, and flushes response bytes. Admitted
+// requests are executed by a pool of worker threads against the
+// QueryEngine mutating facade; workers never touch sockets — they append
+// serialized responses to the connection's output buffer and kick the I/O
+// thread through an eventfd. Request order is preserved per connection for
+// admitted requests (one FIFO work queue), while rejections are answered
+// immediately from the I/O thread, ahead of the queue.
+//
+// Admission control: each connection may have at most
+// ServerOptions::queue_depth admitted-but-unanswered requests. A frame
+// arriving past that window is answered kRetryAfter (with a retry hint in
+// milliseconds) instead of being buffered — the server sheds overload
+// explicitly rather than stalling the TCP stream, so a closed-loop client
+// sees bounded latency and an open-loop client sees rejects, exactly the
+// behavior the loadgen sweep measures.
+//
+// Graceful shutdown (stop(), also the SIGTERM path of fast_server):
+//   1. stop accepting; answer new frames kShuttingDown;
+//   2. drain — every admitted request executes and its response is queued;
+//   3. workers join; the I/O thread flushes every output buffer;
+//   4. the WAL is fsynced through the engine facade, so every
+//      acknowledged write is durable before the process exits (the
+//      loopback integration test asserts zero acked-write loss).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query_engine.hpp"
+#include "server/protocol.hpp"
+#include "storage/io.hpp"
+
+namespace fast::util {
+class Counter;
+class Gauge;
+class Histogram;
+}
+
+namespace fast::server {
+
+struct ServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Bind address; loopback by default (the load harness and tests).
+  std::string bind_addr = "127.0.0.1";
+  /// Request-execution threads.
+  std::size_t workers = 4;
+  /// Per-connection admitted-but-unanswered window (admission control).
+  std::size_t queue_depth = 64;
+  /// Hint returned with kRetryAfter.
+  std::uint32_t retry_after_ms = 10;
+  /// A connection whose unsent output exceeds this is dropped (client
+  /// stopped reading).
+  std::size_t max_outbuf_bytes = 64u << 20;
+  /// Test-only: artificial per-request execution delay, so admission-
+  /// control tests can fill the window deterministically.
+  std::size_t debug_request_delay_us = 0;
+
+  /// Applies FAST_SERVER_PORT / FAST_SERVER_WORKERS / FAST_SERVER_QUEUE on
+  /// top of `defaults`, with checked parsing (util/env.hpp): garbage,
+  /// negative or out-of-range values warn once and are ignored.
+  static ServerOptions from_env(ServerOptions defaults);
+  static ServerOptions from_env() { return from_env(ServerOptions{}); }
+};
+
+class Server {
+ public:
+  /// The engine must outlive the server. A read-only engine serves queries
+  /// and answers mutations kError; a writable one (QueryEngine::open or a
+  /// mutable-index constructor) serves the full op set.
+  Server(core::QueryEngine& engine, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the I/O + worker threads.
+  storage::Status start();
+
+  /// The bound port (after start(); resolves port 0 to the real one).
+  std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Graceful shutdown as documented above. Idempotent; called by the
+  /// destructor if still running. Must not be called from a worker.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Live connection count (diagnostics/tests).
+  std::size_t connection_count() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameAssembler assembler;
+    /// Admitted-but-unanswered requests on this connection.
+    std::atomic<std::size_t> inflight{0};
+    std::mutex mu;                    ///< guards out/out_off/closed
+    std::vector<std::uint8_t> out;    ///< serialized, unsent response bytes
+    std::size_t out_off = 0;
+    bool closed = false;
+    bool want_write = false;          ///< EPOLLOUT armed (I/O thread only)
+  };
+
+  struct WorkItem {
+    std::shared_ptr<Conn> conn;
+    std::vector<std::uint8_t> body;
+  };
+
+  void io_loop();
+  void worker_loop();
+
+  void accept_ready();
+  void conn_readable(const std::shared_ptr<Conn>& conn);
+  void conn_writable(const std::shared_ptr<Conn>& conn);
+  /// Admission decision + dispatch for one complete frame (I/O thread).
+  void handle_frame(const std::shared_ptr<Conn>& conn,
+                    std::vector<std::uint8_t> body);
+  /// Executes one admitted request (worker thread).
+  Response execute(const Request& request);
+
+  /// Appends a serialized response and wakes the I/O thread (any thread).
+  void send_response(const std::shared_ptr<Conn>& conn,
+                     const Response& response);
+  /// Flushes the output buffer; arms/disarms EPOLLOUT (I/O thread).
+  void flush_conn(const std::shared_ptr<Conn>& conn);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+  void update_epoll(Conn& conn, bool want_write);
+  /// True when every connection's output buffer is empty (drain check).
+  bool all_flushed();
+
+  core::QueryEngine& engine_;
+  const ServerOptions options_;
+  std::uint16_t bound_port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd the workers kick after queuing output
+
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};   ///< reject new frames
+  std::atomic<bool> io_stop_{false};    ///< I/O thread exits once flushed
+
+  // Work queue (admitted requests, FIFO across connections).
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<WorkItem> work_;
+  bool workers_stop_ = false;
+
+  // Connections needing a flush, posted by workers (guarded by wake_mutex_).
+  std::mutex wake_mutex_;
+  std::vector<std::weak_ptr<Conn>> pending_flush_;
+
+  // Drain accounting: admitted requests not yet answered, process-wide.
+  std::atomic<std::size_t> admitted_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<std::size_t> connections_{0};
+
+  /// I/O-thread-private registry of live connections.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+
+  // Instruments live in the engine's registry, so one kMetrics scrape (or
+  // registry JSON dump) covers pipeline and serving metrics together.
+  util::Counter* m_accepted_ = nullptr;
+  util::Counter* m_requests_ = nullptr;
+  util::Counter* m_rejected_retry_ = nullptr;
+  util::Counter* m_rejected_shutdown_ = nullptr;
+  util::Counter* m_bad_requests_ = nullptr;
+  util::Counter* m_bytes_in_ = nullptr;
+  util::Counter* m_bytes_out_ = nullptr;
+  util::Gauge* m_connections_ = nullptr;
+  util::Gauge* m_inflight_ = nullptr;
+  util::Histogram* m_request_wall_s_ = nullptr;
+};
+
+}  // namespace fast::server

@@ -1,0 +1,106 @@
+#include "util/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fast::util {
+
+namespace {
+
+void warn(const char* name, const char* text, const char* why) {
+  std::fprintf(stderr, "fast: ignoring %s=\"%s\" (%s)\n", name, text, why);
+}
+
+/// strtoul accepts leading whitespace and a '-' sign (wrapping the value);
+/// neither is a sane knob spelling, so scan for them explicitly.
+bool has_sign_or_space(const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (std::isspace(static_cast<unsigned char>(*p)) || *p == '-' ||
+        *p == '+') {
+      return true;
+    }
+    break;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<unsigned long> parse_checked_count(const char* name,
+                                                 const char* text,
+                                                 unsigned long min_value,
+                                                 unsigned long max_value) {
+  if (text == nullptr || text[0] == '\0') {
+    warn(name, text == nullptr ? "" : text, "empty value");
+    return std::nullopt;
+  }
+  if (has_sign_or_space(text)) {
+    warn(name, text, "expected a plain non-negative integer");
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0') {
+    warn(name, text, "not an integer");
+    return std::nullopt;
+  }
+  if (errno == ERANGE) {
+    warn(name, text, "overflows");
+    return std::nullopt;
+  }
+  if (value < min_value || value > max_value) {
+    std::fprintf(stderr,
+                 "fast: ignoring %s=\"%s\" (out of range [%lu, %lu])\n", name,
+                 text, min_value, max_value);
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<double> parse_checked_number(const char* name, const char* text,
+                                           double min_value,
+                                           double max_value) {
+  if (text == nullptr || text[0] == '\0') {
+    warn(name, text == nullptr ? "" : text, "empty value");
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    warn(name, text, "not a number");
+    return std::nullopt;
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    warn(name, text, "not a finite number");
+    return std::nullopt;
+  }
+  if (value < min_value || value > max_value) {
+    std::fprintf(stderr, "fast: ignoring %s=\"%s\" (out of range [%g, %g])\n",
+                 name, text, min_value, max_value);
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<unsigned long> env_count(const char* name,
+                                       unsigned long min_value,
+                                       unsigned long max_value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || text[0] == '\0') return std::nullopt;
+  return parse_checked_count(name, text, min_value, max_value);
+}
+
+std::optional<double> env_number(const char* name, double min_value,
+                                 double max_value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || text[0] == '\0') return std::nullopt;
+  return parse_checked_number(name, text, min_value, max_value);
+}
+
+}  // namespace fast::util

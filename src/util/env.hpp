@@ -1,0 +1,40 @@
+// Checked parsing for environment/flag knobs.
+//
+// Operational knobs (trace sample rates, server ports, queue depths) arrive
+// as untrusted strings. std::atoi/atof silently map garbage, negatives and
+// overflow to 0 — which then reads as "knob disabled" or, worse, becomes a
+// zero-sized ring or port 0 with no indication anything was ignored. These
+// helpers parse with strtoul/strtod, validate the full token and an explicit
+// [min, max] range, and reject bad input with a one-line stderr warning so a
+// typo in FAST_TRACE_RING or FAST_SERVER_PORT is visible instead of silent.
+#pragma once
+
+#include <optional>
+
+namespace fast::util {
+
+/// Parses `text` (a value already read from env or argv) as an unsigned
+/// integer in [min_value, max_value]. Returns nullopt — after printing a
+/// one-line warning naming `name` — when `text` is empty, has trailing
+/// garbage, is negative, overflows, or falls outside the range.
+std::optional<unsigned long> parse_checked_count(const char* name,
+                                                 const char* text,
+                                                 unsigned long min_value,
+                                                 unsigned long max_value);
+
+/// Same contract for a floating-point knob (trace rates, thresholds).
+/// Rejects NaN/inf and out-of-range values.
+std::optional<double> parse_checked_number(const char* name, const char* text,
+                                           double min_value, double max_value);
+
+/// getenv(name) + parse_checked_count. nullopt when unset, empty or invalid
+/// (invalid values warn; unset/empty is silent).
+std::optional<unsigned long> env_count(const char* name,
+                                       unsigned long min_value,
+                                       unsigned long max_value);
+
+/// getenv(name) + parse_checked_number.
+std::optional<double> env_number(const char* name, double min_value,
+                                 double max_value);
+
+}  // namespace fast::util

@@ -1,5 +1,7 @@
 #include "util/trace.hpp"
 
+#include "util/env.hpp"
+
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -371,22 +373,21 @@ TraceSpan::~TraceSpan() {
 bool configure_global_tracer_from_env() {
   // The knobs are independent: FAST_TRACE_SLOW_MS / FAST_TRACE_RING apply
   // even when the sample rate comes from somewhere else (a bench's --trace
-  // flag configures the rate after this call).
+  // flag configures the rate after this call). Parsing is checked — a
+  // garbage, negative or overflowing value warns once and leaves the knob
+  // at its previous setting instead of silently becoming 0.
   TraceOptions opts = Tracer::global().options();
   bool changed = false;
-  if (const char* rate = std::getenv("FAST_TRACE");
-      rate != nullptr && rate[0] != '\0') {
-    opts.sample_rate = std::atof(rate);
+  if (const auto rate = env_number("FAST_TRACE", 0.0, 1.0)) {
+    opts.sample_rate = *rate;
     changed = true;
   }
-  if (const char* slow_ms = std::getenv("FAST_TRACE_SLOW_MS");
-      slow_ms != nullptr && slow_ms[0] != '\0') {
-    opts.slow_query_s = std::atof(slow_ms) / 1e3;
+  if (const auto slow_ms = env_number("FAST_TRACE_SLOW_MS", 0.0, 1e9)) {
+    opts.slow_query_s = *slow_ms / 1e3;
     changed = true;
   }
-  if (const char* ring = std::getenv("FAST_TRACE_RING");
-      ring != nullptr && std::atoi(ring) > 0) {
-    opts.slow_ring_capacity = static_cast<std::size_t>(std::atoi(ring));
+  if (const auto ring = env_count("FAST_TRACE_RING", 1, 1u << 20)) {
+    opts.slow_ring_capacity = static_cast<std::size_t>(*ring);
     changed = true;
   }
   if (changed) Tracer::global().configure(opts);

@@ -3,8 +3,13 @@
 // holding the same live set — same hits, same scores — across seals,
 // erases, re-inserts and compaction, while the tier-specific machinery
 // (blooms, tombstone GC, background merges) does its job underneath.
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -377,6 +382,71 @@ TEST_F(TierStressTest, ChurnWithBackgroundCompaction) {
     EXPECT_FALSE(index.find_signature(base + 0).has_value());
     EXPECT_TRUE(index.find_signature(base + 1).has_value());
     EXPECT_TRUE(index.find_signature(base + kPerWriter - 1).has_value());
+  }
+}
+
+/// Shutdown-under-serving-load regression: snapshots racing the background
+/// compaction worker used to serialize next_segment_id_ before pinning the
+/// lane segment lists, so a concurrent merge could persist a snapshot
+/// whose newest segment id collided with the saved counter — duplicate
+/// segment ids (and wrong-window splices) after recovery. save_snapshot
+/// now excludes maintenance passes, and restore advances the counter past
+/// every recovered segment. The destructor's stop_worker must likewise
+/// leave the index consistent after churn.
+TEST_F(TierTest, ShutdownUnderChurnPreservesAckedWrites) {
+  FastConfig cfg = tiered_config();
+  cfg.tier.background = true;  // real worker: snapshots race compactions
+  DurabilityOptions opts;
+  opts.dir = ::testing::TempDir() + "fast_tier_" +
+             std::to_string(::getpid()) + "_shutdown_churn";
+  std::filesystem::remove_all(opts.dir);
+  std::filesystem::create_directories(opts.dir);
+
+  const std::size_t kWrites = 400;
+  {
+    auto opened = TieredIndex::open_or_recover(cfg, *pca_, opts);
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    std::unique_ptr<TieredIndex> index = std::move(opened).value();
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      for (std::size_t id = 1; id <= kWrites; ++id) {
+        index->insert_signature(id, (*sigs_)[id % sigs_->size()]);
+      }
+    });
+    std::thread reader([&] {
+      std::size_t qi = 0;
+      while (!stop) {
+        index->query_signature((*sigs_)[qi++ % sigs_->size()], 4);
+      }
+    });
+    // Snapshot repeatedly while seals and merges are in flight — the
+    // exact SIGTERM-during-serving shape.
+    for (int s = 0; s < 5; ++s) {
+      ASSERT_TRUE(index->save_snapshot().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    writer.join();
+    ASSERT_TRUE(index->save_snapshot().ok());
+    stop = true;
+    reader.join();
+    index->wait_idle();
+    EXPECT_EQ(index->size(), kWrites);
+    // unique_ptr teardown: stop_worker + WAL close under a quiesced index.
+  }
+
+  auto recovered = TieredIndex::open_or_recover(cfg, *pca_, opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  std::unique_ptr<TieredIndex> index = std::move(recovered).value();
+  EXPECT_EQ(index->size(), kWrites);
+  // Post-recovery maintenance must splice cleanly: fresh segment ids may
+  // not collide with recovered ones.
+  index->seal_active();
+  index->compact_once();
+  index->wait_idle();
+  EXPECT_EQ(index->size(), kWrites);
+  for (std::size_t id = 1; id <= kWrites; id += 37) {
+    EXPECT_TRUE(index->find_signature(id).has_value()) << id;
   }
 }
 

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/codec.hpp"
 #include "util/crc32.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -460,6 +463,73 @@ TEST(Codec, TruncatedBlobFails) {
   ByteReader r{std::span(bytes)};
   EXPECT_TRUE(r.blob().empty());
   EXPECT_FALSE(r.ok());
+}
+
+// --- checked env/flag parsing -------------------------------------------
+// std::atoi silently maps garbage, negatives and overflow to 0, which reads
+// as "knob disabled". The checked parsers must reject all of those loudly
+// (nullopt) while round-tripping every legitimate value.
+
+TEST(EnvParse, CountAcceptsValidValues) {
+  EXPECT_EQ(parse_checked_count("k", "0", 0, 100), 0UL);
+  EXPECT_EQ(parse_checked_count("k", "42", 0, 100), 42UL);
+  EXPECT_EQ(parse_checked_count("k", "100", 0, 100), 100UL);
+}
+
+TEST(EnvParse, CountRejectsGarbageAndRange) {
+  EXPECT_EQ(parse_checked_count("k", "", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_checked_count("k", "abc", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_checked_count("k", "12abc", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_checked_count("k", "12 ", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_checked_count("k", " 7", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_checked_count("k", "+7", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_checked_count("k", "0x20", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_checked_count("k", "101", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_checked_count("k", "3", 4, 100), std::nullopt);
+  // strtoul would happily wrap "-1" to ULONG_MAX; the checked parser must
+  // reject negatives outright.
+  EXPECT_EQ(parse_checked_count("k", "-1", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_checked_count("k", "-0", 0, 100), std::nullopt);
+  EXPECT_EQ(parse_checked_count("k", "99999999999999999999999", 0, ~0UL),
+            std::nullopt);  // overflow
+}
+
+TEST(EnvParse, NumberAcceptsValidValues) {
+  EXPECT_EQ(parse_checked_number("r", "0.5", 0.0, 1.0), 0.5);
+  EXPECT_EQ(parse_checked_number("r", "0", 0.0, 1.0), 0.0);
+  EXPECT_EQ(parse_checked_number("r", "1e-3", 0.0, 1.0), 1e-3);
+  EXPECT_EQ(parse_checked_number("r", "-2.5", -10.0, 10.0), -2.5);
+}
+
+TEST(EnvParse, NumberRejectsGarbageRangeAndNonFinite) {
+  EXPECT_EQ(parse_checked_number("r", "", 0.0, 1.0), std::nullopt);
+  EXPECT_EQ(parse_checked_number("r", "fast", 0.0, 1.0), std::nullopt);
+  EXPECT_EQ(parse_checked_number("r", "0.5x", 0.0, 1.0), std::nullopt);
+  EXPECT_EQ(parse_checked_number("r", "1.5", 0.0, 1.0), std::nullopt);
+  EXPECT_EQ(parse_checked_number("r", "-0.1", 0.0, 1.0), std::nullopt);
+  EXPECT_EQ(parse_checked_number("r", "nan", 0.0, 1.0), std::nullopt);
+  EXPECT_EQ(parse_checked_number("r", "inf", 0.0, 1e308), std::nullopt);
+  EXPECT_EQ(parse_checked_number("r", "1e999", 0.0, 1e308), std::nullopt);
+}
+
+TEST(EnvParse, EnvCountReadsProcessEnvironment) {
+  ::setenv("FAST_TEST_ENV_COUNT", "128", 1);
+  EXPECT_EQ(env_count("FAST_TEST_ENV_COUNT", 1, 1024), 128UL);
+  ::setenv("FAST_TEST_ENV_COUNT", "bogus", 1);
+  EXPECT_EQ(env_count("FAST_TEST_ENV_COUNT", 1, 1024), std::nullopt);
+  ::setenv("FAST_TEST_ENV_COUNT", "", 1);  // empty == unset, silent
+  EXPECT_EQ(env_count("FAST_TEST_ENV_COUNT", 1, 1024), std::nullopt);
+  ::unsetenv("FAST_TEST_ENV_COUNT");
+  EXPECT_EQ(env_count("FAST_TEST_ENV_COUNT", 1, 1024), std::nullopt);
+}
+
+TEST(EnvParse, EnvNumberReadsProcessEnvironment) {
+  ::setenv("FAST_TEST_ENV_NUMBER", "0.25", 1);
+  EXPECT_EQ(env_number("FAST_TEST_ENV_NUMBER", 0.0, 1.0), 0.25);
+  ::setenv("FAST_TEST_ENV_NUMBER", "2.0", 1);  // out of range
+  EXPECT_EQ(env_number("FAST_TEST_ENV_NUMBER", 0.0, 1.0), std::nullopt);
+  ::unsetenv("FAST_TEST_ENV_NUMBER");
+  EXPECT_EQ(env_number("FAST_TEST_ENV_NUMBER", 0.0, 1.0), std::nullopt);
 }
 
 }  // namespace
