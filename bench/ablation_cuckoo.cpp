@@ -2,9 +2,17 @@
 // (DESIGN.md §5): insertion-failure probability at high load, probe count
 // per lookup, and achieved load ceiling. W=1 degenerates to (near-)standard
 // cuckoo; the paper's design sits around W=4.
+//
+// Second section — fingerprint compression (DESIGN.md §3h): the flat
+// full-key table vs the compact SoA table on an identical mixed hit/miss
+// lookup stream. Verifies bit-identical query results (parity) and reports
+// probe-path bytes per lookup, resident memory, and the fingerprint
+// false-hit rate. Exits nonzero if parity breaks or the probe-path byte
+// reduction falls under 4x.
 #include <cstdio>
 #include <cstdlib>
 
+#include "hash/compact_flat_cuckoo_table.hpp"
 #include "hash/flat_cuckoo_table.hpp"
 #include "hash/hashes.hpp"
 #include "util/table.hpp"
@@ -62,6 +70,73 @@ void run(std::size_t capacity, std::size_t trials) {
   table.print("Ablation — neighborhood window of the flat cuckoo table");
 }
 
+/// Flat vs fingerprint-compressed backend on the same key stream: parity of
+/// every insert/find outcome plus the probe-path roofline. Returns false on
+/// a parity break or a bytes-per-lookup reduction below `min_ratio`.
+bool run_compact(std::size_t capacity, double min_ratio) {
+  hash::FlatCuckooConfig cfg;
+  cfg.capacity = capacity;
+  cfg.seed = 0xc0ffee;
+  hash::FlatCuckooTable flat(cfg);
+  hash::CompactFlatCuckooTable compact(cfg);
+
+  // Fill to 75% with identical streams; parity covers insert outcomes too.
+  const std::size_t items = capacity * 3 / 4;
+  bool parity = true;
+  for (std::size_t i = 0; i < items; ++i) {
+    const std::uint64_t key = hash::mix64(0xf00d ^ (i * 0x9e3779b97f4a7c15ULL));
+    parity &= flat.insert(key, i) == compact.insert(key, i);
+  }
+  parity &= flat.size() == compact.size();
+
+  // Mixed lookup stream: half resident keys, half absent keys.
+  hash::ProbeProfile flat_profile, compact_profile;
+  const std::size_t lookups = 4 * items;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < lookups; ++i) {
+    const std::uint64_t key =
+        (i & 1) ? hash::mix64(0xdead ^ (i * 0x9e3779b97f4a7c15ULL))
+                : hash::mix64(0xf00d ^ ((i / 2 % items) * 0x9e3779b97f4a7c15ULL));
+    const auto f = flat.find(key, &flat_profile);
+    const auto c = compact.find(key, &compact_profile);
+    parity &= f == c;
+    hits += f.has_value();
+  }
+
+  const auto per = [&](const hash::ProbeProfile& p) {
+    return static_cast<double>(p.bytes_touched) /
+           static_cast<double>(lookups);
+  };
+  const double flat_bytes = per(flat_profile);
+  const double compact_bytes = per(compact_profile);
+  const double ratio = compact_bytes > 0 ? flat_bytes / compact_bytes : 0;
+  const double false_hit_rate =
+      static_cast<double>(compact_profile.fingerprint_false_hits) /
+      static_cast<double>(lookups);
+
+  util::Table table({"backend", "bytes/lookup", "slots/lookup",
+                     "fp false hits/lookup", "resident bytes"});
+  table.add_row({"flat", util::fmt_sci(flat_bytes),
+                 util::fmt_sci(static_cast<double>(flat_profile.slots_scanned) /
+                               static_cast<double>(lookups)),
+                 "0", std::to_string(flat.memory_bytes())});
+  table.add_row(
+      {"flat_compact", util::fmt_sci(compact_bytes),
+       util::fmt_sci(static_cast<double>(compact_profile.slots_scanned) /
+                     static_cast<double>(lookups)),
+       util::fmt_sci(false_hit_rate), std::to_string(compact.memory_bytes())});
+  table.print("Ablation — fingerprint-compressed probe path (hits " +
+              std::to_string(hits) + "/" + std::to_string(lookups) + ")");
+
+  const bool ok = parity && ratio >= min_ratio && false_hit_rate < 0.05;
+  std::printf(
+      "compact probe path: bytes/lookup %.1fB -> %.1fB (%.1fx), "
+      "fp_false_hit_rate=%.4f, parity=%s -> %s\n",
+      flat_bytes, compact_bytes, ratio, false_hit_rate,
+      parity ? "OK" : "BROKEN", ok ? "OK" : "FAIL");
+  return ok;
+}
+
 }  // namespace
 }  // namespace fast::bench
 
@@ -72,5 +147,5 @@ int main(int argc, char** argv) {
   if (argc > 1) capacity = static_cast<std::size_t>(std::atoi(argv[1]));
   if (argc > 2) trials = static_cast<std::size_t>(std::atoi(argv[2]));
   fast::bench::run(capacity, trials);
-  return 0;
+  return fast::bench::run_compact(capacity, /*min_ratio=*/4.0) ? 0 : 1;
 }

@@ -1,13 +1,18 @@
 // Google-benchmark micro suite for the hashing substrate: raw hash
 // functions, Bloom operations, sparse-signature algebra, LSH backends and
-// the cuckoo tables (standard vs flat).
+// the cuckoo tables (standard vs flat vs fingerprint-compressed). The find
+// benches publish roofline counters — bytes_per_lookup and
+// slots_per_lookup from the ProbeProfile instrumentation — so the probe
+// working-set gap between backends is visible next to the timings.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 
 #include "hash/bloom_filter.hpp"
+#include "hash/compact_flat_cuckoo_table.hpp"
 #include "hash/cuckoo_table.hpp"
 #include "hash/flat_cuckoo_table.hpp"
+#include "hash/group_stores.hpp"
 #include "hash/hashes.hpp"
 #include "hash/lsh_table_chained.hpp"
 #include "hash/minhash.hpp"
@@ -203,6 +208,24 @@ void BM_CuckooInsert_Flat(benchmark::State& state) {
 }
 BENCHMARK(BM_CuckooInsert_Flat);
 
+void BM_CuckooInsert_Compact(benchmark::State& state) {
+  hash::FlatCuckooConfig cfg;
+  cfg.capacity = 1 << 16;
+  hash::CompactFlatCuckooTable table(cfg);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if (table.size() > cfg.capacity * 9 / 10) {
+      state.PauseTiming();
+      table = hash::CompactFlatCuckooTable(cfg);
+      state.ResumeTiming();
+    }
+    const std::uint64_t key = hash::mix64(i);
+    ++i;
+    benchmark::DoNotOptimize(table.insert(key, i));
+  }
+}
+BENCHMARK(BM_CuckooInsert_Compact);
+
 void BM_CuckooFind_Standard(benchmark::State& state) {
   hash::CuckooTable table(1 << 16);
   for (std::uint64_t i = 0; i < (1 << 15); ++i) {
@@ -215,6 +238,21 @@ void BM_CuckooFind_Standard(benchmark::State& state) {
 }
 BENCHMARK(BM_CuckooFind_Standard);
 
+/// Attaches the roofline counters derived from an accumulated ProbeProfile:
+/// per-lookup bytes touched and slots scanned, plus the fingerprint
+/// false-hit rate (nonzero only for the compact backend).
+void set_roofline_counters(benchmark::State& state,
+                           const hash::ProbeProfile& profile) {
+  const auto n = static_cast<double>(state.iterations());
+  if (n == 0) return;
+  state.counters["bytes_per_lookup"] =
+      static_cast<double>(profile.bytes_touched) / n;
+  state.counters["slots_per_lookup"] =
+      static_cast<double>(profile.slots_scanned) / n;
+  state.counters["fp_false_hit_rate"] =
+      static_cast<double>(profile.fingerprint_false_hits) / n;
+}
+
 void BM_CuckooFind_Flat(benchmark::State& state) {
   hash::FlatCuckooConfig cfg;
   cfg.capacity = 1 << 16;
@@ -223,11 +261,31 @@ void BM_CuckooFind_Flat(benchmark::State& state) {
     table.insert(hash::mix64(i), i);
   }
   std::uint64_t i = 0;
+  hash::ProbeProfile profile;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(table.find(hash::mix64(i++ % (1 << 15))));
+    benchmark::DoNotOptimize(table.find(hash::mix64(i++ % (1 << 15)),
+                                        &profile));
   }
+  set_roofline_counters(state, profile);
 }
 BENCHMARK(BM_CuckooFind_Flat);
+
+void BM_CuckooFind_Compact(benchmark::State& state) {
+  hash::FlatCuckooConfig cfg;
+  cfg.capacity = 1 << 16;
+  hash::CompactFlatCuckooTable table(cfg);
+  for (std::uint64_t i = 0; i < (1 << 15); ++i) {
+    table.insert(hash::mix64(i), i);
+  }
+  std::uint64_t i = 0;
+  hash::ProbeProfile profile;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(hash::mix64(i++ % (1 << 15)),
+                                        &profile));
+  }
+  set_roofline_counters(state, profile);
+}
+BENCHMARK(BM_CuckooFind_Compact);
 
 void BM_ChainedFind(benchmark::State& state) {
   hash::LshTableChained table(1 << 12);  // heavy chains: vertical addressing
@@ -240,6 +298,51 @@ void BM_ChainedFind(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChainedFind);
+
+// GroupStore-level roofline: the same mixed hit/miss lookup stream through
+// each CHS backend's full find path, with bytes/slots per lookup from the
+// uniform ProbeProfile plumbing. This is the apples-to-apples probe
+// working-set comparison the flat_compact backend exists for.
+void group_store_find(benchmark::State& state,
+                      core::pipeline::GroupStore& store) {
+  constexpr std::uint64_t kResident = 1 << 14;
+  for (std::uint64_t i = 0; i < kResident; ++i) {
+    store.place(0, hash::mix64(i), i);
+  }
+  std::uint64_t i = 0;
+  hash::ProbeProfile profile;
+  for (auto _ : state) {
+    // Even iterations hit, odd iterations miss.
+    const std::uint64_t draw = i++;
+    const std::uint64_t key = (draw & 1) ? hash::mix64(kResident + draw)
+                                         : hash::mix64(draw % kResident);
+    std::size_t probes = 0;
+    benchmark::DoNotOptimize(store.find(0, key, &probes, &profile));
+  }
+  set_roofline_counters(state, profile);
+}
+
+void BM_GroupStoreFind_Flat(benchmark::State& state) {
+  hash::FlatCuckooConfig cfg;
+  cfg.capacity = 1 << 15;
+  hash::FlatCuckooGroupStore store(cfg, 1);
+  group_store_find(state, store);
+}
+BENCHMARK(BM_GroupStoreFind_Flat);
+
+void BM_GroupStoreFind_Compact(benchmark::State& state) {
+  hash::FlatCuckooConfig cfg;
+  cfg.capacity = 1 << 15;
+  hash::CompactFlatCuckooGroupStore store(cfg, 1);
+  group_store_find(state, store);
+}
+BENCHMARK(BM_GroupStoreFind_Compact);
+
+void BM_GroupStoreFind_Chained(benchmark::State& state) {
+  hash::ChainedGroupStore store(1 << 13, 0x5eed, 1);
+  group_store_find(state, store);
+}
+BENCHMARK(BM_GroupStoreFind_Chained);
 
 }  // namespace
 

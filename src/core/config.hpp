@@ -84,13 +84,17 @@ struct FastConfig {
   /// Scaled NN distance the calibration targets, as a fraction of omega.
   double calibrate_target = 0.25;
 
-  // CHS: group storage behind the aggregator's bucket keys. Two runtime-
+  // CHS: group storage behind the aggregator's bucket keys. Three runtime-
   // selectable backends:
   //  - kFlatCuckoo: the paper's flat-structured cuckoo addressing — fixed
   //    2W-probe lookups, proactive doubling at 80% load (amortized O(1));
   //  - kChained: conventional vertical addressing (bucket chains), the
-  //    baseline of §III-C3 kept selectable for ablations.
-  enum class ChsBackend { kFlatCuckoo, kChained };
+  //    baseline of §III-C3 kept selectable for ablations;
+  //  - kCompactFlatCuckoo ("flat_compact"): flat addressing over the
+  //    fingerprint-compressed SoA table (DESIGN.md §3h) — 16-bit
+  //    fingerprint lane scanned first, full keys out-of-line; bit-identical
+  //    results to kFlatCuckoo with a ~4x smaller probe working set.
+  enum class ChsBackend { kFlatCuckoo, kChained, kCompactFlatCuckoo };
   ChsBackend chs_backend = ChsBackend::kFlatCuckoo;
   hash::FlatCuckooConfig cuckoo{
       .capacity = 256, .window = 4, .max_kicks = 500, .seed = 0xfa57};
@@ -104,6 +108,15 @@ struct FastConfig {
   /// fingerprint (a tiered directory is not openable as flat or vice versa
   /// — the on-disk manifest shapes differ).
   TierConfig tier;
+
+  /// Bloofi-style shard routing in ShardedFastIndex (DESIGN.md §3h): log2
+  /// of the per-shard counting-bloom summary over resident (table,
+  /// home-key) fingerprints. Queries skip shards whose summary excludes
+  /// every probed key. 0 disables routing (scatter to all shards — the
+  /// ablation baseline). Operational knob: summaries are rebuilt from
+  /// recovered state, never persisted, so it stays out of the config
+  /// fingerprint.
+  std::size_t shard_routing_bits = 0;
 
   // Simulated platform for the cost accounting.
   sim::CostModel cost;

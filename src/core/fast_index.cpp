@@ -60,6 +60,7 @@ void FastIndex::init_metrics() {
   m_.chs_group_creates = &r.counter("chs.group_creates");
   m_.chs_rehash_events = &r.counter("chs.rehash_events");
   m_.chs_slot_reads = &r.counter("chs.slot_reads");
+  m_.chs_fingerprint_false_hits = &r.counter("chs.fingerprint_false_hits");
   m_.chs_bucket_probes = &r.count_histogram("chs.bucket_probes_per_query");
   m_.chs_candidates = &r.count_histogram("chs.candidates_per_query");
   m_.chs_load_factor = &r.gauge("chs.load_factor");
@@ -210,9 +211,11 @@ InsertResult FastIndex::apply_insert(
   {
     util::TraceSpan place_span("chs.place");
     std::size_t slot_reads = 0;
+    hash::ProbeProfile probe_profile;
     for (std::size_t t = 0; t < keys.size(); ++t) {
       std::size_t lookup_probes = 0;
-      const auto group = store_->find(t, keys[t], &lookup_probes);
+      const auto group =
+          store_->find(t, keys[t], &lookup_probes, &probe_profile);
       result.cost.charge_ram(config_.cost.ram_access_s, lookup_probes);
       slot_reads += lookup_probes;
       m_.chs_slot_reads->add(lookup_probes);
@@ -235,6 +238,9 @@ InsertResult FastIndex::apply_insert(
     place_span.attr("tables", static_cast<double>(keys.size()));
     place_span.attr("slot_reads", static_cast<double>(slot_reads));
     place_span.attr("rehash_events", static_cast<double>(result.rehashes));
+    if (probe_profile.fingerprint_false_hits != 0) {
+      m_.chs_fingerprint_false_hits->add(probe_profile.fingerprint_false_hits);
+    }
   }
   signatures_.emplace(id, signature);
   m_.inserts->add();
@@ -479,7 +485,14 @@ storage::SnapshotFile FastIndex::build_snapshot() const {
 
   util::ByteWriter store;
   store_->serialize(store);
-  snapshot.sections.push_back({storage::kSectionStore, store.take()});
+  // The compact backend publishes its store under a distinct section id so
+  // readers built before it existed fail the section lookup outright (on
+  // top of the chs_backend term in the config fingerprint).
+  const std::uint32_t store_section =
+      config_.chs_backend == FastConfig::ChsBackend::kCompactFlatCuckoo
+          ? storage::kSectionStoreCompact
+          : storage::kSectionStore;
+  snapshot.sections.push_back({store_section, store.take()});
   return snapshot;
 }
 
@@ -487,7 +500,10 @@ bool FastIndex::restore_snapshot(const storage::SnapshotFile& snapshot) {
   const auto* params = snapshot.find(storage::kSectionParams);
   const auto* sigs = snapshot.find(storage::kSectionSignatures);
   const auto* groups = snapshot.find(storage::kSectionGroups);
-  const auto* store = snapshot.find(storage::kSectionStore);
+  const auto* store = snapshot.find(
+      config_.chs_backend == FastConfig::ChsBackend::kCompactFlatCuckoo
+          ? storage::kSectionStoreCompact
+          : storage::kSectionStore);
   if (params == nullptr || sigs == nullptr || groups == nullptr ||
       store == nullptr) {
     return false;
@@ -767,6 +783,7 @@ QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
   // the per-table work items are independent (Fig. 7 parallelism).
   std::unordered_set<std::uint64_t> candidate_ids;
   std::size_t slot_reads_total = 0;
+  hash::ProbeProfile probe_profile;
   {
     util::TraceSpan probe_span("chs.probe");
     const std::size_t per_table_ops =
@@ -781,7 +798,8 @@ QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
       auto probe_bucket = [&](std::uint64_t key) {
         ++result.bucket_probes;
         std::size_t lookup_probes = 0;
-        if (const auto group = store_->find(t, key, &lookup_probes)) {
+        if (const auto group =
+                store_->find(t, key, &lookup_probes, &probe_profile)) {
           for (const std::uint64_t id : groups_[*group]) {
             candidate_ids.insert(id);
           }
@@ -803,6 +821,9 @@ QueryResult FastIndex::query_signature(const hash::SparseSignature& signature,
     probe_span.attr("candidates", static_cast<double>(candidate_ids.size()));
   }
   m_.chs_slot_reads->add(slot_reads_total);
+  if (probe_profile.fingerprint_false_hits != 0) {
+    m_.chs_fingerprint_false_hits->add(probe_profile.fingerprint_false_hits);
+  }
 
   // Rank candidates by signature similarity (sparse-domain Jaccard).
   result.candidates = candidate_ids.size();

@@ -197,6 +197,14 @@ class FastIndex {
   /// The stored signature of an image (for tests / re-ranking).
   const hash::SparseSignature* signature_of(std::uint64_t id) const;
 
+  /// Visits every resident (id, signature) pair in unspecified order.
+  /// Used by the sharded facade to rebuild its routing summaries after
+  /// recovery; not a hot path.
+  template <typename Fn>
+  void for_each_signature(Fn&& fn) const {
+    for (const auto& [id, sig] : signatures_) fn(id, sig);
+  }
+
   /// Members of correlation group `g` (diagnostics/tests; erased groups
   /// stay as empty husks).
   std::span<const std::uint64_t> group_members(std::size_t g) const {
@@ -241,6 +249,7 @@ class FastIndex {
     util::Counter* chs_group_creates = nullptr;
     util::Counter* chs_rehash_events = nullptr;
     util::Counter* chs_slot_reads = nullptr;
+    util::Counter* chs_fingerprint_false_hits = nullptr;
     util::Histogram* chs_bucket_probes = nullptr;
     util::Histogram* chs_candidates = nullptr;
     util::Gauge* chs_load_factor = nullptr;

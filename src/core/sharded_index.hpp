@@ -10,14 +10,24 @@
 // scatter/gather network hops plus the slowest shard's local probe (shards
 // work in parallel), which is what keeps the distributed query latency flat
 // as nodes are added.
+// Bloofi-style routing (DESIGN.md §3h): when config.shard_routing_bits > 0
+// the facade keeps one counting-bloom summary per shard over the
+// fingerprints of every resident signature's (table, home-key) pairs,
+// maintained on insert/erase. Queries derive their probe keys once at the
+// coordinator and skip shards whose summary excludes every probed key —
+// those shards incur no scatter hop, no probe work, and no gather message.
+// Summaries have no false negatives, so results are identical to the
+// gather-all baseline (shard_routing_bits = 0).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/fast_index.hpp"
 #include "core/tiered_index.hpp"
+#include "hash/counting_bloom.hpp"
 #include "storage/shard.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -103,6 +113,10 @@ class ShardedFastIndex {
   /// (per-shard stage metrics live in each shard's own registry).
   util::MetricsRegistry& metrics() const noexcept { return *metrics_; }
 
+  /// True when per-shard routing summaries are active
+  /// (config.shard_routing_bits > 0).
+  bool routing_enabled() const noexcept { return !summaries_.empty(); }
+
  private:
   /// Assembles the facade around pre-built shard indexes (the durable path
   /// recovers each shard before construction). Exactly one of the two
@@ -114,6 +128,32 @@ class ShardedFastIndex {
 
   QueryResult gather(std::vector<QueryResult> per_shard, std::size_t k,
                      double fe_cost) const;
+
+  // --- Bloofi-style routing (no-ops when routing_enabled() is false) ---
+
+  /// Fingerprints of the signature's (table, key) pairs in the summary
+  /// domain: home keys only for maintenance, home + probe keys for queries.
+  std::vector<std::uint64_t> routing_fingerprints(
+      const hash::SparseSignature& signature, bool include_probes) const;
+  /// Shard indices whose summary may contain at least one probed key.
+  std::vector<std::size_t> route_query(
+      const hash::SparseSignature& signature) const;
+  void routing_add(std::size_t s, const hash::SparseSignature& signature);
+  void routing_remove(std::size_t s, const hash::SparseSignature& signature);
+  /// Insert-path maintenance: removes the id's previous signature from
+  /// shard `s`'s summary (re-insert evicts it) and adds the new one.
+  /// Callers must only touch the summary of the shard they own in a
+  /// parallel batch — summaries are not internally synchronized (same
+  /// contract as shard writes).
+  void routing_replace(std::size_t s, std::uint64_t id,
+                       const hash::SparseSignature& signature);
+  /// The id's currently-live signature in shard `s` (copy), if any.
+  std::optional<hash::SparseSignature> shard_signature(std::size_t s,
+                                                       std::uint64_t id) const;
+  /// Repopulates every summary from its shard's resident signatures.
+  /// Summaries are derived state: recovery rebuilds them instead of
+  /// persisting them, so they can never be stale relative to the WAL tail.
+  void rebuild_routing_summaries();
 
   // Shard-local dispatch (flat vs tiered) for the scatter/gather plumbing.
   hash::SparseSignature summarize_front(const img::Image& image) const;
@@ -130,14 +170,23 @@ class ShardedFastIndex {
   std::vector<std::unique_ptr<TieredIndex>> tiered_shards_;
   mutable util::ThreadPool pool_;
   std::shared_ptr<util::MetricsRegistry> metrics_;
+  /// Coordinator-side key derivation for routing: shards differ only in
+  /// storage seeds, so one aggregator derives every shard's bucket keys.
+  /// Null when routing is off.
+  std::unique_ptr<pipeline::SemanticAggregator> router_agg_;
+  /// One summary per shard; empty when routing is off. Reads are lock-free
+  /// (const); writers follow the shard-write synchronization contract.
+  std::vector<hash::CountingBloomFilter> summaries_;
   util::Counter* queries_ = nullptr;
   util::Counter* inserts_ = nullptr;
   util::Counter* erases_ = nullptr;
   util::Counter* scatter_msgs_ = nullptr;
   util::Counter* gather_msgs_ = nullptr;
+  util::Counter* routing_skips_ = nullptr;
   util::Histogram* batch_size_ = nullptr;
   util::Histogram* shard_batch_items_ = nullptr;
   util::Histogram* gather_candidates_ = nullptr;
+  util::Histogram* shards_probed_ = nullptr;
 };
 
 }  // namespace fast::core

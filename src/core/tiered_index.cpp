@@ -886,6 +886,35 @@ std::optional<hash::SparseSignature> TieredIndex::find_signature(
   return std::nullopt;
 }
 
+void TieredIndex::for_each_live_signature(
+    const std::function<void(std::uint64_t, const hash::SparseSignature&)>&
+        fn) const {
+  for (const auto& lane_ptr : lanes_) {
+    const Lane& lane = *lane_ptr;
+    // Shadow set: ids already claimed by a newer layer (live or tombstone).
+    std::unordered_set<std::uint64_t> seen;
+    std::shared_ptr<const SegmentList> list;
+    {
+      // Pin the segment list under the memtable lock (same ordering as the
+      // query path) so a concurrent seal cannot drop entries between the
+      // memtable walk and the list load.
+      std::shared_lock<std::shared_mutex> lk(lane.mem_mutex);
+      for (const auto& [id, sig] : lane.mem->signatures()) {
+        seen.insert(id);
+        fn(id, sig);
+      }
+      for (const std::uint64_t id : lane.mem->tombstones()) seen.insert(id);
+      list = lane.segments.load();
+    }
+    for (const auto& seg : *list) {  // newest -> oldest
+      for (const auto& [id, sig] : seg->state().signatures()) {
+        if (seen.insert(id).second) fn(id, sig);
+      }
+      for (const std::uint64_t id : seg->state().tombstones()) seen.insert(id);
+    }
+  }
+}
+
 // --- Durability -----------------------------------------------------------
 
 storage::Status TieredIndex::sync_wal() {

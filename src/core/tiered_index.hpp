@@ -33,6 +33,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -132,6 +133,14 @@ class TieredIndex {
   /// Stored signature of a live id (copy: the owning layer may be compacted
   /// away at any time); nullopt when absent or tombstoned.
   std::optional<hash::SparseSignature> find_signature(std::uint64_t id) const;
+
+  /// Visits every live (id, signature) pair across all layers, honoring
+  /// shadowing (the newest layer mentioning an id owns it, same rule as
+  /// find_signature). Used by the sharded facade to rebuild its routing
+  /// summaries after recovery; not a hot path.
+  void for_each_live_signature(
+      const std::function<void(std::uint64_t, const hash::SparseSignature&)>&
+          fn) const;
 
   // --- Durability ---
   storage::Status save_snapshot();

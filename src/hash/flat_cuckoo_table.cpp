@@ -14,20 +14,20 @@ FlatCuckooTable::FlatCuckooTable(const FlatCuckooConfig& config)
       salt2_(mix64(config.seed ^ 0x2545f4914f6cdd1dULL)),
       rng_(config.seed ^ 0xf1a7ULL) {
   FAST_CHECK(config.window >= 1);
+  FAST_CHECK(config.window <= kMaxCuckooWindow);
 }
 
-void FlatCuckooTable::candidates(std::uint64_t key,
-                                 std::vector<std::size_t>& out) const {
-  out.clear();
+CandidateSet FlatCuckooTable::candidates(std::uint64_t key) const noexcept {
+  CandidateSet out;
   const std::size_t b1 = base1(key);
   const std::size_t b2 = base2(key);
-  for (std::size_t w = 0; w < window_; ++w) out.push_back(wrap(b1, w));
-  for (std::size_t w = 0; w < window_; ++w) out.push_back(wrap(b2, w));
+  for (std::size_t w = 0; w < window_; ++w) out.slot[out.count++] = wrap(b1, w);
+  for (std::size_t w = 0; w < window_; ++w) out.slot[out.count++] = wrap(b2, w);
+  return out;
 }
 
 bool FlatCuckooTable::insert(std::uint64_t key, std::uint64_t value) {
-  std::vector<std::size_t> cand;
-  candidates(key, cand);
+  CandidateSet cand = candidates(key);
 
   // Overwrite in place if present; otherwise take the first free slot.
   std::size_t free_slot = slots_.size();
@@ -63,7 +63,7 @@ bool FlatCuckooTable::insert(std::uint64_t key, std::uint64_t value) {
     ++kicks;
 
     // The displaced item looks for a free slot among ITS candidates.
-    candidates(cur_key, cand);
+    cand = candidates(cur_key);
     std::size_t free_p = slots_.size();
     for (std::size_t p : cand) {
       if (!slots_[p].occupied) {
@@ -95,15 +95,25 @@ bool FlatCuckooTable::insert(std::uint64_t key, std::uint64_t value) {
 }
 
 std::optional<std::uint64_t> FlatCuckooTable::find(
-    std::uint64_t key) const noexcept {
+    std::uint64_t key, ProbeProfile* profile) const noexcept {
+  // AoS layout: every examined candidate drags a whole padded Slot through
+  // the cache, whether or not the key matches.
   const std::size_t b1 = base1(key);
   for (std::size_t w = 0; w < window_; ++w) {
     const Slot& s = slots_[wrap(b1, w)];
+    if (profile != nullptr) {
+      ++profile->slots_scanned;
+      profile->bytes_touched += sizeof(Slot);
+    }
     if (s.occupied && s.key == key) return s.value;
   }
   const std::size_t b2 = base2(key);
   for (std::size_t w = 0; w < window_; ++w) {
     const Slot& s = slots_[wrap(b2, w)];
+    if (profile != nullptr) {
+      ++profile->slots_scanned;
+      profile->bytes_touched += sizeof(Slot);
+    }
     if (s.occupied && s.key == key) return s.value;
   }
   return std::nullopt;

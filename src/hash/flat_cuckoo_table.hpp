@@ -11,12 +11,13 @@
 // and can be issued in parallel on a multicore machine (Fig. 7).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "hash/hashes.hpp"
-#include "hash/cuckoo_table.hpp"  // CuckooStats
+#include "hash/cuckoo_table.hpp"  // CuckooStats, ProbeProfile
 #include "util/codec.hpp"
 #include "util/rng.hpp"
 
@@ -27,6 +28,22 @@ struct FlatCuckooConfig {
   std::size_t window = 4;        ///< W: adjacent slots per candidate position
   std::size_t max_kicks = 500;   ///< displacement budget per insertion
   std::uint64_t seed = 0xfa57;
+};
+
+/// Upper bound on W so candidate sets fit a fixed stack buffer: the probe
+/// path performs zero heap allocation (find/insert/erase used to fill a
+/// std::vector per call).
+inline constexpr std::size_t kMaxCuckooWindow = 32;
+
+/// Stack-allocated set of the 2*W candidate slot indices of a key.
+struct CandidateSet {
+  std::array<std::size_t, 2 * kMaxCuckooWindow> slot;
+  std::size_t count = 0;
+
+  std::size_t size() const noexcept { return count; }
+  std::size_t operator[](std::size_t i) const noexcept { return slot[i]; }
+  const std::size_t* begin() const noexcept { return slot.data(); }
+  const std::size_t* end() const noexcept { return slot.data() + count; }
 };
 
 class FlatCuckooTable {
@@ -47,7 +64,10 @@ class FlatCuckooTable {
   bool insert(std::uint64_t key, std::uint64_t value);
 
   /// Probes the key's 2*W candidate slots. O(1) with a hard constant bound.
-  std::optional<std::uint64_t> find(std::uint64_t key) const noexcept;
+  /// When `profile` is non-null it accumulates the slots scanned and bytes
+  /// touched (roofline accounting; see ProbeProfile).
+  std::optional<std::uint64_t> find(
+      std::uint64_t key, ProbeProfile* profile = nullptr) const noexcept;
 
   bool contains(std::uint64_t key) const noexcept {
     return find(key).has_value();
@@ -57,6 +77,12 @@ class FlatCuckooTable {
 
   /// Fixed probe count per lookup: 2 * W independent slot reads.
   std::size_t probes_per_lookup() const noexcept { return 2 * window_; }
+
+  /// Modeled table bytes (Table IV accounting): key + value + occupancy
+  /// marker per slot, matching the historical GroupStore formula.
+  std::size_t memory_bytes() const noexcept {
+    return slots_.size() * (2 * sizeof(std::uint64_t) + 1);
+  }
 
   /// Verbatim dump of the table — salts, stats, and every slot — so a
   /// deserialized table answers every find() bit-identically. The kick RNG's
@@ -90,8 +116,9 @@ class FlatCuckooTable {
     return p < slots_.size() ? p : p - slots_.size();
   }
 
-  /// Fills `out` (size 2*W) with the candidate slot indices of `key`.
-  void candidates(std::uint64_t key, std::vector<std::size_t>& out) const;
+  /// Returns the 2*W candidate slot indices of `key` (stack buffer; the
+  /// probe path never allocates).
+  CandidateSet candidates(std::uint64_t key) const noexcept;
 
   std::vector<Slot> slots_;
   std::size_t window_;

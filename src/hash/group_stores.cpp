@@ -9,25 +9,36 @@ namespace {
 constexpr double kGrowAt = 0.80;
 }  // namespace
 
-FlatCuckooGroupStore::FlatCuckooGroupStore(const FlatCuckooConfig& base,
-                                           std::size_t tables)
+template <typename TableT>
+WindowedCuckooGroupStore<TableT>::WindowedCuckooGroupStore(
+    const FlatCuckooConfig& base, std::size_t tables)
     : base_(base) {
   tables_.reserve(tables);
   for (std::size_t t = 0; t < tables; ++t) {
     FlatCuckooConfig cc = base_;
     cc.seed = base_.seed + t * 0x9e37ULL;
-    tables_.push_back(Table{FlatCuckooTable(cc), {}, cc.seed});
+    tables_.push_back(Table{TableT(cc), {}, cc.seed});
   }
 }
 
-std::optional<std::uint64_t> FlatCuckooGroupStore::find(
-    std::size_t t, std::uint64_t key, std::size_t* probes) const {
+template <typename TableT>
+std::optional<std::uint64_t> WindowedCuckooGroupStore<TableT>::find(
+    std::size_t t, std::uint64_t key, std::size_t* probes,
+    ProbeProfile* profile) const {
   // Flat addressing: every lookup is the same fixed 2W slot reads.
   if (probes != nullptr) *probes = tables_[t].cuckoo.probes_per_lookup();
-  return tables_[t].cuckoo.find(key);
+  ProbeProfile local;
+  const auto hit = tables_[t].cuckoo.find(key, &local);
+  if (local.fingerprint_false_hits != 0) {
+    find_false_hits_.fetch_add(local.fingerprint_false_hits,
+                               std::memory_order_relaxed);
+  }
+  if (profile != nullptr) profile->merge(local);
+  return hit;
 }
 
-void FlatCuckooGroupStore::maybe_grow(std::size_t t) {
+template <typename TableT>
+void WindowedCuckooGroupStore<TableT>::maybe_grow(std::size_t t) {
   Table& table = tables_[t];
   if (table.cuckoo.load_factor() < kGrowAt) return;
   std::size_t capacity = table.cuckoo.capacity() * 2;
@@ -36,7 +47,7 @@ void FlatCuckooGroupStore::maybe_grow(std::size_t t) {
     FlatCuckooConfig cc = base_;
     cc.capacity = capacity;
     cc.seed = table.seed;
-    FlatCuckooTable rebuilt(cc);
+    TableT rebuilt(cc);
     bool ok = true;
     for (const auto& [k, g] : table.entries) {
       if (!rebuilt.insert(k, g)) {
@@ -52,8 +63,10 @@ void FlatCuckooGroupStore::maybe_grow(std::size_t t) {
   }
 }
 
-std::size_t FlatCuckooGroupStore::place(std::size_t t, std::uint64_t key,
-                                        std::uint64_t group) {
+template <typename TableT>
+std::size_t WindowedCuckooGroupStore<TableT>::place(std::size_t t,
+                                                    std::uint64_t key,
+                                                    std::uint64_t group) {
   maybe_grow(t);
   Table& table = tables_[t];
   table.entries.emplace_back(key, group);
@@ -70,7 +83,7 @@ std::size_t FlatCuckooGroupStore::place(std::size_t t, std::uint64_t key,
     FlatCuckooConfig cc = base_;
     cc.capacity = capacity;
     cc.seed = table.seed;
-    FlatCuckooTable rebuilt(cc);
+    TableT rebuilt(cc);
     bool ok = true;
     for (const auto& [k, g] : table.entries) {
       if (!rebuilt.insert(k, g)) {
@@ -86,26 +99,29 @@ std::size_t FlatCuckooGroupStore::place(std::size_t t, std::uint64_t key,
   }
 }
 
-void FlatCuckooGroupStore::erase_key(std::size_t t, std::uint64_t key) {
+template <typename TableT>
+void WindowedCuckooGroupStore<TableT>::erase_key(std::size_t t,
+                                                 std::uint64_t key) {
   // The append-only rebuild log keeps the mapping; a rebuilt table would
   // resurrect the key pointing at an empty group — harmless.
   tables_[t].cuckoo.erase(key);
 }
 
-std::size_t FlatCuckooGroupStore::lookup_cost_probes(
+template <typename TableT>
+std::size_t WindowedCuckooGroupStore<TableT>::lookup_cost_probes(
     std::size_t t) const noexcept {
   return tables_[t].cuckoo.probes_per_lookup();
 }
 
-std::size_t FlatCuckooGroupStore::store_bytes() const noexcept {
+template <typename TableT>
+std::size_t WindowedCuckooGroupStore<TableT>::store_bytes() const noexcept {
   std::size_t bytes = 0;
-  for (const Table& t : tables_) {
-    bytes += t.cuckoo.capacity() * (sizeof(std::uint64_t) * 2 + 1);
-  }
+  for (const Table& t : tables_) bytes += t.cuckoo.memory_bytes();
   return bytes;
 }
 
-CuckooStats FlatCuckooGroupStore::stats() const noexcept {
+template <typename TableT>
+CuckooStats WindowedCuckooGroupStore<TableT>::stats() const noexcept {
   CuckooStats total;
   for (const Table& t : tables_) {
     const CuckooStats& s = t.cuckoo.stats();
@@ -115,11 +131,15 @@ CuckooStats FlatCuckooGroupStore::stats() const noexcept {
     total.max_kick_chain = std::max(total.max_kick_chain, s.max_kick_chain);
     total.occupied_slots += t.cuckoo.size();
     total.capacity_slots += t.cuckoo.capacity();
+    total.fingerprint_false_hits += s.fingerprint_false_hits;
   }
+  total.fingerprint_false_hits +=
+      find_false_hits_.load(std::memory_order_relaxed);
   return total;
 }
 
-void FlatCuckooGroupStore::serialize(util::ByteWriter& out) const {
+template <typename TableT>
+void WindowedCuckooGroupStore<TableT>::serialize(util::ByteWriter& out) const {
   out.u32(static_cast<std::uint32_t>(tables_.size()));
   for (const Table& table : tables_) {
     out.u64(table.seed);
@@ -133,7 +153,8 @@ void FlatCuckooGroupStore::serialize(util::ByteWriter& out) const {
   }
 }
 
-bool FlatCuckooGroupStore::deserialize(util::ByteReader& in) {
+template <typename TableT>
+bool WindowedCuckooGroupStore<TableT>::deserialize(util::ByteReader& in) {
   const std::uint32_t tables = in.u32();
   if (!in.ok() || tables != tables_.size()) return false;
   for (Table& table : tables_) {
@@ -147,12 +168,15 @@ bool FlatCuckooGroupStore::deserialize(util::ByteReader& in) {
       const std::uint64_t group = in.u64();
       table.entries.emplace_back(key, group);
     }
-    auto cuckoo = FlatCuckooTable::deserialize(in);
+    auto cuckoo = TableT::deserialize(in);
     if (!cuckoo.has_value()) return false;
     table.cuckoo = std::move(*cuckoo);
   }
   return in.ok();
 }
+
+template class WindowedCuckooGroupStore<FlatCuckooTable>;
+template class WindowedCuckooGroupStore<CompactFlatCuckooTable>;
 
 ChainedGroupStore::ChainedGroupStore(std::size_t buckets, std::uint64_t seed,
                                      std::size_t tables) {
@@ -163,9 +187,19 @@ ChainedGroupStore::ChainedGroupStore(std::size_t buckets, std::uint64_t seed,
 }
 
 std::optional<std::uint64_t> ChainedGroupStore::find(
-    std::size_t t, std::uint64_t key, std::size_t* probes) const {
+    std::size_t t, std::uint64_t key, std::size_t* probes,
+    ProbeProfile* profile) const {
   // Vertical addressing: the probe cost is the chain walk, data-dependent.
-  const std::vector<std::uint64_t> values = tables_[t].find(key, probes);
+  std::size_t walked = 0;
+  const std::vector<std::uint64_t> values = tables_[t].find(key, &walked);
+  if (probes != nullptr) *probes = walked;
+  if (profile != nullptr) {
+    // Head-pointer read plus one (key, value, next) node per walked probe.
+    profile->slots_scanned += walked;
+    profile->bytes_touched +=
+        sizeof(std::int64_t) +
+        walked * (2 * sizeof(std::uint64_t) + sizeof(std::int64_t));
+  }
   if (values.empty()) return std::nullopt;
   return values.front();
 }

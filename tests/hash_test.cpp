@@ -2,13 +2,16 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "hash/aggregators.hpp"
 #include "hash/bloom_filter.hpp"
+#include "hash/compact_flat_cuckoo_table.hpp"
 #include "hash/counting_bloom.hpp"
 #include "hash/cuckoo_table.hpp"
 #include "hash/flat_cuckoo_table.hpp"
@@ -19,6 +22,7 @@
 #include "hash/multi_probe.hpp"
 #include "hash/pstable_lsh.hpp"
 #include "hash/sparse_signature.hpp"
+#include "util/codec.hpp"
 #include "util/rng.hpp"
 
 namespace fast::hash {
@@ -704,6 +708,223 @@ TEST(FlatCuckoo, FailedInsertIsANoOp) {
     EXPECT_TRUE(t.erase(key)) << key;
   }
   EXPECT_EQ(t.size(), 0u);
+}
+
+// ---------- fingerprint-compressed flat cuckoo ----------
+
+TEST(CompactFlatCuckoo, InsertFindErase) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 64;
+  CompactFlatCuckooTable t(cfg);
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_EQ(t.find(1).value(), 10u);
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(CompactFlatCuckoo, OverwriteInPlace) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 64;
+  CompactFlatCuckooTable t(cfg);
+  t.insert(9, 1);
+  t.insert(9, 2);
+  EXPECT_EQ(t.find(9).value(), 2u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(CompactFlatCuckoo, SustainsHighLoad) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 1024;
+  cfg.window = 4;
+  CompactFlatCuckooTable t(cfg);
+  std::size_t ok = 0;
+  for (std::uint64_t i = 0; i < 921; ++i) ok += t.insert(i, i);
+  EXPECT_EQ(ok, 921u);
+  for (std::uint64_t i = 0; i < 921; ++i) {
+    ASSERT_TRUE(t.contains(i));
+    ASSERT_EQ(t.find(i).value(), i);
+  }
+}
+
+TEST(CompactFlatCuckoo, ProbesPerLookupIsTwoW) {
+  FlatCuckooConfig cfg;
+  cfg.window = 4;
+  CompactFlatCuckooTable t(cfg);
+  EXPECT_EQ(t.probes_per_lookup(), 8u);
+}
+
+TEST(CompactFlatCuckoo, FailedInsertIsANoOp) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 16;
+  cfg.window = 1;
+  cfg.max_kicks = 4;
+  CompactFlatCuckooTable t(cfg);
+
+  std::map<std::uint64_t, std::uint64_t> resident;
+  std::uint64_t failed_key = 0;
+  bool failed = false;
+  for (std::uint64_t i = 0; i < 64 && !failed; ++i) {
+    const std::uint64_t key = 0x9e3779b9ULL * (i + 1);
+    if (t.insert(key, i)) {
+      resident[key] = i;
+    } else {
+      failed = true;
+      failed_key = key;
+    }
+  }
+  ASSERT_TRUE(failed) << "table absorbed 64 keys into 16 slots";
+
+  // Rollback must also return the failed key's side-array entry to the free
+  // list: size, residents, and erasability all intact.
+  EXPECT_EQ(t.size(), resident.size());
+  EXPECT_FALSE(t.contains(failed_key));
+  EXPECT_GE(t.stats().failures, 1u);
+  for (const auto& [key, value] : resident) {
+    const auto found = t.find(key);
+    ASSERT_TRUE(found.has_value()) << key;
+    EXPECT_EQ(*found, value) << key;
+  }
+  for (const auto& [key, value] : resident) {
+    EXPECT_TRUE(t.erase(key)) << key;
+  }
+  EXPECT_EQ(t.size(), 0u);
+  // The freed side entries are reusable: the table refills to the same
+  // occupancy it reached before.
+  for (const auto& [key, value] : resident) {
+    EXPECT_TRUE(t.insert(key, value)) << key;
+  }
+  EXPECT_EQ(t.size(), resident.size());
+}
+
+// A key whose 16-bit fingerprint collides with a resident key's must fall
+// back to full-key verification: the lookup reports a fingerprint false
+// hit but returns not-found, and an erase of the colliding key must not
+// evict the resident one.
+TEST(CompactFlatCuckoo, FingerprintCollisionFallsBackToFullKey) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 4;  // tiny table: candidate windows overlap heavily
+  cfg.window = 2;
+  CompactFlatCuckooTable t(cfg);
+  const std::uint64_t resident = 0xfeedULL;
+  ASSERT_TRUE(t.insert(resident, 7));
+
+  // Brute-force a distinct key with the same 16-bit fingerprint that also
+  // scans the resident key's slot.
+  bool collided = false;
+  for (std::uint64_t k = 1; k < 4'000'000 && !collided; ++k) {
+    if (k == resident || t.fingerprint(k) != t.fingerprint(resident)) {
+      continue;
+    }
+    ProbeProfile profile;
+    const auto found = t.find(k, &profile);
+    if (profile.fingerprint_false_hits == 0) continue;  // windows disjoint
+    collided = true;
+    EXPECT_FALSE(found.has_value());
+    EXPECT_FALSE(t.erase(k));
+    EXPECT_EQ(t.find(resident).value(), 7u);
+    EXPECT_EQ(t.size(), 1u);
+  }
+  EXPECT_TRUE(collided) << "no fingerprint-colliding probe key found";
+}
+
+TEST(CompactFlatCuckoo, SerializeRoundTrip) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 256;
+  cfg.window = 4;
+  cfg.seed = 0x5eed;
+  CompactFlatCuckooTable t(cfg);
+  for (std::uint64_t i = 0; i < 180; ++i) {
+    ASSERT_TRUE(t.insert(mix64(i), i));
+  }
+  ASSERT_TRUE(t.erase(mix64(3)));
+
+  util::ByteWriter out;
+  t.serialize(out);
+  util::ByteReader in(out.data());
+  auto back = CompactFlatCuckooTable::deserialize(in);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), t.size());
+  for (std::uint64_t i = 0; i < 180; ++i) {
+    EXPECT_EQ(back->find(mix64(i)), t.find(mix64(i))) << i;
+  }
+  // The deserialized table keeps working (kick RNG reseeded): inserts and
+  // erases behave identically to the original from here on.
+  for (std::uint64_t i = 200; i < 230; ++i) {
+    EXPECT_EQ(back->insert(mix64(i), i), t.insert(mix64(i), i)) << i;
+  }
+  EXPECT_EQ(back->size(), t.size());
+}
+
+TEST(CompactFlatCuckoo, DeserializeRejectsCorruptBytes) {
+  FlatCuckooConfig cfg;
+  cfg.capacity = 64;
+  CompactFlatCuckooTable t(cfg);
+  for (std::uint64_t i = 0; i < 40; ++i) ASSERT_TRUE(t.insert(mix64(i), i));
+  util::ByteWriter out;
+  t.serialize(out);
+
+  {  // truncated
+    const auto& bytes = out.data();
+    util::ByteReader in(std::span(bytes.data(), bytes.size() / 2));
+    EXPECT_FALSE(CompactFlatCuckooTable::deserialize(in).has_value());
+  }
+  {  // bad magic
+    std::vector<std::uint8_t> bytes = out.data();
+    bytes[0] ^= 0xff;
+    util::ByteReader in(bytes);
+    EXPECT_FALSE(CompactFlatCuckooTable::deserialize(in).has_value());
+  }
+}
+
+// Lockstep property test: the compact table is parity-by-construction with
+// the flat table — same salts, same candidate geometry, same kick RNG
+// stream — so a random history of inserts, overwrites, erases and
+// re-inserts (driven well past the load where inserts start failing) must
+// produce identical outcomes on both, op by op, including the rollback
+// path of failed inserts.
+TEST(CompactFlatCuckoo, LockstepParityWithFlatUnderRandomHistory) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    FlatCuckooConfig cfg;
+    cfg.capacity = 128;
+    cfg.window = 2;
+    cfg.max_kicks = 32;
+    cfg.seed = 0xbead + seed;
+    FlatCuckooTable flat(cfg);
+    CompactFlatCuckooTable compact(cfg);
+
+    util::Rng rng(0x1057 + seed);
+    std::size_t failures = 0;
+    for (std::size_t op = 0; op < 4000; ++op) {
+      // Key universe ~2x capacity keeps the table saturated so the kick
+      // and rollback paths run constantly.
+      const std::uint64_t key = mix64(rng.uniform_u64(256));
+      switch (rng.uniform_u64(4)) {
+        case 0:
+        case 1: {  // insert / overwrite / re-insert
+          const bool f = flat.insert(key, op);
+          const bool c = compact.insert(key, op);
+          ASSERT_EQ(f, c) << "insert diverged at op " << op;
+          failures += !f;
+          break;
+        }
+        case 2: {  // erase
+          ASSERT_EQ(flat.erase(key), compact.erase(key)) << "op " << op;
+          break;
+        }
+        default: {  // find
+          ASSERT_EQ(flat.find(key), compact.find(key)) << "op " << op;
+          break;
+        }
+      }
+      ASSERT_EQ(flat.size(), compact.size()) << "op " << op;
+    }
+    EXPECT_GT(failures, 0u) << "history never exercised the rollback path";
+    // Full-universe sweep at the end: every key agrees.
+    for (std::uint64_t u = 0; u < 256; ++u) {
+      ASSERT_EQ(flat.find(mix64(u)), compact.find(mix64(u))) << u;
+    }
+  }
 }
 
 // ---------- MinHash ----------

@@ -572,6 +572,108 @@ INSTANTIATE_TEST_SUITE_P(
                       storage::FaultPlan::Kind::kTornWrite));
 
 // ---------------------------------------------------------------------------
+// Fingerprint-compressed backend durability
+// ---------------------------------------------------------------------------
+
+// Snapshot + WAL-tail round trip with the compact store section: the
+// recovered index must be bit-identical to a reference that applied the
+// same mutations in-memory.
+TEST(RecoveryTest, CompactBackendRoundTripsSnapshotAndWal) {
+  const FastConfig cfg =
+      small_config(FastConfig::ChsBackend::kCompactFlatCuckoo);
+  const vision::PcaModel pca = test::fake_pca();
+  DurabilityOptions opts;
+  opts.dir = fresh_dir("compact_roundtrip");
+
+  FastIndex reference(cfg, pca);
+  {
+    auto opened = FastIndex::open_or_recover(cfg, pca, opts);
+    ASSERT_TRUE(opened.ok());
+    FastIndex durable = std::move(opened).value();
+    for (std::uint64_t id = 0; id < 24; ++id) {
+      const auto sig = make_signature(id, cfg.bloom_bits);
+      durable.insert_signature(id, sig);
+      reference.insert_signature(id, sig);
+    }
+    ASSERT_TRUE(durable.erase(5));
+    ASSERT_TRUE(reference.erase(5));
+    ASSERT_TRUE(durable.save_snapshot().ok());
+    // WAL tail past the snapshot, including a re-insert of the erased id.
+    for (std::uint64_t id : {5ULL, 30ULL, 31ULL}) {
+      const auto sig = make_signature(100 + id, cfg.bloom_bits);
+      durable.insert_signature(id, sig);
+      reference.insert_signature(id, sig);
+    }
+  }
+  RecoveryStats stats;
+  auto recovered = FastIndex::open_or_recover(cfg, pca, opts, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().to_string();
+  EXPECT_TRUE(stats.loaded_snapshot);
+  EXPECT_GT(stats.replayed_records, 0u);
+  expect_same_state(recovered.value(), reference);
+}
+
+// A directory written by one cuckoo backend must be rejected by the other
+// as a config mismatch — a typed, recoverable error, never parsed as the
+// wrong section format (which would surface as corruption).
+TEST(RecoveryTest, FlatCompactDirectoryMismatchIsConfigError) {
+  const vision::PcaModel pca = test::fake_pca();
+  const auto backends = {FastConfig::ChsBackend::kFlatCuckoo,
+                         FastConfig::ChsBackend::kCompactFlatCuckoo};
+  int dir_no = 0;
+  for (const auto writer : backends) {
+    for (const auto reader : backends) {
+      if (writer == reader) continue;
+      const FastConfig wcfg = small_config(writer);
+      DurabilityOptions opts;
+      opts.dir = fresh_dir("backend_mismatch_" + std::to_string(dir_no++));
+      {
+        auto opened = FastIndex::open_or_recover(wcfg, pca, opts);
+        ASSERT_TRUE(opened.ok());
+        FastIndex durable = std::move(opened).value();
+        durable.insert_signature(1, make_signature(1, wcfg.bloom_bits));
+        ASSERT_TRUE(durable.save_snapshot().ok());
+      }
+      const FastConfig rcfg = small_config(reader);
+      auto recovered = FastIndex::open_or_recover(rcfg, pca, opts);
+      ASSERT_FALSE(recovered.ok());
+      EXPECT_EQ(recovered.status().code(),
+                storage::StatusCode::kConfigMismatch);
+    }
+  }
+}
+
+// Crash-matrix subset with the compact backend: torn writes are the
+// nastiest plan (partial bytes of a record land), and the compact store
+// section must recover every acknowledged mutation exactly like flat does.
+// A strided subset keeps the sweep cheap; the full matrix runs on flat.
+TEST(CrashMatrixCompact, TornWriteSubsetRecoversExactly) {
+  const FastConfig cfg =
+      small_config(FastConfig::ChsBackend::kCompactFlatCuckoo);
+  const vision::PcaModel pca = test::fake_pca();
+
+  const std::string dry = fresh_dir("compact_matrix_dry");
+  storage::FaultInjectingEnv counter(storage::Env::posix(), {});
+  const std::size_t clean_acked = run_workload(counter, dry, cfg, pca);
+  const std::size_t total_ops = counter.ops_attempted();
+  ASSERT_EQ(clean_acked, crash_script().size());
+
+  for (std::size_t fail_at = 0; fail_at < total_ops; fail_at += 4) {
+    const std::string label = "compact torn fail_at=" + std::to_string(fail_at);
+    const std::string dir =
+        fresh_dir("compact_matrix_" + std::to_string(fail_at));
+    storage::FaultPlan plan;
+    plan.kind = storage::FaultPlan::Kind::kTornWrite;
+    plan.fail_at_op = fail_at;
+    plan.seed = 0xc0ffee ^ fail_at;
+    storage::FaultInjectingEnv env(storage::Env::posix(), plan);
+    const std::size_t acked = run_workload(env, dir, cfg, pca);
+    EXPECT_TRUE(env.crashed()) << label;
+    ASSERT_NO_FATAL_FAILURE(check_recovery(dir, cfg, pca, acked, label));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Tiered recovery (memtable lanes + sealed segments + tombstones)
 // ---------------------------------------------------------------------------
 
