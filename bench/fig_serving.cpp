@@ -62,6 +62,10 @@ int run(double duration_s, std::size_t preload) {
 
   server::ServerOptions options;
   options.port = 0;  // ephemeral
+  // The mixed-tenant section measures the query lane's isolation from a
+  // bulk tenant; favor queries strongly (bulk still progresses — see the
+  // bulk_ops check below and the no-starvation proof in qos_test).
+  options.query_weight = 8;
   server::Server srv(engine, options);
   const storage::Status st = srv.start();
   if (!st.ok()) {
@@ -133,7 +137,49 @@ int run(double duration_s, std::size_t preload) {
   }
   open.print("Serving — open loop, offered rate vs. tail latency");
 
-  // 3. Prometheus scrape through the wire.
+  // 3. Mixed tenant matrix (QoS, DESIGN.md §3i): a query-only tenant's
+  // tail latency with and without a bulk-ingest tenant hammering the
+  // other lane. The weighted two-lane dispatch should keep the query p99
+  // under combined load within ~2x of the query-only baseline while the
+  // bulk tenant still makes progress.
+  {
+    LoadOptions alone = base;
+    alone.tenant = 1;
+    alone.connections = 8;
+    alone.read_fraction = 1.0;
+    const LoadReport baseline = run_load(alone);
+
+    std::vector<TenantLoad> matrix;
+    matrix.push_back({/*tenant=*/1, /*connections=*/8,
+                      /*read_fraction=*/1.0, /*arrival_rate=*/0.0});
+    matrix.push_back({/*tenant=*/2, /*connections=*/4,
+                      /*read_fraction=*/0.0, /*arrival_rate=*/0.0});
+    const std::vector<LoadReport> mixed = run_mixed_load(base, matrix);
+
+    util::Table qos({"tenant", "ops", "qps", "p50 ms", "p99 ms", "p999 ms",
+                     "retry", "err"});
+    add_report_row(qos, "1 alone (queries)", baseline);
+    add_report_row(qos, "1 mixed (queries)", mixed[0]);
+    add_report_row(qos, "2 mixed (bulk)", mixed[1]);
+    qos.print("Serving — mixed tenant matrix (query vs. bulk lanes)");
+    const double ratio =
+        baseline.p99_ms > 0 ? mixed[0].p99_ms / baseline.p99_ms : 0.0;
+    std::printf("qos: query p99 alone=%.3fms mixed=%.3fms ratio=%.2fx "
+                "bulk_ops=%zu\n",
+                baseline.p99_ms, mixed[0].p99_ms, ratio, mixed[1].ops);
+    if (mixed[0].errors != 0 || mixed[1].errors != 0 || mixed[1].ops == 0) {
+      std::fprintf(stderr, "fig_serving: mixed tenant errors\n");
+      return 1;
+    }
+    if (ratio > 2.0) {
+      std::fprintf(stderr,
+                   "fig_serving: WARNING query p99 degraded %.2fx under "
+                   "bulk load (target <= 2x)\n",
+                   ratio);
+    }
+  }
+
+  // 4. Prometheus scrape through the wire.
   {
     server::Client client;
     if (!client.connect(base.host, base.port).ok()) {

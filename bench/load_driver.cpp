@@ -78,11 +78,23 @@ std::vector<std::uint8_t> encode_op(const OpChoice& choice,
 
 /// Closed loop: one outstanding request per connection; the response gates
 /// the next send.
+/// Connect + optional tenant handshake (LoadOptions::tenant != 0).
+bool connect_with_hello(server::Client* client, const LoadOptions& opt) {
+  if (!client->connect(opt.host, opt.port).ok()) return false;
+  if (opt.tenant != 0) {
+    const auto hello = client->hello(opt.tenant);
+    if (!hello.ok() || hello.value().status != server::Status::kOk) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void closed_loop_conn(const LoadOptions& opt,
                       const util::ZipfDistribution& zipf, std::size_t conn_id,
                       Accum* accum) {
   server::Client client;
-  if (!client.connect(opt.host, opt.port).ok()) {
+  if (!connect_with_hello(&client, opt)) {
     accum->merge({}, 0, 0, 1);
     return;
   }
@@ -131,7 +143,7 @@ void closed_loop_conn(const LoadOptions& opt,
 void open_loop_conn(const LoadOptions& opt, const util::ZipfDistribution& zipf,
                     std::size_t conn_id, double rate_per_conn, Accum* accum) {
   server::Client client;
-  if (!client.connect(opt.host, opt.port).ok()) {
+  if (!connect_with_hello(&client, opt)) {
     accum->merge({}, 0, 0, 1);
     return;
   }
@@ -224,6 +236,8 @@ void open_loop_conn(const LoadOptions& opt, const util::ZipfDistribution& zipf,
   accum->merge(std::move(lat), ok, retry, err);
 }
 
+}  // namespace
+
 double percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double rank = p / 100.0 * static_cast<double>(sorted.size());
@@ -232,8 +246,6 @@ double percentile(const std::vector<double>& sorted, double p) {
                        static_cast<double>(sorted.size() - 1)));
   return sorted[idx];
 }
-
-}  // namespace
 
 hash::SparseSignature synth_signature(std::uint64_t key,
                                       std::size_t bloom_bits,
@@ -287,6 +299,28 @@ LoadReport run_load(const LoadOptions& options) {
   report.p99_ms = percentile(accum.latencies_ms, 99.0);
   report.p999_ms = percentile(accum.latencies_ms, 99.9);
   return report;
+}
+
+std::vector<LoadReport> run_mixed_load(
+    const LoadOptions& base, const std::vector<TenantLoad>& tenants) {
+  std::vector<LoadReport> reports(tenants.size());
+  std::vector<std::thread> runners;
+  runners.reserve(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    runners.emplace_back([&base, &tenants, &reports, i] {
+      const TenantLoad& row = tenants[i];
+      LoadOptions opt = base;
+      opt.tenant = row.tenant;
+      opt.connections = row.connections;
+      opt.read_fraction = row.read_fraction;
+      opt.arrival_rate = row.arrival_rate;
+      // Distinct streams per tenant even when the base seed is shared.
+      opt.seed = base.seed + 0x1000003ULL * (row.tenant + 1);
+      reports[i] = run_load(opt);
+    });
+  }
+  for (std::thread& t : runners) t.join();
+  return reports;
 }
 
 }  // namespace fast::bench

@@ -45,6 +45,9 @@ struct LoadOptions {
   std::size_t bloom_bits = 16384;
   /// Set bits per synthetic signature (~ the paper's per-image popcount).
   std::size_t sig_bits_set = 64;
+  /// Tenant id announced with a kHello handshake on connect. 0 = no
+  /// handshake (the legacy tenant-less client path).
+  std::uint16_t tenant = 0;
 };
 
 struct LoadReport {
@@ -61,6 +64,21 @@ struct LoadReport {
   }
 };
 
+/// One tenant's row of a mixed traffic matrix: overrides applied to the
+/// base LoadOptions for that tenant's connections.
+struct TenantLoad {
+  std::uint16_t tenant = 0;
+  std::size_t connections = 4;
+  double read_fraction = 0.9;
+  /// 0 = closed loop; > 0 = open loop at this aggregate rate.
+  double arrival_rate = 0.0;
+};
+
+/// Ceil-rank percentile over an ascending-sorted sample vector: the
+/// smallest sample whose rank is >= ceil(p/100 * n) (so p100 = max,
+/// p50 over two samples = the lower one). Returns 0 on an empty vector.
+double percentile(const std::vector<double>& sorted, double p);
+
 /// Deterministic synthetic signature for `key`: the same key always maps
 /// to the same signature, at the given geometry.
 hash::SparseSignature synth_signature(std::uint64_t key,
@@ -70,5 +88,12 @@ hash::SparseSignature synth_signature(std::uint64_t key,
 /// Runs the configured load against a listening server and reports
 /// sustained throughput and full-distribution latency percentiles.
 LoadReport run_load(const LoadOptions& options);
+
+/// Runs every tenant's load concurrently against the same server (each row
+/// derives its options from `base` + its TenantLoad overrides, with a
+/// per-tenant seed offset) and reports each tenant separately — the QoS
+/// isolation figure: per-tenant QPS and p50/p99/p999 under combined load.
+std::vector<LoadReport> run_mixed_load(const LoadOptions& base,
+                                       const std::vector<TenantLoad>& tenants);
 
 }  // namespace fast::bench

@@ -3,16 +3,27 @@
 //
 //   loadgen --port=N [--host=A] [--conns=N] [--duration=S] [--reads=F]
 //           [--skew=S] [--keys=N] [--k=N] [--rate=QPS] [--preload=N]
-//           [--bloom-bits=N] [--seed=N]
+//           [--bloom-bits=N] [--seed=N] [--tenant=N] [--mix=SPEC,...]
 //
 // --rate=0 (default) runs closed-loop: each connection issues the next
 // request when the previous response lands. --rate>0 runs open-loop at
 // that aggregate arrival rate with pipelined connections. --preload
 // inserts N zipf-keyed signatures first so queries hit real data.
+// --tenant sends a kHello handshake on every connection (QoS accounting);
+// 0 (default) is the legacy tenant-less client. --seed makes open-loop
+// arrival times and the key/op streams reproducible.
 //
-// Prints one machine-parsable result line:
-//   loadgen: mode=closed conns=8 duration_s=5.00 reads=0.90 ops=12345
-//     qps=2469.0 p50_ms=0.81 p99_ms=2.40 p999_ms=4.10 retry=0 errors=0
+// --mix runs a mixed tenant traffic matrix instead of a single load: a
+// comma-separated list of TENANT:CONNS:READS:RATE rows, all run
+// concurrently against the same server, reported per tenant — e.g.
+//   --mix=1:8:1.0:0,2:4:0.0:0
+// is tenant 1 closed-loop pure queries beside tenant 2 closed-loop pure
+// bulk writes.
+//
+// Prints one machine-parsable result line per load:
+//   loadgen: mode=closed tenant=0 conns=8 duration_s=5.00 reads=0.90
+//     ops=12345 qps=2469.0 p50_ms=0.81 p99_ms=2.40 p999_ms=4.10 retry=0
+//     errors=0
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -29,9 +40,53 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --port=N [--host=A] [--conns=N] [--duration=S] [--reads=F]\n"
       "          [--skew=S] [--keys=N] [--k=N] [--rate=QPS] [--preload=N]\n"
-      "          [--bloom-bits=N] [--seed=N] [--scrape=0|1]\n",
+      "          [--bloom-bits=N] [--seed=N] [--scrape=0|1] [--tenant=N]\n"
+      "          [--mix=TENANT:CONNS:READS:RATE,...]\n",
       argv0);
   return 2;
+}
+
+/// Parses one TENANT:CONNS:READS:RATE row of a --mix matrix.
+bool parse_mix_row(const std::string& spec, fast::bench::TenantLoad* out) {
+  std::vector<std::string> part;
+  std::size_t start = 0;
+  while (part.size() < 4) {
+    const std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      part.push_back(spec.substr(start));
+      break;
+    }
+    part.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (part.size() != 4) return false;
+  const auto tenant = fast::util::parse_checked_count(
+      "--mix tenant", part[0].c_str(), 0, 65535);
+  const auto conns =
+      fast::util::parse_checked_count("--mix conns", part[1].c_str(), 1, 4096);
+  const auto reads = fast::util::parse_checked_number(
+      "--mix reads", part[2].c_str(), 0.0, 1.0);
+  const auto rate = fast::util::parse_checked_number("--mix rate",
+                                                     part[3].c_str(), 0.0, 1e9);
+  if (!tenant || !conns || !reads || !rate) return false;
+  out->tenant = static_cast<std::uint16_t>(*tenant);
+  out->connections = *conns;
+  out->read_fraction = *reads;
+  out->arrival_rate = *rate;
+  return true;
+}
+
+void print_report(const fast::bench::LoadOptions& opt, std::uint16_t tenant,
+                  std::size_t conns, double reads, double rate,
+                  const fast::bench::LoadReport& report) {
+  std::printf(
+      "loadgen: mode=%s tenant=%u conns=%zu duration_s=%.2f reads=%.2f "
+      "rate=%.1f ops=%zu qps=%.1f p50_ms=%.3f p99_ms=%.3f p999_ms=%.3f "
+      "retry=%zu errors=%zu\n",
+      rate > 0 ? "open" : "closed", tenant, conns, report.wall_s, reads, rate,
+      report.ops, report.qps(), report.p50_ms, report.p99_ms, report.p999_ms,
+      report.retries, report.errors);
+  (void)opt;
 }
 
 }  // namespace
@@ -42,6 +97,7 @@ int main(int argc, char** argv) {
   bench::LoadOptions opt;
   std::size_t preload = 0;
   bool scrape = false;
+  std::vector<bench::TenantLoad> mix;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,6 +162,23 @@ int main(int argc, char** argv) {
       const auto v = count(0, 1);
       if (!v) return usage(argv[0]);
       scrape = *v != 0;
+    } else if (name == "--tenant") {
+      const auto v = count(0, 65535);
+      if (!v) return usage(argv[0]);
+      opt.tenant = static_cast<std::uint16_t>(*v);
+    } else if (name == "--mix") {
+      std::size_t start = 0;
+      while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::string spec =
+            comma == std::string::npos ? value.substr(start)
+                                       : value.substr(start, comma - start);
+        bench::TenantLoad row;
+        if (!parse_mix_row(spec, &row)) return usage(argv[0]);
+        mix.push_back(row);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else {
       return usage(argv[0]);
     }
@@ -159,14 +232,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!mix.empty()) {
+    const std::vector<bench::LoadReport> reports =
+        bench::run_mixed_load(opt, mix);
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      print_report(opt, mix[i].tenant, mix[i].connections,
+                   mix[i].read_fraction, mix[i].arrival_rate, reports[i]);
+      errors += reports[i].errors;
+    }
+    return errors == 0 ? 0 : 1;
+  }
+
   const bench::LoadReport report = bench::run_load(opt);
-  std::printf(
-      "loadgen: mode=%s conns=%zu duration_s=%.2f reads=%.2f rate=%.1f "
-      "ops=%zu qps=%.1f p50_ms=%.3f p99_ms=%.3f p999_ms=%.3f retry=%zu "
-      "errors=%zu\n",
-      opt.arrival_rate > 0 ? "open" : "closed", opt.connections,
-      report.wall_s, opt.read_fraction, opt.arrival_rate, report.ops,
-      report.qps(), report.p50_ms, report.p99_ms, report.p999_ms,
-      report.retries, report.errors);
+  print_report(opt, opt.tenant, opt.connections, opt.read_fraction,
+               opt.arrival_rate, report);
   return report.errors == 0 ? 0 : 1;
 }

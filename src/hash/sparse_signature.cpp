@@ -107,12 +107,28 @@ SparseSignature SparseSignature::decode(std::span<const std::uint8_t> bytes) {
   std::size_t pos = 0;
   const std::uint32_t bit_count = get_varint(bytes, pos);
   const std::uint32_t n = get_varint(bytes, pos);
+  // Every bit costs at least one encoded byte, so a count above the
+  // remaining input is hostile — reject before reserving.
+  if (n > bytes.size() - pos) {
+    throw std::runtime_error("SparseSignature: bit count exceeds input");
+  }
   std::vector<std::uint32_t> bits;
   bits.reserve(n);
-  std::uint32_t prev = 0;
+  // Validate while reconstructing: the constructor's sorted/unique/range
+  // invariants must hold for untrusted input too, as a catchable error
+  // rather than a process abort. Accumulate in 64 bits so hostile deltas
+  // cannot wrap back into sorted order.
+  std::uint64_t prev = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
-    prev += get_varint(bytes, pos);
-    bits.push_back(prev);
+    const std::uint32_t delta = get_varint(bytes, pos);
+    if (i > 0 && delta == 0) {
+      throw std::runtime_error("SparseSignature: duplicate bit");
+    }
+    prev += delta;
+    if (prev >= bit_count) {
+      throw std::runtime_error("SparseSignature: bit out of range");
+    }
+    bits.push_back(static_cast<std::uint32_t>(prev));
   }
   return SparseSignature(std::move(bits), bit_count);
 }

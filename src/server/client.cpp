@@ -144,6 +144,11 @@ storage::StatusOr<Response> Client::ping() {
   return call(seq, encode_ping(seq));
 }
 
+storage::StatusOr<Response> Client::hello(std::uint16_t tenant) {
+  const std::uint64_t seq = next_seq();
+  return call(seq, encode_hello(seq, tenant));
+}
+
 storage::StatusOr<Response> Client::insert(std::uint64_t id,
                                            const hash::SparseSignature& sig) {
   const std::uint64_t seq = next_seq();

@@ -47,6 +47,9 @@ class Client {
   // --- One-shot RPCs (send + blocking recv of the matching response) ---
 
   storage::StatusOr<Response> ping();
+  /// Binds this connection to a tenant (QoS). Optional: connections that
+  /// never say hello are the default tenant 0.
+  storage::StatusOr<Response> hello(std::uint16_t tenant);
   storage::StatusOr<Response> insert(std::uint64_t id,
                                      const hash::SparseSignature& sig);
   storage::StatusOr<Response> insert_batch(

@@ -3,6 +3,9 @@
 //
 //   fast_server [--port=N] [--workers=N] [--queue=N] [--tiered]
 //               [--dir=PATH] [--wal-sync-every=N] [--bloom-bits=N]
+//               [--query-weight=N] [--retry-ms=N] [--retry-max-ms=N]
+//               [--tenant-rate=R] [--tenant-burst=R] [--tenant-inflight=N]
+//               [--tenant=ID:RATE:BURST:INFLIGHT]...
 //
 // Serves the wire protocol of server/protocol.hpp over TCP on loopback.
 // With --dir the engine opens (or recovers) a durable index there and every
@@ -11,11 +14,21 @@
 // requests, flush response buffers, fsync the WAL, snapshot (durable
 // runs), exit 0.
 //
+// QoS knobs (DESIGN.md §3i): --query-weight sets the lane ratio,
+// --retry-ms/--retry-max-ms clamp the adaptive retry hint,
+// --tenant-rate/--tenant-burst/--tenant-inflight are the default
+// per-tenant quota and --tenant=ID:RATE:BURST:INFLIGHT overrides it for
+// one tenant (repeatable).
+//
 // Environment knobs (checked parsing, util/env.hpp): FAST_SERVER_PORT,
-// FAST_SERVER_WORKERS, FAST_SERVER_QUEUE — flags win over environment.
+// FAST_SERVER_WORKERS, FAST_SERVER_QUEUE, FAST_SERVER_QUERY_WEIGHT,
+// FAST_SERVER_RETRY_MS, FAST_SERVER_RETRY_MAX_MS, FAST_SERVER_TENANT_RATE,
+// FAST_SERVER_TENANT_BURST, FAST_SERVER_TENANT_INFLIGHT — flags win over
+// environment.
 #include <sys/signalfd.h>
 #include <unistd.h>
 
+#include <array>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -59,11 +72,47 @@ fast::vision::PcaModel placeholder_pca() {
 }
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--port=N] [--workers=N] [--queue=N] [--tiered]\n"
-               "          [--dir=PATH] [--wal-sync-every=N] [--bloom-bits=N]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--port=N] [--workers=N] [--queue=N] [--tiered]\n"
+      "          [--dir=PATH] [--wal-sync-every=N] [--bloom-bits=N]\n"
+      "          [--query-weight=N] [--retry-ms=N] [--retry-max-ms=N]\n"
+      "          [--tenant-rate=R] [--tenant-burst=R] [--tenant-inflight=N]\n"
+      "          [--tenant=ID:RATE:BURST:INFLIGHT]...\n",
+      argv0);
   return 2;
+}
+
+/// Parses one --tenant=ID:RATE:BURST:INFLIGHT override.
+bool parse_tenant_quota(const std::string& value,
+                        fast::server::TenantQuota* out) {
+  std::array<std::string, 4> part;
+  std::size_t start = 0, n = 0;
+  for (; n < part.size(); ++n) {
+    const std::size_t colon = value.find(':', start);
+    if (colon == std::string::npos) {
+      part[n] = value.substr(start);
+      ++n;
+      break;
+    }
+    part[n] = value.substr(start, colon - start);
+    start = colon + 1;
+  }
+  if (n != part.size()) return false;
+  const auto id =
+      fast::util::parse_checked_count("--tenant id", part[0].c_str(), 0, 65535);
+  const auto rate = fast::util::parse_checked_number(
+      "--tenant rate", part[1].c_str(), 0.0, 1e9);
+  const auto burst = fast::util::parse_checked_number(
+      "--tenant burst", part[2].c_str(), 1.0, 1e9);
+  const auto inflight = fast::util::parse_checked_count(
+      "--tenant inflight", part[3].c_str(), 0, 1u << 20);
+  if (!id || !rate || !burst || !inflight) return false;
+  out->tenant = static_cast<std::uint16_t>(*id);
+  out->rate = *rate;
+  out->burst = *burst;
+  out->inflight = *inflight;
+  return true;
 }
 
 }  // namespace
@@ -101,6 +150,36 @@ int main(int argc, char** argv) {
       const auto v = count_flag("--queue", 1, 1u << 20);
       if (!v) return usage(argv[0]);
       options.queue_depth = *v;
+    } else if (arg.rfind("--query-weight=", 0) == 0) {
+      const auto v = count_flag("--query-weight", 1, 1024);
+      if (!v) return usage(argv[0]);
+      options.query_weight = *v;
+    } else if (arg.rfind("--retry-ms=", 0) == 0) {
+      const auto v = count_flag("--retry-ms", 1, 60000);
+      if (!v) return usage(argv[0]);
+      options.retry_after_ms = static_cast<std::uint32_t>(*v);
+    } else if (arg.rfind("--retry-max-ms=", 0) == 0) {
+      const auto v = count_flag("--retry-max-ms", 1, 600000);
+      if (!v) return usage(argv[0]);
+      options.retry_max_ms = static_cast<std::uint32_t>(*v);
+    } else if (arg.rfind("--tenant-rate=", 0) == 0) {
+      const auto v = util::parse_checked_number("--tenant-rate",
+                                                value.c_str(), 0.0, 1e9);
+      if (!v) return usage(argv[0]);
+      options.tenant_rate = *v;
+    } else if (arg.rfind("--tenant-burst=", 0) == 0) {
+      const auto v = util::parse_checked_number("--tenant-burst",
+                                                value.c_str(), 1.0, 1e9);
+      if (!v) return usage(argv[0]);
+      options.tenant_burst = *v;
+    } else if (arg.rfind("--tenant-inflight=", 0) == 0) {
+      const auto v = count_flag("--tenant-inflight", 0, 1u << 20);
+      if (!v) return usage(argv[0]);
+      options.tenant_inflight = *v;
+    } else if (arg.rfind("--tenant=", 0) == 0) {
+      server::TenantQuota quota;
+      if (!parse_tenant_quota(value, &quota)) return usage(argv[0]);
+      options.tenant_quotas.push_back(quota);
     } else if (arg.rfind("--dir=", 0) == 0) {
       dir = value;
     } else if (arg.rfind("--wal-sync-every=", 0) == 0) {

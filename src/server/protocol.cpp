@@ -100,6 +100,13 @@ std::vector<std::uint8_t> encode_metrics(std::uint64_t seq) {
   return request_header(Op::kMetrics, seq).take();
 }
 
+std::vector<std::uint8_t> encode_hello(std::uint64_t seq,
+                                       std::uint16_t tenant) {
+  util::ByteWriter w = request_header(Op::kHello, seq);
+  w.u16(tenant);
+  return w.take();
+}
+
 std::vector<std::uint8_t> encode_response(const Response& response) {
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(response.op));
@@ -109,8 +116,16 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
     case Status::kRetryAfter:
       w.u32(response.retry_after_ms);
       return w.take();
+    case Status::kShuttingDown: {
+      // Draining rejections carry the same adaptive backoff hint as
+      // kRetryAfter, so clients spread their reconnect attempts.
+      w.u32(response.retry_after_ms);
+      const auto* text =
+          reinterpret_cast<const std::uint8_t*>(response.text.data());
+      w.blob({text, response.text.size()});
+      return w.take();
+    }
     case Status::kBadRequest:
-    case Status::kShuttingDown:
     case Status::kError: {
       const auto* text =
           reinterpret_cast<const std::uint8_t*>(response.text.data());
@@ -122,6 +137,7 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
   }
   switch (response.op) {
     case Op::kPing:
+    case Op::kHello:
       break;
     case Op::kInsert:
     case Op::kInsertBatch:
@@ -160,7 +176,7 @@ bool decode_request(std::span<const std::uint8_t> body, Request* out,
     if (error != nullptr) *error = "truncated header";
     return false;
   }
-  if (op_byte > static_cast<std::uint8_t>(Op::kMetrics)) {
+  if (op_byte > static_cast<std::uint8_t>(Op::kHello)) {
     if (error != nullptr) *error = "unknown op";
     return false;
   }
@@ -172,6 +188,10 @@ bool decode_request(std::span<const std::uint8_t> body, Request* out,
   switch (out->op) {
     case Op::kPing:
     case Op::kMetrics:
+      break;
+    case Op::kHello:
+      out->tenant = r.u16();
+      if (!r.ok()) return fail("bad hello");
       break;
     case Op::kInsert: {
       out->insert_ids.push_back(r.u64());
@@ -239,7 +259,7 @@ bool decode_response(std::span<const std::uint8_t> body, Response* out,
     return false;
   };
   if (!r.ok()) return fail("truncated header");
-  if (op_byte > static_cast<std::uint8_t>(Op::kMetrics) ||
+  if (op_byte > static_cast<std::uint8_t>(Op::kHello) ||
       status_byte > static_cast<std::uint8_t>(Status::kError)) {
     return fail("unknown op/status");
   }
@@ -250,8 +270,15 @@ bool decode_response(std::span<const std::uint8_t> body, Response* out,
       out->retry_after_ms = r.u32();
       if (!r.exhausted()) return fail("bad retry payload");
       return true;
+    case Status::kShuttingDown: {
+      out->retry_after_ms = r.u32();
+      const auto text = r.blob();
+      if (!r.exhausted()) return fail("bad drain payload");
+      out->text.assign(reinterpret_cast<const char*>(text.data()),
+                       text.size());
+      return true;
+    }
     case Status::kBadRequest:
-    case Status::kShuttingDown:
     case Status::kError: {
       const auto text = r.blob();
       if (!r.exhausted()) return fail("bad error payload");
@@ -264,6 +291,7 @@ bool decode_response(std::span<const std::uint8_t> body, Response* out,
   }
   switch (out->op) {
     case Op::kPing:
+    case Op::kHello:
       break;
     case Op::kInsert:
     case Op::kInsertBatch:

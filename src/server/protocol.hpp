@@ -17,10 +17,19 @@
 // (hash::SparseSignature::encode — the paper's ~40 B/image summary), so a
 // query request is typically a few hundred bytes.
 //
-// Admission control surfaces in-band: a request arriving at a connection
-// whose admitted-but-unanswered window is full is answered with
-// kRetryAfter and a retry hint in milliseconds instead of being queued —
-// the bounded queue is the overload-shedding contract, not a TCP stall.
+// Multi-tenant QoS (DESIGN.md §3i): a connection may identify its tenant
+// with a kHello handshake (u16 tenant id) at any point; every subsequent
+// frame on that connection is accounted against that tenant's quota and
+// priority lane. Connections that never send kHello — every pre-QoS
+// client — are mapped to the default tenant 0 and keep working unchanged.
+//
+// Admission control surfaces in-band: a request arriving past the
+// connection window, the tenant's admitted-inflight window, or the
+// tenant's token-bucket rate is answered with kRetryAfter and an adaptive
+// retry hint in milliseconds (derived from the target lane's queue depth
+// and recent service time) instead of being queued — the bounded queue is
+// the overload-shedding contract, not a TCP stall. kShuttingDown carries
+// the same hint so rejected-at-drain clients back off adaptively too.
 #pragma once
 
 #include <cstdint>
@@ -43,13 +52,14 @@ enum class Op : std::uint8_t {
   kErase = 5,
   kEraseBatch = 6,
   kMetrics = 7,  ///< Prometheus text exposition of the engine registry
+  kHello = 8,    ///< tenant handshake; payload = u16 tenant id
 };
 
 enum class Status : std::uint8_t {
   kOk = 0,
-  kRetryAfter = 1,    ///< connection window full; payload = u32 retry ms
+  kRetryAfter = 1,    ///< conn/tenant window or quota; payload = u32 retry ms
   kBadRequest = 2,    ///< unparsable or geometry-mismatched payload
-  kShuttingDown = 3,  ///< server is draining; retry against a replica
+  kShuttingDown = 3,  ///< draining; payload = u32 retry ms + text blob
   kError = 4,         ///< execution failed (e.g. WAL I/O error)
 };
 
@@ -65,6 +75,7 @@ inline constexpr std::size_t kMinBodyBytes = 9;
 struct Request {
   Op op = Op::kPing;
   std::uint64_t seq = 0;
+  std::uint16_t tenant = 0;                   ///< kHello
   std::uint32_t k = 0;                        ///< kQuery / kQueryBatch
   std::vector<std::uint64_t> ids;             ///< kErase(Batch): targets
   std::vector<std::uint64_t> insert_ids;      ///< kInsert(Batch)
@@ -77,7 +88,7 @@ struct Response {
   std::uint64_t seq = 0;
   Status status = Status::kOk;
   std::uint32_t count = 0;            ///< inserted / erased
-  std::uint32_t retry_after_ms = 0;   ///< kRetryAfter
+  std::uint32_t retry_after_ms = 0;   ///< kRetryAfter / kShuttingDown
   std::vector<std::vector<core::ScoredId>> results;  ///< per query
   std::string text;                   ///< kMetrics payload / error message
 };
@@ -102,6 +113,8 @@ std::vector<std::uint8_t> encode_erase(std::uint64_t seq, std::uint64_t id);
 std::vector<std::uint8_t> encode_erase_batch(
     std::uint64_t seq, std::span<const std::uint64_t> ids);
 std::vector<std::uint8_t> encode_metrics(std::uint64_t seq);
+std::vector<std::uint8_t> encode_hello(std::uint64_t seq,
+                                       std::uint16_t tenant);
 
 /// Serializes a response body (server side).
 std::vector<std::uint8_t> encode_response(const Response& response);

@@ -11,8 +11,10 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -43,6 +45,7 @@ bool is_mutation(Op op) {
     case Op::kQuery:
     case Op::kQueryBatch:
     case Op::kMetrics:
+    case Op::kHello:
       return false;
   }
   return false;
@@ -57,12 +60,49 @@ void peek_header(const std::vector<std::uint8_t>& body, Op* op,
   util::ByteReader r{body};
   const std::uint8_t op_byte = r.u8();
   *seq = r.u64();
-  *op = op_byte <= static_cast<std::uint8_t>(Op::kMetrics)
+  *op = op_byte <= static_cast<std::uint8_t>(Op::kHello)
             ? static_cast<Op>(op_byte)
             : Op::kPing;
 }
 
+/// EWMA smoothing for per-lane service time: heavy enough history that one
+/// outlier does not swing the hint, fresh enough to track load shifts.
+constexpr double kEwmaAlpha = 0.2;
+
 }  // namespace
+
+Lane lane_of(Op op) noexcept {
+  return is_mutation(op) ? Lane::kBulk : Lane::kQuery;
+}
+
+std::uint32_t compute_retry_after_ms(std::size_t queue_depth,
+                                     double ewma_service_us,
+                                     std::uint32_t base_ms,
+                                     std::uint32_t max_ms) noexcept {
+  if (max_ms < base_ms) max_ms = base_ms;
+  if (!(ewma_service_us > 0.0)) ewma_service_us = 0.0;  // also rejects NaN
+  const double backlog_ms =
+      static_cast<double>(queue_depth) * ewma_service_us / 1000.0;
+  const double hint = static_cast<double>(base_ms) + backlog_ms;
+  if (hint >= static_cast<double>(max_ms)) return max_ms;
+  return static_cast<std::uint32_t>(std::lround(hint));
+}
+
+/// Per-tenant QoS state. The token bucket and quota fields are touched by
+/// the I/O thread only (all admission decisions happen there); `inflight`
+/// is also decremented by workers on completion, hence atomic.
+struct Server::TenantState {
+  std::uint16_t id = 0;
+  double rate = 0.0;
+  double burst = 0.0;
+  std::size_t inflight_limit = 0;
+  double tokens = 0.0;
+  std::chrono::steady_clock::time_point last_refill{};
+  std::atomic<std::size_t> inflight{0};
+  util::Counter* m_requests = nullptr;  ///< every frame from this tenant
+  util::Counter* m_rejected = nullptr;  ///< window/quota rejections
+  util::Counter* m_ops = nullptr;       ///< executed requests
+};
 
 ServerOptions ServerOptions::from_env(ServerOptions defaults) {
   if (const auto port = util::env_count("FAST_SERVER_PORT", 0, 65535)) {
@@ -74,6 +114,29 @@ ServerOptions ServerOptions::from_env(ServerOptions defaults) {
   if (const auto depth = util::env_count("FAST_SERVER_QUEUE", 1, 1u << 20)) {
     defaults.queue_depth = static_cast<std::size_t>(*depth);
   }
+  if (const auto weight =
+          util::env_count("FAST_SERVER_QUERY_WEIGHT", 1, 1024)) {
+    defaults.query_weight = static_cast<std::size_t>(*weight);
+  }
+  if (const auto base = util::env_count("FAST_SERVER_RETRY_MS", 1, 60000)) {
+    defaults.retry_after_ms = static_cast<std::uint32_t>(*base);
+  }
+  if (const auto max =
+          util::env_count("FAST_SERVER_RETRY_MAX_MS", 1, 600000)) {
+    defaults.retry_max_ms = static_cast<std::uint32_t>(*max);
+  }
+  if (const auto rate =
+          util::env_number("FAST_SERVER_TENANT_RATE", 0.0, 1e9)) {
+    defaults.tenant_rate = *rate;
+  }
+  if (const auto burst =
+          util::env_number("FAST_SERVER_TENANT_BURST", 1.0, 1e9)) {
+    defaults.tenant_burst = *burst;
+  }
+  if (const auto inflight =
+          util::env_count("FAST_SERVER_TENANT_INFLIGHT", 0, 1u << 20)) {
+    defaults.tenant_inflight = static_cast<std::size_t>(*inflight);
+  }
   return defaults;
 }
 
@@ -83,13 +146,21 @@ Server::Server(core::QueryEngine& engine, ServerOptions options)
   m_accepted_ = &r.counter("server.accepted");
   m_requests_ = &r.counter("server.requests");
   m_rejected_retry_ = &r.counter("server.rejected_retry_after");
-  m_rejected_shutdown_ = &r.counter("server.rejected_shutdown");
+  m_rejected_draining_ = &r.counter("server.rejected_draining");
   m_bad_requests_ = &r.counter("server.bad_requests");
   m_bytes_in_ = &r.counter("server.bytes_in");
   m_bytes_out_ = &r.counter("server.bytes_out");
+  m_lane_executed_[0] = &r.counter("server.lane.query.executed");
+  m_lane_executed_[1] = &r.counter("server.lane.bulk.executed");
   m_connections_ = &r.gauge("server.connections");
   m_inflight_ = &r.gauge("server.inflight");
+  m_lane_depth_[0] = &r.gauge("server.lane.query.queue_depth");
+  m_lane_depth_[1] = &r.gauge("server.lane.bulk.queue_depth");
   m_request_wall_s_ = &r.latency_histogram("server.request_wall_s");
+  m_retry_after_ms_ = &r.histogram(
+      "server.retry_after_ms",
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+  workers_held_ = options_.debug_hold_workers;
 }
 
 Server::~Server() { stop(); }
@@ -171,8 +242,14 @@ void Server::stop() {
         ::write(wake_fd_, &one, sizeof(one));
   };
   // 1. Stop admitting: new frames answer kShuttingDown, and the I/O thread
-  //    closes the listen socket at its next wakeup.
+  //    closes the listen socket at its next wakeup. A test-held worker
+  //    pool is released — drain must always make progress.
   draining_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(work_mutex_);
+    workers_held_ = false;
+  }
+  work_cv_.notify_all();
   kick();
   // 2. Drain: every admitted request executes and queues its response.
   {
@@ -181,7 +258,7 @@ void Server::stop() {
       drain_cv_.wait_for(lk, std::chrono::milliseconds(50));
     }
   }
-  // 3. Join the workers — the work queue is empty and stays empty.
+  // 3. Join the workers — the work queues are empty and stay empty.
   {
     std::lock_guard<std::mutex> lk(work_mutex_);
     workers_stop_ = true;
@@ -210,6 +287,23 @@ void Server::stop() {
   // draining_; cover the path where it exited before noticing.
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
+}
+
+void Server::debug_hold_workers(bool hold) {
+  {
+    std::lock_guard<std::mutex> lk(work_mutex_);
+    workers_held_ = hold;
+  }
+  work_cv_.notify_all();
+}
+
+std::uint32_t Server::current_retry_after_ms(Lane lane) const noexcept {
+  const std::size_t i = static_cast<std::size_t>(lane);
+  const double ewma_us = std::bit_cast<double>(
+      lane_ewma_us_bits_[i].load(std::memory_order_relaxed));
+  return compute_retry_after_ms(
+      lane_depth_[i].load(std::memory_order_relaxed), ewma_us,
+      options_.retry_after_ms, options_.retry_max_ms);
 }
 
 void Server::io_loop() {
@@ -342,6 +436,54 @@ void Server::conn_writable(const std::shared_ptr<Conn>& conn) {
   flush_conn(conn);
 }
 
+const std::shared_ptr<Server::TenantState>& Server::tenant_state(
+    std::uint16_t id) {
+  auto it = tenants_.find(id);
+  if (it != tenants_.end()) return it->second;
+  auto state = std::make_shared<TenantState>();
+  state->id = id;
+  state->rate = options_.tenant_rate;
+  state->burst = options_.tenant_burst;
+  state->inflight_limit = options_.tenant_inflight;
+  for (const TenantQuota& q : options_.tenant_quotas) {
+    if (q.tenant == id) {
+      state->rate = q.rate;
+      state->burst = q.burst;
+      state->inflight_limit = q.inflight;
+    }
+  }
+  state->burst = std::max(1.0, state->burst);
+  state->tokens = state->burst;  // full bucket at first sight
+  state->last_refill = std::chrono::steady_clock::now();
+  const std::string prefix = "server.tenant." + std::to_string(id);
+  util::MetricsRegistry& r = engine_.metrics();
+  state->m_requests = &r.counter(prefix + ".requests");
+  state->m_rejected = &r.counter(prefix + ".rejected");
+  state->m_ops = &r.counter(prefix + ".ops");
+  return tenants_.emplace(id, std::move(state)).first->second;
+}
+
+bool Server::admit_tenant(TenantState& tenant) {
+  // Window first: a tenant at its admitted-inflight cap is rejected
+  // without consuming a token, so its bucket is not drained by retries.
+  if (tenant.inflight_limit > 0 &&
+      tenant.inflight.load(std::memory_order_relaxed) >=
+          tenant.inflight_limit) {
+    return false;
+  }
+  if (tenant.rate > 0.0) {
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed_s =
+        std::chrono::duration<double>(now - tenant.last_refill).count();
+    tenant.last_refill = now;
+    tenant.tokens =
+        std::min(tenant.burst, tenant.tokens + elapsed_s * tenant.rate);
+    if (tenant.tokens < 1.0) return false;
+    tenant.tokens -= 1.0;
+  }
+  return true;
+}
+
 void Server::handle_frame(const std::shared_ptr<Conn>& conn,
                           std::vector<std::uint8_t> body) {
   if (body.size() < kMinBodyBytes) {
@@ -354,47 +496,113 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn,
   }
   Response reject;
   peek_header(body, &reject.op, &reject.seq);
+  const Lane lane = lane_of(reject.op);
+  const std::size_t lane_idx = static_cast<std::size_t>(lane);
   if (draining_.load(std::memory_order_acquire)) {
     reject.status = Status::kShuttingDown;
+    reject.retry_after_ms = current_retry_after_ms(lane);
     reject.text = "shutting down";
-    m_rejected_shutdown_->add();
+    m_rejected_draining_->add();
+    m_retry_after_ms_->observe(static_cast<double>(reject.retry_after_ms));
     send_response(conn, reject);
     return;
   }
-  if (conn->inflight.load(std::memory_order_relaxed) >= options_.queue_depth) {
+  // kHello binds the connection's tenant inline on the I/O thread: it is
+  // the QoS control plane, never queued, never counted against a quota.
+  if (reject.op == Op::kHello) {
+    Request request;
+    std::string error;
+    if (!decode_request(body, &request, &error)) {
+      reject.status = Status::kBadRequest;
+      reject.text = error;
+      m_bad_requests_->add();
+      send_response(conn, reject);
+      return;
+    }
+    conn->tenant = tenant_state(request.tenant);
+    reject.status = Status::kOk;
+    send_response(conn, reject);
+    return;
+  }
+  if (conn->tenant == nullptr) conn->tenant = tenant_state(0);
+  TenantState& tenant = *conn->tenant;
+  tenant.m_requests->add();
+  const bool conn_window_ok =
+      conn->inflight.load(std::memory_order_relaxed) < options_.queue_depth;
+  if (!conn_window_ok || !admit_tenant(tenant)) {
     reject.status = Status::kRetryAfter;
-    reject.retry_after_ms = options_.retry_after_ms;
+    reject.retry_after_ms = current_retry_after_ms(lane);
     m_rejected_retry_->add();
+    tenant.m_rejected->add();
+    m_retry_after_ms_->observe(static_cast<double>(reject.retry_after_ms));
     send_response(conn, reject);
     return;
   }
   conn->inflight.fetch_add(1, std::memory_order_relaxed);
+  tenant.inflight.fetch_add(1, std::memory_order_relaxed);
   const std::size_t inflight =
       admitted_.fetch_add(1, std::memory_order_acq_rel) + 1;
   m_inflight_->set(static_cast<double>(inflight));
+  const std::size_t depth =
+      lane_depth_[lane_idx].fetch_add(1, std::memory_order_acq_rel) + 1;
+  m_lane_depth_[lane_idx]->set(static_cast<double>(depth));
   {
     std::lock_guard<std::mutex> lk(work_mutex_);
-    work_.push_back(WorkItem{conn, std::move(body)});
+    WorkItem item{conn, conn->tenant, lane, std::move(body)};
+    (lane == Lane::kBulk ? lane_bulk_ : lane_query_)
+        .push_back(std::move(item));
   }
   work_cv_.notify_one();
+}
+
+bool Server::pop_work(WorkItem* item) {
+  std::unique_lock<std::mutex> lk(work_mutex_);
+  work_cv_.wait(lk, [this] {
+    if (workers_stop_) return true;
+    if (workers_held_) return false;
+    return !lane_query_.empty() || !lane_bulk_.empty();
+  });
+  if (lane_query_.empty() && lane_bulk_.empty()) {
+    return false;  // workers_stop_ with drained lanes
+  }
+  // Weighted round-robin: when both lanes are backlogged, serve
+  // query_weight queries per bulk item — queries overtake bulk ingest but
+  // bulk always makes progress. A lone non-empty lane drains at full
+  // speed and does not advance the credit counter, so the ratio is exact
+  // under contention (the deterministic lane tests assert the sequence).
+  const std::size_t weight = std::max<std::size_t>(1, options_.query_weight);
+  std::deque<WorkItem>* lane = nullptr;
+  if (lane_query_.empty()) {
+    lane = &lane_bulk_;
+  } else if (lane_bulk_.empty()) {
+    lane = &lane_query_;
+  } else if (queries_since_bulk_ >= weight) {
+    queries_since_bulk_ = 0;
+    lane = &lane_bulk_;
+  } else {
+    ++queries_since_bulk_;
+    lane = &lane_query_;
+  }
+  *item = std::move(lane->front());
+  lane->pop_front();
+  lk.unlock();
+  const std::size_t lane_idx = static_cast<std::size_t>(item->lane);
+  const std::size_t depth =
+      lane_depth_[lane_idx].fetch_sub(1, std::memory_order_acq_rel) - 1;
+  m_lane_depth_[lane_idx]->set(static_cast<double>(depth));
+  return true;
 }
 
 void Server::worker_loop() {
   while (true) {
     WorkItem item;
-    {
-      std::unique_lock<std::mutex> lk(work_mutex_);
-      work_cv_.wait(lk, [this] { return workers_stop_ || !work_.empty(); });
-      if (work_.empty()) return;  // workers_stop_ with an empty queue
-      item = std::move(work_.front());
-      work_.pop_front();
-    }
+    if (!pop_work(&item)) return;
     util::WallTimer timer;
     Request request;
     std::string error;
     Response response;
     if (decode_request(item.body, &request, &error)) {
-      response = execute(request);
+      response = execute(request, item);
     } else {
       response.op = request.op;  // decode fills op/seq when readable
       response.seq = request.seq;
@@ -402,13 +610,32 @@ void Server::worker_loop() {
       response.text = error;
       m_bad_requests_->add();
     }
+    const double wall_s = timer.elapsed_seconds();
     m_requests_->add();
-    m_request_wall_s_->observe(timer.elapsed_seconds());
+    m_request_wall_s_->observe(wall_s);
+    const std::size_t lane_idx = static_cast<std::size_t>(item.lane);
+    m_lane_executed_[lane_idx]->add();
+    item.tenant->m_ops->add();
+    // Fold the observed service time into the lane's EWMA (lossy relaxed
+    // exchange: concurrent workers may overwrite each other's fold, which
+    // only costs one sample of smoothing accuracy).
+    {
+      const double sample_us = wall_s * 1e6;
+      auto& bits = lane_ewma_us_bits_[lane_idx];
+      const double prev =
+          std::bit_cast<double>(bits.load(std::memory_order_relaxed));
+      const double next =
+          prev <= 0.0 ? sample_us
+                      : prev * (1.0 - kEwmaAlpha) + sample_us * kEwmaAlpha;
+      bits.store(std::bit_cast<std::uint64_t>(next),
+                 std::memory_order_relaxed);
+    }
     // Queue the response bytes BEFORE dropping the inflight/drain counts:
     // once stop() observes a drained server, every admitted request's
     // response is already in an output buffer.
     send_response(item.conn, response);
     item.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    item.tenant->inflight.fetch_sub(1, std::memory_order_relaxed);
     const std::size_t left =
         admitted_.fetch_sub(1, std::memory_order_acq_rel) - 1;
     m_inflight_->set(static_cast<double>(left));
@@ -419,12 +646,14 @@ void Server::worker_loop() {
   }
 }
 
-Response Server::execute(const Request& request) {
+Response Server::execute(const Request& request, const WorkItem& item) {
   Response response;
   response.op = request.op;
   response.seq = request.seq;
   util::TraceSpan span("server.request");
   span.attr("op", static_cast<double>(static_cast<std::uint8_t>(request.op)));
+  span.attr("lane", static_cast<double>(static_cast<std::uint8_t>(item.lane)));
+  span.attr("tenant", static_cast<double>(item.tenant->id));
   if (options_.debug_request_delay_us > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.debug_request_delay_us));
@@ -450,6 +679,7 @@ Response Server::execute(const Request& request) {
   try {
     switch (request.op) {
       case Op::kPing:
+      case Op::kHello:  // handled inline on the I/O thread; kOk here
         break;
       case Op::kInsert:
       case Op::kInsertBatch: {

@@ -1,4 +1,4 @@
-// fast::server — the network front door (DESIGN.md §3g).
+// fast::server — the network front door (DESIGN.md §3g, QoS §3i).
 //
 // One epoll I/O thread owns every socket: it accepts connections, splits
 // the byte stream into length-prefixed frames (protocol.hpp), makes the
@@ -6,20 +6,32 @@
 // requests are executed by a pool of worker threads against the
 // QueryEngine mutating facade; workers never touch sockets — they append
 // serialized responses to the connection's output buffer and kick the I/O
-// thread through an eventfd. Request order is preserved per connection for
-// admitted requests (one FIFO work queue), while rejections are answered
-// immediately from the I/O thread, ahead of the queue.
+// thread through an eventfd. Request order is preserved per lane for
+// admitted requests, while rejections are answered immediately from the
+// I/O thread, ahead of the queues.
 //
-// Admission control: each connection may have at most
-// ServerOptions::queue_depth admitted-but-unanswered requests. A frame
-// arriving past that window is answered kRetryAfter (with a retry hint in
-// milliseconds) instead of being buffered — the server sheds overload
-// explicitly rather than stalling the TCP stream, so a closed-loop client
-// sees bounded latency and an open-loop client sees rejects, exactly the
-// behavior the loadgen sweep measures.
+// Multi-tenant QoS (DESIGN.md §3i):
+//   - Tenancy: a kHello frame binds the connection to a tenant id;
+//     connections that never send one are the default tenant 0, so every
+//     pre-QoS client keeps working. Admission is layered: the
+//     per-connection window first, then the tenant's admitted-inflight
+//     window, then the tenant's token bucket — a rejection at any layer
+//     answers kRetryAfter without consuming a token.
+//   - Priority lanes: admitted requests land in one of two FIFO lanes —
+//     queries (reads) or bulk (mutations). Workers drain them through a
+//     weighted round-robin: `query_weight` queries per bulk item when both
+//     lanes are backlogged, so interactive queries overtake bulk ingest
+//     without ever fully starving it (and bulk drains at full speed when
+//     the query lane is idle).
+//   - Adaptive retry-after: every rejection hint is derived from the
+//     target lane's current queue depth and its EWMA service time,
+//     clamped to [retry_after_ms, retry_max_ms] and monotone in load —
+//     replacing the fixed knob (compute_retry_after_ms below is the pure,
+//     unit-testable formula).
 //
 // Graceful shutdown (stop(), also the SIGTERM path of fast_server):
-//   1. stop accepting; answer new frames kShuttingDown;
+//   1. stop accepting; answer new frames kShuttingDown with an adaptive
+//      retry hint (counted as server.rejected_draining);
 //   2. drain — every admitted request executes and its response is queued;
 //   3. workers join; the I/O thread flushes every output buffer;
 //   4. the WAL is fsynced through the engine facade, so every
@@ -30,6 +42,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -50,6 +63,35 @@ class Histogram;
 
 namespace fast::server {
 
+/// The two priority lanes of the worker pool. Reads (ping/query/metrics)
+/// are interactive; mutations (insert/erase, batched or not) are bulk.
+enum class Lane : std::uint8_t { kQuery = 0, kBulk = 1 };
+
+/// Lane classification for an op (pure; used by admission and tests).
+Lane lane_of(Op op) noexcept;
+
+/// The adaptive retry-after formula: base plus the expected wait for the
+/// lane backlog (queue depth x EWMA service time), clamped to
+/// [base_ms, max_ms]. Monotone (non-strictly) in both queue_depth and
+/// ewma_service_us; exactly base_ms when the lane is empty or no request
+/// has completed yet.
+std::uint32_t compute_retry_after_ms(std::size_t queue_depth,
+                                     double ewma_service_us,
+                                     std::uint32_t base_ms,
+                                     std::uint32_t max_ms) noexcept;
+
+/// Per-tenant quota override (fast_server --tenant=ID:rate:burst:inflight).
+struct TenantQuota {
+  std::uint16_t tenant = 0;
+  /// Token-bucket refill rate, requests/second. 0 = unlimited (no bucket).
+  double rate = 0.0;
+  /// Token-bucket capacity (burst size), whole requests.
+  double burst = 64.0;
+  /// Admitted-but-unanswered window across the tenant's connections.
+  /// 0 = unlimited.
+  std::size_t inflight = 0;
+};
+
 struct ServerOptions {
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   std::uint16_t port = 0;
@@ -59,18 +101,35 @@ struct ServerOptions {
   std::size_t workers = 4;
   /// Per-connection admitted-but-unanswered window (admission control).
   std::size_t queue_depth = 64;
-  /// Hint returned with kRetryAfter.
+  /// Floor (and empty-lane value) of the adaptive retry hint, ms.
   std::uint32_t retry_after_ms = 10;
+  /// Ceiling of the adaptive retry hint, ms.
+  std::uint32_t retry_max_ms = 1000;
+  /// Queries drained per bulk item when both lanes are backlogged (>= 1).
+  std::size_t query_weight = 4;
+  /// Default tenant quota, applied to any tenant without an override.
+  double tenant_rate = 0.0;       ///< tokens/s; 0 = unlimited
+  double tenant_burst = 64.0;     ///< bucket capacity
+  std::size_t tenant_inflight = 0;  ///< admitted window; 0 = unlimited
+  /// Per-tenant overrides of the defaults above.
+  std::vector<TenantQuota> tenant_quotas;
   /// A connection whose unsent output exceeds this is dropped (client
   /// stopped reading).
   std::size_t max_outbuf_bytes = 64u << 20;
   /// Test-only: artificial per-request execution delay, so admission-
   /// control tests can fill the window deterministically.
   std::size_t debug_request_delay_us = 0;
+  /// Test-only: start with the worker pool held — admitted requests queue
+  /// but never execute until debug_hold_workers(false). Lane and quota
+  /// decisions become assertable by exact counts, no wall-clock sleeps.
+  bool debug_hold_workers = false;
 
-  /// Applies FAST_SERVER_PORT / FAST_SERVER_WORKERS / FAST_SERVER_QUEUE on
-  /// top of `defaults`, with checked parsing (util/env.hpp): garbage,
-  /// negative or out-of-range values warn once and are ignored.
+  /// Applies FAST_SERVER_PORT / FAST_SERVER_WORKERS / FAST_SERVER_QUEUE /
+  /// FAST_SERVER_QUERY_WEIGHT / FAST_SERVER_RETRY_MS /
+  /// FAST_SERVER_RETRY_MAX_MS / FAST_SERVER_TENANT_RATE /
+  /// FAST_SERVER_TENANT_BURST / FAST_SERVER_TENANT_INFLIGHT on top of
+  /// `defaults`, with checked parsing (util/env.hpp): garbage, negative or
+  /// out-of-range values warn once and are ignored.
   static ServerOptions from_env(ServerOptions defaults);
   static ServerOptions from_env() { return from_env(ServerOptions{}); }
 };
@@ -105,12 +164,32 @@ class Server {
     return connections_.load(std::memory_order_relaxed);
   }
 
+  /// Test-only: holds (true) or releases (false) the worker pool. While
+  /// held, admitted requests pile up in their lanes without executing, so
+  /// tests can assert admission outcomes by exact counts. stop() releases
+  /// the hold itself, so a held server still shuts down cleanly.
+  void debug_hold_workers(bool hold);
+
+  /// Test-only: current depth of a lane's admitted queue.
+  std::size_t debug_lane_depth(Lane lane) const noexcept {
+    return lane_depth_[static_cast<std::size_t>(lane)].load(
+        std::memory_order_acquire);
+  }
+
+  /// The retry hint the server would attach to a rejection routed at
+  /// `lane` right now (tests assert monotonicity against this).
+  std::uint32_t current_retry_after_ms(Lane lane) const noexcept;
+
  private:
+  struct TenantState;
+
   struct Conn {
     int fd = -1;
     FrameAssembler assembler;
     /// Admitted-but-unanswered requests on this connection.
     std::atomic<std::size_t> inflight{0};
+    /// Tenant binding (kHello); read and written by the I/O thread only.
+    std::shared_ptr<TenantState> tenant;
     std::mutex mu;                    ///< guards out/out_off/closed
     std::vector<std::uint8_t> out;    ///< serialized, unsent response bytes
     std::size_t out_off = 0;
@@ -120,6 +199,10 @@ class Server {
 
   struct WorkItem {
     std::shared_ptr<Conn> conn;
+    /// Captured at admission so a later kHello on the connection cannot
+    /// race the completion-side accounting.
+    std::shared_ptr<TenantState> tenant;
+    Lane lane = Lane::kQuery;
     std::vector<std::uint8_t> body;
   };
 
@@ -133,7 +216,15 @@ class Server {
   void handle_frame(const std::shared_ptr<Conn>& conn,
                     std::vector<std::uint8_t> body);
   /// Executes one admitted request (worker thread).
-  Response execute(const Request& request);
+  Response execute(const Request& request, const WorkItem& item);
+
+  /// Tenant registry lookup/creation (I/O thread only).
+  const std::shared_ptr<TenantState>& tenant_state(std::uint16_t id);
+  /// Token-bucket + tenant-window admission (I/O thread only).
+  bool admit_tenant(TenantState& tenant);
+  /// Pops the next admitted request honoring the lane weights; false on
+  /// worker shutdown.
+  bool pop_work(WorkItem* item);
 
   /// Appends a serialized response and wakes the I/O thread (any thread).
   void send_response(const std::shared_ptr<Conn>& conn,
@@ -160,11 +251,26 @@ class Server {
   std::atomic<bool> draining_{false};   ///< reject new frames
   std::atomic<bool> io_stop_{false};    ///< I/O thread exits once flushed
 
-  // Work queue (admitted requests, FIFO across connections).
+  // Two admitted-request lanes (FIFO within a lane) + weighted dispatch
+  // state, all guarded by work_mutex_.
   std::mutex work_mutex_;
   std::condition_variable work_cv_;
-  std::deque<WorkItem> work_;
+  std::deque<WorkItem> lane_query_;
+  std::deque<WorkItem> lane_bulk_;
+  /// Queries handed out since the last bulk item (weighted round-robin).
+  std::size_t queries_since_bulk_ = 0;
   bool workers_stop_ = false;
+  bool workers_held_ = false;
+
+  // Lock-free mirrors for the adaptive hint + tests: queue depth per lane
+  // and the EWMA of request service time (double bits, microseconds).
+  std::atomic<std::size_t> lane_depth_[2] = {{0}, {0}};
+  std::atomic<std::uint64_t> lane_ewma_us_bits_[2] = {{0}, {0}};
+
+  // Tenant registry: created on first frame / kHello (I/O thread only);
+  // workers only ever touch a TenantState through the shared_ptr captured
+  // in their WorkItem.
+  std::unordered_map<std::uint16_t, std::shared_ptr<TenantState>> tenants_;
 
   // Connections needing a flush, posted by workers (guarded by wake_mutex_).
   std::mutex wake_mutex_;
@@ -185,13 +291,16 @@ class Server {
   util::Counter* m_accepted_ = nullptr;
   util::Counter* m_requests_ = nullptr;
   util::Counter* m_rejected_retry_ = nullptr;
-  util::Counter* m_rejected_shutdown_ = nullptr;
+  util::Counter* m_rejected_draining_ = nullptr;
   util::Counter* m_bad_requests_ = nullptr;
   util::Counter* m_bytes_in_ = nullptr;
   util::Counter* m_bytes_out_ = nullptr;
+  util::Counter* m_lane_executed_[2] = {nullptr, nullptr};
   util::Gauge* m_connections_ = nullptr;
   util::Gauge* m_inflight_ = nullptr;
+  util::Gauge* m_lane_depth_[2] = {nullptr, nullptr};
   util::Histogram* m_request_wall_s_ = nullptr;
+  util::Histogram* m_retry_after_ms_ = nullptr;
 };
 
 }  // namespace fast::server

@@ -20,6 +20,11 @@ class ByteWriter {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
 
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
   void u32(std::uint32_t v) {
     for (int i = 0; i < 4; ++i) {
       buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -60,6 +65,15 @@ class ByteReader {
   std::uint8_t u8() noexcept {
     if (!ensure(1)) return 0;
     return data_[pos_++];
+  }
+
+  std::uint16_t u16() noexcept {
+    if (!ensure(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]);
+    v = static_cast<std::uint16_t>(
+        v | static_cast<std::uint16_t>(data_[pos_ + 1]) << 8);
+    pos_ += 2;
+    return v;
   }
 
   std::uint32_t u32() noexcept {
