@@ -9,9 +9,14 @@
 //      — where latency degrades and admission control starts shedding
 //      (kRetryAfter) instead of queueing without bound.
 // Finishes with a Prometheus scrape through the wire (kMetrics) proving
-// the serving counters export alongside the pipeline metrics.
+// the serving counters export alongside the pipeline metrics, and — with
+// observability on — an HTTP admin-plane check (DESIGN.md §3j): /metrics,
+// /healthz and /varz answered by a stock HTTP GET while the engine is
+// loaded.
 //
-//   fig_serving [duration_s_per_point] [preload_keys]   (default 2 10000)
+//   fig_serving [duration_s_per_point] [preload_keys] [observability_0_1]
+//   (default 2 10000 1; observability=0 disables server-timing
+//   negotiation AND the admin plane, for overhead A/B comparisons)
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -22,6 +27,7 @@
 #include "core/tiered_index.hpp"
 #include "load_driver.hpp"
 #include "server/client.hpp"
+#include "server/http_admin.hpp"
 #include "server/server.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -54,7 +60,16 @@ void add_report_row(util::Table& table, const std::string& label,
                  std::to_string(r.retries), std::to_string(r.errors)});
 }
 
-int run(double duration_s, std::size_t preload) {
+/// Open-loop row with the server-timing breakdown columns.
+void add_timed_row(util::Table& table, const std::string& label,
+                   const LoadReport& r) {
+  table.add_row({label, std::to_string(r.ops), fmt(r.qps(), 0),
+                 fmt(r.p50_ms, 3), fmt(r.p99_ms, 3), fmt(r.net_p99_ms, 3),
+                 fmt(r.queue_p99_ms, 3), fmt(r.exec_p99_ms, 3),
+                 std::to_string(r.retries), std::to_string(r.errors)});
+}
+
+int run(double duration_s, std::size_t preload, bool observability) {
   core::FastConfig config;
   config.tier.enabled = true;
   core::TieredIndex index(config, placeholder_pca());
@@ -73,14 +88,31 @@ int run(double duration_s, std::size_t preload) {
                  st.message().c_str());
     return 1;
   }
-  std::printf("serving on 127.0.0.1:%u (workers=%zu queue=%zu)\n", srv.port(),
-              options.workers, options.queue_depth);
+  std::printf("serving on 127.0.0.1:%u (workers=%zu queue=%zu "
+              "observability=%d)\n",
+              srv.port(), options.workers, options.queue_depth,
+              observability ? 1 : 0);
+
+  // Admin plane on an ephemeral port (observability runs only).
+  std::unique_ptr<server::HttpAdmin> admin;
+  if (observability) {
+    admin = std::make_unique<server::HttpAdmin>(engine, &srv,
+                                                server::HttpAdminOptions{});
+    const storage::Status admin_st = admin->start();
+    if (!admin_st.ok()) {
+      std::fprintf(stderr, "fig_serving: admin start failed: %s\n",
+                   admin_st.message().c_str());
+      return 1;
+    }
+    std::printf("admin plane on 127.0.0.1:%u\n", admin->port());
+  }
 
   LoadOptions base;
   base.port = srv.port();
   base.duration_s = duration_s;
   base.key_space = preload;
   base.bloom_bits = config.bloom_bits;
+  base.want_timing = observability;
 
   // Preload through the wire so the sweep queries a populated index.
   {
@@ -125,15 +157,27 @@ int run(double duration_s, std::size_t preload) {
   closed.print("Serving — closed loop, zipf(0.99) 90/10 read/write");
 
   // 2. Open-loop arrival sweep around the closed-loop peak: tail latency
-  // and shed rate as offered load crosses capacity.
-  util::Table open({"offered", "ops", "qps", "p50 ms", "p99 ms", "p999 ms",
-                    "retry", "err"});
+  // and shed rate as offered load crosses capacity. With observability on,
+  // the negotiated server-timing trailer splits p99 into net (wire +
+  // client) vs queue (admission to pickup) vs exec (engine work) — the
+  // queue column is what grows as offered load crosses capacity.
+  util::Table open(
+      observability
+          ? std::vector<std::string>{"offered", "ops", "qps", "p50 ms",
+                                     "p99 ms", "net p99", "queue p99",
+                                     "exec p99", "retry", "err"}
+          : std::vector<std::string>{"offered", "ops", "qps", "p50 ms",
+                                     "p99 ms", "p999 ms", "retry", "err"});
   for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
     LoadOptions opt = base;
     opt.connections = 8;
     opt.arrival_rate = std::max(100.0, peak_qps * frac);
     const LoadReport r = run_load(opt);
-    add_report_row(open, fmt(opt.arrival_rate, 0), r);
+    if (observability) {
+      add_timed_row(open, fmt(opt.arrival_rate, 0), r);
+    } else {
+      add_report_row(open, fmt(opt.arrival_rate, 0), r);
+    }
   }
   open.print("Serving — open loop, offered rate vs. tail latency");
 
@@ -200,7 +244,36 @@ int run(double duration_s, std::size_t preload) {
     if (text.find("server_requests") == std::string::npos) return 1;
   }
 
+  // 5. Admin plane over plain HTTP (observability runs): the same series
+  // from a stock GET /metrics, liveness/readiness, and /varz rates.
+  if (admin != nullptr) {
+    int status = 0;
+    std::string body;
+    if (!server::http_get("127.0.0.1", admin->port(), "/metrics", &status,
+                          &body) ||
+        status != 200 ||
+        body.find("server_requests") == std::string::npos ||
+        body.find("process_rss_bytes") == std::string::npos) {
+      std::fprintf(stderr, "fig_serving: admin /metrics check failed\n");
+      return 1;
+    }
+    if (!server::http_get("127.0.0.1", admin->port(), "/healthz", &status,
+                          &body) ||
+        status != 200) {
+      std::fprintf(stderr, "fig_serving: admin /healthz check failed\n");
+      return 1;
+    }
+    if (!server::http_get("127.0.0.1", admin->port(), "/varz", &status,
+                          &body) ||
+        status != 200 || body.find("\"rates\"") == std::string::npos) {
+      std::fprintf(stderr, "fig_serving: admin /varz check failed\n");
+      return 1;
+    }
+    std::printf("admin plane: /metrics /healthz /varz ok\n");
+  }
+
   srv.stop();
+  if (admin != nullptr) admin->stop();
   std::printf("graceful stop: connections=%zu running=%d\n",
               srv.connection_count(), srv.running() ? 1 : 0);
   return 0;
@@ -212,9 +285,11 @@ int run(double duration_s, std::size_t preload) {
 int main(int argc, char** argv) {
   double duration_s = 2.0;
   std::size_t preload = 10000;
+  bool observability = true;
   if (argc > 1) duration_s = std::atof(argv[1]);
   if (argc > 2) preload = static_cast<std::size_t>(std::atoll(argv[2]));
+  if (argc > 3) observability = std::atoi(argv[3]) != 0;
   if (duration_s <= 0 || duration_s > 600) duration_s = 2.0;
   std::printf("== bench fig_serving: network front door ==\n");
-  return fast::bench::run(duration_s, preload);
+  return fast::bench::run(duration_s, preload, observability);
 }

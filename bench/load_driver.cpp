@@ -21,21 +21,48 @@ double to_ms(Clock::duration d) {
   return std::chrono::duration<double, std::milli>(d).count();
 }
 
+/// Per-connection tallies, merged into the shared Accum at thread exit.
+struct ConnStats {
+  std::vector<double> lat_ms;
+  std::vector<double> net_ms;    ///< total - queue - exec, clamped >= 0
+  std::vector<double> queue_ms;  ///< trailer queue_ns
+  std::vector<double> exec_ms;   ///< trailer exec_ns
+  std::size_t ok = 0;
+  std::size_t retries = 0;
+  std::size_t errors = 0;
+
+  /// Splits one kOk response's observed latency using the negotiated
+  /// server-timing trailer (no-op for legacy responses).
+  void observe_timing(const server::Response& response, double total_ms) {
+    if (!response.has_timing) return;
+    const double queue = static_cast<double>(response.queue_ns) * 1e-6;
+    const double exec = static_cast<double>(response.exec_ns) * 1e-6;
+    queue_ms.push_back(queue);
+    exec_ms.push_back(exec);
+    net_ms.push_back(std::max(0.0, total_ms - queue - exec));
+  }
+};
+
 /// Shared accumulator the per-connection threads merge into.
 struct Accum {
   std::mutex mu;
   std::vector<double> latencies_ms;
+  std::vector<double> net_ms;
+  std::vector<double> queue_ms;
+  std::vector<double> exec_ms;
   std::size_t ops = 0;
   std::size_t retries = 0;
   std::size_t errors = 0;
 
-  void merge(std::vector<double>&& lat, std::size_t ok, std::size_t retry,
-             std::size_t err) {
+  void merge(ConnStats&& s) {
     std::lock_guard<std::mutex> lk(mu);
-    latencies_ms.insert(latencies_ms.end(), lat.begin(), lat.end());
-    ops += ok;
-    retries += retry;
-    errors += err;
+    latencies_ms.insert(latencies_ms.end(), s.lat_ms.begin(), s.lat_ms.end());
+    net_ms.insert(net_ms.end(), s.net_ms.begin(), s.net_ms.end());
+    queue_ms.insert(queue_ms.end(), s.queue_ms.begin(), s.queue_ms.end());
+    exec_ms.insert(exec_ms.end(), s.exec_ms.begin(), s.exec_ms.end());
+    ops += s.ok;
+    retries += s.retries;
+    errors += s.errors;
   }
 };
 
@@ -76,13 +103,15 @@ std::vector<std::uint8_t> encode_op(const OpChoice& choice,
   return server::encode_ping(seq);
 }
 
-/// Closed loop: one outstanding request per connection; the response gates
-/// the next send.
-/// Connect + optional tenant handshake (LoadOptions::tenant != 0).
+/// Connect + optional kHello handshake: sent when a tenant id or the
+/// server-timing capability is requested (legacy tenant-0, no-timing
+/// connections stay hello-less).
 bool connect_with_hello(server::Client* client, const LoadOptions& opt) {
   if (!client->connect(opt.host, opt.port).ok()) return false;
-  if (opt.tenant != 0) {
-    const auto hello = client->hello(opt.tenant);
+  if (opt.tenant != 0 || opt.want_timing) {
+    const std::uint32_t caps =
+        opt.want_timing ? server::kCapServerTiming : 0;
+    const auto hello = client->hello(opt.tenant, caps);
     if (!hello.ok() || hello.value().status != server::Status::kOk) {
       return false;
     }
@@ -90,17 +119,19 @@ bool connect_with_hello(server::Client* client, const LoadOptions& opt) {
   return true;
 }
 
+/// Closed loop: one outstanding request per connection; the response gates
+/// the next send.
 void closed_loop_conn(const LoadOptions& opt,
                       const util::ZipfDistribution& zipf, std::size_t conn_id,
                       Accum* accum) {
   server::Client client;
+  ConnStats stats;
   if (!connect_with_hello(&client, opt)) {
-    accum->merge({}, 0, 0, 1);
+    stats.errors = 1;
+    accum->merge(std::move(stats));
     return;
   }
   util::Rng rng(opt.seed * 0x9e3779b9ULL + conn_id);
-  std::vector<double> lat;
-  std::size_t ok = 0, retry = 0, err = 0;
   const Clock::time_point deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(opt.duration_s));
@@ -110,30 +141,33 @@ void closed_loop_conn(const LoadOptions& opt,
     const std::vector<std::uint8_t> body = encode_op(choice, seq, opt);
     const Clock::time_point t0 = Clock::now();
     if (!client.send(body).ok()) {
-      ++err;
+      ++stats.errors;
       break;
     }
     server::Response response;
     if (!client.recv(&response).ok()) {
-      ++err;
+      ++stats.errors;
       break;
     }
     switch (response.status) {
-      case server::Status::kOk:
-        ++ok;
-        lat.push_back(to_ms(Clock::now() - t0));
+      case server::Status::kOk: {
+        ++stats.ok;
+        const double total_ms = to_ms(Clock::now() - t0);
+        stats.lat_ms.push_back(total_ms);
+        stats.observe_timing(response, total_ms);
         break;
+      }
       case server::Status::kRetryAfter:
-        ++retry;
+        ++stats.retries;
         std::this_thread::sleep_for(std::chrono::milliseconds(
             std::min<std::uint32_t>(response.retry_after_ms, 100)));
         break;
       default:
-        ++err;
+        ++stats.errors;
         break;
     }
   }
-  accum->merge(std::move(lat), ok, retry, err);
+  accum->merge(std::move(stats));
 }
 
 /// Open loop: a sender paces exponential arrivals at the per-connection
@@ -143,8 +177,10 @@ void closed_loop_conn(const LoadOptions& opt,
 void open_loop_conn(const LoadOptions& opt, const util::ZipfDistribution& zipf,
                     std::size_t conn_id, double rate_per_conn, Accum* accum) {
   server::Client client;
+  ConnStats stats;
   if (!connect_with_hello(&client, opt)) {
-    accum->merge({}, 0, 0, 1);
+    stats.errors = 1;
+    accum->merge(std::move(stats));
     return;
   }
 
@@ -186,8 +222,6 @@ void open_loop_conn(const LoadOptions& opt, const util::ZipfDistribution& zipf,
     sender_done.store(true, std::memory_order_release);
   });
 
-  std::vector<double> lat;
-  std::size_t ok = 0, retry = 0, err = 0;
   // Receive until every sent request is answered: the server answers every
   // admitted or rejected frame, so once the sender stops, the pending set
   // drains to zero (or the connection errors out). recv() only blocks while
@@ -205,7 +239,7 @@ void open_loop_conn(const LoadOptions& opt, const util::ZipfDistribution& zipf,
     }
     server::Response response;
     if (!client.recv(&response).ok()) {
-      ++err;
+      ++stats.errors;
       break;
     }
     Clock::time_point t0{};
@@ -221,19 +255,23 @@ void open_loop_conn(const LoadOptions& opt, const util::ZipfDistribution& zipf,
     }
     switch (response.status) {
       case server::Status::kOk:
-        ++ok;
-        if (known) lat.push_back(to_ms(Clock::now() - t0));
+        ++stats.ok;
+        if (known) {
+          const double total_ms = to_ms(Clock::now() - t0);
+          stats.lat_ms.push_back(total_ms);
+          stats.observe_timing(response, total_ms);
+        }
         break;
       case server::Status::kRetryAfter:
-        ++retry;
+        ++stats.retries;
         break;
       default:
-        ++err;
+        ++stats.errors;
         break;
     }
   }
   sender.join();
-  accum->merge(std::move(lat), ok, retry, err);
+  accum->merge(std::move(stats));
 }
 
 }  // namespace
@@ -298,6 +336,18 @@ LoadReport run_load(const LoadOptions& options) {
   report.p50_ms = percentile(accum.latencies_ms, 50.0);
   report.p99_ms = percentile(accum.latencies_ms, 99.0);
   report.p999_ms = percentile(accum.latencies_ms, 99.9);
+  report.timing_samples = accum.queue_ms.size();
+  if (report.timing_samples > 0) {
+    std::sort(accum.net_ms.begin(), accum.net_ms.end());
+    std::sort(accum.queue_ms.begin(), accum.queue_ms.end());
+    std::sort(accum.exec_ms.begin(), accum.exec_ms.end());
+    report.net_p50_ms = percentile(accum.net_ms, 50.0);
+    report.net_p99_ms = percentile(accum.net_ms, 99.0);
+    report.queue_p50_ms = percentile(accum.queue_ms, 50.0);
+    report.queue_p99_ms = percentile(accum.queue_ms, 99.0);
+    report.exec_p50_ms = percentile(accum.exec_ms, 50.0);
+    report.exec_p99_ms = percentile(accum.exec_ms, 99.0);
+  }
   return report;
 }
 

@@ -48,6 +48,10 @@ struct LoadOptions {
   /// Tenant id announced with a kHello handshake on connect. 0 = no
   /// handshake (the legacy tenant-less client path).
   std::uint16_t tenant = 0;
+  /// Negotiate kCapServerTiming on connect (forces a kHello even for
+  /// tenant 0): kOk responses then carry queue_ns/exec_ns, and the report
+  /// splits observed latency into network vs queue vs execute.
+  bool want_timing = false;
 };
 
 struct LoadReport {
@@ -58,6 +62,18 @@ struct LoadReport {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double p999_ms = 0.0;
+
+  /// Server-timing breakdown (LoadOptions::want_timing): per kOk response
+  /// the trailer's queue/exec halves plus net = total - queue - exec
+  /// (clamped at 0 — the wire and client-side cost). 0 samples when the
+  /// capability was not negotiated.
+  std::size_t timing_samples = 0;
+  double net_p50_ms = 0.0;
+  double net_p99_ms = 0.0;
+  double queue_p50_ms = 0.0;
+  double queue_p99_ms = 0.0;
+  double exec_p50_ms = 0.0;
+  double exec_p99_ms = 0.0;
 
   double qps() const noexcept {
     return wall_s > 0 ? static_cast<double>(ops) / wall_s : 0.0;

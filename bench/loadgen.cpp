@@ -4,6 +4,7 @@
 //   loadgen --port=N [--host=A] [--conns=N] [--duration=S] [--reads=F]
 //           [--skew=S] [--keys=N] [--k=N] [--rate=QPS] [--preload=N]
 //           [--bloom-bits=N] [--seed=N] [--tenant=N] [--mix=SPEC,...]
+//           [--timing=0|1] [--json=0|1]
 //
 // --rate=0 (default) runs closed-loop: each connection issues the next
 // request when the previous response lands. --rate>0 runs open-loop at
@@ -11,7 +12,11 @@
 // inserts N zipf-keyed signatures first so queries hit real data.
 // --tenant sends a kHello handshake on every connection (QoS accounting);
 // 0 (default) is the legacy tenant-less client. --seed makes open-loop
-// arrival times and the key/op streams reproducible.
+// arrival times and the key/op streams reproducible. --timing=1 (default)
+// negotiates the kCapServerTiming trailer and splits latency into
+// net/queue/exec percentiles (--timing=0 measures the legacy wire format
+// byte for byte). --json=1 emits each result as one JSON object line
+// instead of the key=value line.
 //
 // --mix runs a mixed tenant traffic matrix instead of a single load: a
 // comma-separated list of TENANT:CONNS:READS:RATE rows, all run
@@ -22,8 +27,9 @@
 //
 // Prints one machine-parsable result line per load:
 //   loadgen: mode=closed tenant=0 conns=8 duration_s=5.00 reads=0.90
-//     ops=12345 qps=2469.0 p50_ms=0.81 p99_ms=2.40 p999_ms=4.10 retry=0
-//     errors=0
+//     ops=12345 qps=2469.0 p50_ms=0.81 p99_ms=2.40 p999_ms=4.10
+//     net_p99=0.40 queue_p99=1.10 exec_p99=0.90 retry=0 errors=0
+// (the net/queue/exec fields appear when server timing was negotiated).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -41,7 +47,8 @@ int usage(const char* argv0) {
       "usage: %s --port=N [--host=A] [--conns=N] [--duration=S] [--reads=F]\n"
       "          [--skew=S] [--keys=N] [--k=N] [--rate=QPS] [--preload=N]\n"
       "          [--bloom-bits=N] [--seed=N] [--scrape=0|1] [--tenant=N]\n"
-      "          [--mix=TENANT:CONNS:READS:RATE,...]\n",
+      "          [--mix=TENANT:CONNS:READS:RATE,...] [--timing=0|1]\n"
+      "          [--json=0|1]\n",
       argv0);
   return 2;
 }
@@ -77,15 +84,33 @@ bool parse_mix_row(const std::string& spec, fast::bench::TenantLoad* out) {
 }
 
 void print_report(const fast::bench::LoadOptions& opt, std::uint16_t tenant,
-                  std::size_t conns, double reads, double rate,
+                  std::size_t conns, double reads, double rate, bool json,
                   const fast::bench::LoadReport& report) {
+  const char* mode = rate > 0 ? "open" : "closed";
+  if (json) {
+    std::printf(
+        "{\"mode\": \"%s\", \"tenant\": %u, \"conns\": %zu, "
+        "\"duration_s\": %.2f, \"reads\": %.2f, \"rate\": %.1f, "
+        "\"ops\": %zu, \"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"p999_ms\": %.3f, \"timing_samples\": %zu, \"net_p99_ms\": %.3f, "
+        "\"queue_p99_ms\": %.3f, \"exec_p99_ms\": %.3f, \"retry\": %zu, "
+        "\"errors\": %zu}\n",
+        mode, tenant, conns, report.wall_s, reads, rate, report.ops,
+        report.qps(), report.p50_ms, report.p99_ms, report.p999_ms,
+        report.timing_samples, report.net_p99_ms, report.queue_p99_ms,
+        report.exec_p99_ms, report.retries, report.errors);
+    return;
+  }
   std::printf(
       "loadgen: mode=%s tenant=%u conns=%zu duration_s=%.2f reads=%.2f "
-      "rate=%.1f ops=%zu qps=%.1f p50_ms=%.3f p99_ms=%.3f p999_ms=%.3f "
-      "retry=%zu errors=%zu\n",
-      rate > 0 ? "open" : "closed", tenant, conns, report.wall_s, reads, rate,
-      report.ops, report.qps(), report.p50_ms, report.p99_ms, report.p999_ms,
-      report.retries, report.errors);
+      "rate=%.1f ops=%zu qps=%.1f p50_ms=%.3f p99_ms=%.3f p999_ms=%.3f",
+      mode, tenant, conns, report.wall_s, reads, rate, report.ops,
+      report.qps(), report.p50_ms, report.p99_ms, report.p999_ms);
+  if (report.timing_samples > 0) {
+    std::printf(" net_p99=%.3f queue_p99=%.3f exec_p99=%.3f",
+                report.net_p99_ms, report.queue_p99_ms, report.exec_p99_ms);
+  }
+  std::printf(" retry=%zu errors=%zu\n", report.retries, report.errors);
   (void)opt;
 }
 
@@ -95,8 +120,10 @@ int main(int argc, char** argv) {
   using namespace fast;
 
   bench::LoadOptions opt;
+  opt.want_timing = true;  // --timing=0 restores the legacy wire format
   std::size_t preload = 0;
   bool scrape = false;
+  bool json = false;
   std::vector<bench::TenantLoad> mix;
 
   for (int i = 1; i < argc; ++i) {
@@ -166,6 +193,14 @@ int main(int argc, char** argv) {
       const auto v = count(0, 65535);
       if (!v) return usage(argv[0]);
       opt.tenant = static_cast<std::uint16_t>(*v);
+    } else if (name == "--timing") {
+      const auto v = count(0, 1);
+      if (!v) return usage(argv[0]);
+      opt.want_timing = *v != 0;
+    } else if (name == "--json") {
+      const auto v = count(0, 1);
+      if (!v) return usage(argv[0]);
+      json = *v != 0;
     } else if (name == "--mix") {
       std::size_t start = 0;
       while (start <= value.size()) {
@@ -238,7 +273,8 @@ int main(int argc, char** argv) {
     std::size_t errors = 0;
     for (std::size_t i = 0; i < mix.size(); ++i) {
       print_report(opt, mix[i].tenant, mix[i].connections,
-                   mix[i].read_fraction, mix[i].arrival_rate, reports[i]);
+                   mix[i].read_fraction, mix[i].arrival_rate, json,
+                   reports[i]);
       errors += reports[i].errors;
     }
     return errors == 0 ? 0 : 1;
@@ -246,6 +282,6 @@ int main(int argc, char** argv) {
 
   const bench::LoadReport report = bench::run_load(opt);
   print_report(opt, opt.tenant, opt.connections, opt.read_fraction,
-               opt.arrival_rate, report);
+               opt.arrival_rate, json, report);
   return report.errors == 0 ? 0 : 1;
 }

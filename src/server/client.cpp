@@ -144,9 +144,10 @@ storage::StatusOr<Response> Client::ping() {
   return call(seq, encode_ping(seq));
 }
 
-storage::StatusOr<Response> Client::hello(std::uint16_t tenant) {
+storage::StatusOr<Response> Client::hello(std::uint16_t tenant,
+                                          std::uint32_t caps) {
   const std::uint64_t seq = next_seq();
-  return call(seq, encode_hello(seq, tenant));
+  return call(seq, encode_hello(seq, tenant, caps));
 }
 
 storage::StatusOr<Response> Client::insert(std::uint64_t id,

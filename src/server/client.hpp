@@ -48,8 +48,11 @@ class Client {
 
   storage::StatusOr<Response> ping();
   /// Binds this connection to a tenant (QoS). Optional: connections that
-  /// never say hello are the default tenant 0.
-  storage::StatusOr<Response> hello(std::uint16_t tenant);
+  /// never say hello are the default tenant 0. `caps` requests capability
+  /// bits (e.g. kCapServerTiming); the kOk response's `caps` field carries
+  /// the subset the server accepted.
+  storage::StatusOr<Response> hello(std::uint16_t tenant,
+                                    std::uint32_t caps = 0);
   storage::StatusOr<Response> insert(std::uint64_t id,
                                      const hash::SparseSignature& sig);
   storage::StatusOr<Response> insert_batch(

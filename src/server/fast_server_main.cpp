@@ -6,6 +6,7 @@
 //               [--query-weight=N] [--retry-ms=N] [--retry-max-ms=N]
 //               [--tenant-rate=R] [--tenant-burst=R] [--tenant-inflight=N]
 //               [--tenant=ID:RATE:BURST:INFLIGHT]...
+//               [--admin-port=N] [--drain-grace-ms=N]
 //
 // Serves the wire protocol of server/protocol.hpp over TCP on loopback.
 // With --dir the engine opens (or recovers) a durable index there and every
@@ -20,10 +21,18 @@
 // per-tenant quota and --tenant=ID:RATE:BURST:INFLIGHT overrides it for
 // one tenant (repeatable).
 //
+// Observability (DESIGN.md §3j): --admin-port=N starts the HTTP admin
+// plane (healthz/readyz/metrics/varz/statusz/tracez) on loopback port N
+// (0 = disabled, the default). --drain-grace-ms=N turns SIGTERM into a
+// two-phase shutdown: readiness flips to 503 immediately while the data
+// plane keeps serving for N ms, THEN the normal drain begins — the window
+// a load balancer needs to stop routing before connections are cut.
+//
 // Environment knobs (checked parsing, util/env.hpp): FAST_SERVER_PORT,
 // FAST_SERVER_WORKERS, FAST_SERVER_QUEUE, FAST_SERVER_QUERY_WEIGHT,
 // FAST_SERVER_RETRY_MS, FAST_SERVER_RETRY_MAX_MS, FAST_SERVER_TENANT_RATE,
-// FAST_SERVER_TENANT_BURST, FAST_SERVER_TENANT_INFLIGHT — flags win over
+// FAST_SERVER_TENANT_BURST, FAST_SERVER_TENANT_INFLIGHT,
+// FAST_SERVER_ADMIN_PORT, FAST_SERVER_DRAIN_GRACE_MS — flags win over
 // environment.
 #include <sys/signalfd.h>
 #include <unistd.h>
@@ -35,7 +44,11 @@
 #include <memory>
 #include <string>
 
+#include <chrono>
+#include <thread>
+
 #include "core/query_engine.hpp"
+#include "server/http_admin.hpp"
 #include "server/server.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -78,7 +91,8 @@ int usage(const char* argv0) {
       "          [--dir=PATH] [--wal-sync-every=N] [--bloom-bits=N]\n"
       "          [--query-weight=N] [--retry-ms=N] [--retry-max-ms=N]\n"
       "          [--tenant-rate=R] [--tenant-burst=R] [--tenant-inflight=N]\n"
-      "          [--tenant=ID:RATE:BURST:INFLIGHT]...\n",
+      "          [--tenant=ID:RATE:BURST:INFLIGHT]...\n"
+      "          [--admin-port=N] [--drain-grace-ms=N]\n",
       argv0);
   return 2;
 }
@@ -125,6 +139,15 @@ int main(int argc, char** argv) {
   std::string dir;
   std::size_t wal_sync_every = 1;
   std::size_t bloom_bits = 0;
+  std::uint16_t admin_port = 0;  // 0 = admin plane disabled
+  std::size_t drain_grace_ms = 0;
+  if (const auto v = util::env_count("FAST_SERVER_ADMIN_PORT", 0, 65535)) {
+    admin_port = static_cast<std::uint16_t>(*v);
+  }
+  if (const auto v =
+          util::env_count("FAST_SERVER_DRAIN_GRACE_MS", 0, 600000)) {
+    drain_grace_ms = *v;
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -180,6 +203,14 @@ int main(int argc, char** argv) {
       server::TenantQuota quota;
       if (!parse_tenant_quota(value, &quota)) return usage(argv[0]);
       options.tenant_quotas.push_back(quota);
+    } else if (arg.rfind("--admin-port=", 0) == 0) {
+      const auto v = count_flag("--admin-port", 0, 65535);
+      if (!v) return usage(argv[0]);
+      admin_port = static_cast<std::uint16_t>(*v);
+    } else if (arg.rfind("--drain-grace-ms=", 0) == 0) {
+      const auto v = count_flag("--drain-grace-ms", 0, 600000);
+      if (!v) return usage(argv[0]);
+      drain_grace_ms = *v;
     } else if (arg.rfind("--dir=", 0) == 0) {
       dir = value;
     } else if (arg.rfind("--wal-sync-every=", 0) == 0) {
@@ -251,6 +282,22 @@ int main(int argc, char** argv) {
                  st.message().c_str());
     return 1;
   }
+  // Admin plane (optional): started after the data plane so /readyz never
+  // reports ready for a server that failed to bind.
+  std::unique_ptr<server::HttpAdmin> admin;
+  if (admin_port != 0) {
+    server::HttpAdminOptions admin_options;
+    admin_options.port = admin_port;
+    admin = std::make_unique<server::HttpAdmin>(*engine, &srv, admin_options);
+    const storage::Status admin_st = admin->start();
+    if (!admin_st.ok()) {
+      std::fprintf(stderr, "fast_server: admin plane start failed: %s\n",
+                   admin_st.message().c_str());
+      srv.stop();
+      return 1;
+    }
+    std::printf("fast_server: admin plane on 127.0.0.1:%u\n", admin->port());
+  }
   std::printf("fast_server: listening on %s:%u (workers=%zu queue=%zu "
               "tiered=%d durable=%d)\n",
               options.bind_addr.c_str(), srv.port(), options.workers,
@@ -263,6 +310,15 @@ int main(int argc, char** argv) {
     if (n == 1 || (n < 0 && errno != EINTR)) break;
   }
 
+  // Two-phase shutdown: flip readiness first (admin /readyz answers 503
+  // while the data plane keeps serving), hold for the grace window so load
+  // balancers stop routing, then run the normal drain-and-stop sequence.
+  if (drain_grace_ms > 0) {
+    srv.enter_draining();
+    std::printf("fast_server: draining (grace %zu ms)\n", drain_grace_ms);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(drain_grace_ms));
+  }
   std::printf("fast_server: shutting down\n");
   std::fflush(stdout);
   srv.stop();
@@ -273,6 +329,9 @@ int main(int argc, char** argv) {
                    snap.message().c_str());
     }
   }
+  // The admin plane outlives stop() + snapshot on purpose: /metrics and
+  // /statusz stay scrapeable through the drain, reporting state=stopped.
+  if (admin != nullptr) admin->stop();
   std::printf("fast_server: bye\n");
   return 0;
 }

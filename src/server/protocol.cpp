@@ -101,9 +101,11 @@ std::vector<std::uint8_t> encode_metrics(std::uint64_t seq) {
 }
 
 std::vector<std::uint8_t> encode_hello(std::uint64_t seq,
-                                       std::uint16_t tenant) {
+                                       std::uint16_t tenant,
+                                       std::uint32_t caps) {
   util::ByteWriter w = request_header(Op::kHello, seq);
   w.u16(tenant);
+  if (caps != 0) w.u32(caps);
   return w.take();
 }
 
@@ -112,10 +114,11 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
   w.u8(static_cast<std::uint8_t>(response.op));
   w.u64(response.seq);
   w.u8(static_cast<std::uint8_t>(response.status));
+  bool ok_payload = false;
   switch (response.status) {
     case Status::kRetryAfter:
       w.u32(response.retry_after_ms);
-      return w.take();
+      break;
     case Status::kShuttingDown: {
       // Draining rejections carry the same adaptive backoff hint as
       // kRetryAfter, so clients spread their reconnect attempts.
@@ -123,45 +126,59 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
       const auto* text =
           reinterpret_cast<const std::uint8_t*>(response.text.data());
       w.blob({text, response.text.size()});
-      return w.take();
+      break;
     }
     case Status::kBadRequest:
     case Status::kError: {
       const auto* text =
           reinterpret_cast<const std::uint8_t*>(response.text.data());
       w.blob({text, response.text.size()});
-      return w.take();
+      break;
     }
     case Status::kOk:
+      ok_payload = true;
       break;
   }
-  switch (response.op) {
-    case Op::kPing:
-    case Op::kHello:
-      break;
-    case Op::kInsert:
-    case Op::kInsertBatch:
-    case Op::kErase:
-    case Op::kEraseBatch:
-      w.u32(response.count);
-      break;
-    case Op::kQuery:
-    case Op::kQueryBatch:
-      w.u32(static_cast<std::uint32_t>(response.results.size()));
-      for (const auto& hits : response.results) {
-        w.u32(static_cast<std::uint32_t>(hits.size()));
-        for (const auto& hit : hits) {
-          w.u64(hit.id);
-          w.f64(hit.score);
+  if (ok_payload) {
+    switch (response.op) {
+      case Op::kPing:
+        break;
+      case Op::kHello:
+        // Accepted capability bits; omitted when none, so pre-capability
+        // clients keep seeing the legacy zero-payload hello ack.
+        if (response.caps != 0) w.u32(response.caps);
+        break;
+      case Op::kInsert:
+      case Op::kInsertBatch:
+      case Op::kErase:
+      case Op::kEraseBatch:
+        w.u32(response.count);
+        break;
+      case Op::kQuery:
+      case Op::kQueryBatch:
+        w.u32(static_cast<std::uint32_t>(response.results.size()));
+        for (const auto& hits : response.results) {
+          w.u32(static_cast<std::uint32_t>(hits.size()));
+          for (const auto& hit : hits) {
+            w.u64(hit.id);
+            w.f64(hit.score);
+          }
         }
+        break;
+      case Op::kMetrics: {
+        const auto* text =
+            reinterpret_cast<const std::uint8_t*>(response.text.data());
+        w.blob({text, response.text.size()});
+        break;
       }
-      break;
-    case Op::kMetrics: {
-      const auto* text =
-          reinterpret_cast<const std::uint8_t*>(response.text.data());
-      w.blob({text, response.text.size()});
-      break;
     }
+  }
+  // Server-timing trailer (kCapServerTiming): appended after the normal
+  // payload, whatever the status, but only on connections that negotiated
+  // the capability — legacy clients never see these 16 bytes.
+  if (response.has_timing) {
+    w.u64(response.queue_ns);
+    w.u64(response.exec_ns);
   }
   return w.take();
 }
@@ -192,6 +209,8 @@ bool decode_request(std::span<const std::uint8_t> body, Request* out,
     case Op::kHello:
       out->tenant = r.u16();
       if (!r.ok()) return fail("bad hello");
+      // Optional capability word; a legacy 2-byte hello means caps = 0.
+      if (r.remaining() >= 4) out->caps = r.u32();
       break;
     case Op::kInsert: {
       out->insert_ids.push_back(r.u64());
@@ -265,66 +284,86 @@ bool decode_response(std::span<const std::uint8_t> body, Response* out,
   }
   out->op = static_cast<Op>(op_byte);
   out->status = static_cast<Status>(status_byte);
+  bool ok_payload = false;
   switch (out->status) {
     case Status::kRetryAfter:
       out->retry_after_ms = r.u32();
-      if (!r.exhausted()) return fail("bad retry payload");
-      return true;
+      if (!r.ok()) return fail("bad retry payload");
+      break;
     case Status::kShuttingDown: {
       out->retry_after_ms = r.u32();
       const auto text = r.blob();
-      if (!r.exhausted()) return fail("bad drain payload");
+      if (!r.ok()) return fail("bad drain payload");
       out->text.assign(reinterpret_cast<const char*>(text.data()),
                        text.size());
-      return true;
+      break;
     }
     case Status::kBadRequest:
     case Status::kError: {
       const auto text = r.blob();
-      if (!r.exhausted()) return fail("bad error payload");
+      if (!r.ok()) return fail("bad error payload");
       out->text.assign(reinterpret_cast<const char*>(text.data()),
                        text.size());
-      return true;
+      break;
     }
     case Status::kOk:
+      ok_payload = true;
       break;
   }
-  switch (out->op) {
-    case Op::kPing:
-    case Op::kHello:
-      break;
-    case Op::kInsert:
-    case Op::kInsertBatch:
-    case Op::kErase:
-    case Op::kEraseBatch:
-      out->count = r.u32();
-      break;
-    case Op::kQuery:
-    case Op::kQueryBatch: {
-      const std::uint32_t queries = r.u32();
-      if (!r.ok() || queries > r.remaining() / 4 + 1) {
-        return fail("bad result count");
-      }
-      out->results.resize(queries);
-      for (std::uint32_t q = 0; q < queries; ++q) {
-        const std::uint32_t hits = r.u32();
-        if (!r.ok() || hits > r.remaining() / 16) return fail("bad hit count");
-        out->results[q].reserve(hits);
-        for (std::uint32_t h = 0; h < hits; ++h) {
-          core::ScoredId hit;
-          hit.id = r.u64();
-          hit.score = r.f64();
-          out->results[q].push_back(hit);
+  if (ok_payload) {
+    switch (out->op) {
+      case Op::kPing:
+        break;
+      case Op::kHello:
+        // 0 bytes = legacy ack; 4 = caps; 20 = caps + timing trailer. The
+        // trailer is never sent on hello acks today, but the decoder stays
+        // permissive so the framing rule is uniform.
+        if (r.remaining() == 4 || r.remaining() == 20) out->caps = r.u32();
+        break;
+      case Op::kInsert:
+      case Op::kInsertBatch:
+      case Op::kErase:
+      case Op::kEraseBatch:
+        out->count = r.u32();
+        break;
+      case Op::kQuery:
+      case Op::kQueryBatch: {
+        const std::uint32_t queries = r.u32();
+        if (!r.ok() || queries > r.remaining() / 4 + 1) {
+          return fail("bad result count");
         }
+        out->results.resize(queries);
+        for (std::uint32_t q = 0; q < queries; ++q) {
+          const std::uint32_t hits = r.u32();
+          if (!r.ok() || hits > r.remaining() / 16) {
+            return fail("bad hit count");
+          }
+          out->results[q].reserve(hits);
+          for (std::uint32_t h = 0; h < hits; ++h) {
+            core::ScoredId hit;
+            hit.id = r.u64();
+            hit.score = r.f64();
+            out->results[q].push_back(hit);
+          }
+        }
+        break;
       }
-      break;
+      case Op::kMetrics: {
+        const auto text = r.blob();
+        out->text.assign(reinterpret_cast<const char*>(text.data()),
+                         text.size());
+        break;
+      }
     }
-    case Op::kMetrics: {
-      const auto text = r.blob();
-      out->text.assign(reinterpret_cast<const char*>(text.data()),
-                       text.size());
-      break;
-    }
+  }
+  if (!r.ok()) return fail("truncated payload");
+  // Exactly 16 trailing bytes after the payload are the negotiated
+  // server-timing trailer (queue_ns + exec_ns); anything else trailing is
+  // a framing error, same as before the capability existed.
+  if (r.remaining() == 16) {
+    out->queue_ns = r.u64();
+    out->exec_ns = r.u64();
+    out->has_timing = true;
   }
   if (!r.exhausted()) return fail("trailing bytes");
   return true;

@@ -52,7 +52,7 @@ enum class Op : std::uint8_t {
   kErase = 5,
   kEraseBatch = 6,
   kMetrics = 7,  ///< Prometheus text exposition of the engine registry
-  kHello = 8,    ///< tenant handshake; payload = u16 tenant id
+  kHello = 8,    ///< tenant handshake; payload = u16 tenant [+ u32 caps]
 };
 
 enum class Status : std::uint8_t {
@@ -62,6 +62,19 @@ enum class Status : std::uint8_t {
   kShuttingDown = 3,  ///< draining; payload = u32 retry ms + text blob
   kError = 4,         ///< execution failed (e.g. WAL I/O error)
 };
+
+/// kHello capability bits (optional u32 after the u16 tenant id; a legacy
+/// 2-byte hello means no capabilities). The server echoes the accepted
+/// subset in the kOk hello response, and the negotiated bits apply to
+/// every later frame on the connection.
+///
+/// kCapServerTiming: worker-executed responses carry a 16-byte server
+/// timing trailer — u64 queue_ns (admission to worker pickup) + u64
+/// exec_ns (execution wall time) — so clients can split observed latency
+/// into network vs queue vs execute. Never attached to I/O-thread inline
+/// answers (hello, rejections), and never sent to connections that did
+/// not negotiate it, so legacy decoders see byte-identical frames.
+inline constexpr std::uint32_t kCapServerTiming = 1u << 0;
 
 /// Frames grow a 4-byte length prefix; bodies above this are rejected and
 /// the connection dropped (garbage or a hostile length).
@@ -76,6 +89,7 @@ struct Request {
   Op op = Op::kPing;
   std::uint64_t seq = 0;
   std::uint16_t tenant = 0;                   ///< kHello
+  std::uint32_t caps = 0;                     ///< kHello capability bits
   std::uint32_t k = 0;                        ///< kQuery / kQueryBatch
   std::vector<std::uint64_t> ids;             ///< kErase(Batch): targets
   std::vector<std::uint64_t> insert_ids;      ///< kInsert(Batch)
@@ -91,6 +105,10 @@ struct Response {
   std::uint32_t retry_after_ms = 0;   ///< kRetryAfter / kShuttingDown
   std::vector<std::vector<core::ScoredId>> results;  ///< per query
   std::string text;                   ///< kMetrics payload / error message
+  std::uint32_t caps = 0;             ///< kHello kOk: accepted capabilities
+  bool has_timing = false;            ///< server-timing trailer present
+  std::uint64_t queue_ns = 0;         ///< admission -> worker pickup
+  std::uint64_t exec_ns = 0;          ///< execution wall time
 };
 
 // --- Encoding (either side) ------------------------------------------------
@@ -113,8 +131,11 @@ std::vector<std::uint8_t> encode_erase(std::uint64_t seq, std::uint64_t id);
 std::vector<std::uint8_t> encode_erase_batch(
     std::uint64_t seq, std::span<const std::uint64_t> ids);
 std::vector<std::uint8_t> encode_metrics(std::uint64_t seq);
+/// caps == 0 emits the legacy 2-byte hello payload, byte-identical to the
+/// pre-capability wire format.
 std::vector<std::uint8_t> encode_hello(std::uint64_t seq,
-                                       std::uint16_t tenant);
+                                       std::uint16_t tenant,
+                                       std::uint32_t caps = 0);
 
 /// Serializes a response body (server side).
 std::vector<std::uint8_t> encode_response(const Response& response);

@@ -156,7 +156,11 @@ Server::Server(core::QueryEngine& engine, ServerOptions options)
   m_inflight_ = &r.gauge("server.inflight");
   m_lane_depth_[0] = &r.gauge("server.lane.query.queue_depth");
   m_lane_depth_[1] = &r.gauge("server.lane.bulk.queue_depth");
+  m_state_ = &r.gauge("server.state");
+  m_state_->set(static_cast<double>(
+      static_cast<std::uint8_t>(ServerState::kStarting)));
   m_request_wall_s_ = &r.latency_histogram("server.request_wall_s");
+  m_queue_wait_s_ = &r.latency_histogram("server.queue_wait_s");
   m_retry_after_ms_ = &r.histogram(
       "server.retry_after_ms",
       {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
@@ -164,6 +168,23 @@ Server::Server(core::QueryEngine& engine, ServerOptions options)
 }
 
 Server::~Server() { stop(); }
+
+void Server::set_state(ServerState next) noexcept {
+  state_.store(static_cast<std::uint8_t>(next), std::memory_order_release);
+  m_state_->set(static_cast<double>(static_cast<std::uint8_t>(next)));
+}
+
+void Server::enter_draining() noexcept {
+  // CAS keeps the lifecycle monotone: only kServing may move to kDraining,
+  // so a late enter_draining() cannot resurrect a stopped server's gauge.
+  std::uint8_t expected = static_cast<std::uint8_t>(ServerState::kServing);
+  if (state_.compare_exchange_strong(
+          expected, static_cast<std::uint8_t>(ServerState::kDraining),
+          std::memory_order_acq_rel)) {
+    m_state_->set(static_cast<double>(
+        static_cast<std::uint8_t>(ServerState::kDraining)));
+  }
+}
 
 storage::Status Server::start() {
   if (running_.load(std::memory_order_acquire)) {
@@ -231,11 +252,15 @@ storage::Status Server::start() {
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  set_state(ServerState::kServing);
   return {};
 }
 
 void Server::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Readiness flips first (no-op if enter_draining() already ran), so an
+  // admin-plane /readyz is 503 before the listener closes below.
+  enter_draining();
   const auto kick = [this] {
     const std::uint64_t one = 1;
     [[maybe_unused]] const ssize_t n =
@@ -287,6 +312,7 @@ void Server::stop() {
   // draining_; cover the path where it exited before noticing.
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
+  set_state(ServerState::kStopped);
 }
 
 void Server::debug_hold_workers(bool hold) {
@@ -520,7 +546,11 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn,
       return;
     }
     conn->tenant = tenant_state(request.tenant);
+    // Capability negotiation: accept the subset we implement and echo it,
+    // so the client knows exactly which extensions are live.
+    conn->caps = request.caps & kCapServerTiming;
     reject.status = Status::kOk;
+    reject.caps = conn->caps;
     send_response(conn, reject);
     return;
   }
@@ -548,7 +578,9 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn,
   m_lane_depth_[lane_idx]->set(static_cast<double>(depth));
   {
     std::lock_guard<std::mutex> lk(work_mutex_);
-    WorkItem item{conn, conn->tenant, lane, std::move(body)};
+    WorkItem item{conn, conn->tenant, lane, std::move(body),
+                  std::chrono::steady_clock::now(),
+                  (conn->caps & kCapServerTiming) != 0};
     (lane == Lane::kBulk ? lane_bulk_ : lane_query_)
         .push_back(std::move(item));
   }
@@ -597,6 +629,13 @@ void Server::worker_loop() {
   while (true) {
     WorkItem item;
     if (!pop_work(&item)) return;
+    // Queue wait = admission (I/O thread) to pickup (here). Always
+    // observed; also the queue_ns half of the negotiated timing trailer.
+    const double queue_wait_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      item.admitted_at)
+            .count();
+    m_queue_wait_s_->observe(queue_wait_s);
     util::WallTimer timer;
     Request request;
     std::string error;
@@ -611,6 +650,13 @@ void Server::worker_loop() {
       m_bad_requests_->add();
     }
     const double wall_s = timer.elapsed_seconds();
+    if (item.want_timing) {
+      response.has_timing = true;
+      response.queue_ns = static_cast<std::uint64_t>(
+          std::max(0.0, queue_wait_s) * 1e9);
+      response.exec_ns = static_cast<std::uint64_t>(
+          std::max(0.0, wall_s) * 1e9);
+    }
     m_requests_->add();
     m_request_wall_s_->observe(wall_s);
     const std::size_t lane_idx = static_cast<std::size_t>(item.lane);
@@ -708,6 +754,9 @@ Response Server::execute(const Request& request, const WorkItem& item) {
             static_cast<std::uint32_t>(engine_.erase_batch(request.ids));
         break;
       case Op::kMetrics:
+        // Refresh process.{rss_bytes,open_fds,threads,uptime_s} so the
+        // binary scrape op matches the admin plane's /metrics.
+        util::sample_process_gauges(engine_.metrics());
         response.text = engine_.metrics().to_prometheus();
         break;
     }

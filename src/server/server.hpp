@@ -67,6 +67,22 @@ namespace fast::server {
 /// are interactive; mutations (insert/erase, batched or not) are bulk.
 enum class Lane : std::uint8_t { kQuery = 0, kBulk = 1 };
 
+/// Lifecycle of a Server, exported as the `server.state` gauge and served
+/// by the admin plane's GET /readyz (DESIGN.md §3j). The numeric values
+/// are the wire/metric encoding — keep them stable.
+///
+/// kStarting -> kServing -> kDraining -> kStopped, strictly monotone:
+/// enter_draining() flips kServing -> kDraining (readiness goes 503)
+/// while the data plane keeps serving, so orchestrators stop routing new
+/// clients before in-flight work is cut off; stop() passes through
+/// kDraining on its way to kStopped.
+enum class ServerState : std::uint8_t {
+  kStarting = 0,
+  kServing = 1,
+  kDraining = 2,
+  kStopped = 3,
+};
+
 /// Lane classification for an op (pure; used by admission and tests).
 Lane lane_of(Op op) noexcept;
 
@@ -159,6 +175,19 @@ class Server {
     return running_.load(std::memory_order_acquire);
   }
 
+  /// Current lifecycle state (admin plane /readyz and the `server.state`
+  /// gauge; safe from any thread).
+  ServerState state() const noexcept {
+    return static_cast<ServerState>(state_.load(std::memory_order_acquire));
+  }
+
+  /// Flips kServing -> kDraining WITHOUT closing the listener or rejecting
+  /// traffic: the data plane keeps serving while /readyz answers 503, so a
+  /// load balancer drains new arrivals before stop() cuts in-flight work
+  /// off. Idempotent; a no-op unless currently kServing. stop() calls it
+  /// first, so a plain stop() still passes through kDraining.
+  void enter_draining() noexcept;
+
   /// Live connection count (diagnostics/tests).
   std::size_t connection_count() const noexcept {
     return connections_.load(std::memory_order_relaxed);
@@ -190,6 +219,8 @@ class Server {
     std::atomic<std::size_t> inflight{0};
     /// Tenant binding (kHello); read and written by the I/O thread only.
     std::shared_ptr<TenantState> tenant;
+    /// Negotiated capability bits (kHello; I/O thread only, like tenant).
+    std::uint32_t caps = 0;
     std::mutex mu;                    ///< guards out/out_off/closed
     std::vector<std::uint8_t> out;    ///< serialized, unsent response bytes
     std::size_t out_off = 0;
@@ -204,6 +235,12 @@ class Server {
     std::shared_ptr<TenantState> tenant;
     Lane lane = Lane::kQuery;
     std::vector<std::uint8_t> body;
+    /// Admission timestamp: worker pickup minus this is the queue wait
+    /// (server.queue_wait_s histogram and the kCapServerTiming trailer).
+    std::chrono::steady_clock::time_point admitted_at{};
+    /// Connection negotiated kCapServerTiming (captured at admission —
+    /// Conn::caps is I/O-thread-only state).
+    bool want_timing = false;
   };
 
   void io_loop();
@@ -250,6 +287,9 @@ class Server {
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};   ///< reject new frames
   std::atomic<bool> io_stop_{false};    ///< I/O thread exits once flushed
+  /// Lifecycle state (ServerState values; see state()/enter_draining()).
+  std::atomic<std::uint8_t> state_{
+      static_cast<std::uint8_t>(ServerState::kStarting)};
 
   // Two admitted-request lanes (FIFO within a lane) + weighted dispatch
   // state, all guarded by work_mutex_.
@@ -299,8 +339,13 @@ class Server {
   util::Gauge* m_connections_ = nullptr;
   util::Gauge* m_inflight_ = nullptr;
   util::Gauge* m_lane_depth_[2] = {nullptr, nullptr};
+  util::Gauge* m_state_ = nullptr;  ///< ServerState as a number
   util::Histogram* m_request_wall_s_ = nullptr;
+  util::Histogram* m_queue_wait_s_ = nullptr;
   util::Histogram* m_retry_after_ms_ = nullptr;
+
+  /// Single writer for state_ + its gauge mirror (start/stop/drain paths).
+  void set_state(ServerState next) noexcept;
 };
 
 }  // namespace fast::server

@@ -1,11 +1,19 @@
 #include "util/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
 
 #include "util/check.hpp"
 
@@ -264,6 +272,151 @@ std::string metrics_to_prometheus(const MetricsSnapshot& snapshot) {
   }
   return out;
 }
+
+CounterRateTracker::CounterRateTracker(std::size_t capacity_s)
+    : capacity_s_(std::max<std::size_t>(1, capacity_s)) {}
+
+void CounterRateTracker::feed(
+    const std::map<std::string, std::uint64_t>& counters, double now_s) {
+  const std::int64_t sec = static_cast<std::int64_t>(std::floor(now_s));
+  for (const auto& [name, value] : counters) {
+    Ring& ring = rings_[name];
+    if (ring.buckets.empty()) ring.buckets.assign(capacity_s_, 0);
+    if (!ring.seeded) {
+      ring.seeded = true;
+      ring.last_sec = sec;
+      ring.last_value = value;
+      continue;
+    }
+    if (sec < ring.last_sec) continue;  // clock went backwards; ignore
+    // A cumulative value below the last sample means the counter was reset
+    // (process restart between feeds never happens in-process, but the
+    // tracker is generic): the whole new value is this interval's delta.
+    const std::uint64_t delta =
+        value >= ring.last_value ? value - ring.last_value : value;
+    const std::int64_t gap = sec - ring.last_sec;
+    const std::int64_t cap = static_cast<std::int64_t>(capacity_s_);
+    // Zero the seconds skipped since the last feed; a gap past the ring
+    // capacity wipes everything (every live bucket is stale).
+    const std::int64_t zero_from =
+        gap >= cap ? sec - cap + 1 : ring.last_sec + 1;
+    for (std::int64_t s = zero_from; s <= sec; ++s) {
+      ring.buckets[static_cast<std::size_t>(((s % cap) + cap) % cap)] = 0;
+    }
+    ring.buckets[static_cast<std::size_t>(((sec % cap) + cap) % cap)] += delta;
+    ring.last_sec = sec;
+    ring.last_value = value;
+  }
+}
+
+double CounterRateTracker::rate(const std::string& name, std::size_t window_s,
+                                double now_s) const {
+  const auto it = rings_.find(name);
+  if (it == rings_.end() || !it->second.seeded) return 0.0;
+  const Ring& ring = it->second;
+  const std::int64_t cap = static_cast<std::int64_t>(capacity_s_);
+  const std::int64_t window = static_cast<std::int64_t>(
+      std::clamp<std::size_t>(window_s, 1, capacity_s_));
+  const std::int64_t sec = static_cast<std::int64_t>(std::floor(now_s));
+  std::uint64_t sum = 0;
+  for (std::int64_t s = sec - window + 1; s <= sec; ++s) {
+    if (s > ring.last_sec) continue;        // not yet fed: zero events
+    if (s <= ring.last_sec - cap) continue;  // overwritten by a newer second
+    sum += ring.buckets[static_cast<std::size_t>(
+        ((s % cap) + cap) % cap)];
+  }
+  return static_cast<double>(sum) / static_cast<double>(window);
+}
+
+#if defined(__linux__)
+
+namespace {
+
+/// Small bounded /proc read; these files are tiny and never seekable.
+bool read_proc_file(const char* path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return !out->empty();
+}
+
+/// Whitespace token `index` (0-based) of /proc/self/stat AFTER the ')'
+/// that closes the comm field — the only robust way to parse stat, since
+/// comm may itself contain spaces. Field N of proc(5) is token N - 3 here.
+bool stat_token_after_comm(std::size_t index, std::uint64_t* out) {
+  std::string stat;
+  if (!read_proc_file("/proc/self/stat", &stat)) return false;
+  const std::size_t paren = stat.rfind(')');
+  if (paren == std::string::npos) return false;
+  std::size_t pos = paren + 1;
+  for (std::size_t tok = 0;; ++tok) {
+    while (pos < stat.size() && stat[pos] == ' ') ++pos;
+    const std::size_t end = stat.find(' ', pos);
+    if (pos >= stat.size()) return false;
+    if (tok == index) {
+      *out = std::strtoull(stat.c_str() + pos, nullptr, 10);
+      return true;
+    }
+    if (end == std::string::npos) return false;
+    pos = end;
+  }
+}
+
+}  // namespace
+
+double process_uptime_s() {
+  std::string uptime;
+  std::uint64_t start_ticks = 0;
+  // starttime is field 22 of proc(5) => token 19 after the comm ')'.
+  if (!read_proc_file("/proc/uptime", &uptime) ||
+      !stat_token_after_comm(19, &start_ticks)) {
+    return 0.0;
+  }
+  const double system_up_s = std::strtod(uptime.c_str(), nullptr);
+  const long ticks_per_s = ::sysconf(_SC_CLK_TCK);
+  if (ticks_per_s <= 0) return 0.0;
+  const double up = system_up_s - static_cast<double>(start_ticks) /
+                                      static_cast<double>(ticks_per_s);
+  return up > 0.0 ? up : 0.0;
+}
+
+void sample_process_gauges(MetricsRegistry& registry) {
+  std::string statm;
+  if (read_proc_file("/proc/self/statm", &statm)) {
+    // statm field 2 is resident pages.
+    const char* p = statm.c_str();
+    char* end = nullptr;
+    std::strtoull(p, &end, 10);
+    const std::uint64_t resident_pages = std::strtoull(end, nullptr, 10);
+    const long page = ::sysconf(_SC_PAGESIZE);
+    if (page > 0) {
+      registry.gauge("process.rss_bytes")
+          .set(static_cast<double>(resident_pages) *
+               static_cast<double>(page));
+    }
+  }
+  if (DIR* dir = ::opendir("/proc/self/fd")) {
+    std::size_t fds = 0;
+    while (const dirent* ent = ::readdir(dir)) {
+      if (ent->d_name[0] != '.') ++fds;
+    }
+    ::closedir(dir);
+    registry.gauge("process.open_fds").set(static_cast<double>(fds));
+  }
+  // num_threads is field 20 of proc(5) => token 17 after the comm ')'.
+  if (std::uint64_t threads = 0; stat_token_after_comm(17, &threads)) {
+    registry.gauge("process.threads").set(static_cast<double>(threads));
+  }
+  registry.gauge("process.uptime_s").set(process_uptime_s());
+}
+
+#else  // !__linux__
+
+double process_uptime_s() { return 0.0; }
+void sample_process_gauges(MetricsRegistry&) {}
+
+#endif
 
 void MetricsRegistry::write_json(const std::string& path) const {
   std::ofstream out(path);

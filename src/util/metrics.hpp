@@ -128,6 +128,57 @@ struct MetricsSnapshot {
 /// ([a-zA-Z0-9_:] only — `.` becomes `_`, a leading digit is prefixed).
 std::string metrics_to_prometheus(const MetricsSnapshot& snapshot);
 
+/// Windowed event rates derived from cumulative counters at scrape time
+/// (the admin plane's /varz feed, DESIGN.md §3j). feed() diffs every
+/// counter against its last-seen cumulative value and credits the delta to
+/// the current 1-second bucket of a fixed ring; rate() sums the trailing
+/// window. The hot path never changes — counters stay plain relaxed
+/// atomics — and the clock is an explicit argument so tests drive a fake
+/// one. Not thread-safe: the single admin thread owns its instance.
+class CounterRateTracker {
+ public:
+  /// `capacity_s` seconds of 1-second delta buckets per counter (also the
+  /// largest usable rate window).
+  explicit CounterRateTracker(std::size_t capacity_s = 64);
+
+  /// Folds a cumulative-counter snapshot taken at `now_s` into the rings.
+  /// The first sight of a counter only seeds its baseline; a value below
+  /// the baseline is treated as a counter reset (the full new value is the
+  /// delta); seconds skipped between feeds are zeroed.
+  void feed(const std::map<std::string, std::uint64_t>& counters,
+            double now_s);
+
+  /// Events/second of `name` over the trailing `window_s` seconds ending
+  /// at `now_s` (clamped to [1, capacity]). Seconds never fed count as
+  /// zero; an unknown or just-seeded counter rates 0.
+  double rate(const std::string& name, std::size_t window_s,
+              double now_s) const;
+
+  std::size_t capacity_s() const noexcept { return capacity_s_; }
+
+ private:
+  struct Ring {
+    std::vector<std::uint64_t> buckets;  ///< delta per second, sec % capacity
+    std::uint64_t last_value = 0;
+    std::int64_t last_sec = 0;
+    bool seeded = false;
+  };
+
+  std::size_t capacity_s_;
+  std::map<std::string, Ring> rings_;
+};
+
+class MetricsRegistry;
+
+/// Samples process-level gauges from /proc/self into `registry`:
+/// process.rss_bytes, process.open_fds, process.threads, process.uptime_s.
+/// Called at scrape time (admin plane and the wire kMetrics op) — never on
+/// a request hot path. A failed /proc read leaves that gauge untouched.
+void sample_process_gauges(MetricsRegistry& registry);
+
+/// Seconds since this process started (0.0 when /proc is unreadable).
+double process_uptime_s();
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

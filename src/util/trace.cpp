@@ -265,9 +265,12 @@ std::vector<QueryProfile> Tracer::slow_queries() const {
   return out;
 }
 
-std::string Tracer::chrome_trace_json() const {
-  const std::vector<TraceEvent> all = events();
-  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+namespace {
+
+/// The Chrome trace_event array ("[...]"), shared by chrome_trace_json and
+/// the admin plane's tracez_json.
+std::string emit_trace_events(const std::vector<TraceEvent>& all) {
+  std::string out = "[";
   bool first = true;
   for (const TraceEvent& e : all) {
     out += first ? "\n" : ",\n";
@@ -287,29 +290,63 @@ std::string Tracer::chrome_trace_json() const {
     }
     out += "}}";
   }
-  out += first ? "]}\n" : "\n]}\n";
+  out += first ? "]" : "\n]";
   return out;
+}
+
+/// A QueryProfile array with 4-space item indent.
+std::string emit_profiles(const std::vector<QueryProfile>& list) {
+  std::string out = "[";
+  bool first = true;
+  for (const QueryProfile& p : list) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += p.to_json();
+  }
+  out += first ? "]" : "\n  ]";
+  return out;
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  return "{\"displayTimeUnit\": \"ms\", \"traceEvents\": " +
+         emit_trace_events(events()) + "}\n";
 }
 
 std::string Tracer::profiles_json() const {
   // Take both copies first so the two sections are mutually consistent.
   const std::vector<QueryProfile> sampled = sampled_profiles();
   const std::vector<QueryProfile> slow = slow_queries();
-  const auto emit = [](const std::vector<QueryProfile>& list) {
-    std::string out = "[";
-    bool first = true;
-    for (const QueryProfile& p : list) {
-      out += first ? "\n    " : ",\n    ";
-      first = false;
-      out += p.to_json();
-    }
-    out += first ? "]" : "\n  ]";
-    return out;
-  };
   std::string out = "{\n  \"slow_query_threshold_s\": ";
   out += fmt_double(slow_query_threshold_s());
-  out += ",\n  \"profiles\": " + emit(sampled);
-  out += ",\n  \"slow_queries\": " + emit(slow);
+  out += ",\n  \"profiles\": " + emit_profiles(sampled);
+  out += ",\n  \"slow_queries\": " + emit_profiles(slow);
+  out += "\n}\n";
+  return out;
+}
+
+std::string Tracer::tracez_json() const {
+  const Stats s = stats();
+  const std::vector<QueryProfile> sampled = sampled_profiles();
+  const std::vector<QueryProfile> slow = slow_queries();
+  std::string out = "{\n  \"enabled\": ";
+  out += enabled() ? "true" : "false";
+  out += ",\n  \"slow_query_threshold_s\": ";
+  out += fmt_double(slow_query_threshold_s());
+  out += ",\n  \"stats\": {";
+  out += "\"requests_seen\": " + std::to_string(s.requests_seen);
+  out += ", \"requests_sampled\": " + std::to_string(s.requests_sampled);
+  out += ", \"spans_recorded\": " + std::to_string(s.spans_recorded);
+  out += ", \"spans_dropped\": " + std::to_string(s.spans_dropped);
+  out += ", \"profiles_recorded\": " + std::to_string(s.profiles_recorded);
+  out += ", \"profiles_dropped\": " + std::to_string(s.profiles_dropped);
+  out += ", \"slow_queries\": " + std::to_string(s.slow_queries);
+  out += ", \"slow_evicted\": " + std::to_string(s.slow_evicted);
+  out += "},\n  \"slow_queries\": " + emit_profiles(slow);
+  out += ",\n  \"profiles\": " + emit_profiles(sampled);
+  out += ",\n  \"displayTimeUnit\": \"ms\"";
+  out += ",\n  \"traceEvents\": " + emit_trace_events(events());
   out += "\n}\n";
   return out;
 }

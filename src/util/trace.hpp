@@ -156,6 +156,12 @@ class Tracer {
   std::string chrome_trace_json() const;
   /// {"profiles": [...sampled...], "slow_queries": [...ring...]}.
   std::string profiles_json() const;
+  /// Admin-plane export (GET /tracez, DESIGN.md §3j): one JSON object
+  /// carrying the tracer stats, the slow-query ring, the sampled query
+  /// profiles AND the recent sampled spans under "traceEvents" — the
+  /// object loads directly in chrome://tracing / Perfetto (viewers ignore
+  /// the extra top-level keys).
+  std::string tracez_json() const;
   /// Write the corresponding *_json() to `path`; throws std::runtime_error
   /// when the file cannot be written.
   void write_chrome_trace(const std::string& path) const;

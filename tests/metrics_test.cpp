@@ -259,6 +259,102 @@ TEST(MetricsPrometheusTest, ExposesCountersGaugesAndCumulativeHistograms) {
   EXPECT_NE(text.find("probe_s_count 3"), std::string::npos);
 }
 
+// --- CounterRateTracker (fake clock throughout) ----------------------------
+
+TEST(CounterRateTrackerTest, UnknownAndJustSeededCountersRateZero) {
+  CounterRateTracker t(8);
+  EXPECT_DOUBLE_EQ(t.rate("missing", 10, 100.0), 0.0);
+  t.feed({{"reqs", 1000}}, 100.0);  // first sight only seeds the baseline
+  EXPECT_DOUBLE_EQ(t.rate("reqs", 10, 100.0), 0.0);
+}
+
+TEST(CounterRateTrackerTest, SteadyRateOverBothWindows) {
+  CounterRateTracker t(64);
+  // 100 events/second for 70 seconds.
+  for (int s = 0; s <= 70; ++s) {
+    t.feed({{"reqs", static_cast<std::uint64_t>(s) * 100}},
+           static_cast<double>(s));
+  }
+  EXPECT_NEAR(t.rate("reqs", 10, 70.0), 100.0, 1e-9);
+  EXPECT_NEAR(t.rate("reqs", 60, 70.0), 100.0, 1e-9);
+}
+
+TEST(CounterRateTrackerTest, SameSecondFeedsAccumulate) {
+  CounterRateTracker t(8);
+  t.feed({{"reqs", 0}}, 5.0);
+  t.feed({{"reqs", 30}}, 5.2);
+  t.feed({{"reqs", 50}}, 5.9);  // still second 5: bucket holds 50
+  EXPECT_NEAR(t.rate("reqs", 1, 5.9), 50.0, 1e-9);
+}
+
+TEST(CounterRateTrackerTest, SkippedSecondsCountAsZero) {
+  CounterRateTracker t(64);
+  t.feed({{"reqs", 0}}, 0.0);
+  t.feed({{"reqs", 100}}, 1.0);
+  // Nothing for 8 seconds, then one more burst.
+  t.feed({{"reqs", 200}}, 10.0);
+  // Trailing 10s window ending at t=10 covers seconds 1..10: 100 at s=1
+  // and 100 at s=10, the gap zeroed.
+  EXPECT_NEAR(t.rate("reqs", 10, 10.0), 20.0, 1e-9);
+  EXPECT_NEAR(t.rate("reqs", 1, 10.0), 100.0, 1e-9);
+}
+
+TEST(CounterRateTrackerTest, GapLongerThanRingZeroesEverything) {
+  CounterRateTracker t(8);
+  t.feed({{"reqs", 0}}, 0.0);
+  t.feed({{"reqs", 800}}, 1.0);
+  // A silence much longer than the 8s ring: old buckets must not alias
+  // back into the window after wraparound.
+  t.feed({{"reqs", 808}}, 100.0);
+  EXPECT_NEAR(t.rate("reqs", 8, 100.0), 1.0, 1e-9);
+}
+
+TEST(CounterRateTrackerTest, CounterResetTreatsNewValueAsDelta) {
+  CounterRateTracker t(16);
+  t.feed({{"reqs", 500}}, 0.0);
+  t.feed({{"reqs", 600}}, 1.0);
+  // Process restarted: the cumulative value fell. The full new value is
+  // credited instead of a bogus huge unsigned diff.
+  t.feed({{"reqs", 40}}, 2.0);
+  EXPECT_NEAR(t.rate("reqs", 1, 2.0), 40.0, 1e-9);
+  EXPECT_NEAR(t.rate("reqs", 2, 2.0), 70.0, 1e-9);
+}
+
+TEST(CounterRateTrackerTest, WindowClampsToCapacity) {
+  CounterRateTracker t(4);
+  for (int s = 0; s <= 4; ++s) {
+    t.feed({{"reqs", static_cast<std::uint64_t>(s) * 10}},
+           static_cast<double>(s));
+  }
+  // Asking for a 100s window over a 4s ring clamps to 4 seconds.
+  EXPECT_NEAR(t.rate("reqs", 100, 4.0), 10.0, 1e-9);
+  // A zero window clamps up to 1 second.
+  EXPECT_NEAR(t.rate("reqs", 0, 4.0), 10.0, 1e-9);
+}
+
+// --- Process gauges --------------------------------------------------------
+
+TEST(ProcessGaugesTest, SampleFillsLinuxGauges) {
+  MetricsRegistry reg;
+  sample_process_gauges(reg);
+  const MetricsSnapshot snap = reg.snapshot();
+#if defined(__linux__)
+  EXPECT_GT(snap.gauges.at("process.rss_bytes"), 0.0);
+  EXPECT_GE(snap.gauges.at("process.threads"), 1.0);
+  EXPECT_GT(snap.gauges.at("process.open_fds"), 0.0);
+  EXPECT_GE(snap.gauges.at("process.uptime_s"), 0.0);
+#else
+  (void)snap;
+#endif
+}
+
+TEST(ProcessGaugesTest, UptimeIsMonotoneNonNegative) {
+  const double a = process_uptime_s();
+  const double b = process_uptime_s();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
 TEST(MetricsPrometheusTest, SanitizesMetricNames) {
   MetricsRegistry reg;
   reg.counter("fe_sm.summarize-ops").add(1);

@@ -197,6 +197,85 @@ TEST(ServerProtocolTest, FrameAssemblerRejectsOversizedFrames) {
   EXPECT_TRUE(assembler.error());
 }
 
+TEST(ServerProtocolTest, HelloCapsRoundTrip) {
+  // Capability-bearing hello request.
+  Request req;
+  std::string error;
+  ASSERT_TRUE(decode_request(encode_hello(4, 9, kCapServerTiming), &req,
+                             &error))
+      << error;
+  EXPECT_EQ(req.op, Op::kHello);
+  EXPECT_EQ(req.tenant, 9u);
+  EXPECT_EQ(req.caps, kCapServerTiming);
+
+  // A legacy 2-byte hello (no caps word) decodes with caps == 0 — the old
+  // encoding is byte-identical and still accepted.
+  ASSERT_TRUE(decode_request(encode_hello(4, 9), &req, &error)) << error;
+  EXPECT_EQ(req.tenant, 9u);
+  EXPECT_EQ(req.caps, 0u);
+
+  // The kOk hello response echoes the accepted caps subset.
+  Response in;
+  in.op = Op::kHello;
+  in.seq = 4;
+  in.status = Status::kOk;
+  in.caps = kCapServerTiming;
+  Response out;
+  ASSERT_TRUE(decode_response(encode_response(in), &out, &error)) << error;
+  EXPECT_EQ(out.caps, kCapServerTiming);
+  EXPECT_FALSE(out.has_timing);
+
+  // caps == 0 encodes the legacy empty-payload hello ack.
+  in.caps = 0;
+  const auto legacy = encode_response(in);
+  ASSERT_TRUE(decode_response(legacy, &out, &error)) << error;
+  EXPECT_EQ(out.caps, 0u);
+  // op(1) + seq(8) + status(1): no caps word, byte-identical to pre-caps.
+  EXPECT_EQ(legacy.size(), 10u);
+}
+
+TEST(ServerProtocolTest, TimingTrailerRoundTrips) {
+  Response in;
+  in.op = Op::kQuery;
+  in.seq = 21;
+  in.status = Status::kOk;
+  in.results = {{{5, 0.75}}};
+  in.has_timing = true;
+  in.queue_ns = 1234567;
+  in.exec_ns = 89012345;
+
+  Response out;
+  std::string error;
+  ASSERT_TRUE(decode_response(encode_response(in), &out, &error)) << error;
+  EXPECT_TRUE(out.has_timing);
+  EXPECT_EQ(out.queue_ns, 1234567u);
+  EXPECT_EQ(out.exec_ns, 89012345u);
+  ASSERT_EQ(out.results.size(), 1u);
+  EXPECT_EQ(out.results[0][0].id, 5u);
+
+  // The trailer rides on rejections too (admission-control visibility).
+  Response retry;
+  retry.op = Op::kInsert;
+  retry.seq = 3;
+  retry.status = Status::kRetryAfter;
+  retry.retry_after_ms = 25;
+  retry.has_timing = true;
+  retry.queue_ns = 42;
+  retry.exec_ns = 0;
+  ASSERT_TRUE(decode_response(encode_response(retry), &out, &error)) << error;
+  EXPECT_EQ(out.status, Status::kRetryAfter);
+  EXPECT_EQ(out.retry_after_ms, 25u);
+  EXPECT_TRUE(out.has_timing);
+  EXPECT_EQ(out.queue_ns, 42u);
+
+  // Without the flag the encoding is byte-identical to the legacy wire
+  // format and decodes with has_timing == false.
+  in.has_timing = false;
+  ASSERT_TRUE(decode_response(encode_response(in), &out, &error)) << error;
+  EXPECT_FALSE(out.has_timing);
+  EXPECT_EQ(out.queue_ns, 0u);
+}
+
 // --- Engine facade parity --------------------------------------------------
 
 /// Engine-routed writes must be bit-identical to direct index writes: same
@@ -536,6 +615,48 @@ TEST_F(ServerTest, ShutdownAnswersInFlightRequests) {
   // issued for dropped work.
   EXPECT_EQ(engine_->size(), static_cast<std::size_t>(ok));
   EXPECT_FALSE(server_->running());
+}
+
+/// Capability negotiation end to end: a connection that asks for
+/// kCapServerTiming gets it echoed in the hello ack and a queue/exec
+/// trailer on every subsequent worker-executed response; a connection
+/// that never negotiates sees the legacy format, trailer-free.
+TEST_F(ServerTest, NegotiatedServerTimingOverTheWire) {
+  start(flat_config());
+
+  Client timed;
+  ASSERT_TRUE(timed.connect("127.0.0.1", server_->port()).ok());
+  const auto ack = timed.hello(0, kCapServerTiming);
+  ASSERT_TRUE(ack.ok());
+  ASSERT_EQ(ack.value().status, Status::kOk);
+  EXPECT_EQ(ack.value().caps, kCapServerTiming);
+
+  const auto sig = make_signature(1, cfg_.bloom_bits);
+  ASSERT_EQ(timed.insert(1, sig).value().status, Status::kOk);
+  const auto got = timed.query(sig, 3);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().status, Status::kOk);
+  EXPECT_TRUE(got.value().has_timing);
+  // exec covers the actual engine work: positive and sane (< 10 s).
+  EXPECT_GT(got.value().exec_ns, 0u);
+  EXPECT_LT(got.value().exec_ns, 10'000'000'000ull);
+  EXPECT_LT(got.value().queue_ns, 10'000'000'000ull);
+
+  // Unknown capability bits are masked off, not echoed.
+  Client greedy;
+  ASSERT_TRUE(greedy.connect("127.0.0.1", server_->port()).ok());
+  const auto masked = greedy.hello(0, 0xfffffffe);
+  ASSERT_TRUE(masked.ok());
+  ASSERT_EQ(masked.value().status, Status::kOk);
+  EXPECT_EQ(masked.value().caps, 0u);
+
+  // A legacy connection (no hello at all) never sees a trailer.
+  Client legacy;
+  ASSERT_TRUE(legacy.connect("127.0.0.1", server_->port()).ok());
+  const auto plain = legacy.query(sig, 3);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(plain.value().status, Status::kOk);
+  EXPECT_FALSE(plain.value().has_timing);
 }
 
 }  // namespace
